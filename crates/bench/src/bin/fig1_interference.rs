@@ -1,0 +1,40 @@
+//! Figure 1 — sensitivity to inter-lock interference.
+//!
+//! 64 threads (scaled down in quick mode) pick read locks at random from a
+//! pool whose size sweeps the powers of two from 1 to 8192. Each row reports
+//! the throughput of shared-table BRAVO-BA divided by the throughput of an
+//! idealized BRAVO-BA with a private 4096-slot table per lock instance. The
+//! paper's claim: the fraction never drops below ~0.94.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use workloads::interference::{interference_run, paper_lock_pool_series, InterferenceResult};
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 1: inter-lock interference (BRAVO-BA vs private-table BRAVO-BA)", mode);
+
+    let threads = match mode {
+        RunMode::Quick => 8,
+        RunMode::Standard => 16,
+        RunMode::Full => 64,
+    };
+    let pools: Vec<usize> = match mode {
+        RunMode::Quick => paper_lock_pool_series().into_iter().step_by(3).collect(),
+        _ => paper_lock_pool_series(),
+    };
+
+    header(&["locks", "shared_ops", "private_ops", "throughput_fraction"]);
+    for locks in pools {
+        let mut runs: Vec<InterferenceResult> = (0..mode.repetitions())
+            .map(|_| interference_run(locks, threads, mode.interval()))
+            .collect();
+        runs.sort_by(|a, b| a.fraction().total_cmp(&b.fraction()));
+        let result = runs[runs.len() / 2];
+        row(&[
+            locks.to_string(),
+            result.shared_table_ops.to_string(),
+            result.private_table_ops.to_string(),
+            fmt_f64(result.fraction()),
+        ]);
+    }
+}

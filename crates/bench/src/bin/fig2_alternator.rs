@@ -1,0 +1,33 @@
+//! Figure 2 — the alternator benchmark.
+//!
+//! Threads form a notification ring; each acquires and releases read
+//! permission on one shared lock per hop. No read-read concurrency exists,
+//! so the figure isolates reader-arrival coherence cost. Expected shape: the
+//! BA and pthread curves degrade as threads are added while BRAVO-BA /
+//! BRAVO-pthread stay flat and track the Per-CPU lock.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use rwlocks::LockKind;
+use workloads::alternator::alternator;
+use workloads::harness::median_of;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 2: alternator (ring of readers, Msteps per interval)", mode);
+
+    header(&["threads", "lock", "steps", "steps_per_sec"]);
+    for threads in mode.thread_series() {
+        for &kind in LockKind::paper_set() {
+            let ops = median_of(mode.repetitions(), || {
+                alternator(kind, threads, mode.interval()).operations
+            });
+            let per_sec = ops as f64 / mode.interval().as_secs_f64();
+            row(&[
+                threads.to_string(),
+                kind.to_string(),
+                ops.to_string(),
+                fmt_f64(per_sec),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 3 — the test_rwlock benchmark (Desnoyers et al.).
+//!
+//! One fixed-role writer plus `T` fixed-role readers on one central lock,
+//! extremely read-dominated. Expected shape: BRAVO-BA ≫ BA at higher thread
+//! counts and approaches Per-CPU; BRAVO-pthread ≫ pthread.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use rwlocks::LockKind;
+use workloads::harness::median_of;
+use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 3: test_rwlock (1 writer + T readers, ops/msec)", mode);
+
+    header(&["readers", "lock", "iterations", "ops_per_msec"]);
+    for threads in mode.thread_series() {
+        for &kind in LockKind::paper_set() {
+            let result = median_of(mode.repetitions(), || {
+                test_rwlock(kind, TestRwlockConfig::paper(threads, mode.interval())).operations
+            });
+            let per_msec = result as f64 / mode.interval().as_millis().max(1) as f64;
+            row(&[
+                threads.to_string(),
+                kind.to_string(),
+                result.to_string(),
+                fmt_f64(per_msec),
+            ]);
+        }
+    }
+}

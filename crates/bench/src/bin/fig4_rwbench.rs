@@ -1,0 +1,40 @@
+//! Figure 4 (a–f) — RWBench across write ratios.
+//!
+//! Each panel fixes the write probability (90 %, 50 %, 10 %, 1 %, 0.1 %,
+//! 0.01 %) and sweeps the thread count. Expected shape: at high write ratios
+//! every lock is serialized and BRAVO tracks its underlying lock (no harm);
+//! as the ratio drops, BRAVO-BA and BRAVO-pthread pull away from BA and
+//! pthread and approach Per-CPU / Cohort-RW.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use rwlocks::LockKind;
+use workloads::harness::median_of;
+use workloads::rwbench::{rwbench, RwBenchConfig};
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 4: RWBench, one panel per write ratio (ops/msec)", mode);
+
+    header(&["write_ratio", "threads", "lock", "ops", "ops_per_msec"]);
+    let ratios: Vec<f64> = match mode {
+        RunMode::Quick => vec![0.9, 0.01, 0.0001],
+        _ => RwBenchConfig::paper_write_ratios().to_vec(),
+    };
+    for &ratio in &ratios {
+        for threads in mode.thread_series() {
+            for &kind in LockKind::paper_set() {
+                let ops = median_of(mode.repetitions(), || {
+                    rwbench(kind, RwBenchConfig::paper(threads, ratio, mode.interval())).operations
+                });
+                let per_msec = ops as f64 / mode.interval().as_millis().max(1) as f64;
+                row(&[
+                    ratio.to_string(),
+                    threads.to_string(),
+                    kind.to_string(),
+                    ops.to_string(),
+                    fmt_f64(per_msec),
+                ]);
+            }
+        }
+    }
+}

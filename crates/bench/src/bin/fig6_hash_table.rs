@@ -1,0 +1,36 @@
+//! Figure 6 — rocksdb `hash_table_bench`.
+//!
+//! One inserter, one eraser and `T` reader threads over a hash map behind a
+//! single reader-writer lock. Expected shape: BRAVO variants show
+//! substantial speedup over their underlying locks at higher reader counts.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use kvstore::run_hash_table_bench;
+use rwlocks::LockKind;
+use workloads::harness::median_of;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 6: rocksdb hash_table_bench (ops/msec)", mode);
+
+    let key_space = 16_384;
+    header(&["readers", "lock", "reads", "inserts", "erases", "ops_per_msec"]);
+    for threads in mode.thread_series() {
+        for &kind in LockKind::paper_set() {
+            let (reads, inserts, erases) = median_of(mode.repetitions(), || {
+                let r = run_hash_table_bench(kind, threads, key_space, mode.interval());
+                (r.reads, r.inserts, r.erases)
+            });
+            let total = reads + inserts + erases;
+            let per_msec = total as f64 / mode.interval().as_millis().max(1) as f64;
+            row(&[
+                threads.to_string(),
+                kind.to_string(),
+                reads.to_string(),
+                inserts.to_string(),
+                erases.to_string(),
+                fmt_f64(per_msec),
+            ]);
+        }
+    }
+}

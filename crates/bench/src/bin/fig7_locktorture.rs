@@ -1,0 +1,40 @@
+//! Figure 7 — locktorture with 1 writer and a sweep of reader counts.
+//!
+//! Reports read and write acquisition counts for the stock kernel, the
+//! BRAVO kernel, and the BRAVO-with-bias-disabled control the paper uses to
+//! explain the writer-side difference. Expected shape: reads scale with
+//! thread count further under BRAVO; writes are somewhat lower under BRAVO
+//! (each write pays a revocation against 50 ms readers), and the no-bias
+//! control matches stock.
+
+use bench::{banner, header, row, RunMode};
+use kernelsim::locktorture::{self, LockTortureConfig};
+use rwsem::KernelVariant;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 7: locktorture, 1 writer (read and write acquisitions)", mode);
+
+    header(&["readers", "kernel", "read_acquisitions", "write_acquisitions"]);
+    for readers in mode.thread_series() {
+        for &variant in KernelVariant::all() {
+            let config = match mode {
+                RunMode::Quick => LockTortureConfig {
+                    read_hold: std::time::Duration::from_micros(500),
+                    write_hold: std::time::Duration::from_micros(100),
+                    read_long_hold: std::time::Duration::from_millis(2),
+                    write_long_hold: std::time::Duration::from_millis(10),
+                    ..LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval())
+                },
+                _ => LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval()),
+            };
+            let result = locktorture::run(variant, config);
+            row(&[
+                readers.to_string(),
+                variant.to_string(),
+                result.read_acquisitions.to_string(),
+                result.write_acquisitions.to_string(),
+            ]);
+        }
+    }
+}

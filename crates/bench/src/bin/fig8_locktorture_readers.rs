@@ -1,0 +1,61 @@
+//! Figure 8 — locktorture with 0 writers.
+//!
+//! Panel (a): the module's original 50 ms read critical sections — both
+//! kernels scale linearly because the long hold masks any contention on the
+//! count word. Panel (b): the paper's modified 5 µs critical sections —
+//! stock stops scaling once the shared counter becomes the bottleneck while
+//! BRAVO keeps scaling (refuting "read-write locks are only for long
+//! critical sections").
+
+use bench::{banner, header, row, RunMode};
+use kernelsim::locktorture::{self, LockTortureConfig};
+use rwsem::KernelVariant;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 8: locktorture, 0 writers (read acquisitions)", mode);
+
+    header(&["panel", "readers", "kernel", "read_acquisitions"]);
+    for readers in mode.thread_series() {
+        for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
+            // Panel (a): original long critical sections (scaled down off
+            // --full so quick runs finish).
+            let long_hold = match mode {
+                RunMode::Full => std::time::Duration::from_millis(50),
+                RunMode::Standard => std::time::Duration::from_millis(5),
+                RunMode::Quick => std::time::Duration::from_micros(500),
+            };
+            let original = locktorture::run(
+                variant,
+                LockTortureConfig {
+                    readers,
+                    writers: 0,
+                    read_hold: long_hold,
+                    write_hold: std::time::Duration::ZERO,
+                    long_delay_one_in: 0,
+                    read_long_hold: std::time::Duration::ZERO,
+                    write_long_hold: std::time::Duration::ZERO,
+                    duration: mode.locktorture_interval(),
+                },
+            );
+            row(&[
+                "a_original".to_string(),
+                readers.to_string(),
+                variant.to_string(),
+                original.read_acquisitions.to_string(),
+            ]);
+
+            // Panel (b): modified 5 µs critical sections.
+            let modified = locktorture::run(
+                variant,
+                LockTortureConfig::short_read_sections(readers, mode.locktorture_interval()),
+            );
+            row(&[
+                "b_modified_5us".to_string(),
+                readers.to_string(),
+                variant.to_string(),
+                modified.read_acquisitions.to_string(),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 9 — will-it-scale page_fault1/2 and mmap1/2.
+//!
+//! The page-fault benchmarks are read-heavy on `mmap_sem` and should keep
+//! scaling further on the BRAVO kernel once the stock kernel's shared
+//! counter saturates; the mmap benchmarks are write-heavy and should show no
+//! difference (BRAVO introduces no overhead where it is not profitable).
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
+use rwsem::KernelVariant;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Figure 9: will-it-scale (operations per second)", mode);
+
+    header(&["benchmark", "tasks", "kernel", "operations", "ops_per_sec", "page_faults"]);
+    for &bench in WillItScaleBenchmark::all() {
+        for tasks in mode.thread_series() {
+            for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
+                let result = will_it_scale::run(bench, variant, tasks, mode.interval());
+                let per_sec = result.operations as f64 / mode.interval().as_secs_f64();
+                row(&[
+                    bench.to_string(),
+                    tasks.to_string(),
+                    variant.to_string(),
+                    result.operations.to_string(),
+                    fmt_f64(per_sec),
+                    result.page_faults.to_string(),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Runs every figure and table binary's workload back-to-back (in the
+//! current run mode) and prints a combined report, plus the BRAVO statistics
+//! summary (fast-read fraction, revocation rate) accumulated over the whole
+//! sweep.
+//!
+//! This is the "one command regenerates the whole evaluation" entry point:
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro_all            # quick pass
+//! cargo run --release -p bench --bin repro_all -- --full  # paper-scale
+//! ```
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use kernelsim::locktorture::{self, LockTortureConfig};
+use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
+use kvstore::{run_hash_table_bench, run_readwhilewriting};
+use mapreduce::{generate_random_words, generate_text, wc, wrmem};
+use rwlocks::LockKind;
+use rwsem::KernelVariant;
+use workloads::alternator::alternator;
+use workloads::interference::interference_run;
+use workloads::rwbench::{rwbench, RwBenchConfig};
+use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("BRAVO reproduction: all experiments (summary pass)", mode);
+    let before = bravo::stats::snapshot();
+    let threads = *mode.thread_series().last().unwrap_or(&4);
+
+    header(&["experiment", "series", "value"]);
+
+    // Figure 1 (one representative pool size).
+    let interference = interference_run(256, threads.min(16), mode.interval());
+    row(&[
+        "fig1_interference".into(),
+        "fraction@256locks".into(),
+        fmt_f64(interference.fraction()),
+    ]);
+
+    // Figures 2–4: BA vs BRAVO-BA at the largest thread count.
+    for &kind in &[LockKind::Ba, LockKind::BravoBa, LockKind::PerCpu] {
+        let alt = alternator(kind, threads, mode.interval());
+        row(&["fig2_alternator".into(), kind.to_string(), alt.operations.to_string()]);
+    }
+    for &kind in &[LockKind::Ba, LockKind::BravoBa, LockKind::Pthread, LockKind::BravoPthread] {
+        let t = test_rwlock(kind, TestRwlockConfig::paper(threads, mode.interval()));
+        row(&["fig3_test_rwlock".into(), kind.to_string(), t.operations.to_string()]);
+    }
+    for &ratio in &[0.9, 0.0001] {
+        for &kind in &[LockKind::Ba, LockKind::BravoBa] {
+            let r = rwbench(kind, RwBenchConfig::paper(threads, ratio, mode.interval()));
+            row(&[
+                "fig4_rwbench".into(),
+                format!("{kind}@P={ratio}"),
+                r.operations.to_string(),
+            ]);
+        }
+    }
+
+    // Figures 5–6.
+    for &kind in &[LockKind::Ba, LockKind::BravoBa] {
+        let r = run_readwhilewriting(kind, threads, 10_000, mode.interval());
+        row(&[
+            "fig5_readwhilewriting".into(),
+            kind.to_string(),
+            (r.reads + r.writes).to_string(),
+        ]);
+        let h = run_hash_table_bench(kind, threads, 16_384, mode.interval());
+        row(&[
+            "fig6_hash_table".into(),
+            kind.to_string(),
+            (h.reads + h.inserts + h.erases).to_string(),
+        ]);
+    }
+
+    // Figures 7–8 (locktorture) and 9 (will-it-scale), stock vs BRAVO.
+    for &variant in &[KernelVariant::Stock, KernelVariant::Bravo] {
+        let t = locktorture::run(
+            variant,
+            LockTortureConfig::short_read_sections(threads, mode.locktorture_interval()),
+        );
+        row(&[
+            "fig8_locktorture_5us".into(),
+            variant.to_string(),
+            t.read_acquisitions.to_string(),
+        ]);
+        let w = will_it_scale::run(
+            WillItScaleBenchmark::PageFault1,
+            variant,
+            threads,
+            mode.interval(),
+        );
+        row(&[
+            "fig9_page_fault1".into(),
+            variant.to_string(),
+            w.operations.to_string(),
+        ]);
+    }
+
+    // Tables 1–2 (scaled-down corpora in quick mode).
+    let corpus = generate_text(mode.corpus_words() / 4, 0x5eed);
+    let records = generate_random_words(mode.corpus_words() / 4, 1024, 0xfeed);
+    for &variant in &[KernelVariant::Stock, KernelVariant::Bravo] {
+        let w = wc(&corpus, threads, variant);
+        row(&[
+            "table1_wc".into(),
+            variant.to_string(),
+            format!("{:.3}s", w.runtime.as_secs_f64()),
+        ]);
+        let m = wrmem(&records, threads, variant);
+        row(&[
+            "table2_wrmem".into(),
+            variant.to_string(),
+            format!("{:.3}s", m.runtime.as_secs_f64()),
+        ]);
+    }
+
+    // BRAVO statistics over the whole pass.
+    let delta = bravo::stats::snapshot().since(&before);
+    println!();
+    println!("# BRAVO statistics over this pass");
+    println!("fast_read_fraction\t{}", fmt_f64(delta.fast_read_fraction()));
+    println!("total_reads\t{}", delta.total_reads());
+    println!("fast_reads\t{}", delta.fast_reads);
+    println!("slow_reads_disabled\t{}", delta.slow_reads_disabled);
+    println!("slow_reads_collision\t{}", delta.slow_reads_collision);
+    println!("slow_reads_raced\t{}", delta.slow_reads_raced);
+    println!("writes\t{}", delta.writes);
+    println!("revocations\t{}", delta.revocations);
+    println!("revocation_fraction\t{}", fmt_f64(delta.revocation_fraction()));
+}

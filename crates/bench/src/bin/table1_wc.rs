@@ -1,0 +1,29 @@
+//! Table 1 — Metis `wc` (word count) runtime, stock vs BRAVO kernel.
+//!
+//! Reports the wall-clock runtime for each thread count on both kernels and
+//! the speedup, mirroring the table's columns. Expected shape: ~0 % at 1–2
+//! threads growing to double-digit improvements once mmap_sem becomes the
+//! bottleneck.
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use mapreduce::{generate_text, wc};
+use rwsem::KernelVariant;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Table 1: Metis wc runtime (seconds, lower is better)", mode);
+
+    let corpus = generate_text(mode.corpus_words(), 0x5eed);
+    header(&["threads", "stock_sec", "bravo_sec", "speedup_pct"]);
+    for threads in mode.thread_series() {
+        let stock = wc(&corpus, threads, KernelVariant::Stock).runtime.as_secs_f64();
+        let bravo = wc(&corpus, threads, KernelVariant::Bravo).runtime.as_secs_f64();
+        let speedup = if stock > 0.0 { (stock - bravo) / stock * 100.0 } else { 0.0 };
+        row(&[
+            threads.to_string(),
+            format!("{stock:.3}"),
+            format!("{bravo:.3}"),
+            fmt_f64(speedup),
+        ]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 2 — Metis `wrmem` (in-memory inverted index) runtime, stock vs
+//! BRAVO kernel.
+//!
+//! `wrmem` allocates a large chunk of memory, fills it with random words and
+//! feeds it to the map-reduce framework for inverted-index calculation; it
+//! is the more allocation-intensive of the two Metis applications and shows
+//! the larger speedups in the paper (up to ~37 %).
+
+use bench::{banner, fmt_f64, header, row, RunMode};
+use mapreduce::{generate_random_words, wrmem};
+use rwsem::KernelVariant;
+
+fn main() {
+    let mode = RunMode::from_args();
+    banner("Table 2: Metis wrmem runtime (seconds, lower is better)", mode);
+
+    let records = generate_random_words(mode.corpus_words(), 1024, 0xfeed);
+    header(&["threads", "stock_sec", "bravo_sec", "speedup_pct"]);
+    for threads in mode.thread_series() {
+        let stock = wrmem(&records, threads, KernelVariant::Stock).runtime.as_secs_f64();
+        let bravo = wrmem(&records, threads, KernelVariant::Bravo).runtime.as_secs_f64();
+        let speedup = if stock > 0.0 { (stock - bravo) / stock * 100.0 } else { 0.0 };
+        row(&[
+            threads.to_string(),
+            format!("{stock:.3}"),
+            format!("{bravo:.3}"),
+            fmt_f64(speedup),
+        ]);
+    }
+}

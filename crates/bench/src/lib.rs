@@ -1,0 +1,165 @@
+//! Shared plumbing for the reproduction harness binaries.
+//!
+//! Every figure and table in the paper's evaluation has a dedicated binary
+//! in `src/bin/` (`fig1_interference` … `table2_wrmem`) that regenerates the
+//! corresponding rows or series. This module holds what they share: run-mode
+//! selection (`--quick` / `--standard` / `--full`), the thread series, and
+//! result-table printing.
+//!
+//! Output format: every binary prints a self-describing, tab-separated table
+//! to stdout with one row per data point, mirroring the series plotted in
+//! the paper. Paper-scale intervals (`--full`) reproduce the original 10 s /
+//! 30 s / 50 s measurement windows; the default `--quick` mode shrinks them
+//! so the entire suite completes in minutes on a laptop.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::Duration;
+
+/// How long (and how wide) to run each experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Seconds-long total runtime per figure; the default.
+    Quick,
+    /// Intermediate setting: ~1 s measurement intervals.
+    Standard,
+    /// The paper's own intervals (10 s+ per data point). Expect long runs.
+    Full,
+}
+
+impl RunMode {
+    /// Parses the run mode from the process arguments (`--quick`,
+    /// `--standard`, `--full`); unknown arguments are ignored so binaries
+    /// can add their own flags.
+    pub fn from_args() -> Self {
+        let mut mode = RunMode::Quick;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => mode = RunMode::Quick,
+                "--standard" => mode = RunMode::Standard,
+                "--full" => mode = RunMode::Full,
+                _ => {}
+            }
+        }
+        mode
+    }
+
+    /// The measurement interval for user-space throughput experiments
+    /// (paper: 10 s).
+    pub fn interval(self) -> Duration {
+        match self {
+            RunMode::Quick => Duration::from_millis(200),
+            RunMode::Standard => Duration::from_secs(1),
+            RunMode::Full => Duration::from_secs(10),
+        }
+    }
+
+    /// The measurement interval for locktorture (paper: 30 s).
+    pub fn locktorture_interval(self) -> Duration {
+        match self {
+            RunMode::Quick => Duration::from_millis(500),
+            RunMode::Standard => Duration::from_secs(2),
+            RunMode::Full => Duration::from_secs(30),
+        }
+    }
+
+    /// Number of repetitions per data point (paper: median of 7).
+    pub fn repetitions(self) -> usize {
+        match self {
+            RunMode::Quick => 1,
+            RunMode::Standard => 3,
+            RunMode::Full => 7,
+        }
+    }
+
+    /// Thread counts to sweep, capped so quick runs stay quick.
+    pub fn thread_series(self) -> Vec<usize> {
+        match self {
+            RunMode::Quick => vec![1, 2, 4, 8],
+            RunMode::Standard => vec![1, 2, 4, 8, 16, 32],
+            RunMode::Full => vec![1, 2, 4, 8, 16, 32, 48, 64],
+        }
+    }
+
+    /// Input scale factor for the Metis tables (fraction of the paper's
+    /// corpus size).
+    pub fn corpus_words(self) -> usize {
+        match self {
+            RunMode::Quick => 40_000,
+            RunMode::Standard => 200_000,
+            RunMode::Full => 2_000_000,
+        }
+    }
+}
+
+impl std::fmt::Display for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RunMode::Quick => "quick",
+            RunMode::Standard => "standard",
+            RunMode::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Prints the experiment banner: which figure/table this regenerates and
+/// the run mode in effect.
+pub fn banner(experiment: &str, mode: RunMode) {
+    println!("# {experiment}");
+    println!("# run mode: {mode} (use --full for paper-scale intervals)");
+}
+
+/// Prints a tab-separated header row.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints a tab-separated data row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Formats a floating-point cell with sensible precision for throughput
+/// numbers.
+pub fn fmt_f64(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_quick() {
+        // from_args reads real argv (the test binary's), which contains no
+        // mode flag, so the default applies.
+        assert_eq!(RunMode::from_args(), RunMode::Quick);
+    }
+
+    #[test]
+    fn intervals_scale_with_mode() {
+        assert!(RunMode::Quick.interval() < RunMode::Standard.interval());
+        assert!(RunMode::Standard.interval() < RunMode::Full.interval());
+        assert_eq!(RunMode::Full.interval(), Duration::from_secs(10));
+        assert_eq!(RunMode::Full.locktorture_interval(), Duration::from_secs(30));
+        assert_eq!(RunMode::Full.repetitions(), 7);
+    }
+
+    #[test]
+    fn thread_series_grow_with_mode() {
+        assert!(RunMode::Quick.thread_series().len() < RunMode::Full.thread_series().len());
+        assert_eq!(*RunMode::Full.thread_series().last().unwrap(), 64);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(1.234), "1.23");
+    }
+}

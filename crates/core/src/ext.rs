@@ -1,0 +1,616 @@
+//! Extensions sketched in the paper's future-work section (§7).
+//!
+//! These are the variations the authors identify as promising directions;
+//! each is implemented here so the ablation benchmarks can quantify them:
+//!
+//! * [`BravoDualProbe`] — the reader fast path probes a *secondary* slot
+//!   when the primary slot is occupied, instead of immediately reverting to
+//!   the slow path ("We plan on using a secondary hash to probe an
+//!   alternative location").
+//! * [`BravoMutex`] — BRAVO layered over a plain mutual-exclusion lock: the
+//!   only source of read-read concurrency is the fast path ("An interesting
+//!   variation is to implement BRAVO on top of an underlying mutex instead
+//!   of a reader-writer lock").
+//! * [`BravoNonBlockingRevoke`] — an extra writer mutex so that readers
+//!   arriving *during* a revocation scan can still divert to the slow path
+//!   of the underlying reader-writer lock instead of stalling behind the
+//!   revoking writer ("In our current implementation arriving readers are
+//!   blocked while a revocation scan is in progress. This could be avoided
+//!   by adding a mutex to each BRAVO-enhanced lock.").
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::clock::now_ns;
+use crate::hash::mix64;
+use crate::lock::ReadToken;
+use crate::policy::BiasPolicy;
+use crate::raw::{DefaultRwLock, RawRwLock};
+use crate::stats::{self, SlowReadReason};
+use crate::vrt::TableHandle;
+
+/// BRAVO with a two-probe reader fast path.
+///
+/// On a primary-slot collision the reader derives a second, independent slot
+/// (double hashing) and tries once more before falling back to the slow
+/// path. Revocation is unchanged — the writer already scans the whole table,
+/// so it finds readers wherever they published.
+pub struct BravoDualProbe<L = DefaultRwLock> {
+    rbias: AtomicBool,
+    inhibit_until: AtomicU64,
+    underlying: L,
+    table: TableHandle,
+    policy: BiasPolicy,
+}
+
+impl<L: RawRwLock> Default for BravoDualProbe<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: RawRwLock> BravoDualProbe<L> {
+    /// Creates a dual-probe BRAVO lock over a fresh underlying lock and the
+    /// global table, with the paper's default policy.
+    pub fn new() -> Self {
+        Self::with_parts(L::new(), TableHandle::Global, BiasPolicy::paper_default())
+    }
+
+    /// Creates a dual-probe BRAVO lock from explicit parts.
+    pub fn with_parts(underlying: L, table: TableHandle, policy: BiasPolicy) -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying,
+            table,
+            policy,
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Whether reader bias is currently enabled (racy snapshot).
+    pub fn is_reader_biased(&self) -> bool {
+        self.rbias.load(Ordering::Relaxed)
+    }
+
+    /// Secondary slot: an independent hash of the primary index, so the two
+    /// probes are spread over the table rather than adjacent. Guaranteed to
+    /// differ from the primary slot so a collision there always gives the
+    /// reader a genuinely different place to try.
+    fn secondary_slot(&self, primary: usize, table_len: usize) -> usize {
+        let candidate = (mix64(primary as u64 ^ 0xb5a7_70d1_5ca1_ab1e) as usize) & (table_len - 1);
+        if candidate == primary {
+            (candidate + 1) & (table_len - 1)
+        } else {
+            candidate
+        }
+    }
+
+    /// Acquires read permission, probing up to two slots on the fast path.
+    pub fn read_lock(&self) -> ReadToken {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let primary = table.slot_for(addr, topology::current_thread_id().as_usize());
+            for slot in [primary, self.secondary_slot(primary, table.len())] {
+                if table.try_publish(slot, addr) {
+                    if self.rbias.load(Ordering::SeqCst) {
+                        stats::record_fast_read();
+                        return ReadToken::new(Some(slot));
+                    }
+                    table.clear(slot, addr);
+                    return self.slow_read(SlowReadReason::Raced);
+                }
+            }
+            return self.slow_read(SlowReadReason::Collision);
+        }
+        self.slow_read(SlowReadReason::BiasDisabled)
+    }
+
+    fn slow_read(&self, reason: SlowReadReason) -> ReadToken {
+        self.underlying.lock_shared();
+        if !self.rbias.load(Ordering::Relaxed)
+            && self
+                .policy
+                .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
+        {
+            self.rbias.store(true, Ordering::Release);
+            stats::record_bias_enabled();
+        }
+        stats::record_slow_read(reason);
+        ReadToken::new(None)
+    }
+
+    /// Releases read permission.
+    pub fn read_unlock(&self, token: ReadToken) {
+        match token.slot() {
+            Some(slot) => self.table.table().clear(slot, self.addr()),
+            None => self.underlying.unlock_shared(),
+        }
+    }
+
+    /// Acquires write permission, revoking bias if needed.
+    pub fn write_lock(&self) {
+        self.underlying.lock_exclusive();
+        if self.rbias.load(Ordering::Relaxed) {
+            self.rbias.store(false, Ordering::SeqCst);
+            let start = now_ns();
+            let table = self.table.table();
+            let conflicts = table.wait_for_readers(self.addr());
+            let now = now_ns();
+            self.inhibit_until.store(
+                self.policy.inhibit_until_after_revocation(start, now),
+                Ordering::Relaxed,
+            );
+            stats::record_revocation_scan(table.len());
+            stats::record_write(true, conflicts as u64);
+        } else {
+            stats::record_write(false, 0);
+        }
+    }
+
+    /// Releases write permission.
+    pub fn write_unlock(&self) {
+        self.underlying.unlock_exclusive();
+    }
+}
+
+/// BRAVO over a mutual-exclusion lock.
+///
+/// The underlying "lock" admits one holder at a time, so slow-path readers
+/// serialize with each other and with writers; *all* read-read concurrency
+/// comes from the BRAVO fast path. The paper notes this variation may deny
+/// the read-read admission some applications expect (a reader forced through
+/// the slow path cannot overlap another reader), which is why it is an
+/// extension rather than the default — but it makes any plain mutex usable
+/// as a read-mostly lock.
+pub struct BravoMutex<M: RawMutexLike = SpinMutex> {
+    rbias: AtomicBool,
+    inhibit_until: AtomicU64,
+    underlying: M,
+    table: TableHandle,
+    policy: BiasPolicy,
+}
+
+/// The minimal mutex interface [`BravoMutex`] builds on.
+///
+/// (The richer mutexes in the `rwlocks` crate satisfy this shape too; the
+/// trait lives here so the core crate stays dependency-free.)
+pub trait RawMutexLike: Send + Sync {
+    /// Creates a new, unlocked mutex.
+    fn new() -> Self
+    where
+        Self: Sized;
+    /// Acquires the mutex.
+    fn lock(&self);
+    /// Attempts to acquire the mutex without blocking.
+    fn try_lock(&self) -> bool;
+    /// Releases the mutex.
+    fn unlock(&self);
+}
+
+/// A tiny test-and-test-and-set spin mutex used as [`BravoMutex`]'s default
+/// underlying lock.
+pub struct SpinMutex {
+    locked: AtomicBool,
+}
+
+impl RawMutexLike for SpinMutex {
+    fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) {
+        loop {
+            if self.try_lock() {
+                return;
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                crate::clock::cpu_relax();
+            }
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<M: RawMutexLike> Default for BravoMutex<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: RawMutexLike> BravoMutex<M> {
+    /// Creates a BRAVO-over-mutex lock with the paper's default policy.
+    pub fn new() -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying: M::new(),
+            table: TableHandle::Global,
+            policy: BiasPolicy::paper_default(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Whether reader bias is currently enabled (racy snapshot).
+    pub fn is_reader_biased(&self) -> bool {
+        self.rbias.load(Ordering::Relaxed)
+    }
+
+    /// Acquires read permission. Fast-path readers run concurrently;
+    /// slow-path readers hold the underlying mutex for the duration of the
+    /// critical section.
+    pub fn read_lock(&self) -> ReadToken {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    stats::record_fast_read();
+                    return ReadToken::new(Some(slot));
+                }
+                table.clear(slot, addr);
+            }
+        }
+        self.underlying.lock();
+        if !self.rbias.load(Ordering::Relaxed)
+            && self
+                .policy
+                .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
+        {
+            self.rbias.store(true, Ordering::Release);
+            stats::record_bias_enabled();
+        }
+        stats::record_slow_read(SlowReadReason::BiasDisabled);
+        ReadToken::new(None)
+    }
+
+    /// Releases read permission.
+    pub fn read_unlock(&self, token: ReadToken) {
+        match token.slot() {
+            Some(slot) => self.table.table().clear(slot, self.addr()),
+            None => self.underlying.unlock(),
+        }
+    }
+
+    /// Acquires write (exclusive) permission.
+    pub fn write_lock(&self) {
+        self.underlying.lock();
+        if self.rbias.load(Ordering::Relaxed) {
+            self.rbias.store(false, Ordering::SeqCst);
+            let start = now_ns();
+            let table = self.table.table();
+            let conflicts = table.wait_for_readers(self.addr());
+            let now = now_ns();
+            self.inhibit_until.store(
+                self.policy.inhibit_until_after_revocation(start, now),
+                Ordering::Relaxed,
+            );
+            stats::record_revocation_scan(table.len());
+            stats::record_write(true, conflicts as u64);
+        } else {
+            stats::record_write(false, 0);
+        }
+    }
+
+    /// Releases write permission.
+    pub fn write_unlock(&self) {
+        self.underlying.unlock();
+    }
+}
+
+/// BRAVO with non-blocking revocation for readers.
+///
+/// A dedicated writer mutex resolves write-write conflicts and covers the
+/// revocation scan, and only *after* revocation does the writer acquire the
+/// underlying reader-writer lock exclusively. Readers that arrive while a
+/// revocation scan is in progress therefore find the underlying lock free
+/// and can proceed through its ordinary (slow) read path instead of waiting
+/// for the scan to finish — reducing reader latency variance, as §7
+/// describes.
+pub struct BravoNonBlockingRevoke<L = DefaultRwLock, M: RawMutexLike = SpinMutex> {
+    rbias: AtomicBool,
+    inhibit_until: AtomicU64,
+    underlying: L,
+    writer_mutex: M,
+    table: TableHandle,
+    policy: BiasPolicy,
+}
+
+impl<L: RawRwLock, M: RawMutexLike> Default for BravoNonBlockingRevoke<L, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: RawRwLock, M: RawMutexLike> BravoNonBlockingRevoke<L, M> {
+    /// Creates the lock with the paper's default policy and the global
+    /// table.
+    pub fn new() -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying: L::new(),
+            writer_mutex: M::new(),
+            table: TableHandle::Global,
+            policy: BiasPolicy::paper_default(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Whether reader bias is currently enabled (racy snapshot).
+    pub fn is_reader_biased(&self) -> bool {
+        self.rbias.load(Ordering::Relaxed)
+    }
+
+    /// Acquires read permission; identical to plain BRAVO (the reader-side
+    /// code "remains unchanged", §7).
+    pub fn read_lock(&self) -> ReadToken {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    stats::record_fast_read();
+                    return ReadToken::new(Some(slot));
+                }
+                table.clear(slot, addr);
+                return self.slow_read(SlowReadReason::Raced);
+            }
+            return self.slow_read(SlowReadReason::Collision);
+        }
+        self.slow_read(SlowReadReason::BiasDisabled)
+    }
+
+    fn slow_read(&self, reason: SlowReadReason) -> ReadToken {
+        self.underlying.lock_shared();
+        if !self.rbias.load(Ordering::Relaxed)
+            && self
+                .policy
+                .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
+        {
+            self.rbias.store(true, Ordering::Release);
+            stats::record_bias_enabled();
+        }
+        stats::record_slow_read(reason);
+        ReadToken::new(None)
+    }
+
+    /// Releases read permission.
+    pub fn read_unlock(&self, token: ReadToken) {
+        match token.slot() {
+            Some(slot) => self.table.table().clear(slot, self.addr()),
+            None => self.underlying.unlock_shared(),
+        }
+    }
+
+    /// Clears the bias flag and waits for fast readers of this lock to
+    /// depart; returns how many it had to wait for.
+    fn revoke(&self) -> u64 {
+        self.rbias.store(false, Ordering::SeqCst);
+        let start = now_ns();
+        let table = self.table.table();
+        let conflicts = table.wait_for_readers(self.addr());
+        let now = now_ns();
+        self.inhibit_until.store(
+            self.policy.inhibit_until_after_revocation(start, now),
+            Ordering::Relaxed,
+        );
+        stats::record_revocation_scan(table.len());
+        conflicts as u64
+    }
+
+    /// Acquires write permission: writer mutex first (resolves write-write
+    /// conflicts and covers the revocation scan while readers are still
+    /// admitted through the underlying lock), then the underlying lock
+    /// exclusively (resolves read-vs-write conflicts with slow readers).
+    ///
+    /// Because slow readers keep running — and may legally re-enable bias
+    /// while they hold read permission — the writer re-checks the flag after
+    /// it finally owns the underlying lock and revokes again if needed; that
+    /// second revocation is exactly the classic BRAVO one, so the usual
+    /// safety argument applies.
+    pub fn write_lock(&self) {
+        self.writer_mutex.lock();
+        let mut revoked = false;
+        let mut conflicts = 0;
+        if self.rbias.load(Ordering::Relaxed) {
+            conflicts += self.revoke();
+            revoked = true;
+        }
+        self.underlying.lock_exclusive();
+        if self.rbias.load(Ordering::Relaxed) {
+            conflicts += self.revoke();
+            revoked = true;
+        }
+        stats::record_write(revoked, conflicts);
+    }
+
+    /// Releases write permission (both the underlying lock and the writer
+    /// mutex).
+    pub fn write_unlock(&self) {
+        self.underlying.unlock_exclusive();
+        self.writer_mutex.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Arc;
+
+    #[test]
+    fn dual_probe_uses_secondary_slot_on_collision() {
+        let lock: BravoDualProbe<DefaultRwLock> =
+            BravoDualProbe::with_parts(DefaultRwLock::default(), TableHandle::private(64), BiasPolicy::paper_default());
+        // Prime bias.
+        lock.read_unlock(lock.read_lock());
+        // First fast read occupies the primary slot; a second read by the
+        // same thread collides there and must land in the secondary slot,
+        // staying on the fast path.
+        let first = lock.read_lock();
+        assert!(first.is_fast());
+        let second = lock.read_lock();
+        assert!(second.is_fast(), "secondary probe should have kept this read fast");
+        assert_ne!(first.slot(), second.slot());
+        lock.read_unlock(second);
+        lock.read_unlock(first);
+    }
+
+    #[test]
+    fn dual_probe_writer_still_waits_for_both_probes() {
+        let lock = Arc::new(BravoDualProbe::<DefaultRwLock>::new());
+        lock.read_unlock(lock.read_lock());
+        let a = lock.read_lock();
+        let b = lock.read_lock();
+        assert!(a.is_fast() && b.is_fast());
+        let entered = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            let l = Arc::clone(&lock);
+            let e = Arc::clone(&entered);
+            s.spawn(move || {
+                l.write_lock();
+                e.store(1, Ordering::SeqCst);
+                l.write_unlock();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(entered.load(Ordering::SeqCst), 0);
+            lock.read_unlock(a);
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(entered.load(Ordering::SeqCst), 0, "writer entered with one fast reader still present");
+            lock.read_unlock(b);
+        });
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn bravo_mutex_allows_fast_reader_concurrency() {
+        let lock = BravoMutex::<SpinMutex>::new();
+        lock.read_unlock(lock.read_lock());
+        assert!(lock.is_reader_biased());
+        // Two concurrent fast readers, despite the underlying lock being a
+        // plain mutex.
+        let a = lock.read_lock();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let b = lock.read_lock();
+                assert!(b.is_fast());
+                lock.read_unlock(b);
+            });
+        });
+        lock.read_unlock(a);
+    }
+
+    #[test]
+    fn bravo_mutex_writes_are_exclusive() {
+        let lock = Arc::new(BravoMutex::<SpinMutex>::new());
+        let counter = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        lock.write_lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.write_unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
+    }
+
+    #[test]
+    fn non_blocking_revoke_admits_readers_during_revocation() {
+        let lock = Arc::new(BravoNonBlockingRevoke::<DefaultRwLock, SpinMutex>::new());
+        lock.read_unlock(lock.read_lock());
+        // Hold a fast read so the writer's revocation scan has to wait.
+        let held = lock.read_lock();
+        assert!(held.is_fast());
+
+        let writer_entered = Arc::new(Counter::new(0));
+        let reader_admitted = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            let l = Arc::clone(&lock);
+            let we = Arc::clone(&writer_entered);
+            s.spawn(move || {
+                l.write_lock();
+                we.store(1, Ordering::SeqCst);
+                l.write_unlock();
+            });
+            // Give the writer time to start its revocation scan (it is now
+            // spinning on the held fast reader's slot).
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(writer_entered.load(Ordering::SeqCst), 0);
+
+            // A reader arriving now goes through the slow path (bias is
+            // cleared) and must be admitted even though revocation is still
+            // in progress.
+            let l = Arc::clone(&lock);
+            let ra = Arc::clone(&reader_admitted);
+            s.spawn(move || {
+                let t = l.read_lock();
+                ra.store(1, Ordering::SeqCst);
+                l.read_unlock(t);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(
+                reader_admitted.load(Ordering::SeqCst),
+                1,
+                "reader was blocked behind an in-progress revocation"
+            );
+
+            lock.read_unlock(held);
+        });
+        assert_eq!(writer_entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn non_blocking_revoke_preserves_exclusion() {
+        let lock = Arc::new(BravoNonBlockingRevoke::<DefaultRwLock, SpinMutex>::new());
+        let counter = Arc::new(Counter::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for i in 0..1_500u64 {
+                        if t == 0 || i % 50 == 0 {
+                            lock.write_lock();
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                            lock.write_unlock();
+                        } else {
+                            let tok = lock.read_lock();
+                            std::hint::black_box(counter.load(Ordering::Relaxed));
+                            lock.read_unlock(tok);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1_500 + 3 * 30);
+    }
+}

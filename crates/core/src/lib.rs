@@ -1,0 +1,94 @@
+//! BRAVO — Biased Locking for Reader-Writer Locks.
+//!
+//! This crate implements the BRAVO transformation described by Dice & Kogan
+//! (USENIX ATC 2019). BRAVO takes *any* existing reader-writer lock `A` and
+//! produces a composite lock `BRAVO-A` with scalable reader acquisition:
+//!
+//! * Readers first consult a per-lock reader-bias flag. If bias is enabled
+//!   they hash their thread identity with the lock address into a process-
+//!   wide **visible readers table** and try to CAS the lock's address into
+//!   that slot. On success they hold read permission *without touching the
+//!   underlying lock*, so concurrent readers of the same lock write to
+//!   different cache lines and generate no coherence storm on a central
+//!   reader indicator.
+//! * On any failure (bias disabled, slot occupied, writer raced in) the
+//!   reader falls back to the underlying lock's ordinary read path.
+//! * Writers always acquire the underlying lock. If reader bias was enabled
+//!   they revoke it: clear the flag, then scan the table and wait for every
+//!   fast-path reader of this lock to depart.
+//! * A *primum-non-nocere* policy measures the revocation latency and
+//!   inhibits re-enabling bias for `N×` that long, bounding the worst-case
+//!   writer slow-down to roughly `1/(N+1)`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bravo::BravoRwLock;
+//!
+//! let lock: BravoRwLock<Vec<i32>> = BravoRwLock::new(vec![1, 2, 3]);
+//!
+//! // Many concurrent readers take the fast path through the shared table.
+//! {
+//!     let data = lock.read();
+//!     assert_eq!(data.len(), 3);
+//! }
+//!
+//! // Writers go through the underlying lock and revoke reader bias.
+//! lock.write().push(4);
+//! assert_eq!(lock.read().len(), 4);
+//! ```
+//!
+//! # Composing with other locks
+//!
+//! The transformation is generic over the [`RawRwLock`] trait. The companion
+//! `rwlocks` crate provides the full lock zoo from the paper's evaluation
+//! (BA/PF-Q, PF-T, Cohort-RW, Per-CPU, a pthread-like lock); wrapping any of
+//! them is just a type parameter:
+//!
+//! ```ignore
+//! use bravo::BravoRwLock;
+//! use rwlocks::PhaseFairQueueLock;
+//!
+//! // "BRAVO-BA" from the paper.
+//! let lock: BravoRwLock<u64, PhaseFairQueueLock> = BravoRwLock::new(0);
+//! ```
+//!
+//! # Crate layout
+//!
+//! * [`raw`] — the [`RawRwLock`] trait that underlying locks implement, plus
+//!   a minimal default spin lock.
+//! * [`vrt`] — the visible readers table (global, per-instance and sectored
+//!   variants) and the hash that disperses readers over it.
+//! * [`lock`] — [`BravoLock`], the raw (token-based) form of the algorithm.
+//! * [`rwlock`] — [`BravoRwLock`], the data-carrying RAII-guard form.
+//! * [`twod`] — the BRAVO-2D sectored variant sketched in the paper's
+//!   future-work section.
+//! * [`policy`] — bias-enabling policies (inhibit-until, Bernoulli).
+//! * [`stats`] — process-wide, sharded statistics counters (fast/slow reads,
+//!   revocations) used by the reproduction experiments.
+//! * [`clock`] — the monotonic nanosecond clock BRAVO's policy relies on.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod compat;
+pub mod ext;
+pub mod hash;
+pub mod lock;
+pub mod model;
+pub mod policy;
+pub mod raw;
+pub mod rwlock;
+pub mod stats;
+pub mod twod;
+pub mod vrt;
+
+pub use compat::ReentrantBravo;
+pub use ext::{BravoDualProbe, BravoMutex, BravoNonBlockingRevoke};
+pub use lock::{BravoLock, ReadToken};
+pub use policy::{BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
+pub use raw::{DefaultRwLock, RawRwLock};
+pub use rwlock::{BravoReadGuard, BravoRwLock, BravoWriteGuard};
+pub use twod::{Bravo2dLock, SectoredTable};
+pub use vrt::{TableHandle, VisibleReadersTable, DEFAULT_TABLE_SIZE};

@@ -1,0 +1,497 @@
+//! The raw BRAVO lock: Listing 1 of the paper, generic over the underlying
+//! reader-writer lock.
+//!
+//! This is the token-based form of the algorithm: `read_lock` returns a
+//! [`ReadToken`] that records whether the acquisition used the fast path
+//! (and if so, which slot of the visible readers table it occupies), and the
+//! token must be handed back to `read_unlock`. The guard-based, data-carrying
+//! form lives in [`crate::rwlock`]; kernel-style integrations (`rwsem`) use
+//! this raw form directly, exactly as the Linux patch threads the slot from
+//! acquisition to release.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::clock::now_ns;
+use crate::policy::BiasPolicy;
+use crate::raw::{DefaultRwLock, RawRwLock};
+use crate::stats::{self, SlowReadReason};
+use crate::vrt::TableHandle;
+
+/// Proof that read permission is held on a [`BravoLock`], and how it was
+/// obtained.
+///
+/// The token must be passed back to [`BravoLock::read_unlock`]. Dropping it
+/// without unlocking leaks the read permission (the lock stays read-held),
+/// mirroring `std::mem::forget` on a guard; it never causes unsoundness in
+/// the lock itself.
+#[derive(Debug)]
+#[must_use = "a ReadToken must be returned to BravoLock::read_unlock"]
+pub struct ReadToken {
+    /// Slot in the visible readers table when the fast path was used;
+    /// `None` when read permission came from the underlying lock.
+    slot: Option<usize>,
+}
+
+impl ReadToken {
+    /// Crate-internal constructor so sibling modules (e.g. the BRAVO-2D
+    /// variant) can mint tokens while external code cannot forge them.
+    pub(crate) fn new(slot: Option<usize>) -> Self {
+        Self { slot }
+    }
+
+    /// Whether the acquisition used the BRAVO fast path.
+    pub fn is_fast(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// The occupied table slot, when the fast path was used.
+    pub fn slot(&self) -> Option<usize> {
+        self.slot
+    }
+}
+
+/// A reader-writer lock `A` transformed into `BRAVO-A`.
+///
+/// The structure adds exactly the two fields the paper describes — the
+/// reader-bias flag and the inhibit-until timestamp — plus the handle to the
+/// visible readers table (globally shared by default, hence zero bytes of
+/// per-lock state in the paper's C embodiment) and the bias policy.
+pub struct BravoLock<L = DefaultRwLock> {
+    rbias: AtomicBool,
+    inhibit_until: AtomicU64,
+    underlying: L,
+    table: TableHandle,
+    policy: BiasPolicy,
+}
+
+impl<L: RawRwLock> Default for BravoLock<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: RawRwLock> BravoLock<L> {
+    /// Creates a BRAVO lock over a fresh underlying lock, publishing fast
+    /// readers in the process-global table and using the paper's default
+    /// policy (`N = 9`).
+    pub fn new() -> Self {
+        Self::with_parts(L::new(), TableHandle::Global, BiasPolicy::paper_default())
+    }
+
+    /// Creates a BRAVO lock with an explicit underlying lock, table handle
+    /// and bias policy.
+    ///
+    /// Private tables ([`TableHandle::private`]) reproduce the idealized
+    /// per-instance-table comparator of the paper's Figure 1;
+    /// [`BiasPolicy::Disabled`] turns the wrapper into a pass-through.
+    pub fn with_parts(underlying: L, table: TableHandle, policy: BiasPolicy) -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying,
+            table,
+            policy,
+        }
+    }
+
+    /// Creates a BRAVO lock with a given policy over the global table.
+    pub fn with_policy(policy: BiasPolicy) -> Self {
+        Self::with_parts(L::new(), TableHandle::Global, policy)
+    }
+
+    /// Creates a BRAVO lock that publishes into a private table of
+    /// `table_size` slots (the "BRAVO-BA-Prime" idealized form of Figure 1).
+    pub fn with_private_table(table_size: usize) -> Self {
+        Self::with_parts(
+            L::new(),
+            TableHandle::private(table_size),
+            BiasPolicy::paper_default(),
+        )
+    }
+
+    /// The address used to identify this lock in the visible readers table.
+    #[inline]
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Whether reader bias is currently enabled (racy snapshot; primarily for
+    /// tests and statistics).
+    pub fn is_reader_biased(&self) -> bool {
+        self.rbias.load(Ordering::Relaxed)
+    }
+
+    /// The bias policy this lock was constructed with.
+    pub fn policy(&self) -> BiasPolicy {
+        self.policy
+    }
+
+    /// A reference to the underlying lock. Exposed for tests and for
+    /// benchmarks that want to inspect or label the underlying algorithm;
+    /// acquiring the underlying lock directly bypasses BRAVO and defeats the
+    /// fast-path bookkeeping, so don't.
+    pub fn underlying(&self) -> &L {
+        &self.underlying
+    }
+
+    /// Acquires read (shared) permission, using the fast path when possible.
+    pub fn read_lock(&self) -> ReadToken {
+        // Fast-path attempt: constant time (one flag check, one hash, one
+        // CAS, one re-check).
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            if table.try_publish(slot, addr) {
+                // The successful CAS is SeqCst and doubles as the store-load
+                // fence between publishing our slot and re-checking RBias
+                // (Dekker-style with the writer's clear-then-scan sequence).
+                if self.rbias.load(Ordering::SeqCst) {
+                    stats::record_fast_read();
+                    return ReadToken { slot: Some(slot) };
+                }
+                // A writer revoked bias between our publication and the
+                // re-check; undo the publication and take the slow path.
+                table.clear(slot, addr);
+                return self.slow_read(SlowReadReason::Raced);
+            }
+            // Slot occupied: a collision with another (lock, thread) pair.
+            return self.slow_read(SlowReadReason::Collision);
+        }
+        self.slow_read(SlowReadReason::BiasDisabled)
+    }
+
+    /// Attempts to acquire read permission without blocking.
+    pub fn try_read_lock(&self) -> Option<ReadToken> {
+        // Same fast path as `read_lock`; the underlying fallback uses the
+        // underlying lock's try operation, as described in §3.
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    stats::record_fast_read();
+                    return Some(ReadToken { slot: Some(slot) });
+                }
+                table.clear(slot, addr);
+            }
+        }
+        if self.underlying.try_lock_shared() {
+            self.maybe_enable_bias();
+            stats::record_slow_read(SlowReadReason::BiasDisabled);
+            Some(ReadToken { slot: None })
+        } else {
+            None
+        }
+    }
+
+    fn slow_read(&self, reason: SlowReadReason) -> ReadToken {
+        self.underlying.lock_shared();
+        self.maybe_enable_bias();
+        stats::record_slow_read(reason);
+        ReadToken { slot: None }
+    }
+
+    /// Re-enables bias if the policy allows. Must only be called while the
+    /// caller holds read permission on the underlying lock: that is what
+    /// makes the store race-free against writers (they hold the underlying
+    /// lock exclusively while revoking).
+    fn maybe_enable_bias(&self) {
+        if !self.rbias.load(Ordering::Relaxed)
+            && self
+                .policy
+                .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
+        {
+            self.rbias.store(true, Ordering::Release);
+            stats::record_bias_enabled();
+        }
+    }
+
+    /// Releases read permission previously obtained from [`read_lock`] or
+    /// [`try_read_lock`].
+    ///
+    /// [`read_lock`]: BravoLock::read_lock
+    /// [`try_read_lock`]: BravoLock::try_read_lock
+    pub fn read_unlock(&self, token: ReadToken) {
+        match token.slot {
+            Some(slot) => self.table.table().clear(slot, self.addr()),
+            None => self.underlying.unlock_shared(),
+        }
+    }
+
+    /// Acquires write (exclusive) permission, revoking reader bias if it was
+    /// enabled.
+    pub fn write_lock(&self) {
+        self.underlying.lock_exclusive();
+        self.revoke_if_biased();
+    }
+
+    /// Attempts to acquire write permission without blocking. On success,
+    /// bias is revoked exactly as in [`write_lock`](BravoLock::write_lock).
+    pub fn try_write_lock(&self) -> bool {
+        if self.underlying.try_lock_exclusive() {
+            self.revoke_if_biased();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Revocation: runs with the underlying lock held exclusively.
+    fn revoke_if_biased(&self) {
+        if self.rbias.load(Ordering::Relaxed) {
+            // Clearing RBias must be ordered before the table scan
+            // (store-load); the SeqCst store pairs with the fast-path
+            // reader's SeqCst publish + re-check.
+            self.rbias.store(false, Ordering::SeqCst);
+            let start = now_ns();
+            let table = self.table.table();
+            let conflicts = table.wait_for_readers(self.addr());
+            let now = now_ns();
+            // Primum non nocere: inhibit re-enabling bias long enough to
+            // amortize this revocation's cost down to the configured bound.
+            self.inhibit_until.store(
+                self.policy.inhibit_until_after_revocation(start, now),
+                Ordering::Relaxed,
+            );
+            stats::record_revocation_scan(table.len());
+            stats::record_write(true, conflicts as u64);
+        } else {
+            stats::record_write(false, 0);
+        }
+    }
+
+    /// Releases write permission previously obtained from
+    /// [`write_lock`](BravoLock::write_lock) or a successful
+    /// [`try_write_lock`](BravoLock::try_write_lock).
+    pub fn write_unlock(&self) {
+        self.underlying.unlock_exclusive();
+    }
+}
+
+impl<L: RawRwLock> std::fmt::Debug for BravoLock<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BravoLock")
+            .field("rbias", &self.is_reader_biased())
+            .field("inhibit_until", &self.inhibit_until.load(Ordering::Relaxed))
+            .field("policy", &self.policy)
+            .field("table", &self.table)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    type Bravo = BravoLock<DefaultRwLock>;
+
+    #[test]
+    fn first_read_is_slow_then_bias_enables() {
+        let l = Bravo::new();
+        assert!(!l.is_reader_biased());
+        let t = l.read_lock();
+        // The very first reader finds bias disabled, goes slow, and enables
+        // bias for subsequent readers.
+        assert!(!t.is_fast());
+        assert!(l.is_reader_biased());
+        l.read_unlock(t);
+
+        let t2 = l.read_lock();
+        assert!(t2.is_fast(), "second read should take the fast path");
+        l.read_unlock(t2);
+    }
+
+    #[test]
+    fn writer_revokes_bias() {
+        let l = Bravo::new();
+        let t = l.read_lock();
+        l.read_unlock(t);
+        assert!(l.is_reader_biased());
+        l.write_lock();
+        assert!(!l.is_reader_biased(), "write_lock must revoke bias");
+        l.write_unlock();
+    }
+
+    #[test]
+    fn writer_waits_for_fast_reader() {
+        let l = Arc::new(Bravo::new());
+        // Prime the bias.
+        let t = l.read_lock();
+        l.read_unlock(t);
+        // Hold a fast read, then start a writer; the writer must not get in
+        // until the reader departs.
+        let t = l.read_lock();
+        assert!(t.is_fast());
+
+        let l2 = Arc::clone(&l);
+        let entered = Arc::new(AtomicU64::new(0));
+        let entered2 = Arc::clone(&entered);
+        let writer = std::thread::spawn(move || {
+            l2.write_lock();
+            entered2.store(now_ns(), Ordering::SeqCst);
+            l2.write_unlock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(entered.load(Ordering::SeqCst), 0, "writer entered while fast reader held");
+        let released_at = now_ns();
+        l.read_unlock(t);
+        writer.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst) >= released_at);
+    }
+
+    #[test]
+    fn reads_after_revocation_are_inhibited() {
+        let l = Bravo::new();
+        // Enable bias, then have a writer revoke it. Because a fast reader
+        // was held during part of the revocation scan, the revocation takes
+        // measurable time and the inhibit window is non-zero.
+        let t = l.read_lock();
+        l.read_unlock(t);
+        let held = l.read_lock();
+        assert!(held.is_fast());
+        let l_ref = &l;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                l_ref.read_unlock(held);
+            });
+            l.write_lock();
+            l.write_unlock();
+        });
+        assert!(!l.is_reader_biased());
+        // Immediately after a costly revocation the next slow reader must NOT
+        // re-enable bias.
+        let t = l.read_lock();
+        assert!(!t.is_fast());
+        l.read_unlock(t);
+        assert!(
+            !l.is_reader_biased(),
+            "bias re-enabled inside the inhibition window"
+        );
+    }
+
+    #[test]
+    fn disabled_policy_never_uses_fast_path() {
+        let l = Bravo::with_policy(BiasPolicy::Disabled);
+        for _ in 0..10 {
+            let t = l.read_lock();
+            assert!(!t.is_fast());
+            l.read_unlock(t);
+        }
+        assert!(!l.is_reader_biased());
+    }
+
+    #[test]
+    fn try_write_succeeds_and_revokes() {
+        let l = Bravo::new();
+        let t = l.read_lock();
+        l.read_unlock(t);
+        assert!(l.is_reader_biased());
+        assert!(l.try_write_lock());
+        assert!(!l.is_reader_biased());
+        l.write_unlock();
+    }
+
+    #[test]
+    fn try_write_fails_under_a_slow_reader() {
+        let l = Bravo::with_policy(BiasPolicy::Disabled);
+        let t = l.read_lock();
+        assert!(!l.try_write_lock());
+        l.read_unlock(t);
+        assert!(l.try_write_lock());
+        l.write_unlock();
+    }
+
+    #[test]
+    fn try_read_fails_while_write_held() {
+        let l = Bravo::new();
+        l.write_lock();
+        assert!(l.try_read_lock().is_none());
+        l.write_unlock();
+        let t = l.try_read_lock().expect("uncontended try_read must succeed");
+        l.read_unlock(t);
+    }
+
+    #[test]
+    fn same_thread_can_hold_multiple_locks() {
+        // §3: BRAVO fully supports a thread holding several locks at once;
+        // each occupies its own table slot.
+        let a = Bravo::new();
+        let b = Bravo::new();
+        // Prime both.
+        a.read_unlock(a.read_lock());
+        b.read_unlock(b.read_lock());
+        let ta = a.read_lock();
+        let tb = b.read_lock();
+        assert!(ta.is_fast() && tb.is_fast());
+        a.read_unlock(ta);
+        b.read_unlock(tb);
+    }
+
+    #[test]
+    fn private_table_isolation() {
+        let l = Bravo::with_private_table(64);
+        l.read_unlock(l.read_lock());
+        let t = l.read_lock();
+        assert!(t.is_fast());
+        // The global table must not contain this lock's address.
+        assert_eq!(
+            crate::vrt::global_table().count_for(&l as *const _ as usize),
+            0
+        );
+        l.read_unlock(t);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_preserve_exclusion() {
+        // The classic lost-update check: writers increment a plain counter
+        // under write permission; readers verify they never observe a torn
+        // intermediate (here: that the counter only grows).
+        let l = Arc::new(Bravo::new());
+        let value = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let l = Arc::clone(&l);
+            let value = Arc::clone(&value);
+            handles.push(std::thread::spawn(move || {
+                if i % 3 == 0 {
+                    for _ in 0..2_000 {
+                        l.write_lock();
+                        let v = value.load(Ordering::Relaxed);
+                        value.store(v + 1, Ordering::Relaxed);
+                        l.write_unlock();
+                    }
+                } else {
+                    let mut last = 0;
+                    for _ in 0..2_000 {
+                        let t = l.read_lock();
+                        let v = value.load(Ordering::Relaxed);
+                        assert!(v >= last);
+                        last = v;
+                        l.read_unlock(t);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(value.load(Ordering::Relaxed), 2 * 2_000);
+    }
+
+    #[test]
+    fn bravo_over_bravo_composes() {
+        // The transformation is generic, so BRAVO-(BRAVO-A) must also work.
+        // (ReentrantBravo in `compat` provides the RawRwLock impl.)
+        let l: BravoLock<crate::compat::ReentrantBravo<DefaultRwLock>> = BravoLock::new();
+        l.read_unlock(l.read_lock());
+        let t = l.read_lock();
+        l.read_unlock(t);
+        l.write_lock();
+        l.write_unlock();
+    }
+}

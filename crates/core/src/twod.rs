@@ -1,0 +1,394 @@
+//! BRAVO-2D: the sectored-table variant from the paper's future-work list.
+//!
+//! The flat table hashes `(thread, lock)` anywhere in 4096 slots, which is
+//! simple but lets unrelated threads land in adjacent slots (near collisions
+//! → false sharing) and forces revoking writers to scan the whole table.
+//! BRAVO-2D instead partitions the table into *rows*, one per logical CPU,
+//! each aligned to a cache sector:
+//!
+//! * A fast-path reader picks its row with its CPU id and the *column*
+//!   within the row by hashing the lock address. Threads therefore enjoy
+//!   spatial and temporal locality within their own row and essentially
+//!   never false-share with other CPUs.
+//! * A revoking writer only needs to scan the lock's column — one slot per
+//!   row — instead of the whole table.
+//!
+//! The trade-off is a higher *intra-thread* inter-lock collision rate (a
+//! given thread has only one candidate slot per lock per row), which the
+//! paper argues is rare because threads hold few read locks at once.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::clock::{cpu_relax, now_ns};
+use crate::hash::mix64;
+use crate::policy::BiasPolicy;
+use crate::raw::{DefaultRwLock, RawRwLock};
+use crate::stats::{self, SlowReadReason};
+use crate::vrt::VisibleReadersTable;
+
+/// Default number of slots per row (per logical CPU).
+pub const DEFAULT_ROW_SLOTS: usize = 64;
+
+/// A visible readers table partitioned into one row per logical CPU.
+pub struct SectoredTable {
+    storage: VisibleReadersTable,
+    rows: usize,
+    row_slots: usize,
+}
+
+impl SectoredTable {
+    /// Creates a table with `rows` rows of `row_slots` slots each.
+    /// `row_slots` is rounded up to a power of two.
+    pub fn new(rows: usize, row_slots: usize) -> Self {
+        let rows = rows.max(1);
+        let row_slots = row_slots.max(1).next_power_of_two();
+        Self {
+            storage: VisibleReadersTable::new(rows * row_slots),
+            rows,
+            row_slots,
+        }
+    }
+
+    /// Number of rows (one per logical CPU in the default configuration).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Slots per row.
+    pub fn row_slots(&self) -> usize {
+        self.row_slots
+    }
+
+    /// Total number of slots.
+    pub fn len(&self) -> usize {
+        self.rows * self.row_slots
+    }
+
+    /// Whether the table has zero slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column a lock hashes to (same for every row, which is what lets the
+    /// writer restrict its scan to one column).
+    pub fn column_for(&self, lock_addr: usize) -> usize {
+        (mix64(lock_addr as u64) as usize) & (self.row_slots - 1)
+    }
+
+    /// Flat slot index for (cpu row, lock column).
+    pub fn slot_for(&self, cpu: usize, lock_addr: usize) -> usize {
+        (cpu % self.rows) * self.row_slots + self.column_for(lock_addr)
+    }
+
+    /// Fast-path publication into the caller's row.
+    pub fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
+        self.storage.try_publish(slot, lock_addr)
+    }
+
+    /// Fast-path release.
+    pub fn clear(&self, slot: usize, lock_addr: usize) {
+        self.storage.clear(slot, lock_addr)
+    }
+
+    /// Revocation: wait for fast readers of `lock_addr` to depart, visiting
+    /// only the lock's column in every row. Returns the number of
+    /// conflicting readers waited for.
+    pub fn wait_for_readers(&self, lock_addr: usize) -> usize {
+        let column = self.column_for(lock_addr);
+        let mut conflicts = 0;
+        for row in 0..self.rows {
+            let slot = row * self.row_slots + column;
+            if self.storage.peek(slot) == lock_addr {
+                conflicts += 1;
+                let mut spins = 0u32;
+                while self.storage.peek(slot) == lock_addr {
+                    spins += 1;
+                    if spins % 64 == 0 {
+                        // Polite waiting (see the flat table's revocation):
+                        // yield so a preempted fast reader can depart.
+                        std::thread::yield_now();
+                    } else {
+                        cpu_relax();
+                    }
+                }
+            }
+        }
+        conflicts
+    }
+
+    /// Number of slots a revocation visits (one per row).
+    pub fn revocation_scan_len(&self) -> usize {
+        self.rows
+    }
+
+    /// Occupied slots (racy snapshot, for tests).
+    pub fn occupancy(&self) -> usize {
+        self.storage.occupancy()
+    }
+}
+
+impl std::fmt::Debug for SectoredTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectoredTable")
+            .field("rows", &self.rows)
+            .field("row_slots", &self.row_slots)
+            .finish()
+    }
+}
+
+static GLOBAL_2D: OnceLock<SectoredTable> = OnceLock::new();
+
+/// The process-global sectored table: one row per logical CPU of the
+/// simulated machine, [`DEFAULT_ROW_SLOTS`] slots per row.
+pub fn global_sectored_table() -> &'static SectoredTable {
+    GLOBAL_2D.get_or_init(|| SectoredTable::new(topology::logical_cpus(), DEFAULT_ROW_SLOTS))
+}
+
+/// Which sectored table a [`Bravo2dLock`] publishes into.
+#[derive(Clone, Default)]
+enum Table2dHandle {
+    #[default]
+    Global,
+    Owned(Arc<SectoredTable>),
+}
+
+impl Table2dHandle {
+    fn table(&self) -> &SectoredTable {
+        match self {
+            Table2dHandle::Global => global_sectored_table(),
+            Table2dHandle::Owned(t) => t,
+        }
+    }
+}
+
+/// The BRAVO-2D lock: identical admission semantics to [`crate::BravoLock`],
+/// but fast readers publish into the sectored table and writers revoke by
+/// scanning a single column.
+pub struct Bravo2dLock<L = DefaultRwLock> {
+    rbias: AtomicBool,
+    inhibit_until: AtomicU64,
+    underlying: L,
+    table: Table2dHandle,
+    policy: BiasPolicy,
+}
+
+impl<L: RawRwLock> Default for Bravo2dLock<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: RawRwLock> Bravo2dLock<L> {
+    /// Creates a BRAVO-2D lock over a fresh underlying lock, using the
+    /// global sectored table and the paper's default policy.
+    pub fn new() -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying: L::new(),
+            table: Table2dHandle::Global,
+            policy: BiasPolicy::paper_default(),
+        }
+    }
+
+    /// Creates a BRAVO-2D lock with a private sectored table (`rows ×
+    /// row_slots`), for tests and ablations.
+    pub fn with_private_table(rows: usize, row_slots: usize) -> Self {
+        Self {
+            rbias: AtomicBool::new(false),
+            inhibit_until: AtomicU64::new(0),
+            underlying: L::new(),
+            table: Table2dHandle::Owned(Arc::new(SectoredTable::new(rows, row_slots))),
+            policy: BiasPolicy::paper_default(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    /// Whether reader bias is currently enabled (racy snapshot).
+    pub fn is_reader_biased(&self) -> bool {
+        self.rbias.load(Ordering::Relaxed)
+    }
+
+    /// Acquires read permission; returns the token to pass to
+    /// [`read_unlock`](Bravo2dLock::read_unlock).
+    pub fn read_lock(&self) -> crate::lock::ReadToken {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(topology::current_cpu(), addr);
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    stats::record_fast_read();
+                    return token(Some(slot));
+                }
+                table.clear(slot, addr);
+                return self.slow_read(SlowReadReason::Raced);
+            }
+            return self.slow_read(SlowReadReason::Collision);
+        }
+        self.slow_read(SlowReadReason::BiasDisabled)
+    }
+
+    fn slow_read(&self, reason: SlowReadReason) -> crate::lock::ReadToken {
+        self.underlying.lock_shared();
+        if !self.rbias.load(Ordering::Relaxed)
+            && self
+                .policy
+                .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
+        {
+            self.rbias.store(true, Ordering::Release);
+            stats::record_bias_enabled();
+        }
+        stats::record_slow_read(reason);
+        token(None)
+    }
+
+    /// Releases read permission.
+    pub fn read_unlock(&self, token: crate::lock::ReadToken) {
+        match token.slot() {
+            Some(slot) => self.table.table().clear(slot, self.addr()),
+            None => self.underlying.unlock_shared(),
+        }
+    }
+
+    /// Acquires write permission, revoking reader bias (column scan) if set.
+    pub fn write_lock(&self) {
+        self.underlying.lock_exclusive();
+        if self.rbias.load(Ordering::Relaxed) {
+            self.rbias.store(false, Ordering::SeqCst);
+            let start = now_ns();
+            let table = self.table.table();
+            let conflicts = table.wait_for_readers(self.addr());
+            let now = now_ns();
+            self.inhibit_until.store(
+                self.policy.inhibit_until_after_revocation(start, now),
+                Ordering::Relaxed,
+            );
+            stats::record_revocation_scan(table.revocation_scan_len());
+            stats::record_write(true, conflicts as u64);
+        } else {
+            stats::record_write(false, 0);
+        }
+    }
+
+    /// Releases write permission.
+    pub fn write_unlock(&self) {
+        self.underlying.unlock_exclusive();
+    }
+}
+
+/// Constructs a [`crate::lock::ReadToken`]; kept private to `bravo` so other
+/// crates cannot forge tokens.
+fn token(slot: Option<usize>) -> crate::lock::ReadToken {
+    crate::lock::ReadToken::new(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Lock2d = Bravo2dLock<DefaultRwLock>;
+
+    #[test]
+    fn sectored_geometry() {
+        let t = SectoredTable::new(4, 60);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.row_slots(), 64);
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.revocation_scan_len(), 4);
+    }
+
+    #[test]
+    fn same_lock_hashes_to_same_column_in_every_row() {
+        let t = SectoredTable::new(8, 64);
+        let addr = 0xabc0usize;
+        let col = t.column_for(addr);
+        for cpu in 0..8 {
+            assert_eq!(t.slot_for(cpu, addr) % t.row_slots(), col);
+            assert_eq!(t.slot_for(cpu, addr) / t.row_slots(), cpu);
+        }
+    }
+
+    #[test]
+    fn column_scan_finds_readers_in_any_row() {
+        let t = SectoredTable::new(4, 16);
+        let addr = 0x3330usize;
+        let slot = t.slot_for(2, addr);
+        assert!(t.try_publish(slot, addr));
+        // Clear from another thread while the main thread revokes.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                t.clear(slot, addr);
+            });
+            assert_eq!(t.wait_for_readers(addr), 1);
+        });
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn bravo_2d_read_write_cycle() {
+        let l = Lock2d::new();
+        let t = l.read_lock();
+        assert!(!t.is_fast());
+        l.read_unlock(t);
+        let t = l.read_lock();
+        assert!(t.is_fast());
+        l.read_unlock(t);
+        l.write_lock();
+        assert!(!l.is_reader_biased());
+        l.write_unlock();
+    }
+
+    #[test]
+    fn writer_waits_for_fast_reader_via_column_scan() {
+        let l = std::sync::Arc::new(Lock2d::with_private_table(4, 16));
+        l.read_unlock(l.read_lock());
+        let held = l.read_lock();
+        assert!(held.is_fast());
+        let l2 = std::sync::Arc::clone(&l);
+        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done2 = std::sync::Arc::clone(&done);
+        let writer = std::thread::spawn(move || {
+            l2.write_lock();
+            done2.store(true, Ordering::SeqCst);
+            l2.write_unlock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!done.load(Ordering::SeqCst));
+        l.read_unlock(held);
+        writer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn exclusion_under_mixed_load() {
+        let l = std::sync::Arc::new(Lock2d::new());
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                let counter = std::sync::Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        if i == 0 {
+                            l.write_lock();
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                            l.write_unlock();
+                        } else {
+                            let t = l.read_lock();
+                            let _ = counter.load(Ordering::Relaxed);
+                            l.read_unlock(t);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1_000);
+    }
+}

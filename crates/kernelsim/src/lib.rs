@@ -1,0 +1,32 @@
+//! Simulated kernel subsystems for the paper's kernel-space experiments.
+//!
+//! §6 of the paper evaluates the BRAVO-patched rwsem inside the Linux kernel
+//! with three workload families. This crate provides user-space simulations
+//! of the kernel machinery those workloads exercise, built on the
+//! [`rwsem`] crate's semaphores:
+//!
+//! * [`locktorture`] — a port of the kernel's `locktorture` module: reader
+//!   and writer torture threads holding an rwsem for configurable critical
+//!   sections, with the occasional long "massive contention" delay
+//!   (Figures 7 and 8).
+//! * [`mm`] — a simulated memory-management subsystem: an address space
+//!   (`MmStruct`) whose VMA tree is protected by `mmap_sem`, with
+//!   `mmap`/`munmap` taking it for write and `page_fault` taking it for
+//!   read, plus sharded page-table locks below it.
+//! * [`will_it_scale`] — the `page_fault1/2` and `mmap1/2` microbenchmarks
+//!   driven against the simulated mm (Figure 9).
+//!
+//! Everything is generic over [`rwsem::KernelVariant`], so each workload can
+//! be run against the stock kernel and the BRAVO kernel and compared, which
+//! is exactly what the paper's kernel figures plot.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod locktorture;
+pub mod mm;
+pub mod will_it_scale;
+
+pub use locktorture::{LockTortureConfig, LockTortureResult};
+pub use mm::{MmStruct, Vma, PAGE_SIZE};
+pub use will_it_scale::{WillItScaleBenchmark, WillItScaleResult};

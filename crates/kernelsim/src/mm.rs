@@ -1,0 +1,385 @@
+//! A simulated memory-management subsystem.
+//!
+//! The kernel experiments that show the largest BRAVO wins (will-it-scale
+//! `page_fault`, Metis) contend on `mmap_sem`, the per-process rwsem that
+//! protects the virtual-memory-area (VMA) structures. This module models the
+//! parts of the Linux mm that those workloads touch:
+//!
+//! * an address space ([`MmStruct`]) holding an ordered map of [`Vma`]s,
+//!   protected by `mmap_sem`;
+//! * `mmap`/`munmap`, which take `mmap_sem` **for write** to mutate the VMA
+//!   tree;
+//! * `page_fault`, which takes `mmap_sem` **for read**, looks up the VMA
+//!   covering the faulting address and installs a page-table entry under a
+//!   sharded page-table lock (the kernel's per-PMD `ptl`).
+//!
+//! The semaphore type is chosen through [`rwsem::KernelVariant`], which is
+//! how the harness compares the stock and BRAVO kernels.
+
+use std::cell::UnsafeCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rwsem::{KernelVariant, RwSem};
+
+/// Simulated page size (4 KiB, like the paper's x86 testbeds).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Number of page-table lock shards (stands in for per-PMD page-table locks).
+const PTL_SHARDS: usize = 64;
+
+/// A virtual memory area: a half-open range of pages with protection flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vma {
+    /// Start address (page aligned).
+    pub start: u64,
+    /// End address (exclusive, page aligned).
+    pub end: u64,
+    /// Whether the area is writable (all simulated mappings are readable).
+    pub writable: bool,
+}
+
+impl Vma {
+    /// Length of the area in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the area covers zero bytes (never true for installed VMAs).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `addr` falls inside the area.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.start..self.end).contains(&addr)
+    }
+}
+
+/// Errors returned by the simulated mm operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmError {
+    /// The faulting address is not covered by any VMA (a "segfault").
+    BadAddress,
+    /// `munmap` was asked to remove a mapping that does not exist.
+    NoSuchMapping,
+    /// The address space is exhausted.
+    OutOfAddressSpace,
+}
+
+/// Counters describing the traffic an [`MmStruct`] has served.
+#[derive(Debug, Default)]
+pub struct MmStats {
+    /// Completed `page_fault` calls (read acquisitions of `mmap_sem`).
+    pub page_faults: AtomicU64,
+    /// Completed `mmap` calls (write acquisitions).
+    pub mmaps: AtomicU64,
+    /// Completed `munmap` calls (write acquisitions).
+    pub munmaps: AtomicU64,
+}
+
+/// A simulated process address space.
+pub struct MmStruct {
+    mmap_sem: Arc<dyn RwSem>,
+    /// VMA tree, keyed by start address. Guarded by `mmap_sem` (readers hold
+    /// it shared, mutators hold it exclusively), like the kernel's VMA
+    /// structures.
+    vmas: UnsafeCell<BTreeMap<u64, Vma>>,
+    /// Sharded simulated page tables: virtual page number → "frame" value.
+    page_tables: Box<[Mutex<HashMap<u64, u64>>]>,
+    /// Bump allocator for fresh mapping addresses. Guarded by `mmap_sem`
+    /// held for write.
+    next_addr: UnsafeCell<u64>,
+    /// Recycled address ranges `(start, len)` from `munmap`, reused by
+    /// same-sized `mmap` calls so long-running map/unmap loops (will-it-scale,
+    /// Metis) never exhaust the simulated address space. Guarded by
+    /// `mmap_sem` held for write.
+    free_list: UnsafeCell<Vec<(u64, u64)>>,
+    /// Monotonically increasing fake frame numbers.
+    next_frame: AtomicU64,
+    /// Operation counters.
+    pub stats: MmStats,
+}
+
+// SAFETY: the interior-mutable fields (`vmas`, `next_addr`) are only accessed
+// while `mmap_sem` is held in the required mode — shared for lookups,
+// exclusive for mutation — which is the same discipline the kernel uses for
+// the fields `mmap_sem` protects. The remaining fields are Sync on their own.
+unsafe impl Send for MmStruct {}
+// SAFETY: see above.
+unsafe impl Sync for MmStruct {}
+
+impl MmStruct {
+    /// Base of the simulated mmap area.
+    const MMAP_BASE: u64 = 0x7f00_0000_0000;
+    /// Top of the simulated address space.
+    const ADDRESS_SPACE_TOP: u64 = 0x7fff_ffff_f000;
+
+    /// Creates an address space whose `mmap_sem` comes from the given kernel
+    /// variant.
+    pub fn new(variant: KernelVariant) -> Self {
+        Self::with_sem(variant.make_sem())
+    }
+
+    /// Creates an address space around an explicit semaphore instance.
+    pub fn with_sem(mmap_sem: Arc<dyn RwSem>) -> Self {
+        Self {
+            mmap_sem,
+            vmas: UnsafeCell::new(BTreeMap::new()),
+            page_tables: (0..PTL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_addr: UnsafeCell::new(Self::MMAP_BASE),
+            free_list: UnsafeCell::new(Vec::new()),
+            next_frame: AtomicU64::new(1),
+            stats: MmStats::default(),
+        }
+    }
+
+    /// The semaphore protecting this address space (for tests and harness
+    /// instrumentation).
+    pub fn mmap_sem(&self) -> &dyn RwSem {
+        &*self.mmap_sem
+    }
+
+    /// Maps `len` bytes (rounded up to whole pages) and returns the start
+    /// address. Takes `mmap_sem` for write.
+    pub fn mmap(&self, len: u64, writable: bool) -> Result<u64, MmError> {
+        let len = len.max(1).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        self.mmap_sem.down_write();
+        // SAFETY: `mmap_sem` is held for write, granting exclusive access to
+        // the VMA tree, the bump pointer and the free list.
+        let result = unsafe {
+            let free_list = &mut *self.free_list.get();
+            let recycled = free_list
+                .iter()
+                .rposition(|&(_, flen)| flen == len)
+                .map(|idx| free_list.swap_remove(idx).0);
+            let start = match recycled {
+                Some(start) => Some(start),
+                None => {
+                    let next_addr = &mut *self.next_addr.get();
+                    if *next_addr + len > Self::ADDRESS_SPACE_TOP {
+                        None
+                    } else {
+                        let start = *next_addr;
+                        *next_addr += len;
+                        Some(start)
+                    }
+                }
+            };
+            match start {
+                None => Err(MmError::OutOfAddressSpace),
+                Some(start) => {
+                    (*self.vmas.get()).insert(
+                        start,
+                        Vma {
+                            start,
+                            end: start + len,
+                            writable,
+                        },
+                    );
+                    Ok(start)
+                }
+            }
+        };
+        self.mmap_sem.up_write();
+        if result.is_ok() {
+            self.stats.mmaps.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Unmaps the mapping starting at `start`. Takes `mmap_sem` for write and
+    /// tears down any page-table entries the mapping had populated.
+    pub fn munmap(&self, start: u64) -> Result<(), MmError> {
+        self.mmap_sem.down_write();
+        // SAFETY: `mmap_sem` is held for write.
+        let removed = unsafe { (*self.vmas.get()).remove(&start) };
+        let result = match removed {
+            Some(vma) => {
+                // Page-table teardown under the sharded PTL locks, with
+                // `mmap_sem` still held for write as in the kernel's
+                // unmap path, and only then recycle the address range.
+                let mut page = vma.start;
+                while page < vma.end {
+                    self.ptl_shard(page)
+                        .lock()
+                        .expect("ptl poisoned")
+                        .remove(&(page / PAGE_SIZE));
+                    page += PAGE_SIZE;
+                }
+                // SAFETY: `mmap_sem` is held for write.
+                unsafe {
+                    (*self.free_list.get()).push((vma.start, vma.len()));
+                }
+                self.stats.munmaps.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(MmError::NoSuchMapping),
+        };
+        self.mmap_sem.up_write();
+        result
+    }
+
+    /// Handles a fault at `addr`: looks up the covering VMA under `mmap_sem`
+    /// held for read and installs a page-table entry. Returns the (fake)
+    /// frame number backing the page.
+    pub fn page_fault(&self, addr: u64) -> Result<u64, MmError> {
+        self.mmap_sem.down_read();
+        // SAFETY: `mmap_sem` is held for read; concurrent holders only read
+        // the VMA tree, and mutators hold the semaphore exclusively.
+        let vma_ok = unsafe {
+            (*self.vmas.get())
+                .range(..=addr)
+                .next_back()
+                .map(|(_, vma)| vma.contains(addr))
+                .unwrap_or(false)
+        };
+        let result = if !vma_ok {
+            Err(MmError::BadAddress)
+        } else {
+            let vpn = addr / PAGE_SIZE;
+            let mut shard = self.ptl_shard(addr).lock().expect("ptl poisoned");
+            let frame = *shard
+                .entry(vpn)
+                .or_insert_with(|| self.next_frame.fetch_add(1, Ordering::Relaxed));
+            Ok(frame)
+        };
+        self.mmap_sem.up_read();
+        if result.is_ok() {
+            self.stats.page_faults.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Touches (faults in) every page of the mapping `[start, start + len)`.
+    /// Convenience used by the will-it-scale and Metis drivers; equivalent to
+    /// writing one word into each page.
+    pub fn touch_range(&self, start: u64, len: u64) -> Result<(), MmError> {
+        let mut addr = start;
+        while addr < start + len {
+            self.page_fault(addr)?;
+            addr += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Whether a page-table entry currently exists for `addr` (for tests).
+    pub fn is_populated(&self, addr: u64) -> bool {
+        self.ptl_shard(addr)
+            .lock()
+            .expect("ptl poisoned")
+            .contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Number of VMAs currently installed (takes `mmap_sem` for read).
+    pub fn vma_count(&self) -> usize {
+        self.mmap_sem.down_read();
+        // SAFETY: `mmap_sem` is held for read.
+        let n = unsafe { (*self.vmas.get()).len() };
+        self.mmap_sem.up_read();
+        n
+    }
+
+    fn ptl_shard(&self, addr: u64) -> &Mutex<HashMap<u64, u64>> {
+        let vpn = addr / PAGE_SIZE;
+        &self.page_tables[(vpn as usize) % PTL_SHARDS]
+    }
+}
+
+impl std::fmt::Debug for MmStruct {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmStruct")
+            .field("page_faults", &self.stats.page_faults.load(Ordering::Relaxed))
+            .field("mmaps", &self.stats.mmaps.load(Ordering::Relaxed))
+            .field("munmaps", &self.stats.munmaps.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_fault_munmap_round_trip() {
+        let mm = MmStruct::new(KernelVariant::Stock);
+        let addr = mm.mmap(3 * PAGE_SIZE, true).unwrap();
+        assert_eq!(mm.vma_count(), 1);
+        let f1 = mm.page_fault(addr).unwrap();
+        let f2 = mm.page_fault(addr + PAGE_SIZE).unwrap();
+        assert_ne!(f1, f2, "distinct pages must get distinct frames");
+        // Refaulting the same page hits the existing entry.
+        assert_eq!(mm.page_fault(addr).unwrap(), f1);
+        assert!(mm.is_populated(addr));
+        mm.munmap(addr).unwrap();
+        assert!(!mm.is_populated(addr));
+        assert_eq!(mm.vma_count(), 0);
+        assert_eq!(mm.page_fault(addr), Err(MmError::BadAddress));
+    }
+
+    #[test]
+    fn fault_outside_any_vma_is_a_bad_address() {
+        let mm = MmStruct::new(KernelVariant::Stock);
+        assert_eq!(mm.page_fault(0x1000), Err(MmError::BadAddress));
+    }
+
+    #[test]
+    fn munmap_of_unknown_mapping_fails() {
+        let mm = MmStruct::new(KernelVariant::Stock);
+        assert_eq!(mm.munmap(0xdead_0000), Err(MmError::NoSuchMapping));
+    }
+
+    #[test]
+    fn lengths_are_rounded_up_to_pages() {
+        let mm = MmStruct::new(KernelVariant::Stock);
+        let a = mm.mmap(1, false).unwrap();
+        let b = mm.mmap(PAGE_SIZE + 1, false).unwrap();
+        assert_eq!(b - a, PAGE_SIZE, "1-byte mapping must consume one page");
+        mm.touch_range(b, 2 * PAGE_SIZE).unwrap();
+        assert!(mm.is_populated(b + PAGE_SIZE));
+    }
+
+    #[test]
+    fn works_identically_on_the_bravo_kernel() {
+        for &variant in rwsem::KernelVariant::all() {
+            let mm = MmStruct::new(variant);
+            let addr = mm.mmap(16 * PAGE_SIZE, true).unwrap();
+            mm.touch_range(addr, 16 * PAGE_SIZE).unwrap();
+            assert_eq!(mm.stats.page_faults.load(Ordering::Relaxed), 16);
+            mm.munmap(addr).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_faults_and_mmaps_do_not_corrupt_the_vma_tree() {
+        let mm = std::sync::Arc::new(MmStruct::new(KernelVariant::Bravo));
+        let base = mm.mmap(64 * PAGE_SIZE, true).unwrap();
+        std::thread::scope(|s| {
+            // Faulting threads (read path).
+            for t in 0..3 {
+                let mm = std::sync::Arc::clone(&mm);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let addr = base + ((i * 7 + t) % 64) * PAGE_SIZE;
+                        mm.page_fault(addr).unwrap();
+                    }
+                });
+            }
+            // Mapping thread (write path) creating and destroying unrelated
+            // mappings.
+            let mm2 = std::sync::Arc::clone(&mm);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let a = mm2.mmap(4 * PAGE_SIZE, true).unwrap();
+                    mm2.touch_range(a, 4 * PAGE_SIZE).unwrap();
+                    mm2.munmap(a).unwrap();
+                }
+            });
+        });
+        assert_eq!(mm.vma_count(), 1);
+        assert!(mm.stats.page_faults.load(Ordering::Relaxed) >= 600);
+        assert_eq!(mm.stats.mmaps.load(Ordering::Relaxed), 51);
+        assert_eq!(mm.stats.munmaps.load(Ordering::Relaxed), 50);
+    }
+}

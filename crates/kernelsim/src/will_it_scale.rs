@@ -1,0 +1,209 @@
+//! The will-it-scale microbenchmarks (`page_fault1/2`, `mmap1/2`) driven
+//! against the simulated mm.
+//!
+//! will-it-scale runs a fixed number of tasks each performing a tight loop
+//! of system calls and reports operations per second as the task count
+//! grows. The paper uses the four benchmarks that contend on `mmap_sem`
+//! (Figure 9): the `page_fault` variants are read-heavy on `mmap_sem`
+//! (every page touch is a fault taking it shared), while the `mmap` variants
+//! are write-heavy (every iteration maps and unmaps, taking it exclusively).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rwsem::KernelVariant;
+
+use crate::mm::{MmStruct, PAGE_SIZE};
+
+/// The will-it-scale benchmarks the paper runs (its Figure 9 panels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WillItScaleBenchmark {
+    /// Map a chunk, write one word into every page (faulting each), unmap.
+    PageFault1,
+    /// Like `PageFault1`, but the chunk is mapped once up front and pages
+    /// are re-faulted after a `munmap`/`mmap` of the *other* half of the
+    /// chunk each iteration; keeps the fault:mmap ratio high but non-trivial.
+    PageFault2,
+    /// Map and unmap a large chunk without touching it (write-heavy).
+    Mmap1,
+    /// Map and unmap two chunks alternately without touching them
+    /// (write-heavy, higher VMA churn).
+    Mmap2,
+}
+
+impl WillItScaleBenchmark {
+    /// All four benchmarks in the paper's panel order.
+    pub fn all() -> &'static [WillItScaleBenchmark] {
+        &[
+            WillItScaleBenchmark::PageFault1,
+            WillItScaleBenchmark::PageFault2,
+            WillItScaleBenchmark::Mmap1,
+            WillItScaleBenchmark::Mmap2,
+        ]
+    }
+
+    /// The benchmark's will-it-scale name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WillItScaleBenchmark::PageFault1 => "page_fault1_threads",
+            WillItScaleBenchmark::PageFault2 => "page_fault2_threads",
+            WillItScaleBenchmark::Mmap1 => "mmap1_threads",
+            WillItScaleBenchmark::Mmap2 => "mmap2_threads",
+        }
+    }
+
+    /// Whether the benchmark is read-heavy on `mmap_sem` (page-fault family)
+    /// or write-heavy (mmap family).
+    pub fn is_read_heavy(self) -> bool {
+        matches!(
+            self,
+            WillItScaleBenchmark::PageFault1 | WillItScaleBenchmark::PageFault2
+        )
+    }
+}
+
+impl std::fmt::Display for WillItScaleBenchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of one will-it-scale run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WillItScaleResult {
+    /// Completed top-level iterations across all tasks.
+    pub operations: u64,
+    /// Page faults served by the simulated mm during the run.
+    pub page_faults: u64,
+    /// `mmap` + `munmap` calls served during the run.
+    pub map_operations: u64,
+}
+
+/// Size of the per-iteration chunk, in pages.
+///
+/// The real benchmark maps 128 MiB (32768 pages); that is scaled down here
+/// so a single iteration stays in the microsecond range on the simulated mm,
+/// keeping the `mmap_sem` acquisition *rate* (which is what stresses the
+/// lock) comparable.
+pub const CHUNK_PAGES: u64 = 64;
+
+/// Runs `bench` with `tasks` worker threads for `duration` on a fresh
+/// address space of the given kernel variant.
+pub fn run(
+    bench: WillItScaleBenchmark,
+    variant: KernelVariant,
+    tasks: usize,
+    duration: Duration,
+) -> WillItScaleResult {
+    let mm = Arc::new(MmStruct::new(variant));
+    let stop = Arc::new(AtomicBool::new(false));
+    let operations = Arc::new(AtomicU64::new(0));
+    let chunk = CHUNK_PAGES * PAGE_SIZE;
+
+    std::thread::scope(|s| {
+        for _ in 0..tasks.max(1) {
+            let mm = Arc::clone(&mm);
+            let stop = Arc::clone(&stop);
+            let operations = Arc::clone(&operations);
+            s.spawn(move || {
+                let mut local = 0u64;
+                // Persistent mapping used by PageFault2.
+                let persistent = mm.mmap(chunk, true).expect("address space exhausted");
+                while !stop.load(Ordering::Relaxed) {
+                    match bench {
+                        WillItScaleBenchmark::PageFault1 => {
+                            let addr = mm.mmap(chunk, true).expect("address space exhausted");
+                            mm.touch_range(addr, chunk).expect("fault failed");
+                            mm.munmap(addr).expect("munmap failed");
+                        }
+                        WillItScaleBenchmark::PageFault2 => {
+                            // Re-fault the persistent chunk and churn a small
+                            // side mapping, giving a read-dominated mix with
+                            // some writer traffic.
+                            mm.touch_range(persistent, chunk).expect("fault failed");
+                            let side = mm.mmap(PAGE_SIZE, true).expect("address space exhausted");
+                            mm.munmap(side).expect("munmap failed");
+                        }
+                        WillItScaleBenchmark::Mmap1 => {
+                            let addr = mm.mmap(chunk, false).expect("address space exhausted");
+                            mm.munmap(addr).expect("munmap failed");
+                        }
+                        WillItScaleBenchmark::Mmap2 => {
+                            let a = mm.mmap(chunk, false).expect("address space exhausted");
+                            let b = mm.mmap(chunk, false).expect("address space exhausted");
+                            mm.munmap(a).expect("munmap failed");
+                            mm.munmap(b).expect("munmap failed");
+                        }
+                    }
+                    local += 1;
+                }
+                mm.munmap(persistent).ok();
+                operations.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    WillItScaleResult {
+        operations: operations.load(Ordering::Relaxed),
+        page_faults: mm.stats.page_faults.load(Ordering::Relaxed),
+        map_operations: mm.stats.mmaps.load(Ordering::Relaxed)
+            + mm.stats.munmaps.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_fault1_is_read_heavy_on_mmap_sem() {
+        let r = run(
+            WillItScaleBenchmark::PageFault1,
+            KernelVariant::Stock,
+            2,
+            Duration::from_millis(100),
+        );
+        assert!(r.operations > 0);
+        // Each iteration does CHUNK_PAGES faults and 2 map operations.
+        assert!(
+            r.page_faults > 4 * r.map_operations,
+            "page_fault1 should be fault-dominated: {r:?}"
+        );
+    }
+
+    #[test]
+    fn mmap1_is_write_heavy_on_mmap_sem() {
+        let r = run(
+            WillItScaleBenchmark::Mmap1,
+            KernelVariant::Stock,
+            2,
+            Duration::from_millis(100),
+        );
+        assert!(r.operations > 0);
+        assert!(
+            r.page_faults <= r.map_operations,
+            "mmap1 should not fault: {r:?}"
+        );
+    }
+
+    #[test]
+    fn all_benchmarks_run_on_all_kernel_variants() {
+        for &bench in WillItScaleBenchmark::all() {
+            for &variant in KernelVariant::all() {
+                let r = run(bench, variant, 1, Duration::from_millis(30));
+                assert!(r.operations > 0, "{bench} on {variant} made no progress");
+            }
+        }
+    }
+
+    #[test]
+    fn read_heavy_classification() {
+        assert!(WillItScaleBenchmark::PageFault1.is_read_heavy());
+        assert!(WillItScaleBenchmark::PageFault2.is_read_heavy());
+        assert!(!WillItScaleBenchmark::Mmap1.is_read_heavy());
+        assert!(!WillItScaleBenchmark::Mmap2.is_read_heavy());
+    }
+}

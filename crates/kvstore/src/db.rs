@@ -1,0 +1,118 @@
+//! A small `Get`/`Put`/`Delete` façade over the memtable, used by the
+//! runnable examples.
+
+use rwlocks::LockKind;
+
+use crate::memtable::{MemTable, Value};
+
+/// A minimal key-value store: a single memtable whose GetLock algorithm is
+/// chosen at construction time.
+///
+/// This is deliberately tiny — the point of the reproduction is the lock
+/// behaviour, not LSM compaction — but it gives the examples and
+/// integration tests a realistic read-mostly API surface: point reads,
+/// point writes, read-modify-writes and deletes.
+pub struct Db {
+    memtable: MemTable,
+}
+
+impl Db {
+    /// Opens an empty store using the given lock algorithm for the memtable
+    /// GetLock.
+    pub fn open(kind: LockKind) -> Self {
+        Self {
+            memtable: MemTable::new(kind),
+        }
+    }
+
+    /// Opens a store pre-loaded with keys `0..n` (handy for read-mostly
+    /// benchmarks and examples).
+    pub fn open_prepopulated(kind: LockKind, n: u64) -> Self {
+        Self {
+            memtable: MemTable::prepopulated(kind, n),
+        }
+    }
+
+    /// Reads the value stored for `key`.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        self.memtable.get(key)
+    }
+
+    /// Stores `value` for `key`.
+    pub fn put(&self, key: u64, value: Value) {
+        self.memtable.put(key, value);
+    }
+
+    /// Atomically applies `f` to the value stored for `key` (zero-initialized
+    /// if absent).
+    pub fn merge(&self, key: u64, f: impl FnOnce(&mut Value)) {
+        self.memtable.update_in_place(key, f);
+    }
+
+    /// Removes `key`; returns whether it was present.
+    pub fn delete(&self, key: u64) -> bool {
+        self.memtable.delete(key).is_some()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.memtable.is_empty()
+    }
+
+    /// The underlying memtable (for instrumentation).
+    pub fn memtable(&self) -> &MemTable {
+        &self.memtable
+    }
+}
+
+impl std::fmt::Debug for Db {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Db").field("memtable", &self.memtable).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn crud_round_trip() {
+        let db = Db::open(LockKind::BravoBa);
+        assert!(db.is_empty());
+        db.put(10, [1; 4]);
+        assert_eq!(db.get(10), Some([1; 4]));
+        db.merge(10, |v| v[0] = 99);
+        assert_eq!(db.get(10).unwrap()[0], 99);
+        assert!(db.delete(10));
+        assert!(!db.delete(10));
+        assert!(db.get(10).is_none());
+    }
+
+    #[test]
+    fn concurrent_readers_with_one_writer() {
+        let db = Arc::new(Db::open_prepopulated(LockKind::BravoPthread, 64));
+        std::thread::scope(|s| {
+            let w = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    w.merge(i % 64, |v| v[3] += 1);
+                }
+            });
+            for _ in 0..3 {
+                let r = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..1_000u64 {
+                        assert!(r.get(i % 64).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 64);
+    }
+}

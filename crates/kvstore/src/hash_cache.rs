@@ -1,0 +1,169 @@
+//! The persistent-cache hash table: a hash map behind one reader-writer
+//! lock, as stressed by RocksDB's `hash_table_bench`.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+
+use bravo::RawRwLock;
+use rwlocks::{make_lock, LockKind};
+
+/// A cache entry, standing in for the block-cache metadata RocksDB stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Where the cached block lives in the (simulated) cache file.
+    pub offset: u64,
+    /// Size of the cached block.
+    pub size: u32,
+}
+
+/// A central hash table protected by a single reader-writer lock — the
+/// structure `hash_table_bench` measures (`std::unordered_map` plus a
+/// reader-writer lock in RocksDB's persistent cache).
+pub struct HashCache {
+    lock: Box<dyn RawRwLock>,
+    /// Key → entry map. Guarded by `lock`.
+    map: UnsafeCell<HashMap<u64, CacheEntry>>,
+    kind: LockKind,
+}
+
+// SAFETY: `map` is only read under shared permission and only mutated under
+// exclusive permission on `lock`.
+unsafe impl Send for HashCache {}
+// SAFETY: see above.
+unsafe impl Sync for HashCache {}
+
+impl HashCache {
+    /// Creates an empty cache index using the given lock algorithm.
+    pub fn new(kind: LockKind) -> Self {
+        Self {
+            lock: make_lock(kind),
+            map: UnsafeCell::new(HashMap::new()),
+            kind,
+        }
+    }
+
+    /// Creates a cache pre-populated with `n` entries, as the benchmark does
+    /// before its measurement interval.
+    pub fn prepopulated(kind: LockKind, n: u64) -> Self {
+        let cache = Self::new(kind);
+        for key in 0..n {
+            cache.insert(key, CacheEntry { offset: key * 4096, size: 4096 });
+        }
+        cache
+    }
+
+    /// The lock algorithm guarding this cache.
+    pub fn lock_kind(&self) -> LockKind {
+        self.kind
+    }
+
+    /// Looks up `key` under shared permission.
+    pub fn lookup(&self, key: u64) -> Option<CacheEntry> {
+        self.lock.lock_shared();
+        // SAFETY: shared permission held.
+        let entry = unsafe { (*self.map.get()).get(&key).copied() };
+        self.lock.unlock_shared();
+        entry
+    }
+
+    /// Inserts `key` under exclusive permission, returning the previous
+    /// entry if any.
+    pub fn insert(&self, key: u64, entry: CacheEntry) -> Option<CacheEntry> {
+        self.lock.lock_exclusive();
+        // SAFETY: exclusive permission held.
+        let prev = unsafe { (*self.map.get()).insert(key, entry) };
+        self.lock.unlock_exclusive();
+        prev
+    }
+
+    /// Erases `key` under exclusive permission, returning the removed entry
+    /// if it existed.
+    pub fn erase(&self, key: u64) -> Option<CacheEntry> {
+        self.lock.lock_exclusive();
+        // SAFETY: exclusive permission held.
+        let prev = unsafe { (*self.map.get()).remove(&key) };
+        self.lock.unlock_exclusive();
+        prev
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock.lock_shared();
+        // SAFETY: shared permission held.
+        let n = unsafe { (*self.map.get()).len() };
+        self.lock.unlock_shared();
+        n
+    }
+
+    /// Whether the cache index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for HashCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashCache")
+            .field("lock", &self.kind)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_lookup_erase_round_trip() {
+        let c = HashCache::new(LockKind::BravoBa);
+        assert!(c.is_empty());
+        assert_eq!(c.insert(1, CacheEntry { offset: 0, size: 10 }), None);
+        assert_eq!(c.lookup(1), Some(CacheEntry { offset: 0, size: 10 }));
+        assert_eq!(
+            c.insert(1, CacheEntry { offset: 4096, size: 20 }),
+            Some(CacheEntry { offset: 0, size: 10 })
+        );
+        assert_eq!(c.erase(1).unwrap().offset, 4096);
+        assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn prepopulation_sizes_correctly() {
+        let c = HashCache::prepopulated(LockKind::PerCpu, 256);
+        assert_eq!(c.len(), 256);
+        assert_eq!(c.lookup(255).unwrap().offset, 255 * 4096);
+    }
+
+    #[test]
+    fn concurrent_insert_erase_lookup_is_consistent() {
+        let c = Arc::new(HashCache::prepopulated(LockKind::BravoBa, 128));
+        std::thread::scope(|s| {
+            let inserter = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 128..1_128 {
+                    inserter.insert(i, CacheEntry { offset: i * 4096, size: 4096 });
+                }
+            });
+            let eraser = Arc::clone(&c);
+            s.spawn(move || {
+                for i in 0..128 {
+                    eraser.erase(i);
+                }
+            });
+            for _ in 0..2 {
+                let reader = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..1_128u64 {
+                        if let Some(e) = reader.lookup(i) {
+                            assert_eq!(e.offset, i * 4096, "entry for {i} is corrupted");
+                        }
+                    }
+                });
+            }
+        });
+        // 128 initial − 128 erased + 1000 inserted.
+        assert_eq!(c.len(), 1_000);
+    }
+}

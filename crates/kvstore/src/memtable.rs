@@ -1,0 +1,218 @@
+//! The memtable: an in-memory write buffer with a `GetLock` guarding
+//! in-place updates.
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bravo::RawRwLock;
+use rwlocks::{make_lock, LockKind};
+
+/// A fixed-size value, standing in for RocksDB's small in-place-updatable
+/// values.
+pub type Value = [u64; 4];
+
+/// The in-memory table: a pre-sized hash map of keys to in-place-updatable
+/// values, with reads and in-place writes mediated by the **GetLock** — the
+/// reader-writer lock the paper's `readwhilewriting` run contends on
+/// (`--inplace_update_num_locks=1` collapses RocksDB's lock striping to a
+/// single lock, which is exactly what the figure measures).
+pub struct MemTable {
+    get_lock: Box<dyn RawRwLock>,
+    /// Key → value map. Guarded by `get_lock` (shared for `get`, exclusive
+    /// for mutations), mirroring how RocksDB guards in-place updates.
+    data: UnsafeCell<HashMap<u64, Value>>,
+    kind: LockKind,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+// SAFETY: `data` is only read while `get_lock` is held shared and only
+// mutated while it is held exclusively; the remaining fields are atomics or
+// immutable.
+unsafe impl Send for MemTable {}
+// SAFETY: see above.
+unsafe impl Sync for MemTable {}
+
+impl MemTable {
+    /// Creates an empty memtable whose GetLock is of the given kind.
+    pub fn new(kind: LockKind) -> Self {
+        Self {
+            get_lock: make_lock(kind),
+            data: UnsafeCell::new(HashMap::new()),
+            kind,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a memtable pre-populated with keys `0..n`, as `db_bench`
+    /// does before the measurement interval (`--num=10000` in the paper's
+    /// command line).
+    pub fn prepopulated(kind: LockKind, n: u64) -> Self {
+        let table = Self::new(kind);
+        for key in 0..n {
+            table.put(key, [key, key ^ 0xff, 0, 0]);
+        }
+        table
+    }
+
+    /// The lock algorithm guarding this memtable.
+    pub fn lock_kind(&self) -> LockKind {
+        self.kind
+    }
+
+    /// Reads the value for `key` (RocksDB `::Get()`), taking the GetLock
+    /// shared.
+    pub fn get(&self, key: u64) -> Option<Value> {
+        self.get_lock.lock_shared();
+        // SAFETY: the GetLock is held shared; writers hold it exclusively.
+        let value = unsafe { (*self.data.get()).get(&key).copied() };
+        self.get_lock.unlock_shared();
+        match value {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts or overwrites `key` (RocksDB `::Put()` with in-place update
+    /// support), taking the GetLock exclusively.
+    pub fn put(&self, key: u64, value: Value) {
+        self.get_lock.lock_exclusive();
+        // SAFETY: the GetLock is held exclusively.
+        unsafe {
+            (*self.data.get()).insert(key, value);
+        }
+        self.get_lock.unlock_exclusive();
+    }
+
+    /// Updates `key` in place by applying `f` to the stored value, creating
+    /// it as zeroes first if absent. Taking the GetLock exclusively is what
+    /// `--inplace_update_support=1` does on the write path.
+    pub fn update_in_place(&self, key: u64, f: impl FnOnce(&mut Value)) {
+        self.get_lock.lock_exclusive();
+        // SAFETY: the GetLock is held exclusively.
+        unsafe {
+            let entry = (*self.data.get()).entry(key).or_insert([0; 4]);
+            f(entry);
+        }
+        self.get_lock.unlock_exclusive();
+    }
+
+    /// Removes `key`, returning the previous value if any.
+    pub fn delete(&self, key: u64) -> Option<Value> {
+        self.get_lock.lock_exclusive();
+        // SAFETY: the GetLock is held exclusively.
+        let prev = unsafe { (*self.data.get()).remove(&key) };
+        self.get_lock.unlock_exclusive();
+        prev
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.get_lock.lock_shared();
+        // SAFETY: the GetLock is held shared.
+        let n = unsafe { (*self.data.get()).len() };
+        self.get_lock.unlock_shared();
+        n
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters accumulated by `get`.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl std::fmt::Debug for MemTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemTable")
+            .field("lock", &self.kind)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let t = MemTable::new(LockKind::BravoBa);
+        assert!(t.is_empty());
+        t.put(1, [1, 2, 3, 4]);
+        assert_eq!(t.get(1), Some([1, 2, 3, 4]));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.delete(1), Some([1, 2, 3, 4]));
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.hit_miss(), (1, 2));
+    }
+
+    #[test]
+    fn prepopulation_matches_db_bench() {
+        let t = MemTable::prepopulated(LockKind::Ba, 100);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.get(99).unwrap()[0], 99);
+    }
+
+    #[test]
+    fn in_place_updates_apply_under_the_write_lock() {
+        let t = MemTable::new(LockKind::Pthread);
+        t.update_in_place(7, |v| v[0] += 1);
+        t.update_in_place(7, |v| v[0] += 1);
+        assert_eq!(t.get(7).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn readers_never_observe_torn_values() {
+        // The writer always keeps value[0] == value[1]; readers check it.
+        for kind in [LockKind::BravoBa, LockKind::Ba, LockKind::BravoPthread] {
+            let t = Arc::new(MemTable::prepopulated(kind, 16));
+            std::thread::scope(|s| {
+                let writer = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..2_000u64 {
+                        writer.update_in_place(i % 16, |v| {
+                            v[0] = i;
+                            v[1] = i;
+                        });
+                    }
+                });
+                for _ in 0..3 {
+                    let reader = Arc::clone(&t);
+                    s.spawn(move || {
+                        for i in 0..2_000u64 {
+                            if let Some(v) = reader.get(i % 16) {
+                                assert_eq!(v[0], v[1], "torn read under {kind}");
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn works_with_every_lock_in_the_catalog() {
+        for &kind in LockKind::all() {
+            let t = MemTable::new(kind);
+            t.put(5, [5; 4]);
+            assert_eq!(t.get(5), Some([5; 4]), "broken under {kind}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The two Metis applications the paper benchmarks: `wc` and `wrmem`.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rwsem::KernelVariant;
+
+use crate::engine::{MapReduce, MapReduceConfig};
+
+/// Result of one application run.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Wall-clock runtime of the job (what Tables 1 and 2 report).
+    pub runtime: Duration,
+    /// Number of distinct keys produced by the reduce phase.
+    pub distinct_keys: usize,
+    /// Page faults (read acquisitions of `mmap_sem`) the job generated.
+    pub page_faults: u64,
+    /// mmap + munmap calls (write acquisitions) the job generated.
+    pub map_operations: u64,
+}
+
+/// Generates a deterministic pseudo-text corpus of `words` words drawn from
+/// a small vocabulary, used as the `wc` input.
+pub fn generate_text(words: usize, seed: u64) -> Vec<String> {
+    const VOCAB: &[&str] = &[
+        "lock", "reader", "writer", "bias", "table", "slot", "cache", "numa", "kernel", "scan",
+        "phase", "fair", "cohort", "semaphore", "fault", "page", "map", "reduce", "word", "count",
+    ];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let words_per_line = 16;
+    let mut lines = Vec::with_capacity(words / words_per_line + 1);
+    let mut line = String::new();
+    for i in 0..words {
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+        if (i + 1) % words_per_line == 0 {
+            lines.push(std::mem::take(&mut line));
+        }
+    }
+    if !line.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Generates `words` random fixed-length "words" (as `wrmem` does in
+/// memory before indexing them), grouped into records of `words_per_record`.
+pub fn generate_random_words(words: usize, words_per_record: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let words_per_record = words_per_record.max(1);
+    let mut records = Vec::with_capacity(words / words_per_record + 1);
+    let mut record = Vec::with_capacity(words_per_record);
+    for _ in 0..words {
+        // A 3-letter lowercase word encoded as an integer keeps the key
+        // space comparable to wrmem's random words.
+        record.push(rng.gen_range(0..26u32 * 26 * 26));
+        if record.len() == words_per_record {
+            records.push(std::mem::take(&mut record));
+        }
+    }
+    if !record.is_empty() {
+        records.push(record);
+    }
+    records
+}
+
+/// Runs the `wc` (word count) application over `lines` with `workers`
+/// threads on the given simulated kernel.
+pub fn wc(lines: &[String], workers: usize, variant: KernelVariant) -> AppResult {
+    let engine = MapReduce::new(MapReduceConfig {
+        workers,
+        variant,
+        ..MapReduceConfig::default()
+    });
+    let start = Instant::now();
+    let counts: HashMap<String, u64> = engine.run(
+        lines,
+        |line, emit| {
+            for word in line.split_whitespace() {
+                emit(word.to_string(), 1u64);
+            }
+        },
+        |a, b| a + b,
+    );
+    let runtime = start.elapsed();
+    finish(&engine, runtime, counts.len())
+}
+
+/// Runs the `wrmem` (in-memory inverted index) application: each record of
+/// random words is indexed, producing `word → positions` lists, with
+/// `workers` threads on the given simulated kernel.
+pub fn wrmem(records: &[Vec<u32>], workers: usize, variant: KernelVariant) -> AppResult {
+    let engine = MapReduce::new(MapReduceConfig {
+        workers,
+        variant,
+        // wrmem allocates its input and intermediate buffers aggressively;
+        // a smaller chunk size raises the mmap:fault ratio the way Metis'
+        // allocation pattern does.
+        chunk_pages: 32,
+        bytes_per_record: 96,
+        ..MapReduceConfig::default()
+    });
+    let start = Instant::now();
+    let index: HashMap<u32, Vec<u64>> = engine.run(
+        records,
+        |record, emit| {
+            for (pos, &word) in record.iter().enumerate() {
+                emit(word, vec![pos as u64]);
+            }
+        },
+        |mut a, mut b| {
+            a.append(&mut b);
+            a
+        },
+    );
+    let runtime = start.elapsed();
+    finish(&engine, runtime, index.len())
+}
+
+fn finish(engine: &MapReduce, runtime: Duration, distinct_keys: usize) -> AppResult {
+    use std::sync::atomic::Ordering;
+    let stats = &engine.mm().stats;
+    AppResult {
+        runtime,
+        distinct_keys,
+        page_faults: stats.page_faults.load(Ordering::Relaxed),
+        map_operations: stats.mmaps.load(Ordering::Relaxed) + stats.munmaps.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_generator_is_deterministic_and_sized() {
+        let a = generate_text(1_000, 42);
+        let b = generate_text(1_000, 42);
+        assert_eq!(a, b);
+        let words: usize = a.iter().map(|l| l.split_whitespace().count()).sum();
+        assert_eq!(words, 1_000);
+        assert_ne!(a, generate_text(1_000, 43));
+    }
+
+    #[test]
+    fn random_words_generator_is_deterministic_and_sized() {
+        let a = generate_random_words(500, 64, 7);
+        let b = generate_random_words(500, 64, 7);
+        assert_eq!(a, b);
+        let words: usize = a.iter().map(Vec::len).sum();
+        assert_eq!(words, 500);
+    }
+
+    #[test]
+    fn wc_counts_are_kernel_variant_independent() {
+        let lines = generate_text(4_000, 1);
+        let stock = wc(&lines, 2, KernelVariant::Stock);
+        let bravo = wc(&lines, 2, KernelVariant::Bravo);
+        assert_eq!(stock.distinct_keys, bravo.distinct_keys);
+        assert!(stock.page_faults > 0);
+        assert!(bravo.page_faults > 0);
+        assert!(stock.map_operations > 0);
+    }
+
+    #[test]
+    fn wrmem_builds_an_index_on_both_kernels() {
+        let records = generate_random_words(2_000, 128, 3);
+        let stock = wrmem(&records, 2, KernelVariant::Stock);
+        let bravo = wrmem(&records, 2, KernelVariant::Bravo);
+        assert_eq!(stock.distinct_keys, bravo.distinct_keys);
+        assert!(stock.distinct_keys > 0);
+        assert!(bravo.page_faults > 0);
+    }
+
+    #[test]
+    fn runtime_is_measured() {
+        let lines = generate_text(500, 9);
+        let r = wc(&lines, 1, KernelVariant::Stock);
+        assert!(r.runtime > Duration::ZERO);
+    }
+}

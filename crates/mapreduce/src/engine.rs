@@ -1,0 +1,273 @@
+//! The MapReduce engine and its mm-backed scratch allocator.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use kernelsim::mm::{MmStruct, PAGE_SIZE};
+use rwsem::KernelVariant;
+
+/// Configuration of a MapReduce job.
+#[derive(Debug, Clone, Copy)]
+pub struct MapReduceConfig {
+    /// Number of worker threads for the map phase.
+    pub workers: usize,
+    /// Which simulated kernel the job's address space uses.
+    pub variant: KernelVariant,
+    /// Size of each worker's scratch chunk, in pages. Smaller chunks mean
+    /// more frequent `mmap`/`munmap` (write) traffic relative to page-fault
+    /// (read) traffic.
+    pub chunk_pages: u64,
+    /// Simulated bytes of intermediate data accounted per emitted key/value
+    /// pair.
+    pub bytes_per_record: u64,
+}
+
+impl Default for MapReduceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            variant: KernelVariant::Stock,
+            chunk_pages: 64,
+            bytes_per_record: 64,
+        }
+    }
+}
+
+/// A per-worker scratch allocator backed by the simulated address space.
+///
+/// Metis allocates its intermediate tables with `mmap` and touches them as
+/// it fills them; every first touch of a page is a fault taking `mmap_sem`
+/// for read. This allocator mirrors that traffic: `account(bytes)` advances
+/// a bump pointer through the current chunk, faulting each newly reached
+/// page, and maps a fresh chunk (a write acquisition) when the current one
+/// is exhausted. All chunks are unmapped when the allocator is dropped.
+pub struct ScratchAllocator {
+    mm: Arc<MmStruct>,
+    chunk_pages: u64,
+    current: Option<u64>,
+    offset: u64,
+    chunks: Vec<u64>,
+}
+
+impl ScratchAllocator {
+    /// Creates an allocator drawing chunks of `chunk_pages` pages from `mm`.
+    pub fn new(mm: Arc<MmStruct>, chunk_pages: u64) -> Self {
+        Self {
+            mm,
+            chunk_pages: chunk_pages.max(1),
+            current: None,
+            offset: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Accounts `bytes` of intermediate data, generating the corresponding
+    /// page-fault and mmap traffic.
+    pub fn account(&mut self, bytes: u64) {
+        let chunk_len = self.chunk_pages * PAGE_SIZE;
+        let mut remaining = bytes.max(1);
+        while remaining > 0 {
+            let base = match self.current {
+                Some(base) if self.offset < chunk_len => base,
+                _ => {
+                    let base = self
+                        .mm
+                        .mmap(chunk_len, true)
+                        .expect("simulated address space exhausted");
+                    self.chunks.push(base);
+                    self.current = Some(base);
+                    self.offset = 0;
+                    base
+                }
+            };
+            let available = chunk_len - self.offset;
+            let take = remaining.min(available);
+            let first_page = self.offset / PAGE_SIZE;
+            let last_page = (self.offset + take - 1) / PAGE_SIZE;
+            for page in first_page..=last_page {
+                self.mm
+                    .page_fault(base + page * PAGE_SIZE)
+                    .expect("fault on scratch chunk failed");
+            }
+            self.offset += take;
+            remaining -= take;
+        }
+    }
+
+    /// Number of chunks mapped so far.
+    pub fn chunks_mapped(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+impl Drop for ScratchAllocator {
+    fn drop(&mut self) {
+        for &chunk in &self.chunks {
+            // Ignore errors: the address space outlives the job, and a
+            // missing mapping here only means a test tore it down early.
+            let _ = self.mm.munmap(chunk);
+        }
+    }
+}
+
+/// A small multi-threaded MapReduce engine.
+///
+/// `map` is applied to each input item, emitting `(key, value)` pairs;
+/// `reduce` folds all values of a key into a single value. The input is
+/// split into one contiguous chunk per worker.
+pub struct MapReduce {
+    config: MapReduceConfig,
+    mm: Arc<MmStruct>,
+}
+
+impl MapReduce {
+    /// Creates an engine with the given configuration (one fresh simulated
+    /// address space per engine, like one Metis process).
+    pub fn new(config: MapReduceConfig) -> Self {
+        Self {
+            mm: Arc::new(MmStruct::new(config.variant)),
+            config,
+        }
+    }
+
+    /// The engine's simulated address space (for instrumentation).
+    pub fn mm(&self) -> &MmStruct {
+        &self.mm
+    }
+
+    /// Runs a job over `input`, returning the reduced key/value map.
+    ///
+    /// Type parameters: `I` input item, `K` intermediate key, `V`
+    /// intermediate value.
+    pub fn run<I, K, V>(
+        &self,
+        input: &[I],
+        map: impl Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        reduce: impl Fn(V, V) -> V + Sync,
+    ) -> HashMap<K, V>
+    where
+        I: Sync,
+        K: Eq + Hash + Send + Clone,
+        V: Send + Clone,
+    {
+        let workers = self.config.workers.max(1);
+        let chunk_size = input.len().div_ceil(workers).max(1);
+        let map = &map;
+        let reduce = &reduce;
+
+        let partials: Vec<HashMap<K, V>> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in input.chunks(chunk_size) {
+                let mm = Arc::clone(&self.mm);
+                let config = self.config;
+                handles.push(s.spawn(move || {
+                    let mut scratch = ScratchAllocator::new(mm, config.chunk_pages);
+                    let mut local: HashMap<K, V> = HashMap::new();
+                    for item in chunk {
+                        map(item, &mut |key, value| {
+                            scratch.account(config.bytes_per_record);
+                            match local.remove(&key) {
+                                Some(existing) => {
+                                    local.insert(key, reduce(existing, value));
+                                }
+                                None => {
+                                    local.insert(key, value);
+                                }
+                            }
+                        });
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("map worker panicked")).collect()
+        });
+
+        // Reduce phase: merge the per-worker tables.
+        let mut result: HashMap<K, V> = HashMap::new();
+        for partial in partials {
+            for (key, value) in partial {
+                match result.remove(&key) {
+                    Some(existing) => {
+                        result.insert(key, reduce(existing, value));
+                    }
+                    None => {
+                        result.insert(key, value);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_allocator_generates_fault_and_map_traffic() {
+        let mm = Arc::new(MmStruct::new(KernelVariant::Stock));
+        {
+            let mut scratch = ScratchAllocator::new(Arc::clone(&mm), 4);
+            // 5 pages of data across 4-page chunks → 2 chunks, ≥5 faults.
+            scratch.account(5 * PAGE_SIZE);
+            assert_eq!(scratch.chunks_mapped(), 2);
+        }
+        use std::sync::atomic::Ordering;
+        assert!(mm.stats.page_faults.load(Ordering::Relaxed) >= 5);
+        assert_eq!(mm.stats.mmaps.load(Ordering::Relaxed), 2);
+        assert_eq!(mm.stats.munmaps.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn word_count_style_job_produces_correct_totals() {
+        let engine = MapReduce::new(MapReduceConfig {
+            workers: 3,
+            ..MapReduceConfig::default()
+        });
+        let input: Vec<String> = vec![
+            "a b a".to_string(),
+            "b c".to_string(),
+            "a".to_string(),
+            "c c c".to_string(),
+        ];
+        let counts = engine.run(
+            &input,
+            |line, emit| {
+                for word in line.split_whitespace() {
+                    emit(word.to_string(), 1u64);
+                }
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(counts.get("a"), Some(&3));
+        assert_eq!(counts.get("b"), Some(&2));
+        assert_eq!(counts.get("c"), Some(&4));
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn results_are_identical_across_kernel_variants_and_worker_counts() {
+        let input: Vec<u64> = (0..500).collect();
+        let mut reference: Option<HashMap<u64, u64>> = None;
+        for &variant in KernelVariant::all() {
+            for workers in [1, 2, 4] {
+                let engine = MapReduce::new(MapReduceConfig {
+                    workers,
+                    variant,
+                    ..MapReduceConfig::default()
+                });
+                let out = engine.run(
+                    &input,
+                    |n, emit| emit(n % 7, *n),
+                    |a, b| a.wrapping_add(b),
+                );
+                match &reference {
+                    None => reference = Some(out),
+                    Some(r) => assert_eq!(r, &out, "divergence with {variant}/{workers} workers"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! A Metis-like MapReduce library running over the simulated mm subsystem.
+//!
+//! The paper's Tables 1 and 2 run two applications from the Metis MapReduce
+//! suite — `wc` (word count) and `wrmem` (inverted index over random words
+//! generated in memory) — because they are known to produce "relatively
+//! intense access to VMA through the mix of page-fault and mmap operations",
+//! i.e. heavy mixed read/write traffic on `mmap_sem`.
+//!
+//! This crate rebuilds that stack:
+//!
+//! * [`engine`] — a small multi-threaded MapReduce engine whose workers
+//!   allocate their intermediate buffers through the simulated address space
+//!   ([`kernelsim::MmStruct`]), faulting pages in as they fill them and
+//!   unmapping them when done. The map phase therefore generates streams of
+//!   `mmap_sem` read acquisitions (page faults) interleaved with write
+//!   acquisitions (mmap/munmap), just like Metis on a real kernel.
+//! * [`apps`] — the two applications, `wc` and `wrmem`, plus the corpus
+//!   generators that feed them.
+//!
+//! Both applications are parameterized by [`rwsem::KernelVariant`], so the
+//! harness can report stock-vs-BRAVO runtimes exactly as the paper's tables
+//! do.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apps;
+pub mod engine;
+
+pub use apps::{generate_random_words, generate_text, wc, wrmem, AppResult};
+pub use engine::{MapReduce, MapReduceConfig};

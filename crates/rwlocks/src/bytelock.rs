@@ -1,0 +1,215 @@
+//! TLRW-style read-write byte-lock (Dice & Shavit, SPAA 2010).
+//!
+//! Mentioned in the paper's related-work section: a reader-writer lock
+//! augmented with an array of per-slot bytes serving as reader indicators.
+//! "Favored" threads own a dedicated byte and can acquire/release read
+//! permission with plain stores instead of atomic read-modify-write
+//! instructions; everybody else falls back to a central reader counter. The
+//! original design packs the byte array into a single cache line, which is
+//! exactly why the paper calls it "not NUMA-friendly" — all favored readers
+//! still write to one line. It is included here as a baseline that sits
+//! between the centralized counter and the distributed-indicator locks.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use bravo::clock::cpu_relax;
+use bravo::RawRwLock;
+
+/// Number of favored reader slots (one cache line worth of bytes, as in the
+/// original TLRW byte-lock).
+pub const FAVORED_SLOTS: usize = 64;
+
+/// A read-write byte-lock: favored readers indicate their presence with a
+/// byte store each, unfavored readers share a central counter, and writers
+/// drain both.
+pub struct ByteLock {
+    /// Per-favored-thread reader indicator bytes (all in one cache line, as
+    /// in the original design).
+    slots: [AtomicU8; FAVORED_SLOTS],
+    /// Central reader count for threads without a slot.
+    overflow_readers: AtomicU64,
+    /// Writer presence flag (also gates new readers, giving writers
+    /// preference so they cannot starve behind the byte array).
+    writer: AtomicU64,
+}
+
+impl ByteLock {
+    fn slot_of_current_thread() -> Option<usize> {
+        let id = topology::current_thread_id().as_usize();
+        // The first FAVORED_SLOTS registered threads are "favored"; later
+        // threads use the central overflow counter, as TLRW assigns slots to
+        // frequent readers only.
+        (id < FAVORED_SLOTS).then_some(id)
+    }
+
+    fn readers_visible(&self) -> bool {
+        self.overflow_readers.load(Ordering::Acquire) != 0
+            || self.slots.iter().any(|slot| slot.load(Ordering::Acquire) != 0)
+    }
+}
+
+impl RawRwLock for ByteLock {
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| AtomicU8::new(0)),
+            overflow_readers: AtomicU64::new(0),
+            writer: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_shared(&self) {
+        loop {
+            if self.try_lock_shared() {
+                return;
+            }
+            while self.writer.load(Ordering::Relaxed) != 0 {
+                cpu_relax();
+            }
+        }
+    }
+
+    fn try_lock_shared(&self) -> bool {
+        if self.writer.load(Ordering::Acquire) != 0 {
+            return false;
+        }
+        match Self::slot_of_current_thread() {
+            Some(slot) => {
+                // Favored path: a plain byte store announces the reader, then
+                // the writer flag is re-checked (store-load, SeqCst pair with
+                // the writer's flag-set/array-scan). The byte holds this
+                // thread's read-entry count so recursive read acquisitions by
+                // the favored thread compose; only the owning thread ever
+                // writes its byte.
+                let depth = self.slots[slot].load(Ordering::Relaxed);
+                self.slots[slot].store(depth + 1, Ordering::SeqCst);
+                if self.writer.load(Ordering::SeqCst) != 0 {
+                    self.slots[slot].store(depth, Ordering::SeqCst);
+                    return false;
+                }
+                true
+            }
+            None => {
+                self.overflow_readers.fetch_add(1, Ordering::SeqCst);
+                if self.writer.load(Ordering::SeqCst) != 0 {
+                    self.overflow_readers.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    fn unlock_shared(&self) {
+        match Self::slot_of_current_thread() {
+            Some(slot) => {
+                let depth = self.slots[slot].load(Ordering::Relaxed);
+                debug_assert_ne!(depth, 0, "unlock_shared with no favored read entry");
+                self.slots[slot].store(depth - 1, Ordering::Release);
+            }
+            None => {
+                let prev = self.overflow_readers.fetch_sub(1, Ordering::Release);
+                debug_assert_ne!(prev, 0, "unlock_shared with no overflow readers");
+            }
+        }
+    }
+
+    fn lock_exclusive(&self) {
+        // Claim the writer flag (one writer at a time), then wait for every
+        // reader indicator — favored bytes and the overflow counter — to
+        // drain.
+        while self
+            .writer
+            .compare_exchange_weak(0, 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            cpu_relax();
+        }
+        while self.readers_visible() {
+            cpu_relax();
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> bool {
+        if self
+            .writer
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return false;
+        }
+        if self.readers_visible() {
+            self.writer.store(0, Ordering::Release);
+            return false;
+        }
+        true
+    }
+
+    fn unlock_exclusive(&self) {
+        debug_assert_eq!(self.writer.load(Ordering::Relaxed), 1);
+        self.writer.store(0, Ordering::Release);
+    }
+
+    fn name() -> &'static str {
+        "byte-lock"
+    }
+}
+
+impl Default for ByteLock {
+    fn default() -> Self {
+        <Self as RawRwLock>::new()
+    }
+}
+
+impl std::fmt::Debug for ByteLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let favored: usize = self.slots.iter().map(|s| s.load(Ordering::Relaxed) as usize).sum();
+        f.debug_struct("ByteLock")
+            .field("favored_readers", &favored)
+            .field("overflow_readers", &self.overflow_readers.load(Ordering::Relaxed))
+            .field("writer", &(self.writer.load(Ordering::Relaxed) != 0))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwlock::tests_support::{
+        exclusion_torture, mixed_torture, read_concurrency_smoke, try_lock_matrix,
+    };
+
+    #[test]
+    fn basic_semantics() {
+        try_lock_matrix::<ByteLock>();
+    }
+
+    #[test]
+    fn readers_are_concurrent() {
+        read_concurrency_smoke::<ByteLock>();
+    }
+
+    #[test]
+    fn writers_exclude_each_other() {
+        exclusion_torture::<ByteLock>(4, 2_000);
+    }
+
+    #[test]
+    fn mixed_readers_and_writers() {
+        mixed_torture::<ByteLock>(4, 1_000);
+    }
+
+    #[test]
+    fn favored_reader_blocks_writer_until_departure() {
+        let l = ByteLock::new();
+        l.lock_shared();
+        assert!(!l.try_lock_exclusive());
+        l.unlock_shared();
+        assert!(l.try_lock_exclusive());
+        l.unlock_exclusive();
+    }
+
+    #[test]
+    fn byte_array_fits_one_cache_line() {
+        assert_eq!(std::mem::size_of::<[AtomicU8; FAVORED_SLOTS]>(), 64);
+    }
+}

@@ -1,0 +1,478 @@
+//! Mutual-exclusion building blocks: ticket lock, MCS lock and the
+//! NUMA-aware cohort mutex used by the Cohort-RW reader-writer lock.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use bravo::clock::cpu_relax;
+use topology::CachePadded;
+
+/// A raw mutual-exclusion lock.
+///
+/// Calling [`unlock`](RawMutex::unlock) without holding the lock is a logic
+/// error; implementations may panic in debug builds.
+pub trait RawMutex: Send + Sync {
+    /// Creates a new, unlocked mutex.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Acquires the lock, blocking until it is available.
+    fn lock(&self);
+
+    /// Attempts to acquire the lock without blocking; returns `true` on
+    /// success.
+    fn try_lock(&self) -> bool;
+
+    /// Releases the lock.
+    fn unlock(&self);
+}
+
+/// A classic FIFO ticket spin lock.
+///
+/// Arriving threads take a ticket and spin until the grant counter reaches
+/// it. Compact (two words) and strictly FIFO-fair; all waiters spin on the
+/// same grant word (global spinning).
+pub struct TicketMutex {
+    next: AtomicU64,
+    grant: AtomicU64,
+}
+
+impl RawMutex for TicketMutex {
+    fn new() -> Self {
+        Self {
+            next: AtomicU64::new(0),
+            grant: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        while self.grant.load(Ordering::Acquire) != ticket {
+            cpu_relax();
+        }
+    }
+
+    fn try_lock(&self) -> bool {
+        let grant = self.grant.load(Ordering::Relaxed);
+        // Only succeed when the lock is free, i.e. next == grant.
+        self.next
+            .compare_exchange(grant, grant + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        let g = self.grant.load(Ordering::Relaxed);
+        debug_assert!(
+            self.next.load(Ordering::Relaxed) > g,
+            "unlock of an unheld TicketMutex"
+        );
+        self.grant.store(g + 1, Ordering::Release);
+    }
+}
+
+impl Default for TicketMutex {
+    fn default() -> Self {
+        <Self as RawMutex>::new()
+    }
+}
+
+/// Node a waiter spins on in the [`McsMutex`] queue.
+struct McsNode {
+    locked: AtomicBool,
+    next: AtomicPtr<McsNode>,
+}
+
+/// An MCS queue lock: FIFO-fair with *local* spinning.
+///
+/// Each waiter appends a queue node and spins only on its own node's flag,
+/// so handoff generates a single cache-line transfer — the canonical
+/// scalable mutual-exclusion lock, and the waiting discipline the real PF-Q
+/// lock gives its writers.
+///
+/// Queue nodes live in a per-thread slab (one node per in-flight
+/// acquisition), so the public interface needs no lock-site cooperation.
+pub struct McsMutex {
+    tail: AtomicPtr<McsNode>,
+}
+
+thread_local! {
+    /// Pool of MCS nodes owned by this thread. A thread can hold several
+    /// MCS locks at once (nested cohort locks), so this is a small stack of
+    /// leaked nodes reused in LIFO order.
+    static MCS_NODES: UnsafeCell<Vec<*mut McsNode>> = const { UnsafeCell::new(Vec::new()) };
+}
+
+fn acquire_node() -> *mut McsNode {
+    MCS_NODES.with(|cell| {
+        // SAFETY: the thread-local Vec is only touched from this thread and
+        // never re-entrantly (no callbacks run while the borrow is live).
+        let pool = unsafe { &mut *cell.get() };
+        pool.pop().unwrap_or_else(|| {
+            Box::into_raw(Box::new(McsNode {
+                locked: AtomicBool::new(false),
+                next: AtomicPtr::new(ptr::null_mut()),
+            }))
+        })
+    })
+}
+
+fn release_node(node: *mut McsNode) {
+    MCS_NODES.with(|cell| {
+        // SAFETY: as in `acquire_node`.
+        let pool = unsafe { &mut *cell.get() };
+        pool.push(node);
+    });
+}
+
+thread_local! {
+    /// Nodes currently enqueued by this thread, most recent last. Needed to
+    /// find the node again at unlock time without changing the RawMutex
+    /// interface.
+    static MCS_HELD: UnsafeCell<Vec<(usize, *mut McsNode)>> = const { UnsafeCell::new(Vec::new()) };
+}
+
+impl RawMutex for McsMutex {
+    fn new() -> Self {
+        Self {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    fn lock(&self) {
+        let node = acquire_node();
+        // SAFETY: `node` came from `acquire_node`, so it is a valid, exclusively
+        // owned allocation until we hand it to the queue.
+        unsafe {
+            (*node).locked.store(true, Ordering::Relaxed);
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is a node of a thread still inside lock/unlock;
+            // MCS protocol guarantees it stays valid until it hands over to us.
+            unsafe {
+                (*prev).next.store(node, Ordering::Release);
+                while (*node).locked.load(Ordering::Acquire) {
+                    cpu_relax();
+                }
+            }
+        }
+        MCS_HELD.with(|cell| {
+            // SAFETY: thread-local, non-reentrant access.
+            unsafe { &mut *cell.get() }.push((self as *const Self as usize, node));
+        });
+    }
+
+    fn try_lock(&self) -> bool {
+        let node = acquire_node();
+        // SAFETY: as in `lock`.
+        unsafe {
+            (*node).locked.store(true, Ordering::Relaxed);
+            (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                MCS_HELD.with(|cell| {
+                    // SAFETY: thread-local, non-reentrant access.
+                    unsafe { &mut *cell.get() }.push((self as *const Self as usize, node));
+                });
+                true
+            }
+            Err(_) => {
+                release_node(node);
+                false
+            }
+        }
+    }
+
+    fn unlock(&self) {
+        let node = MCS_HELD.with(|cell| {
+            // SAFETY: thread-local, non-reentrant access.
+            let held = unsafe { &mut *cell.get() };
+            let idx = held
+                .iter()
+                .rposition(|(addr, _)| *addr == self as *const Self as usize)
+                .expect("unlock of an McsMutex not held by this thread");
+            held.remove(idx).1
+        });
+        // SAFETY: `node` is the node this thread enqueued in `lock`; it is
+        // still owned by us until we either hand the lock to a successor or
+        // pull it out of the queue.
+        unsafe {
+            let mut next = (*node).next.load(Ordering::Acquire);
+            if next.is_null() {
+                // No known successor: try to swing the tail back to null.
+                if self
+                    .tail
+                    .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    release_node(node);
+                    return;
+                }
+                // A successor is in the middle of linking itself; wait for it.
+                loop {
+                    next = (*node).next.load(Ordering::Acquire);
+                    if !next.is_null() {
+                        break;
+                    }
+                    cpu_relax();
+                }
+            }
+            (*next).locked.store(false, Ordering::Release);
+        }
+        release_node(node);
+    }
+}
+
+impl Default for McsMutex {
+    fn default() -> Self {
+        <Self as RawMutex>::new()
+    }
+}
+
+impl Drop for McsMutex {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.tail.load(Ordering::Relaxed).is_null(),
+            "McsMutex dropped while held or with queued waiters"
+        );
+    }
+}
+
+/// A NUMA-aware cohort mutex (lock cohorting, Dice–Marathe–Shavit).
+///
+/// Threads first acquire the ticket lock of their own NUMA node, then the
+/// global ticket lock. On release, if another thread from the same node is
+/// already waiting on the node lock and the cohort has not exceeded its
+/// hand-off budget, ownership of the *global* lock is passed within the node
+/// — keeping the lock's cache lines on one socket. This is the writer lock
+/// used by the paper's Cohort-RW baseline.
+pub struct CohortMutex {
+    global: TicketMutex,
+    nodes: Box<[CachePadded<NodeLock>]>,
+    /// Maximum consecutive intra-node hand-offs before fairness forces a
+    /// global release (the cohort "budget").
+    max_handoffs: u64,
+}
+
+struct NodeLock {
+    lock: TicketMutex,
+    /// True when this node currently owns the global lock (so a successor on
+    /// the node lock may skip acquiring it).
+    global_owned: AtomicBool,
+    handoffs: AtomicU64,
+}
+
+impl CohortMutex {
+    /// Default hand-off budget used by the paper's cohort lock family.
+    pub const DEFAULT_MAX_HANDOFFS: u64 = 64;
+
+    /// Creates a cohort mutex for the simulated machine's node count.
+    pub fn for_machine() -> Self {
+        Self::with_nodes(topology::numa_nodes(), Self::DEFAULT_MAX_HANDOFFS)
+    }
+
+    /// Creates a cohort mutex with an explicit node count and hand-off
+    /// budget.
+    pub fn with_nodes(nodes: usize, max_handoffs: u64) -> Self {
+        let nodes = nodes.max(1);
+        Self {
+            global: TicketMutex::new(),
+            nodes: (0..nodes)
+                .map(|_| {
+                    CachePadded::new(NodeLock {
+                        lock: TicketMutex::new(),
+                        global_owned: AtomicBool::new(false),
+                        handoffs: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            max_handoffs,
+        }
+    }
+
+    /// Number of NUMA nodes this mutex is partitioned over.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn node(&self) -> &NodeLock {
+        &self.nodes[topology::current_node() % self.nodes.len()]
+    }
+}
+
+impl RawMutex for CohortMutex {
+    fn new() -> Self {
+        Self::for_machine()
+    }
+
+    fn lock(&self) {
+        let node = self.node();
+        node.lock.lock();
+        if node.global_owned.load(Ordering::Acquire) {
+            // The global lock was handed to our node by the previous owner;
+            // we already own it transitively.
+            return;
+        }
+        self.global.lock();
+        node.handoffs.store(0, Ordering::Relaxed);
+    }
+
+    fn try_lock(&self) -> bool {
+        let node = self.node();
+        if !node.lock.try_lock() {
+            return false;
+        }
+        if node.global_owned.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.global.try_lock() {
+            node.handoffs.store(0, Ordering::Relaxed);
+            true
+        } else {
+            node.lock.unlock();
+            false
+        }
+    }
+
+    fn unlock(&self) {
+        let node = self.node();
+        // Hand off within the node when someone is queued behind us on the
+        // node lock and the budget allows; otherwise release globally.
+        let queued = node.lock.next.load(Ordering::Relaxed) > node.lock.grant.load(Ordering::Relaxed) + 1;
+        let spent = node.handoffs.fetch_add(1, Ordering::Relaxed);
+        if queued && spent < self.max_handoffs {
+            node.global_owned.store(true, Ordering::Release);
+            node.lock.unlock();
+        } else {
+            node.global_owned.store(false, Ordering::Relaxed);
+            node.handoffs.store(0, Ordering::Relaxed);
+            self.global.unlock();
+            node.lock.unlock();
+        }
+    }
+}
+
+impl Default for CohortMutex {
+    fn default() -> Self {
+        <Self as RawMutex>::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn exclusion_torture<M: RawMutex + 'static>(make: impl Fn() -> M) {
+        let lock = Arc::new(make());
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn ticket_mutex_provides_exclusion() {
+        exclusion_torture(TicketMutex::new);
+    }
+
+    #[test]
+    fn mcs_mutex_provides_exclusion() {
+        exclusion_torture(McsMutex::new);
+    }
+
+    #[test]
+    fn cohort_mutex_provides_exclusion() {
+        exclusion_torture(|| CohortMutex::with_nodes(2, 4));
+    }
+
+    #[test]
+    fn ticket_try_lock_behaviour() {
+        let m = TicketMutex::new();
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        m.unlock();
+        assert!(m.try_lock());
+        m.unlock();
+    }
+
+    #[test]
+    fn mcs_try_lock_behaviour() {
+        let m = McsMutex::new();
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        m.unlock();
+        assert!(m.try_lock());
+        m.unlock();
+    }
+
+    #[test]
+    fn cohort_try_lock_behaviour() {
+        let m = CohortMutex::with_nodes(2, 4);
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        m.unlock();
+        assert!(m.try_lock());
+        m.unlock();
+    }
+
+    #[test]
+    fn mcs_nested_distinct_locks() {
+        let a = McsMutex::new();
+        let b = McsMutex::new();
+        a.lock();
+        b.lock();
+        // Release out of order to exercise the held-node search.
+        a.unlock();
+        b.unlock();
+        assert!(a.try_lock());
+        assert!(b.try_lock());
+        a.unlock();
+        b.unlock();
+    }
+
+    #[test]
+    fn cohort_mutex_handoff_budget_is_bounded() {
+        // With a budget of 0 every release must go through the global lock;
+        // correctness (exclusion) must be unaffected.
+        let lock = Arc::new(CohortMutex::with_nodes(2, 0));
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        lock.lock();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 3_000);
+    }
+}

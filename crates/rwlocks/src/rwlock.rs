@@ -1,0 +1,312 @@
+//! A data-carrying wrapper generic over any raw reader-writer lock.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+use bravo::RawRwLock;
+
+use crate::pf_q::PhaseFairQueueLock;
+
+/// A reader-writer lock protecting a value of type `T`, parameterized by the
+/// raw lock algorithm `R`.
+///
+/// This mirrors [`std::sync::RwLock`] (minus poisoning) and exists so that
+/// the substrate crates (key-value store, kernel simulation, benchmarks) can
+/// be written once and instantiated with any lock from the zoo — or with a
+/// BRAVO-wrapped lock via [`bravo::ReentrantBravo`].
+///
+/// # Examples
+///
+/// ```
+/// use rwlocks::{RwLock, PhaseFairQueueLock};
+///
+/// let l: RwLock<u32, PhaseFairQueueLock> = RwLock::new(7);
+/// assert_eq!(*l.read(), 7);
+/// *l.write() += 1;
+/// assert_eq!(*l.read(), 8);
+/// ```
+pub struct RwLock<T: ?Sized, R: RawRwLock = PhaseFairQueueLock> {
+    raw: R,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to the protected value is mediated by the raw lock: shared
+// access only under read permission, unique access only under write
+// permission.
+unsafe impl<T: ?Sized + Send, R: RawRwLock> Send for RwLock<T, R> {}
+// SAFETY: concurrent `&T` access by readers requires `T: Sync`.
+unsafe impl<T: ?Sized + Send + Sync, R: RawRwLock> Sync for RwLock<T, R> {}
+
+impl<T, R: RawRwLock> RwLock<T, R> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            raw: R::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, R: RawRwLock> RwLock<T, R> {
+    /// Acquires shared access.
+    pub fn read(&self) -> ReadGuard<'_, T, R> {
+        self.raw.lock_shared();
+        ReadGuard { lock: self }
+    }
+
+    /// Attempts to acquire shared access without blocking.
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T, R>> {
+        if self.raw.try_lock_shared() {
+            Some(ReadGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> WriteGuard<'_, T, R> {
+        self.raw.lock_exclusive();
+        WriteGuard { lock: self }
+    }
+
+    /// Attempts to acquire exclusive access without blocking.
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T, R>> {
+        if self.raw.try_lock_exclusive() {
+            Some(WriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access without locking (`&mut self` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// The raw lock underneath.
+    pub fn raw(&self) -> &R {
+        &self.raw
+    }
+}
+
+impl<T: Default, R: RawRwLock> Default for RwLock<T, R> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, R: RawRwLock> fmt::Debug for RwLock<T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for shared access to an [`RwLock`].
+#[must_use = "the lock is released as soon as the guard is dropped"]
+pub struct ReadGuard<'a, T: ?Sized, R: RawRwLock = PhaseFairQueueLock> {
+    lock: &'a RwLock<T, R>,
+}
+
+impl<T: ?Sized, R: RawRwLock> Deref for ReadGuard<'_, T, R> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: read permission is held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, R: RawRwLock> Drop for ReadGuard<'_, T, R> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_shared();
+    }
+}
+
+/// RAII guard for exclusive access to an [`RwLock`].
+#[must_use = "the lock is released as soon as the guard is dropped"]
+pub struct WriteGuard<'a, T: ?Sized, R: RawRwLock = PhaseFairQueueLock> {
+    lock: &'a RwLock<T, R>,
+}
+
+impl<T: ?Sized, R: RawRwLock> Deref for WriteGuard<'_, T, R> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: write permission is held for the guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, R: RawRwLock> DerefMut for WriteGuard<'_, T, R> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: write permission is held and `&mut self` prevents aliasing
+        // through this guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized, R: RawRwLock> Drop for WriteGuard<'_, T, R> {
+    fn drop(&mut self) {
+        self.lock.raw.unlock_exclusive();
+    }
+}
+
+/// Shared concurrency-test helpers used by every lock module in this crate.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use bravo::RawRwLock;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Uncontended lock/try-lock state machine checks every lock must pass.
+    pub fn try_lock_matrix<L: RawRwLock>() {
+        let l = L::new();
+        // read blocks write, allows read
+        l.lock_shared();
+        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_shared());
+        l.unlock_shared();
+        l.unlock_shared();
+        // write blocks both
+        l.lock_exclusive();
+        assert!(!l.try_lock_shared());
+        assert!(!l.try_lock_exclusive());
+        l.unlock_exclusive();
+        // free again
+        assert!(l.try_lock_exclusive());
+        l.unlock_exclusive();
+        assert!(l.try_lock_shared());
+        l.unlock_shared();
+    }
+
+    /// Two readers on different threads must both be inside the critical
+    /// section at the same time.
+    pub fn read_concurrency_smoke<L: RawRwLock + 'static>() {
+        let l = Arc::new(L::new());
+        l.lock_shared();
+        let l2 = Arc::clone(&l);
+        let other = std::thread::spawn(move || {
+            assert!(
+                l2.try_lock_shared(),
+                "second concurrent reader was refused"
+            );
+            l2.unlock_shared();
+        });
+        other.join().unwrap();
+        l.unlock_shared();
+    }
+
+    /// Writers increment a counter non-atomically under the write lock; any
+    /// exclusion failure manifests as lost updates.
+    pub fn exclusion_torture<L: RawRwLock + 'static>(threads: usize, iters: u64) {
+        let l = Arc::new(L::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let l = Arc::clone(&l);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..iters {
+                        l.lock_exclusive();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        l.unlock_exclusive();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), threads as u64 * iters);
+    }
+
+    /// Mixed readers and writers: writers keep two counters equal, readers
+    /// assert they never observe them out of sync.
+    pub fn mixed_torture<L: RawRwLock + 'static>(threads: usize, iters: u64) {
+        let l = Arc::new(L::new());
+        let a = Arc::new(AtomicU64::new(0));
+        let b = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let l = Arc::clone(&l);
+                let a = Arc::clone(&a);
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for i in 0..iters {
+                        if t == 0 || i % 64 == 0 {
+                            l.lock_exclusive();
+                            a.store(a.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                            b.store(b.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                            l.unlock_exclusive();
+                        } else {
+                            l.lock_shared();
+                            let av = a.load(Ordering::Relaxed);
+                            let bv = b.load(Ordering::Relaxed);
+                            assert_eq!(av, bv, "reader observed a torn update");
+                            l.unlock_shared();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::CounterRwLock;
+    use std::sync::Arc;
+
+    #[test]
+    fn guard_round_trip() {
+        let l: RwLock<Vec<u8>, CounterRwLock> = RwLock::new(vec![1]);
+        l.write().push(2);
+        assert_eq!(&*l.read(), &[1, 2]);
+        assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_variants_respect_state() {
+        let l: RwLock<u8, CounterRwLock> = RwLock::new(0);
+        let r = l.read();
+        assert!(l.try_read().is_some());
+        assert!(l.try_write().is_none());
+        drop(r);
+        let w = l.try_write().unwrap();
+        assert!(l.try_read().is_none());
+        drop(w);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let l: Arc<RwLock<u64, CounterRwLock>> = Arc::new(RwLock::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = Arc::clone(&l);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        *l.write() += 1;
+                        let _ = *l.read();
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 4_000);
+    }
+
+    #[test]
+    fn get_mut_and_default() {
+        let mut l: RwLock<u32, CounterRwLock> = RwLock::default();
+        *l.get_mut() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+}

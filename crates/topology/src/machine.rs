@@ -1,0 +1,189 @@
+//! Process-global description of the simulated machine.
+
+use std::sync::OnceLock;
+
+/// Description of the simulated machine: a flat array of logical CPUs grouped
+/// into NUMA nodes.
+///
+/// The default machine mirrors the paper's user-space testbed (Oracle X5-2):
+/// 2 sockets, 18 cores per socket, 2-way hyperthreading — 72 logical CPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Machine {
+    nodes: usize,
+    cpus_per_node: usize,
+}
+
+/// Builder for a [`Machine`], used by tests and the benchmark harness to
+/// model different boxes (e.g. the 4-socket X5-4 used for the kernel
+/// experiments).
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    nodes: usize,
+    cpus_per_node: usize,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self {
+            nodes: 2,
+            cpus_per_node: 36,
+        }
+    }
+}
+
+impl MachineBuilder {
+    /// Creates a builder with the default (X5-2-like) geometry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of NUMA nodes (sockets). Must be at least 1.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes.max(1);
+        self
+    }
+
+    /// Sets the number of logical CPUs per node. Must be at least 1.
+    pub fn cpus_per_node(mut self, cpus: usize) -> Self {
+        self.cpus_per_node = cpus.max(1);
+        self
+    }
+
+    /// Finalizes the description.
+    pub fn build(self) -> Machine {
+        Machine {
+            nodes: self.nodes,
+            cpus_per_node: self.cpus_per_node,
+        }
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        MachineBuilder::default().build()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the given geometry.
+    pub fn new(nodes: usize, cpus_per_node: usize) -> Self {
+        MachineBuilder::new()
+            .nodes(nodes)
+            .cpus_per_node(cpus_per_node)
+            .build()
+    }
+
+    /// Parses a `"<nodes>x<cpus_per_node>"` description, e.g. `"4x36"`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let (nodes, cpus) = spec.split_once(['x', 'X'])?;
+        let nodes: usize = nodes.trim().parse().ok()?;
+        let cpus: usize = cpus.trim().parse().ok()?;
+        if nodes == 0 || cpus == 0 {
+            return None;
+        }
+        Some(Self::new(nodes, cpus))
+    }
+
+    /// Number of NUMA nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Logical CPUs per NUMA node.
+    pub fn cpus_per_node(&self) -> usize {
+        self.cpus_per_node
+    }
+
+    /// Total number of logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node
+    }
+
+    /// NUMA node hosting a given logical CPU.
+    ///
+    /// CPUs are numbered node-major: CPUs `[0, cpus_per_node)` live on node 0,
+    /// the next `cpus_per_node` on node 1, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu >= self.logical_cpus()`.
+    pub fn node_of_cpu(&self, cpu: usize) -> usize {
+        assert!(
+            cpu < self.logical_cpus(),
+            "cpu {cpu} out of range for machine with {} CPUs",
+            self.logical_cpus()
+        );
+        cpu / self.cpus_per_node
+    }
+
+    /// Installs `self` as the process-global machine.
+    ///
+    /// Returns `true` if this call won the race and the global now reflects
+    /// `self`; `false` if a global machine had already been frozen (by an
+    /// earlier install or by any topology query).
+    pub fn install(self) -> bool {
+        let mut installed = false;
+        GLOBAL.get_or_init(|| {
+            installed = true;
+            self
+        });
+        installed
+    }
+}
+
+static GLOBAL: OnceLock<Machine> = OnceLock::new();
+
+/// Returns the process-global machine, freezing it on first use.
+pub(crate) fn global() -> &'static Machine {
+    GLOBAL.get_or_init(|| {
+        if let Ok(spec) = std::env::var("BRAVO_TOPOLOGY") {
+            if let Some(m) = Machine::parse(&spec) {
+                return m;
+            }
+        }
+        Machine::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_machine_matches_paper_testbed() {
+        let m = Machine::default();
+        assert_eq!(m.nodes(), 2);
+        assert_eq!(m.logical_cpus(), 72);
+    }
+
+    #[test]
+    fn parse_accepts_well_formed_specs() {
+        assert_eq!(Machine::parse("4x36"), Some(Machine::new(4, 36)));
+        assert_eq!(Machine::parse("1X8"), Some(Machine::new(1, 8)));
+        assert_eq!(Machine::parse(" 2 x 4 "), Some(Machine::new(2, 4)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert_eq!(Machine::parse(""), None);
+        assert_eq!(Machine::parse("4"), None);
+        assert_eq!(Machine::parse("0x8"), None);
+        assert_eq!(Machine::parse("4x0"), None);
+        assert_eq!(Machine::parse("axb"), None);
+    }
+
+    #[test]
+    fn node_major_cpu_numbering() {
+        let m = Machine::new(4, 8);
+        assert_eq!(m.node_of_cpu(0), 0);
+        assert_eq!(m.node_of_cpu(7), 0);
+        assert_eq!(m.node_of_cpu(8), 1);
+        assert_eq!(m.node_of_cpu(31), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_of_cpu_rejects_out_of_range() {
+        Machine::new(2, 2).node_of_cpu(4);
+    }
+}

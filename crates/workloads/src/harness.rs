@@ -1,0 +1,203 @@
+//! Shared measurement utilities.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Result of a timed multi-threaded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputResult {
+    /// Total operations completed across all threads.
+    pub operations: u64,
+    /// Length of the measurement interval.
+    pub duration: Duration,
+}
+
+impl ThroughputResult {
+    /// Operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.operations as f64 / self.duration.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Operations per millisecond (the unit several of the paper's figures
+    /// use on the Y axis).
+    pub fn ops_per_msec(&self) -> f64 {
+        self.ops_per_sec() / 1_000.0
+    }
+}
+
+/// Runs `threads` copies of `body` for `duration` and sums the operation
+/// counts they return.
+///
+/// `body` receives the thread index and a stop flag it must poll; it returns
+/// the number of operations it completed. This mirrors the structure of
+/// every fixed-interval benchmark in the paper (threads run flat out until
+/// the measurement interval expires).
+pub fn run_for<F>(threads: usize, duration: Duration, body: F) -> ThroughputResult
+where
+    F: Fn(usize, &AtomicBool) -> u64 + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads.max(1) {
+            let stop = &stop;
+            let total = &total;
+            let body = &body;
+            s.spawn(move || {
+                let ops = body(t, stop);
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    ThroughputResult {
+        operations: total.load(Ordering::Relaxed),
+        duration,
+    }
+}
+
+/// Runs `f` `runs` times and returns the median result, the repetition
+/// discipline the paper uses ("the median of 7 independent runs for each
+/// data point").
+pub fn median_of<T, F>(runs: usize, mut f: F) -> T
+where
+    T: PartialOrd + Copy,
+    F: FnMut() -> T,
+{
+    let runs = runs.max(1);
+    let mut samples: Vec<T> = (0..runs).map(|_| f()).collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+/// The thread counts used on the X axis of the paper's user-space figures
+/// (1–64 in roughly powers of two, matching the log-scaled axes), capped at
+/// `max`.
+pub fn paper_thread_series(max: usize) -> Vec<usize> {
+    [1usize, 2, 4, 8, 16, 32, 48, 64]
+        .into_iter()
+        .filter(|&t| t <= max.max(1))
+        .collect()
+}
+
+/// A tiny xorshift PRNG for workload threads. The paper's benchmarks advance
+/// thread-local Marsaglia xorshift or `std::mt19937` generators inside and
+/// outside critical sections; the exact generator does not matter, only that
+/// it is thread-local and cheap.
+#[derive(Debug, Clone)]
+pub struct WorkloadRng {
+    state: u64,
+}
+
+impl WorkloadRng {
+    /// Creates a generator with the given (non-zero after mixing) seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+        }
+    }
+
+    /// Advances the generator one step and returns the new value.
+    pub fn next(&mut self) -> u64 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        self.state
+    }
+
+    /// Advances the generator `steps` times (the paper's "execute N units of
+    /// work" inside and outside critical sections).
+    pub fn advance(&mut self, steps: u64) -> u64 {
+        let mut last = 0;
+        for _ in 0..steps {
+            last = self.next();
+        }
+        last
+    }
+
+    /// A value uniformly distributed in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next() as f64 / u64::MAX as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_for_counts_all_threads() {
+        let r = run_for(4, Duration::from_millis(50), |_, stop| {
+            let mut ops = 0;
+            while !stop.load(Ordering::Relaxed) {
+                ops += 1;
+                std::hint::spin_loop();
+            }
+            ops
+        });
+        assert!(r.operations > 0);
+        assert!(r.ops_per_sec() > 0.0);
+        assert!(r.ops_per_msec() <= r.ops_per_sec());
+    }
+
+    #[test]
+    fn median_of_odd_and_even_runs() {
+        let mut values = [5.0, 1.0, 3.0].into_iter();
+        assert_eq!(median_of(3, || values.next().unwrap()), 3.0);
+        let mut values = [10u64, 20, 30, 40].into_iter();
+        // Even count: upper median.
+        assert_eq!(median_of(4, || values.next().unwrap()), 30);
+    }
+
+    #[test]
+    fn thread_series_is_capped_and_sorted() {
+        assert_eq!(paper_thread_series(8), vec![1, 2, 4, 8]);
+        assert_eq!(paper_thread_series(1), vec![1]);
+        let full = paper_thread_series(64);
+        assert_eq!(*full.last().unwrap(), 64);
+        assert!(full.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn workload_rng_is_deterministic_per_seed() {
+        let mut a = WorkloadRng::new(7);
+        let mut b = WorkloadRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = WorkloadRng::new(8);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn bernoulli_rates_are_plausible() {
+        let mut rng = WorkloadRng::new(3);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.bernoulli(0.01)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((0.005..0.02).contains(&rate), "rate {rate}");
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = WorkloadRng::new(11);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+        assert_eq!(rng.below(1), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! The inter-lock interference experiment (Figure 1).
+//!
+//! Because every lock in the process shares one visible readers table, locks
+//! can collide with each other in the table. The paper quantifies the cost:
+//! 64 threads pick read locks at random from a pool of `N` locks (for `N`
+//! from 1 to 8192), and the throughput of regular shared-table BRAVO-BA is
+//! divided by the throughput of a specialized BRAVO-BA whose every instance
+//! owns a private 4096-slot table (immune to inter-lock conflicts by
+//! construction). The paper's result: the worst-case penalty stays under
+//! 6 %.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use bravo::{BravoLock, DEFAULT_TABLE_SIZE};
+use rwlocks::PhaseFairQueueLock;
+
+use crate::harness::{run_for, WorkloadRng};
+
+/// Result of one interference measurement at a given pool size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceResult {
+    /// Number of locks in the pool.
+    pub locks: usize,
+    /// Read acquisitions completed with the shared global table.
+    pub shared_table_ops: u64,
+    /// Read acquisitions completed with private per-lock tables.
+    pub private_table_ops: u64,
+}
+
+impl InterferenceResult {
+    /// Throughput fraction (shared / private): 1.0 means no measurable
+    /// interference; the paper reports ≥ 0.94 everywhere.
+    pub fn fraction(&self) -> f64 {
+        if self.private_table_ops == 0 {
+            0.0
+        } else {
+            self.shared_table_ops as f64 / self.private_table_ops as f64
+        }
+    }
+}
+
+/// Which table arrangement a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableArrangement {
+    SharedGlobal,
+    PrivatePerLock,
+}
+
+fn run_one(
+    arrangement: TableArrangement,
+    locks: usize,
+    threads: usize,
+    duration: Duration,
+) -> u64 {
+    let pool: Vec<BravoLock<PhaseFairQueueLock>> = (0..locks.max(1))
+        .map(|_| match arrangement {
+            TableArrangement::SharedGlobal => BravoLock::new(),
+            TableArrangement::PrivatePerLock => BravoLock::with_private_table(DEFAULT_TABLE_SIZE),
+        })
+        .collect();
+    let pool = &pool;
+    run_for(threads, duration, move |t, stop: &AtomicBool| {
+        let mut rng = WorkloadRng::new(t as u64 + 1);
+        let mut ops = 0;
+        while !stop.load(Ordering::Relaxed) {
+            // Pick a random lock, read-acquire it, do 20 units of work in
+            // the critical section and 100 outside, as the paper describes.
+            let lock = &pool[rng.below(pool.len() as u64) as usize];
+            let token = lock.read_lock();
+            rng.advance(20);
+            lock.read_unlock(token);
+            rng.advance(100);
+            ops += 1;
+        }
+        ops
+    })
+    .operations
+}
+
+/// Runs the interference experiment for one pool size, returning both the
+/// shared-table and private-table acquisition counts.
+pub fn interference_run(locks: usize, threads: usize, duration: Duration) -> InterferenceResult {
+    InterferenceResult {
+        locks,
+        shared_table_ops: run_one(TableArrangement::SharedGlobal, locks, threads, duration),
+        private_table_ops: run_one(TableArrangement::PrivatePerLock, locks, threads, duration),
+    }
+}
+
+/// Convenience wrapper returning only the throughput fraction.
+pub fn interference_ratio(locks: usize, threads: usize, duration: Duration) -> f64 {
+    interference_run(locks, threads, duration).fraction()
+}
+
+/// The pool sizes the paper sweeps (powers of two from 1 to 8192).
+pub fn paper_lock_pool_series() -> Vec<usize> {
+    (0..=13).map(|p| 1usize << p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_series_matches_the_paper() {
+        let series = paper_lock_pool_series();
+        assert_eq!(series.first(), Some(&1));
+        assert_eq!(series.last(), Some(&8192));
+        assert_eq!(series.len(), 14);
+    }
+
+    #[test]
+    fn both_arrangements_make_progress() {
+        let r = interference_run(8, 4, Duration::from_millis(60));
+        assert!(r.shared_table_ops > 0);
+        assert!(r.private_table_ops > 0);
+        assert!(r.fraction() > 0.0);
+    }
+
+    #[test]
+    fn fraction_handles_zero_denominator() {
+        let r = InterferenceResult {
+            locks: 1,
+            shared_table_ops: 10,
+            private_table_ops: 0,
+        };
+        assert_eq!(r.fraction(), 0.0);
+    }
+
+    #[test]
+    fn read_only_workload_keeps_locks_biased() {
+        // After a run with no writers, bias should be enabled on the pool's
+        // locks (it is never revoked), which is what makes the fast path the
+        // common case in this experiment.
+        let pool: Vec<BravoLock<PhaseFairQueueLock>> =
+            (0..4).map(|_| BravoLock::new()).collect();
+        for lock in &pool {
+            let t = lock.read_lock();
+            lock.read_unlock(t);
+            assert!(lock.is_reader_biased());
+        }
+    }
+}

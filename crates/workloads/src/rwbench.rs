@@ -1,0 +1,119 @@
+//! RWBench (Figure 4): a mixed read/write stress test with a configurable
+//! write ratio.
+//!
+//! Modeled on the benchmark of the same name by Calciu et al.: every thread
+//! repeatedly decides (Bernoulli trial with probability `P`) whether to be a
+//! writer or a reader this iteration, executes 10 RNG steps inside the
+//! critical section under the corresponding permission, then executes a
+//! non-critical section of uniformly distributed length in `[0, 200)` steps.
+//! The paper sweeps `P` from 0.9 (write-heavy, Figure 4a) down to 0.0001
+//! (extremely read-dominated, Figure 4f), demonstrating that BRAVO "inflicts
+//! no harm for write-intensive workloads, but improves performance for more
+//! read-dominated workloads".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rwlocks::{make_lock, LockKind};
+
+use crate::harness::{run_for, ThroughputResult, WorkloadRng};
+
+/// Configuration of an RWBench run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwBenchConfig {
+    /// Number of threads.
+    pub threads: usize,
+    /// Probability that an iteration performs a write.
+    pub write_probability: f64,
+    /// RNG steps inside each critical section (the paper uses 10).
+    pub cs_work: u64,
+    /// Upper bound (exclusive) of the uniformly distributed non-critical
+    /// section length (the paper uses 200, average 100).
+    pub non_cs_bound: u64,
+    /// Measurement interval.
+    pub duration: Duration,
+}
+
+impl RwBenchConfig {
+    /// The paper's configuration for a given thread count and write ratio.
+    pub fn paper(threads: usize, write_probability: f64, duration: Duration) -> Self {
+        Self {
+            threads,
+            write_probability,
+            cs_work: 10,
+            non_cs_bound: 200,
+            duration,
+        }
+    }
+
+    /// The write probabilities of Figure 4's six panels.
+    pub fn paper_write_ratios() -> &'static [f64] {
+        &[0.9, 0.5, 0.1, 0.01, 0.001, 0.0001]
+    }
+}
+
+/// Runs RWBench on a lock of the given kind, returning the total number of
+/// top-level loop iterations completed (the figure's Y axis, per
+/// millisecond).
+pub fn rwbench(kind: LockKind, config: RwBenchConfig) -> ThroughputResult {
+    let lock = make_lock(kind);
+    let lock = &*lock;
+    run_for(config.threads, config.duration, move |t, stop: &AtomicBool| {
+        let mut rng = WorkloadRng::new(t as u64 + 0x9e37);
+        let mut ops = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            if rng.bernoulli(config.write_probability) {
+                lock.lock_exclusive();
+                rng.advance(config.cs_work);
+                lock.unlock_exclusive();
+            } else {
+                lock.lock_shared();
+                rng.advance(config.cs_work);
+                lock.unlock_shared();
+            }
+            let non_cs = rng.below(config.non_cs_bound.max(1));
+            rng.advance(non_cs);
+            ops += 1;
+        }
+        ops
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratios_span_write_heavy_to_read_dominated() {
+        let ratios = RwBenchConfig::paper_write_ratios();
+        assert_eq!(ratios.len(), 6);
+        assert_eq!(ratios[0], 0.9);
+        assert_eq!(*ratios.last().unwrap(), 0.0001);
+        assert!(ratios.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn write_heavy_and_read_heavy_configs_both_progress() {
+        for p in [0.9, 0.001] {
+            for kind in [LockKind::Ba, LockKind::BravoBa] {
+                let r = rwbench(kind, RwBenchConfig::paper(3, p, Duration::from_millis(50)));
+                assert!(r.operations > 0, "{kind} at P={p}: no progress");
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_bravo_run_uses_the_fast_path() {
+        // Read-only RWBench on a BRAVO lock must drive fast-path reads.
+        // (Stats are process-global and other tests run concurrently, so
+        // only the lower bound on fast reads is asserted.)
+        let before = bravo::stats::snapshot();
+        let r = rwbench(
+            LockKind::BravoBa,
+            RwBenchConfig::paper(2, 0.0, Duration::from_millis(60)),
+        );
+        let delta = bravo::stats::snapshot().since(&before);
+        assert!(r.operations > 0);
+        assert!(delta.fast_reads > 0, "no fast reads in a read-only BRAVO run");
+    }
+}

@@ -1,0 +1,136 @@
+//! Desnoyers et al.'s `test_rwlock` benchmark (Figure 3).
+//!
+//! The benchmark launches one fixed-role writer and `T` fixed-role readers
+//! on a single central reader-writer lock. The writer executes 10 work units
+//! inside its critical section and 1000 outside it; readers execute 10 work
+//! units inside theirs and loop back immediately. The paper runs it with the
+//! command line `test_rwlock T 1 10 -c 10 -e 10 -d 1000` for 10 seconds and
+//! reports the total iterations completed by all threads — an extremely
+//! read-dominated workload where distributed-indicator locks (Per-CPU) and
+//! BRAVO shine.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use rwlocks::{make_lock, LockKind};
+
+use crate::harness::{ThroughputResult, WorkloadRng};
+
+/// Configuration of a `test_rwlock` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestRwlockConfig {
+    /// Number of fixed-role reader threads (`T` on the figure's X axis).
+    pub readers: usize,
+    /// Number of fixed-role writer threads (the paper uses 1).
+    pub writers: usize,
+    /// Work units inside each critical section (`-c` / `-e`, both 10).
+    pub cs_work: u64,
+    /// Work units the writer performs outside its critical section (`-d`,
+    /// 1000).
+    pub writer_delay_work: u64,
+    /// Measurement interval.
+    pub duration: Duration,
+}
+
+impl TestRwlockConfig {
+    /// The paper's command line for `T` readers and a given interval.
+    pub fn paper(readers: usize, duration: Duration) -> Self {
+        Self {
+            readers,
+            writers: 1,
+            cs_work: 10,
+            writer_delay_work: 1000,
+            duration,
+        }
+    }
+}
+
+/// Runs `test_rwlock` on a lock of the given kind and returns the combined
+/// iteration count of all threads (the number the benchmark prints).
+pub fn test_rwlock(kind: LockKind, config: TestRwlockConfig) -> ThroughputResult {
+    let lock = make_lock(kind);
+    let lock = &*lock;
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for w in 0..config.writers {
+            let stop = &stop;
+            let total = &total;
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(0x57e4 + w as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    lock.lock_exclusive();
+                    rng.advance(config.cs_work);
+                    lock.unlock_exclusive();
+                    rng.advance(config.writer_delay_work);
+                    ops += 1;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        for r in 0..config.readers {
+            let stop = &stop;
+            let total = &total;
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(1 + r as u64);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    lock.lock_shared();
+                    rng.advance(config.cs_work);
+                    lock.unlock_shared();
+                    ops += 1;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    ThroughputResult {
+        operations: total.load(Ordering::Relaxed),
+        duration: config.duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_command_line() {
+        let c = TestRwlockConfig::paper(16, Duration::from_secs(10));
+        assert_eq!(c.readers, 16);
+        assert_eq!(c.writers, 1);
+        assert_eq!(c.cs_work, 10);
+        assert_eq!(c.writer_delay_work, 1000);
+    }
+
+    #[test]
+    fn all_paper_locks_make_progress() {
+        for &kind in LockKind::paper_set() {
+            let r = test_rwlock(
+                kind,
+                TestRwlockConfig::paper(2, Duration::from_millis(50)),
+            );
+            assert!(r.operations > 0, "{kind}: no iterations completed");
+        }
+    }
+
+    #[test]
+    fn read_only_configuration_is_supported() {
+        let r = test_rwlock(
+            LockKind::BravoBa,
+            TestRwlockConfig {
+                readers: 3,
+                writers: 0,
+                cs_work: 10,
+                writer_delay_work: 0,
+                duration: Duration::from_millis(50),
+            },
+        );
+        assert!(r.operations > 0);
+    }
+}

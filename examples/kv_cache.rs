@@ -1,0 +1,95 @@
+//! A read-mostly key-value cache service, the workload class the paper's
+//! RocksDB experiments model.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example kv_cache
+//! ```
+//!
+//! The example stands up the mini KV store from the `kvstore` crate twice —
+//! once with the plain BA (PF-Q) lock guarding the memtable and once with
+//! BRAVO-BA — drives both with the same read-mostly traffic (98 % point
+//! reads, 2 % read-modify-writes) and prints the throughput of each along
+//! with the BRAVO fast-path statistics.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bravo_repro::bravo::stats;
+use bravo_repro::kvstore::Db;
+use bravo_repro::rwlocks::LockKind;
+use bravo_repro::workloads::harness::WorkloadRng;
+
+const KEYS: u64 = 50_000;
+const THREADS: usize = 4;
+const INTERVAL: Duration = Duration::from_millis(500);
+
+fn drive(kind: LockKind) -> u64 {
+    let db = Arc::new(Db::open_prepopulated(kind, KEYS));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(t as u64 + 1);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.below(KEYS);
+                    if rng.bernoulli(0.02) {
+                        // Occasional read-modify-write, e.g. a hit counter.
+                        db.merge(key, |v| v[3] += 1);
+                    } else {
+                        let value = db.get(key);
+                        assert!(value.is_some(), "pre-populated key {key} vanished");
+                    }
+                    local += 1;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(INTERVAL);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    ops.load(Ordering::Relaxed)
+}
+
+fn main() {
+    println!("read-mostly cache, {THREADS} worker threads, {KEYS} keys, 2% writes\n");
+
+    let before = stats::snapshot();
+    let plain = drive(LockKind::Ba);
+    let mid = stats::snapshot();
+    let bravo = drive(LockKind::BravoBa);
+    let after = stats::snapshot();
+
+    let plain_rate = plain as f64 / INTERVAL.as_secs_f64();
+    let bravo_rate = bravo as f64 / INTERVAL.as_secs_f64();
+    println!("BA (PF-Q) GetLock      : {plain_rate:>12.0} ops/s");
+    println!("BRAVO-BA GetLock       : {bravo_rate:>12.0} ops/s");
+    println!(
+        "BRAVO/BA throughput    : {:.2}x",
+        bravo_rate / plain_rate.max(1.0)
+    );
+
+    let ba_delta = mid.since(&before);
+    let bravo_delta = after.since(&mid);
+    println!(
+        "\nBA phase fast-read fraction    : {:.1}% (expected ~0%: BA has no fast path)",
+        ba_delta.fast_read_fraction() * 100.0
+    );
+    println!(
+        "BRAVO phase fast-read fraction : {:.1}%",
+        bravo_delta.fast_read_fraction() * 100.0
+    );
+    println!(
+        "BRAVO phase revocations        : {} across {} writes",
+        bravo_delta.revocations, bravo_delta.writes
+    );
+}

@@ -1,0 +1,130 @@
+//! A concurrent ordered map with one reader-writer lock per node — the
+//! "lock per node or entry" scenario (§5) where a lock's memory footprint
+//! matters as much as its scalability.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example lock_per_node_tree
+//! ```
+//!
+//! Distributed-indicator locks like Per-CPU are "prohibitively expensive to
+//! store a separate lock per node" (Bronson et al., quoted in the paper):
+//! on the paper's 72-way machine one Per-CPU lock is 9216 bytes. BRAVO-BA
+//! stays at one cache sector per lock while all instances share a single
+//! 32 KiB table. This example builds a hash-partitioned ordered map with a
+//! BRAVO-BA lock per bucket, runs a read-dominated mixed workload over it,
+//! and prints both the throughput and the per-node footprint comparison.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bravo_repro::bravo::BravoRwLock;
+use bravo_repro::rwlocks::footprint::{self, Footprint};
+use bravo_repro::rwlocks::{PerCpuRwLock, PhaseFairQueueLock};
+use bravo_repro::workloads::harness::WorkloadRng;
+
+/// An ordered map partitioned into buckets, each guarded by its own
+/// BRAVO-BA lock. Lookups and range scans take the bucket lock shared;
+/// inserts and removals take it exclusively.
+struct ShardedTree {
+    buckets: Vec<BravoRwLock<BTreeMap<u64, u64>, PhaseFairQueueLock>>,
+}
+
+impl ShardedTree {
+    fn new(buckets: usize) -> Self {
+        Self {
+            buckets: (0..buckets.max(1)).map(|_| BravoRwLock::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    fn bucket(&self, key: u64) -> &BravoRwLock<BTreeMap<u64, u64>, PhaseFairQueueLock> {
+        &self.buckets[(key as usize) % self.buckets.len()]
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.bucket(key).read().get(&key).copied()
+    }
+
+    fn insert(&self, key: u64, value: u64) {
+        self.bucket(key).write().insert(key, value);
+    }
+
+    fn range_sum(&self, key: u64, span: u64) -> u64 {
+        self.bucket(key)
+            .read()
+            .range(key..key + span)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.read().len()).sum()
+    }
+}
+
+const BUCKETS: usize = 1024;
+const KEYS: u64 = 100_000;
+const THREADS: usize = 4;
+const INTERVAL: Duration = Duration::from_millis(500);
+
+fn main() {
+    let tree = Arc::new(ShardedTree::new(BUCKETS));
+    for key in 0..KEYS {
+        tree.insert(key, key * 2);
+    }
+    println!("sharded tree: {BUCKETS} buckets, {} keys preloaded", tree.len());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            s.spawn(move || {
+                let mut rng = WorkloadRng::new(t as u64 + 11);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.below(KEYS);
+                    match rng.below(100) {
+                        0..=89 => {
+                            let _ = tree.get(key);
+                        }
+                        90..=97 => {
+                            let _ = tree.range_sum(key, 32);
+                        }
+                        _ => tree.insert(key, rng.next()),
+                    }
+                    local += 1;
+                }
+                ops.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(INTERVAL);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let rate = ops.load(Ordering::Relaxed) as f64 / INTERVAL.as_secs_f64();
+    println!("mixed workload throughput: {rate:.0} ops/s over {THREADS} threads");
+
+    // Footprint comparison for the same per-bucket locking design.
+    let ba = PhaseFairQueueLock::default();
+    let per_cpu: PerCpuRwLock = PerCpuRwLock::for_machine();
+    let bravo_per_lock = ba.sector_footprint(); // BRAVO-BA still fits the same sector (§5).
+    println!("\nper-bucket lock footprint if this tree used:");
+    println!("  BRAVO-BA : {:>8} bytes/bucket ({} buckets = {} KiB total, + one shared {} KiB table)",
+        bravo_per_lock,
+        BUCKETS,
+        bravo_per_lock * BUCKETS / 1024,
+        footprint::shared_table_bytes() / 1024
+    );
+    println!(
+        "  Per-CPU  : {:>8} bytes/bucket ({} buckets = {} KiB total)",
+        per_cpu.footprint_bytes(),
+        BUCKETS,
+        per_cpu.footprint_bytes() * BUCKETS / 1024
+    );
+}

@@ -1,0 +1,137 @@
+//! End-to-end runs of every experiment workload at miniature scale,
+//! asserting that the pipelines the benchmark harness relies on hold
+//! together and produce sane numbers.
+
+use std::time::Duration;
+
+use bravo_repro::bravo::stats;
+use bravo_repro::kernelsim::locktorture::{self, LockTortureConfig};
+use bravo_repro::kernelsim::will_it_scale::{self, WillItScaleBenchmark};
+use bravo_repro::kvstore::{run_hash_table_bench, run_readwhilewriting};
+use bravo_repro::mapreduce::{generate_random_words, generate_text, wc, wrmem};
+use bravo_repro::rwlocks::LockKind;
+use bravo_repro::rwsem::KernelVariant;
+use bravo_repro::workloads::alternator::alternator;
+use bravo_repro::workloads::interference::interference_run;
+use bravo_repro::workloads::rwbench::{rwbench, RwBenchConfig};
+use bravo_repro::workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
+
+const SHORT: Duration = Duration::from_millis(80);
+
+#[test]
+fn figure1_interference_pipeline() {
+    let r = interference_run(16, 4, SHORT);
+    assert!(r.shared_table_ops > 0);
+    assert!(r.private_table_ops > 0);
+    // The fraction is a ratio of two noisy throughputs; on a loaded test
+    // machine it can wobble, but it must stay within an order of magnitude.
+    assert!(r.fraction() > 0.1 && r.fraction() < 10.0, "fraction {}", r.fraction());
+}
+
+#[test]
+fn figure2_alternator_pipeline() {
+    for kind in [LockKind::Ba, LockKind::BravoBa] {
+        let r = alternator(kind, 2, SHORT);
+        assert!(r.operations > 0, "{kind}: alternator made no progress");
+    }
+}
+
+#[test]
+fn figure3_test_rwlock_pipeline() {
+    for kind in [LockKind::Pthread, LockKind::BravoPthread] {
+        let r = test_rwlock(kind, TestRwlockConfig::paper(2, SHORT));
+        assert!(r.operations > 0, "{kind}: test_rwlock made no progress");
+    }
+}
+
+#[test]
+fn figure4_rwbench_pipeline_covers_all_ratios() {
+    for &ratio in RwBenchConfig::paper_write_ratios() {
+        let r = rwbench(LockKind::BravoBa, RwBenchConfig::paper(2, ratio, SHORT));
+        assert!(r.operations > 0, "P={ratio}: rwbench made no progress");
+    }
+}
+
+#[test]
+fn figure5_and_6_rocksdb_pipelines() {
+    let rww = run_readwhilewriting(LockKind::BravoBa, 2, 1_000, SHORT);
+    assert!(rww.reads > 0 && rww.writes > 0);
+    let htb = run_hash_table_bench(LockKind::Ba, 2, 1_024, SHORT);
+    assert!(htb.reads > 0 && htb.inserts > 0 && htb.erases > 0);
+}
+
+#[test]
+fn figure7_and_8_locktorture_pipelines() {
+    let mixed = locktorture::run(
+        KernelVariant::Bravo,
+        LockTortureConfig {
+            readers: 2,
+            writers: 1,
+            read_hold: Duration::from_micros(5),
+            write_hold: Duration::from_micros(20),
+            long_delay_one_in: 0,
+            read_long_hold: Duration::ZERO,
+            write_long_hold: Duration::ZERO,
+            duration: SHORT,
+        },
+    );
+    assert!(mixed.read_acquisitions > 0);
+    assert!(mixed.write_acquisitions > 0);
+
+    let read_only = locktorture::run(
+        KernelVariant::Stock,
+        LockTortureConfig::short_read_sections(2, SHORT),
+    );
+    assert!(read_only.read_acquisitions > 0);
+    assert_eq!(read_only.write_acquisitions, 0);
+}
+
+#[test]
+fn figure9_will_it_scale_pipelines() {
+    for &bench in WillItScaleBenchmark::all() {
+        let r = will_it_scale::run(bench, KernelVariant::Bravo, 2, SHORT);
+        assert!(r.operations > 0, "{bench} made no progress");
+        if bench.is_read_heavy() {
+            assert!(r.page_faults > 0, "{bench} should fault pages");
+        }
+    }
+}
+
+#[test]
+fn tables_1_and_2_metis_pipelines_agree_across_kernels() {
+    let corpus = generate_text(5_000, 17);
+    let wc_stock = wc(&corpus, 2, KernelVariant::Stock);
+    let wc_bravo = wc(&corpus, 2, KernelVariant::Bravo);
+    assert_eq!(wc_stock.distinct_keys, wc_bravo.distinct_keys);
+    assert!(wc_bravo.page_faults > 0);
+
+    let records = generate_random_words(3_000, 256, 23);
+    let wr_stock = wrmem(&records, 2, KernelVariant::Stock);
+    let wr_bravo = wrmem(&records, 2, KernelVariant::Bravo);
+    assert_eq!(wr_stock.distinct_keys, wr_bravo.distinct_keys);
+}
+
+#[test]
+fn bravo_fast_path_dominates_a_read_only_workload() {
+    // The headline mechanism end to end: a read-only workload on BRAVO-BA
+    // must complete the overwhelming majority of its reads on the fast path.
+    let before = stats::snapshot();
+    let r = test_rwlock(
+        LockKind::BravoBa,
+        TestRwlockConfig {
+            readers: 2,
+            writers: 0,
+            cs_work: 5,
+            writer_delay_work: 0,
+            duration: Duration::from_millis(150),
+        },
+    );
+    let delta = stats::snapshot().since(&before);
+    assert!(r.operations > 100);
+    assert!(
+        delta.fast_reads > r.operations / 2,
+        "only {} fast reads out of {} operations",
+        delta.fast_reads,
+        r.operations
+    );
+}
