@@ -27,7 +27,10 @@ fn configure(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_read_acquisition(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_acquisition");
-    group.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .sample_size(20);
     for &kind in LockKind::paper_set() {
         let lock = make_lock(kind);
         // Prime BRAVO bias so the steady-state fast path is measured.
@@ -45,7 +48,10 @@ fn bench_read_acquisition(c: &mut Criterion) {
 
 fn bench_write_acquisition(c: &mut Criterion) {
     let mut group = c.benchmark_group("write_acquisition");
-    group.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .sample_size(20);
     for &kind in LockKind::paper_set() {
         let lock = make_lock(kind);
         group.bench_function(BenchmarkId::from_parameter(kind), |b| {
@@ -60,7 +66,10 @@ fn bench_write_acquisition(c: &mut Criterion) {
 
 fn bench_revocation_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("revocation_scan");
-    group.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .sample_size(20);
     for slots in [1024usize, 4096, 16384] {
         let table = VisibleReadersTable::new(slots);
         group.bench_function(BenchmarkId::from_parameter(slots), |b| {
@@ -74,8 +83,16 @@ fn bench_revocation_scan(c: &mut Criterion) {
 
 fn bench_memtable_get(c: &mut Criterion) {
     let mut group = c.benchmark_group("memtable_get");
-    group.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100)).sample_size(20);
-    for kind in [LockKind::Ba, LockKind::BravoBa, LockKind::Pthread, LockKind::BravoPthread] {
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .sample_size(20);
+    for kind in [
+        LockKind::Ba,
+        LockKind::BravoBa,
+        LockKind::Pthread,
+        LockKind::BravoPthread,
+    ] {
         let table = MemTable::prepopulated(kind, 10_000);
         // Prime bias.
         table.get(0);
@@ -92,7 +109,10 @@ fn bench_memtable_get(c: &mut Criterion) {
 
 fn bench_page_fault(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_fault");
-    group.measurement_time(Duration::from_millis(400)).warm_up_time(Duration::from_millis(100)).sample_size(20);
+    group
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+        .sample_size(20);
     for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
         let mm = MmStruct::new(variant);
         let base = mm.mmap(64 * PAGE_SIZE, true).expect("mmap failed");
@@ -100,7 +120,8 @@ fn bench_page_fault(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(variant), |b| {
             b.iter(|| {
                 page = (page + 1) % 64;
-                mm.page_fault(base + page * PAGE_SIZE).expect("fault failed")
+                mm.page_fault(base + page * PAGE_SIZE)
+                    .expect("fault failed")
             })
         });
     }

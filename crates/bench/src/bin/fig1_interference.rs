@@ -11,7 +11,10 @@ use workloads::interference::{interference_run, paper_lock_pool_series, Interfer
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Figure 1: inter-lock interference (BRAVO-BA vs private-table BRAVO-BA)", mode);
+    banner(
+        "Figure 1: inter-lock interference (BRAVO-BA vs private-table BRAVO-BA)",
+        mode,
+    );
 
     let threads = match mode {
         RunMode::Quick => 8,

@@ -13,7 +13,10 @@ use workloads::harness::median_of;
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Figure 2: alternator (ring of readers, Msteps per interval)", mode);
+    banner(
+        "Figure 2: alternator (ring of readers, Msteps per interval)",
+        mode,
+    );
 
     header(&["threads", "lock", "steps", "steps_per_sec"]);
     for threads in mode.thread_series() {

@@ -11,7 +11,10 @@ use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Figure 3: test_rwlock (1 writer + T readers, ops/msec)", mode);
+    banner(
+        "Figure 3: test_rwlock (1 writer + T readers, ops/msec)",
+        mode,
+    );
 
     header(&["readers", "lock", "iterations", "ops_per_msec"]);
     for threads in mode.thread_series() {

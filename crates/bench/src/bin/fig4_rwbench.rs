@@ -13,7 +13,10 @@ use workloads::rwbench::{rwbench, RwBenchConfig};
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Figure 4: RWBench, one panel per write ratio (ops/msec)", mode);
+    banner(
+        "Figure 4: RWBench, one panel per write ratio (ops/msec)",
+        mode,
+    );
 
     header(&["write_ratio", "threads", "lock", "ops", "ops_per_msec"]);
     let ratios: Vec<f64> = match mode {

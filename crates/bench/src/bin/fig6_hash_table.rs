@@ -14,7 +14,14 @@ fn main() {
     banner("Figure 6: rocksdb hash_table_bench (ops/msec)", mode);
 
     let key_space = 16_384;
-    header(&["readers", "lock", "reads", "inserts", "erases", "ops_per_msec"]);
+    header(&[
+        "readers",
+        "lock",
+        "reads",
+        "inserts",
+        "erases",
+        "ops_per_msec",
+    ]);
     for threads in mode.thread_series() {
         for &kind in LockKind::paper_set() {
             let (reads, inserts, erases) = median_of(mode.repetitions(), || {

@@ -13,9 +13,17 @@ use rwsem::KernelVariant;
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Figure 7: locktorture, 1 writer (read and write acquisitions)", mode);
+    banner(
+        "Figure 7: locktorture, 1 writer (read and write acquisitions)",
+        mode,
+    );
 
-    header(&["readers", "kernel", "read_acquisitions", "write_acquisitions"]);
+    header(&[
+        "readers",
+        "kernel",
+        "read_acquisitions",
+        "write_acquisitions",
+    ]);
     for readers in mode.thread_series() {
         for &variant in KernelVariant::all() {
             let config = match mode {

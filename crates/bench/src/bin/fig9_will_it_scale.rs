@@ -13,7 +13,14 @@ fn main() {
     let mode = RunMode::from_args();
     banner("Figure 9: will-it-scale (operations per second)", mode);
 
-    header(&["benchmark", "tasks", "kernel", "operations", "ops_per_sec", "page_faults"]);
+    header(&[
+        "benchmark",
+        "tasks",
+        "kernel",
+        "operations",
+        "ops_per_sec",
+        "page_faults",
+    ]);
     for &bench in WillItScaleBenchmark::all() {
         for tasks in mode.thread_series() {
             for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {

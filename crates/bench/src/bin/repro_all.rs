@@ -41,11 +41,24 @@ fn main() {
     // Figures 2–4: BA vs BRAVO-BA at the largest thread count.
     for &kind in &[LockKind::Ba, LockKind::BravoBa, LockKind::PerCpu] {
         let alt = alternator(kind, threads, mode.interval());
-        row(&["fig2_alternator".into(), kind.to_string(), alt.operations.to_string()]);
+        row(&[
+            "fig2_alternator".into(),
+            kind.to_string(),
+            alt.operations.to_string(),
+        ]);
     }
-    for &kind in &[LockKind::Ba, LockKind::BravoBa, LockKind::Pthread, LockKind::BravoPthread] {
+    for &kind in &[
+        LockKind::Ba,
+        LockKind::BravoBa,
+        LockKind::Pthread,
+        LockKind::BravoPthread,
+    ] {
         let t = test_rwlock(kind, TestRwlockConfig::paper(threads, mode.interval()));
-        row(&["fig3_test_rwlock".into(), kind.to_string(), t.operations.to_string()]);
+        row(&[
+            "fig3_test_rwlock".into(),
+            kind.to_string(),
+            t.operations.to_string(),
+        ]);
     }
     for &ratio in &[0.9, 0.0001] {
         for &kind in &[LockKind::Ba, LockKind::BravoBa] {
@@ -120,7 +133,10 @@ fn main() {
     let delta = bravo::stats::snapshot().since(&before);
     println!();
     println!("# BRAVO statistics over this pass");
-    println!("fast_read_fraction\t{}", fmt_f64(delta.fast_read_fraction()));
+    println!(
+        "fast_read_fraction\t{}",
+        fmt_f64(delta.fast_read_fraction())
+    );
     println!("total_reads\t{}", delta.total_reads());
     println!("fast_reads\t{}", delta.fast_reads);
     println!("slow_reads_disabled\t{}", delta.slow_reads_disabled);
@@ -128,5 +144,8 @@ fn main() {
     println!("slow_reads_raced\t{}", delta.slow_reads_raced);
     println!("writes\t{}", delta.writes);
     println!("revocations\t{}", delta.revocations);
-    println!("revocation_fraction\t{}", fmt_f64(delta.revocation_fraction()));
+    println!(
+        "revocation_fraction\t{}",
+        fmt_f64(delta.revocation_fraction())
+    );
 }

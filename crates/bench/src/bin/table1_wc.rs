@@ -16,9 +16,17 @@ fn main() {
     let corpus = generate_text(mode.corpus_words(), 0x5eed);
     header(&["threads", "stock_sec", "bravo_sec", "speedup_pct"]);
     for threads in mode.thread_series() {
-        let stock = wc(&corpus, threads, KernelVariant::Stock).runtime.as_secs_f64();
-        let bravo = wc(&corpus, threads, KernelVariant::Bravo).runtime.as_secs_f64();
-        let speedup = if stock > 0.0 { (stock - bravo) / stock * 100.0 } else { 0.0 };
+        let stock = wc(&corpus, threads, KernelVariant::Stock)
+            .runtime
+            .as_secs_f64();
+        let bravo = wc(&corpus, threads, KernelVariant::Bravo)
+            .runtime
+            .as_secs_f64();
+        let speedup = if stock > 0.0 {
+            (stock - bravo) / stock * 100.0
+        } else {
+            0.0
+        };
         row(&[
             threads.to_string(),
             format!("{stock:.3}"),

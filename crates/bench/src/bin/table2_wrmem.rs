@@ -12,14 +12,25 @@ use rwsem::KernelVariant;
 
 fn main() {
     let mode = RunMode::from_args();
-    banner("Table 2: Metis wrmem runtime (seconds, lower is better)", mode);
+    banner(
+        "Table 2: Metis wrmem runtime (seconds, lower is better)",
+        mode,
+    );
 
     let records = generate_random_words(mode.corpus_words(), 1024, 0xfeed);
     header(&["threads", "stock_sec", "bravo_sec", "speedup_pct"]);
     for threads in mode.thread_series() {
-        let stock = wrmem(&records, threads, KernelVariant::Stock).runtime.as_secs_f64();
-        let bravo = wrmem(&records, threads, KernelVariant::Bravo).runtime.as_secs_f64();
-        let speedup = if stock > 0.0 { (stock - bravo) / stock * 100.0 } else { 0.0 };
+        let stock = wrmem(&records, threads, KernelVariant::Stock)
+            .runtime
+            .as_secs_f64();
+        let bravo = wrmem(&records, threads, KernelVariant::Bravo)
+            .runtime
+            .as_secs_f64();
+        let speedup = if stock > 0.0 {
+            (stock - bravo) / stock * 100.0
+        } else {
+            0.0
+        };
         row(&[
             threads.to_string(),
             format!("{stock:.3}"),

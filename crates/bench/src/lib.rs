@@ -147,7 +147,10 @@ mod tests {
         assert!(RunMode::Quick.interval() < RunMode::Standard.interval());
         assert!(RunMode::Standard.interval() < RunMode::Full.interval());
         assert_eq!(RunMode::Full.interval(), Duration::from_secs(10));
-        assert_eq!(RunMode::Full.locktorture_interval(), Duration::from_secs(30));
+        assert_eq!(
+            RunMode::Full.locktorture_interval(),
+            Duration::from_secs(30)
+        );
         assert_eq!(RunMode::Full.repetitions(), 7);
     }
 

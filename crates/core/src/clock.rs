@@ -51,7 +51,11 @@ mod tests {
         let a = now_ns();
         std::thread::sleep(std::time::Duration::from_millis(2));
         let b = now_ns();
-        assert!(b - a >= 1_000_000, "expected at least 1ms progress, got {}ns", b - a);
+        assert!(
+            b - a >= 1_000_000,
+            "expected at least 1ms progress, got {}ns",
+            b - a
+        );
     }
 
     #[test]

@@ -461,8 +461,11 @@ mod tests {
 
     #[test]
     fn dual_probe_uses_secondary_slot_on_collision() {
-        let lock: BravoDualProbe<DefaultRwLock> =
-            BravoDualProbe::with_parts(DefaultRwLock::default(), TableHandle::private(64), BiasPolicy::paper_default());
+        let lock: BravoDualProbe<DefaultRwLock> = BravoDualProbe::with_parts(
+            DefaultRwLock::default(),
+            TableHandle::private(64),
+            BiasPolicy::paper_default(),
+        );
         // Prime bias.
         lock.read_unlock(lock.read_lock());
         // First fast read occupies the primary slot; a second read by the
@@ -471,7 +474,10 @@ mod tests {
         let first = lock.read_lock();
         assert!(first.is_fast());
         let second = lock.read_lock();
-        assert!(second.is_fast(), "secondary probe should have kept this read fast");
+        assert!(
+            second.is_fast(),
+            "secondary probe should have kept this read fast"
+        );
         assert_ne!(first.slot(), second.slot());
         lock.read_unlock(second);
         lock.read_unlock(first);
@@ -497,7 +503,11 @@ mod tests {
             assert_eq!(entered.load(Ordering::SeqCst), 0);
             lock.read_unlock(a);
             std::thread::sleep(std::time::Duration::from_millis(10));
-            assert_eq!(entered.load(Ordering::SeqCst), 0, "writer entered with one fast reader still present");
+            assert_eq!(
+                entered.load(Ordering::SeqCst),
+                0,
+                "writer entered with one fast reader still present"
+            );
             lock.read_unlock(b);
         });
         assert_eq!(entered.load(Ordering::SeqCst), 1);

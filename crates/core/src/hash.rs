@@ -80,7 +80,11 @@ mod tests {
         // ~0.5 per draw set); assert it is nowhere near degenerate.
         let lock_addr = 0xdead_b000usize;
         let slots: HashSet<_> = (0..64).map(|t| slot_index(lock_addr, t, 4096)).collect();
-        assert!(slots.len() >= 60, "only {} distinct slots for 64 threads", slots.len());
+        assert!(
+            slots.len() >= 60,
+            "only {} distinct slots for 64 threads",
+            slots.len()
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@
 //! (BA/PF-Q, PF-T, Cohort-RW, Per-CPU, a pthread-like lock); wrapping any of
 //! them is just a type parameter:
 //!
-//! ```ignore
+//! ```
 //! use bravo::BravoRwLock;
 //! use rwlocks::PhaseFairQueueLock;
 //!

@@ -336,7 +336,11 @@ mod tests {
             l2.write_unlock();
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(entered.load(Ordering::SeqCst), 0, "writer entered while fast reader held");
+        assert_eq!(
+            entered.load(Ordering::SeqCst),
+            0,
+            "writer entered while fast reader held"
+        );
         let released_at = now_ns();
         l.read_unlock(t);
         writer.join().unwrap();
@@ -412,7 +416,9 @@ mod tests {
         l.write_lock();
         assert!(l.try_read_lock().is_none());
         l.write_unlock();
-        let t = l.try_read_lock().expect("uncontended try_read must succeed");
+        let t = l
+            .try_read_lock()
+            .expect("uncontended try_read must succeed");
         l.read_unlock(t);
     }
 

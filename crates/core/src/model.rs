@@ -123,7 +123,10 @@ mod tests {
         let high = expected_occupied_bins(100_000, 4096);
         assert!(low < mid && mid < high);
         assert!(high <= 4096.0);
-        assert!((low - 10.0).abs() < 0.1, "sparse occupancy ≈ ball count, got {low}");
+        assert!(
+            (low - 10.0).abs() < 0.1,
+            "sparse occupancy ≈ ball count, got {low}"
+        );
     }
 
     #[test]

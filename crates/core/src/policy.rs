@@ -21,6 +21,26 @@ use std::cell::Cell;
 pub const DEFAULT_INHIBIT_MULTIPLIER: u64 = 9;
 
 /// Policy controlling when slow-path readers may (re-)enable reader bias.
+///
+/// # Examples
+///
+/// The published inhibit-until policy bounds writer slow-down: after a
+/// revocation that took `d` nanoseconds, bias stays off for `N × d`, so
+/// revocation can consume at most `1/(N+1)` of a writer's time.
+///
+/// ```
+/// use bravo::policy::BiasPolicy;
+///
+/// let policy = BiasPolicy::paper_default(); // InhibitUntil { n: 9 }
+/// assert_eq!(policy.slowdown_bound(), Some(0.1));
+///
+/// // A revocation ran from t=1000 to t=1200 (200 ns): bias is inhibited
+/// // for 9 × 200 ns beyond the finish time.
+/// let until = policy.inhibit_until_after_revocation(1000, 1200);
+/// assert_eq!(until, 1200 + 9 * 200);
+/// assert!(!policy.should_enable(until - 1, until));
+/// assert!(policy.should_enable(until, until));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BiasPolicy {
     /// Never enable bias: the BRAVO wrapper degenerates to the underlying
@@ -122,10 +142,7 @@ mod tests {
 
     #[test]
     fn default_is_the_paper_policy() {
-        assert_eq!(
-            BiasPolicy::default(),
-            BiasPolicy::InhibitUntil { n: 9 }
-        );
+        assert_eq!(BiasPolicy::default(), BiasPolicy::InhibitUntil { n: 9 });
         assert_eq!(BiasPolicy::default().slowdown_bound(), Some(0.1));
     }
 
@@ -184,6 +201,9 @@ mod tests {
             BiasPolicy::InhibitUntil { n: 99 }.slowdown_bound(),
             Some(0.01)
         );
-        assert_eq!(BiasPolicy::Bernoulli { inverse_p: 100 }.slowdown_bound(), None);
+        assert_eq!(
+            BiasPolicy::Bernoulli { inverse_p: 100 }.slowdown_bound(),
+            None
+        );
     }
 }

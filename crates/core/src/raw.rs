@@ -125,7 +125,10 @@ impl RawRwLock for DefaultRwLock {
 
     fn unlock_shared(&self) {
         let prev = self.state.fetch_sub(READER, Ordering::Release);
-        debug_assert!(prev & READER_MASK != 0, "unlock_shared without a shared holder");
+        debug_assert!(
+            prev & READER_MASK != 0,
+            "unlock_shared without a shared holder"
+        );
     }
 
     fn lock_exclusive(&self) {
@@ -179,7 +182,10 @@ impl RawRwLock for DefaultRwLock {
 
     fn unlock_exclusive(&self) {
         let prev = self.state.fetch_and(!WRITER, Ordering::Release);
-        debug_assert!(prev & WRITER != 0, "unlock_exclusive without the exclusive holder");
+        debug_assert!(
+            prev & WRITER != 0,
+            "unlock_exclusive without the exclusive holder"
+        );
     }
 
     fn name() -> &'static str {
@@ -281,7 +287,10 @@ mod tests {
         // Give the writer time to set its pending bit, then confirm a new
         // reader is refused until the writer completes.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!l.try_lock_shared(), "reader admitted past a pending writer");
+        assert!(
+            !l.try_lock_shared(),
+            "reader admitted past a pending writer"
+        );
         l.unlock_shared();
         writer.join().unwrap();
         assert!(l.try_lock_shared());

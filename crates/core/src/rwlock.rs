@@ -119,8 +119,14 @@ impl<T: Default, L: RawRwLock> Default for BravoRwLock<T, L> {
 impl<T: ?Sized + fmt::Debug, L: RawRwLock> fmt::Debug for BravoRwLock<T, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_read() {
-            Some(guard) => f.debug_struct("BravoRwLock").field("data", &&*guard).finish(),
-            None => f.debug_struct("BravoRwLock").field("data", &"<locked>").finish(),
+            Some(guard) => f
+                .debug_struct("BravoRwLock")
+                .field("data", &&*guard)
+                .finish(),
+            None => f
+                .debug_struct("BravoRwLock")
+                .field("data", &"<locked>")
+                .finish(),
         }
     }
 }
@@ -274,8 +280,7 @@ mod tests {
 
     #[test]
     fn unsized_data_is_supported_via_coercion() {
-        let lock: Box<BravoRwLock<[u8], DefaultRwLock>> =
-            Box::new(BravoRwLock::new([1u8, 2, 3]));
+        let lock: Box<BravoRwLock<[u8], DefaultRwLock>> = Box::new(BravoRwLock::new([1u8, 2, 3]));
         assert_eq!(lock.read().len(), 3);
     }
 }

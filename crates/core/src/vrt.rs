@@ -76,7 +76,10 @@ impl VisibleReadersTable {
     /// thread. This is the fast-path reader's release.
     pub fn clear(&self, slot: usize, lock_addr: usize) {
         let prev = self.slots[slot].swap(0, Ordering::Release);
-        debug_assert_eq!(prev, lock_addr, "slot cleared by a thread that did not own it");
+        debug_assert_eq!(
+            prev, lock_addr,
+            "slot cleared by a thread that did not own it"
+        );
         // Silence the unused warning in release builds.
         let _ = (prev, lock_addr);
     }
@@ -177,9 +180,10 @@ pub fn global_table() -> &'static VisibleReadersTable {
 /// Production BRAVO uses [`TableHandle::Global`]; the per-instance variant
 /// exists for the Figure 1 interference experiment and for unit tests that
 /// need an isolated table.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum TableHandle {
     /// The process-global shared table.
+    #[default]
     Global,
     /// A table owned by (a group of) lock instances.
     Owned(Arc<VisibleReadersTable>),
@@ -197,12 +201,6 @@ impl TableHandle {
             TableHandle::Global => global_table(),
             TableHandle::Owned(t) => t,
         }
-    }
-}
-
-impl Default for TableHandle {
-    fn default() -> Self {
-        TableHandle::Global
     }
 }
 
@@ -235,7 +233,10 @@ mod tests {
         assert!(t.try_publish(slot, addr));
         assert_eq!(t.peek(slot), addr);
         assert_eq!(t.count_for(addr), 1);
-        assert!(!t.try_publish(slot, 0x2000), "occupied slot must refuse publication");
+        assert!(
+            !t.try_publish(slot, 0x2000),
+            "occupied slot must refuse publication"
+        );
         t.clear(slot, addr);
         assert_eq!(t.peek(slot), 0);
         assert_eq!(t.occupancy(), 0);

@@ -127,7 +127,9 @@ impl MmStruct {
         Self {
             mmap_sem,
             vmas: UnsafeCell::new(BTreeMap::new()),
-            page_tables: (0..PTL_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            page_tables: (0..PTL_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_addr: UnsafeCell::new(Self::MMAP_BASE),
             free_list: UnsafeCell::new(Vec::new()),
             next_frame: AtomicU64::new(1),
@@ -290,7 +292,10 @@ impl MmStruct {
 impl std::fmt::Debug for MmStruct {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MmStruct")
-            .field("page_faults", &self.stats.page_faults.load(Ordering::Relaxed))
+            .field(
+                "page_faults",
+                &self.stats.page_faults.load(Ordering::Relaxed),
+            )
             .field("mmaps", &self.stats.mmaps.load(Ordering::Relaxed))
             .field("munmaps", &self.stats.munmaps.load(Ordering::Relaxed))
             .finish_non_exhaustive()

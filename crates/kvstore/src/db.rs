@@ -72,7 +72,9 @@ impl Db {
 
 impl std::fmt::Debug for Db {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Db").field("memtable", &self.memtable).finish()
+        f.debug_struct("Db")
+            .field("memtable", &self.memtable)
+            .finish()
     }
 }
 

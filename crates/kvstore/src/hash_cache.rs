@@ -47,7 +47,13 @@ impl HashCache {
     pub fn prepopulated(kind: LockKind, n: u64) -> Self {
         let cache = Self::new(kind);
         for key in 0..n {
-            cache.insert(key, CacheEntry { offset: key * 4096, size: 4096 });
+            cache.insert(
+                key,
+                CacheEntry {
+                    offset: key * 4096,
+                    size: 4096,
+                },
+            );
         }
         cache
     }
@@ -119,11 +125,35 @@ mod tests {
     fn insert_lookup_erase_round_trip() {
         let c = HashCache::new(LockKind::BravoBa);
         assert!(c.is_empty());
-        assert_eq!(c.insert(1, CacheEntry { offset: 0, size: 10 }), None);
-        assert_eq!(c.lookup(1), Some(CacheEntry { offset: 0, size: 10 }));
         assert_eq!(
-            c.insert(1, CacheEntry { offset: 4096, size: 20 }),
-            Some(CacheEntry { offset: 0, size: 10 })
+            c.insert(
+                1,
+                CacheEntry {
+                    offset: 0,
+                    size: 10
+                }
+            ),
+            None
+        );
+        assert_eq!(
+            c.lookup(1),
+            Some(CacheEntry {
+                offset: 0,
+                size: 10
+            })
+        );
+        assert_eq!(
+            c.insert(
+                1,
+                CacheEntry {
+                    offset: 4096,
+                    size: 20
+                }
+            ),
+            Some(CacheEntry {
+                offset: 0,
+                size: 10
+            })
         );
         assert_eq!(c.erase(1).unwrap().offset, 4096);
         assert_eq!(c.lookup(1), None);
@@ -143,7 +173,13 @@ mod tests {
             let inserter = Arc::clone(&c);
             s.spawn(move || {
                 for i in 128..1_128 {
-                    inserter.insert(i, CacheEntry { offset: i * 4096, size: 4096 });
+                    inserter.insert(
+                        i,
+                        CacheEntry {
+                            offset: i * 4096,
+                            size: 4096,
+                        },
+                    );
                 }
             });
             let eraser = Arc::clone(&c);

@@ -132,7 +132,13 @@ pub fn run_hash_table_bench(
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(0..key_space * 2);
-                    cache.insert(key, CacheEntry { offset: key * 4096, size: 4096 });
+                    cache.insert(
+                        key,
+                        CacheEntry {
+                            offset: key * 4096,
+                            size: 4096,
+                        },
+                    );
                     local += 1;
                 }
                 inserts.fetch_add(local, Ordering::Relaxed);

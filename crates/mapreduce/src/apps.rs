@@ -26,8 +26,26 @@ pub struct AppResult {
 /// a small vocabulary, used as the `wc` input.
 pub fn generate_text(words: usize, seed: u64) -> Vec<String> {
     const VOCAB: &[&str] = &[
-        "lock", "reader", "writer", "bias", "table", "slot", "cache", "numa", "kernel", "scan",
-        "phase", "fair", "cohort", "semaphore", "fault", "page", "map", "reduce", "word", "count",
+        "lock",
+        "reader",
+        "writer",
+        "bias",
+        "table",
+        "slot",
+        "cache",
+        "numa",
+        "kernel",
+        "scan",
+        "phase",
+        "fair",
+        "cohort",
+        "semaphore",
+        "fault",
+        "page",
+        "map",
+        "reduce",
+        "word",
+        "count",
     ];
     let mut rng = SmallRng::seed_from_u64(seed);
     let words_per_line = 16;
@@ -103,7 +121,6 @@ pub fn wrmem(records: &[Vec<u32>], workers: usize, variant: KernelVariant) -> Ap
         // allocation pattern does.
         chunk_pages: 32,
         bytes_per_record: 96,
-        ..MapReduceConfig::default()
     });
     let start = Instant::now();
     let index: HashMap<u32, Vec<u64>> = engine.run(

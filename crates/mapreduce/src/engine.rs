@@ -180,7 +180,10 @@ impl MapReduce {
                     local
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("map worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("map worker panicked"))
+                .collect()
         });
 
         // Reduce phase: merge the per-worker tables.
@@ -258,11 +261,7 @@ mod tests {
                     variant,
                     ..MapReduceConfig::default()
                 });
-                let out = engine.run(
-                    &input,
-                    |n, emit| emit(n % 7, *n),
-                    |a, b| a.wrapping_add(b),
-                );
+                let out = engine.run(&input, |n, emit| emit(n % 7, *n), |a, b| a.wrapping_add(b));
                 match &reference {
                     None => reference = Some(out),
                     Some(r) => assert_eq!(r, &out, "divergence with {variant}/{workers} workers"),

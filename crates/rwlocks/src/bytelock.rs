@@ -44,7 +44,10 @@ impl ByteLock {
 
     fn readers_visible(&self) -> bool {
         self.overflow_readers.load(Ordering::Acquire) != 0
-            || self.slots.iter().any(|slot| slot.load(Ordering::Acquire) != 0)
+            || self
+                .slots
+                .iter()
+                .any(|slot| slot.load(Ordering::Acquire) != 0)
     }
 }
 
@@ -162,10 +165,17 @@ impl Default for ByteLock {
 
 impl std::fmt::Debug for ByteLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let favored: usize = self.slots.iter().map(|s| s.load(Ordering::Relaxed) as usize).sum();
+        let favored: usize = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed) as usize)
+            .sum();
         f.debug_struct("ByteLock")
             .field("favored_readers", &favored)
-            .field("overflow_readers", &self.overflow_readers.load(Ordering::Relaxed))
+            .field(
+                "overflow_readers",
+                &self.overflow_readers.load(Ordering::Relaxed),
+            )
             .field("writer", &(self.writer.load(Ordering::Relaxed) != 0))
             .finish()
     }

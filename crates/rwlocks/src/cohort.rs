@@ -161,7 +161,10 @@ impl std::fmt::Debug for CohortRwLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CohortRwLock")
             .field("nodes", &self.nodes())
-            .field("writer_barrier", &self.writer_barrier.load(Ordering::Relaxed))
+            .field(
+                "writer_barrier",
+                &self.writer_barrier.load(Ordering::Relaxed),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -212,7 +215,10 @@ mod tests {
             });
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(!writer_in.load(Ordering::SeqCst));
-            assert!(!l.try_lock_shared(), "reader admitted past a pending writer");
+            assert!(
+                !l.try_lock_shared(),
+                "reader admitted past a pending writer"
+            );
             l.unlock_shared();
         });
         assert!(writer_in.load(Ordering::SeqCst));

@@ -66,7 +66,11 @@ impl RawRwLock for CounterRwLock {
 
     fn unlock_shared(&self) {
         let prev = self.state.fetch_sub(READER, Ordering::Release);
-        debug_assert_ne!(prev & READERS, 0, "unlock_shared on a CounterRwLock with no readers");
+        debug_assert_ne!(
+            prev & READERS,
+            0,
+            "unlock_shared on a CounterRwLock with no readers"
+        );
     }
 
     fn lock_exclusive(&self) {
@@ -115,7 +119,11 @@ impl RawRwLock for CounterRwLock {
 
     fn unlock_exclusive(&self) {
         let prev = self.state.fetch_and(!WRITER, Ordering::Release);
-        debug_assert_ne!(prev & WRITER, 0, "unlock_exclusive on a CounterRwLock with no writer");
+        debug_assert_ne!(
+            prev & WRITER,
+            0,
+            "unlock_exclusive on a CounterRwLock with no writer"
+        );
     }
 
     fn name() -> &'static str {
@@ -143,7 +151,9 @@ impl std::fmt::Debug for CounterRwLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rwlock::tests_support::{exclusion_torture, read_concurrency_smoke, try_lock_matrix};
+    use crate::rwlock::tests_support::{
+        exclusion_torture, read_concurrency_smoke, try_lock_matrix,
+    };
 
     #[test]
     fn basic_semantics() {
@@ -171,7 +181,10 @@ mod tests {
             });
             // Wait for the writer to set its pending bit.
             std::thread::sleep(std::time::Duration::from_millis(20));
-            assert!(!l.try_lock_shared(), "reader admitted past a pending writer");
+            assert!(
+                !l.try_lock_shared(),
+                "reader admitted past a pending writer"
+            );
             l.unlock_shared();
         });
         assert!(l.try_lock_shared());

@@ -93,7 +93,10 @@ impl Default for FairRwLock {
 impl std::fmt::Debug for FairRwLock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FairRwLock")
-            .field("active_readers", &self.active_readers.load(Ordering::Relaxed))
+            .field(
+                "active_readers",
+                &self.active_readers.load(Ordering::Relaxed),
+            )
             .finish_non_exhaustive()
     }
 }

@@ -68,7 +68,11 @@ impl Footprint for CohortRwLock {
         // and the cohort mutex (one padded node lock per node plus the
         // global ticket lock), mirroring the paper's 896-byte accounting for
         // a 4-node Cohort-RW instance.
-        std::mem::size_of::<Self>() + self.nodes() * SECTOR + SECTOR + self.nodes() * SECTOR + SECTOR
+        std::mem::size_of::<Self>()
+            + self.nodes() * SECTOR
+            + SECTOR
+            + self.nodes() * SECTOR
+            + SECTOR
     }
 }
 

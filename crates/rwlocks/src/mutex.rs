@@ -172,12 +172,10 @@ impl RawMutex for McsMutex {
             (*node).locked.store(true, Ordering::Relaxed);
             (*node).next.store(ptr::null_mut(), Ordering::Relaxed);
         }
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => {
                 MCS_HELD.with(|cell| {
                     // SAFETY: thread-local, non-reentrant access.
@@ -347,7 +345,8 @@ impl RawMutex for CohortMutex {
         let node = self.node();
         // Hand off within the node when someone is queued behind us on the
         // node lock and the budget allows; otherwise release globally.
-        let queued = node.lock.next.load(Ordering::Relaxed) > node.lock.grant.load(Ordering::Relaxed) + 1;
+        let queued =
+            node.lock.next.load(Ordering::Relaxed) > node.lock.grant.load(Ordering::Relaxed) + 1;
         let spent = node.handoffs.fetch_add(1, Ordering::Relaxed);
         if queued && spent < self.max_handoffs {
             node.global_owned.store(true, Ordering::Release);

@@ -169,6 +169,9 @@ mod tests {
         let large = PerCpu::with_cpus(64);
         assert_eq!(small.cpus(), 2);
         assert_eq!(large.cpus(), 64);
-        assert!(crate::footprint::dynamic_footprint(&large) > crate::footprint::dynamic_footprint(&small));
+        assert!(
+            crate::footprint::dynamic_footprint(&large)
+                > crate::footprint::dynamic_footprint(&small)
+        );
     }
 }

@@ -210,7 +210,10 @@ mod tests {
                 l2.unlock_exclusive();
             });
             std::thread::sleep(std::time::Duration::from_millis(20));
-            assert!(!writer_in.load(Ordering::SeqCst), "writer entered past an active reader");
+            assert!(
+                !writer_in.load(Ordering::SeqCst),
+                "writer entered past an active reader"
+            );
             assert!(
                 !l.try_lock_shared(),
                 "reader admitted while a writer is waiting (not phase-fair)"

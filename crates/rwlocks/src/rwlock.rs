@@ -195,10 +195,7 @@ pub(crate) mod tests_support {
         l.lock_shared();
         let l2 = Arc::clone(&l);
         let other = std::thread::spawn(move || {
-            assert!(
-                l2.try_lock_shared(),
-                "second concurrent reader was refused"
-            );
+            assert!(l2.try_lock_shared(), "second concurrent reader was refused");
             l2.unlock_shared();
         });
         other.join().unwrap();

@@ -242,7 +242,11 @@ mod tests {
                 sem2.up_write();
             });
             std::thread::sleep(std::time::Duration::from_millis(30));
-            assert_eq!(entered.load(Ordering::SeqCst), 0, "writer entered past a fast reader");
+            assert_eq!(
+                entered.load(Ordering::SeqCst),
+                0,
+                "writer entered past a fast reader"
+            );
             sem.up_read();
         });
         assert_eq!(entered.load(Ordering::SeqCst), 1);

@@ -1,0 +1,198 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! This build environment cannot fetch crates.io dependencies, so this shim
+//! implements the API subset the workspace's benches use. There is no
+//! statistical analysis: each benchmark warms up for the configured warm-up
+//! time, then runs timed batches for the configured measurement time and
+//! prints the mean nanoseconds per iteration to stdout. That is enough to
+//! spot order-of-magnitude regressions between lock variants, which is what
+//! the workspace's benches compare.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use core::fmt::Display;
+use core::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// Measurement marker types, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time measurement (the shim's only measurement).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: PhantomData<(&'a mut Criterion, M)>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets how long each benchmark's measurement phase runs.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time, so
+    /// the sample count is ignored.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iters == 0 {
+            f64::NAN
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        };
+        println!(
+            "{}/{}: {:.1} ns/iter ({} iters)",
+            self.name, id.id, mean_ns, bencher.iters
+        );
+        self
+    }
+
+    /// Ends the group. (The shim prints results as they complete, so this
+    /// only exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — untimed during warm-up, then in timed
+    /// batches until the measurement window is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_start = Instant::now();
+        let mut batch = 1u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+
+        let measurement_start = Instant::now();
+        while measurement_start.elapsed() < self.measurement_time {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += batch_start.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+/// Declares a group-runner function over one or more benchmark functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Collection strategies (shim of `proptest::collection`).
+
+use core::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Returns a strategy producing `Vec`s whose length is drawn from
+/// `len_range` and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len_range: Range<usize>) -> VecStrategy<S> {
+    assert!(len_range.start < len_range.end, "empty length range");
+    VecStrategy { element, len_range }
+}
+
+/// Strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    len_range: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len_range.end - self.len_range.start) as u128;
+        let len = self.len_range.start + ((rng.next_u64() as u128 * span) >> 64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This build environment cannot fetch crates.io dependencies, so this shim
+//! implements the API subset the workspace's property tests use: the
+//! [`proptest!`] test macro, the `prop_assert*` family, [`prop_assume!`],
+//! [`prop_oneof!`], [`strategy::any`], [`Strategy::prop_map`], ranges and
+//! tuples as strategies, and [`collection::vec`].
+//!
+//! Semantics versus the real crate:
+//!
+//! * Each property runs [`test_runner::CASES`] deterministic cases; the
+//!   case stream is seeded from the test's name, so a failure is always
+//!   reproducible by re-running the same test.
+//! * There is **no shrinking**. A failure reports the case index and the
+//!   assertion message instead of a minimized input.
+//! * `prop_assume!` skips the current case rather than tracking a global
+//!   rejection quota.
+//!
+//! [`Strategy::prop_map`]: strategy::Strategy::prop_map
+//! [`strategy::any`]: strategy::any
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a regular
+/// `#[test]` function (the attribute is written by the caller, as with the
+/// real crate) that generates [`test_runner::CASES`] deterministic inputs
+/// from the strategies and runs the body against each. The body may use the
+/// `prop_assert*` and `prop_assume!` macros.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..$crate::test_runner::CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(message) = outcome {
+                        ::core::panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case,
+                            $crate::test_runner::CASES,
+                            message,
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case (counting it as passed) unless the condition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}

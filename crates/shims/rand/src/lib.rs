@@ -1,0 +1,166 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This build environment cannot fetch crates.io dependencies, so this shim
+//! implements the small API subset the workspace uses — seedable small RNGs
+//! and uniform range sampling — under the upstream crate's names. See
+//! `crates/shims/README.md` for the full policy.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use core::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`], mirroring
+/// `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the half-open `range`.
+    ///
+    /// Uses the widening-multiply technique, so the (negligible) modulo
+    /// bias of naive `% span` sampling is avoided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_uniform(self.next_u64(), range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of generators from integer seeds, mirroring
+/// `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a [`Range`].
+pub trait SampleUniform: Sized {
+    /// Maps one random 64-bit word onto the half-open `range`.
+    fn sample_uniform(word: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(word: u64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128);
+                let offset = ((word as u128 * span) >> 64) as $t;
+                range.start + offset
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Named generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xorshift64* over a
+    /// SplitMix64-expanded seed). Stream quality is ample for workload
+    /// generation; do not use for security purposes.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion guarantees a non-zero xorshift state
+            // even for seed 0 and decorrelates consecutive integer seeds.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0usize..1_000_000),
+                b.gen_range(0usize..1_000_000)
+            );
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets of 0..10 should be hit"
+        );
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u32..7);
+            assert!((5..7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+}

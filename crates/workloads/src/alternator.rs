@@ -26,8 +26,9 @@ pub fn alternator(kind: LockKind, threads: usize, duration: Duration) -> Through
     let lock = &*lock;
     // One notification mailbox per thread, each on its own cache sector so
     // notification costs a single line transfer, as in the paper's setup.
-    let mailboxes: Vec<CachePadded<AtomicU64>> =
-        (0..threads).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+    let mailboxes: Vec<CachePadded<AtomicU64>> = (0..threads)
+        .map(|_| CachePadded::new(AtomicU64::new(0)))
+        .collect();
     let mailboxes = &mailboxes;
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);

@@ -99,6 +99,10 @@ impl WorkloadRng {
     }
 
     /// Advances the generator one step and returns the new value.
+    ///
+    /// Not an `Iterator`: the stream is infinite and callers treat this as
+    /// a work-unit counter, never as a sequence to adapt or collect.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.state ^= self.state << 13;
         self.state ^= self.state >> 7;

@@ -47,12 +47,7 @@ enum TableArrangement {
     PrivatePerLock,
 }
 
-fn run_one(
-    arrangement: TableArrangement,
-    locks: usize,
-    threads: usize,
-    duration: Duration,
-) -> u64 {
+fn run_one(arrangement: TableArrangement, locks: usize, threads: usize, duration: Duration) -> u64 {
     let pool: Vec<BravoLock<PhaseFairQueueLock>> = (0..locks.max(1))
         .map(|_| match arrangement {
             TableArrangement::SharedGlobal => BravoLock::new(),
@@ -133,8 +128,7 @@ mod tests {
         // After a run with no writers, bias should be enabled on the pool's
         // locks (it is never revoked), which is what makes the fast path the
         // common case in this experiment.
-        let pool: Vec<BravoLock<PhaseFairQueueLock>> =
-            (0..4).map(|_| BravoLock::new()).collect();
+        let pool: Vec<BravoLock<PhaseFairQueueLock>> = (0..4).map(|_| BravoLock::new()).collect();
         for lock in &pool {
             let t = lock.read_lock();
             lock.read_unlock(t);

@@ -7,12 +7,12 @@
 //! * [`interference`] — the inter-lock interference experiment (Figure 1):
 //!   64 threads picking read locks at random from a pool of `N`, measuring
 //!   shared-table BRAVO against an idealized private-table BRAVO.
-//! * [`alternator`] — the alternator ring (Figure 2): threads pass a token
+//! * [`mod@alternator`] — the alternator ring (Figure 2): threads pass a token
 //!   around a ring, each acquiring/releasing read permission once per hop;
 //!   no read-read concurrency, pure reader-arrival coherence cost.
-//! * [`test_rwlock`] — Desnoyers et al.'s `test_rwlock` (Figure 3): one
+//! * [`mod@test_rwlock`] — Desnoyers et al.'s `test_rwlock` (Figure 3): one
 //!   fixed-role writer plus `T` fixed-role readers on a central lock.
-//! * [`rwbench`] — RWBench (Figure 4): every thread mixes reads and writes
+//! * [`mod@rwbench`] — RWBench (Figure 4): every thread mixes reads and writes
 //!   with a configurable write probability from 90 % down to 0.01 %.
 //!
 //! [`harness`] holds the shared measurement utilities: timed thread drivers,

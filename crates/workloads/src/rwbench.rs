@@ -58,25 +58,29 @@ impl RwBenchConfig {
 pub fn rwbench(kind: LockKind, config: RwBenchConfig) -> ThroughputResult {
     let lock = make_lock(kind);
     let lock = &*lock;
-    run_for(config.threads, config.duration, move |t, stop: &AtomicBool| {
-        let mut rng = WorkloadRng::new(t as u64 + 0x9e37);
-        let mut ops = 0u64;
-        while !stop.load(Ordering::Relaxed) {
-            if rng.bernoulli(config.write_probability) {
-                lock.lock_exclusive();
-                rng.advance(config.cs_work);
-                lock.unlock_exclusive();
-            } else {
-                lock.lock_shared();
-                rng.advance(config.cs_work);
-                lock.unlock_shared();
+    run_for(
+        config.threads,
+        config.duration,
+        move |t, stop: &AtomicBool| {
+            let mut rng = WorkloadRng::new(t as u64 + 0x9e37);
+            let mut ops = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if rng.bernoulli(config.write_probability) {
+                    lock.lock_exclusive();
+                    rng.advance(config.cs_work);
+                    lock.unlock_exclusive();
+                } else {
+                    lock.lock_shared();
+                    rng.advance(config.cs_work);
+                    lock.unlock_shared();
+                }
+                let non_cs = rng.below(config.non_cs_bound.max(1));
+                rng.advance(non_cs);
+                ops += 1;
             }
-            let non_cs = rng.below(config.non_cs_bound.max(1));
-            rng.advance(non_cs);
-            ops += 1;
-        }
-        ops
-    })
+            ops
+        },
+    )
 }
 
 #[cfg(test)]
@@ -114,6 +118,9 @@ mod tests {
         );
         let delta = bravo::stats::snapshot().since(&before);
         assert!(r.operations > 0);
-        assert!(delta.fast_reads > 0, "no fast reads in a read-only BRAVO run");
+        assert!(
+            delta.fast_reads > 0,
+            "no fast reads in a read-only BRAVO run"
+        );
     }
 }

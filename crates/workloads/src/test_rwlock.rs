@@ -111,10 +111,7 @@ mod tests {
     #[test]
     fn all_paper_locks_make_progress() {
         for &kind in LockKind::paper_set() {
-            let r = test_rwlock(
-                kind,
-                TestRwlockConfig::paper(2, Duration::from_millis(50)),
-            );
+            let r = test_rwlock(kind, TestRwlockConfig::paper(2, Duration::from_millis(50)));
             assert!(r.operations > 0, "{kind}: no iterations completed");
         }
     }

@@ -26,15 +26,31 @@ fn main() {
     println!("simulated will-it-scale page_fault1, {TASKS} tasks, {INTERVAL:?} interval\n");
 
     let before = stats::snapshot();
-    let stock = run(WillItScaleBenchmark::PageFault1, KernelVariant::Stock, TASKS, INTERVAL);
+    let stock = run(
+        WillItScaleBenchmark::PageFault1,
+        KernelVariant::Stock,
+        TASKS,
+        INTERVAL,
+    );
     let mid = stats::snapshot();
-    let bravo = run(WillItScaleBenchmark::PageFault1, KernelVariant::Bravo, TASKS, INTERVAL);
+    let bravo = run(
+        WillItScaleBenchmark::PageFault1,
+        KernelVariant::Bravo,
+        TASKS,
+        INTERVAL,
+    );
     let after = stats::snapshot();
 
     let stock_rate = stock.operations as f64 / INTERVAL.as_secs_f64();
     let bravo_rate = bravo.operations as f64 / INTERVAL.as_secs_f64();
-    println!("stock kernel : {:>10.0} iterations/s ({} page faults served)", stock_rate, stock.page_faults);
-    println!("BRAVO kernel : {:>10.0} iterations/s ({} page faults served)", bravo_rate, bravo.page_faults);
+    println!(
+        "stock kernel : {:>10.0} iterations/s ({} page faults served)",
+        stock_rate, stock.page_faults
+    );
+    println!(
+        "BRAVO kernel : {:>10.0} iterations/s ({} page faults served)",
+        bravo_rate, bravo.page_faults
+    );
     println!("BRAVO/stock  : {:.2}x", bravo_rate / stock_rate.max(1.0));
 
     let stock_delta = mid.since(&before);
@@ -59,8 +75,18 @@ fn main() {
     );
 
     // The write-heavy counterpart shows "no harm": mmap1 on both kernels.
-    let stock_mmap = run(WillItScaleBenchmark::Mmap1, KernelVariant::Stock, TASKS, INTERVAL);
-    let bravo_mmap = run(WillItScaleBenchmark::Mmap1, KernelVariant::Bravo, TASKS, INTERVAL);
+    let stock_mmap = run(
+        WillItScaleBenchmark::Mmap1,
+        KernelVariant::Stock,
+        TASKS,
+        INTERVAL,
+    );
+    let bravo_mmap = run(
+        WillItScaleBenchmark::Mmap1,
+        KernelVariant::Bravo,
+        TASKS,
+        INTERVAL,
+    );
     println!(
         "\nwrite-heavy mmap1 (no benefit expected, and no harm): stock {} vs BRAVO {} iterations",
         stock_mmap.operations, bravo_mmap.operations

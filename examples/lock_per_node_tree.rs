@@ -36,7 +36,9 @@ struct ShardedTree {
 impl ShardedTree {
     fn new(buckets: usize) -> Self {
         Self {
-            buckets: (0..buckets.max(1)).map(|_| BravoRwLock::new(BTreeMap::new())).collect(),
+            buckets: (0..buckets.max(1))
+                .map(|_| BravoRwLock::new(BTreeMap::new()))
+                .collect(),
         }
     }
 
@@ -75,7 +77,10 @@ fn main() {
     for key in 0..KEYS {
         tree.insert(key, key * 2);
     }
-    println!("sharded tree: {BUCKETS} buckets, {} keys preloaded", tree.len());
+    println!(
+        "sharded tree: {BUCKETS} buckets, {} keys preloaded",
+        tree.len()
+    );
 
     let stop = Arc::new(AtomicBool::new(false));
     let ops = Arc::new(AtomicU64::new(0));
@@ -115,7 +120,8 @@ fn main() {
     let per_cpu: PerCpuRwLock = PerCpuRwLock::for_machine();
     let bravo_per_lock = ba.sector_footprint(); // BRAVO-BA still fits the same sector (§5).
     println!("\nper-bucket lock footprint if this tree used:");
-    println!("  BRAVO-BA : {:>8} bytes/bucket ({} buckets = {} KiB total, + one shared {} KiB table)",
+    println!(
+        "  BRAVO-BA : {:>8} bytes/bucket ({} buckets = {} KiB total, + one shared {} KiB table)",
         bravo_per_lock,
         BUCKETS,
         bravo_per_lock * BUCKETS / 1024,

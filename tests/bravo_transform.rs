@@ -175,7 +175,11 @@ fn every_catalog_lock_survives_a_mixed_stress_run() {
                 });
             }
         });
-        assert_eq!(counter.load(Ordering::Relaxed), 150, "lost updates under {kind}");
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            150,
+            "lost updates under {kind}"
+        );
     }
 }
 

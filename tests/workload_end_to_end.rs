@@ -25,7 +25,11 @@ fn figure1_interference_pipeline() {
     assert!(r.private_table_ops > 0);
     // The fraction is a ratio of two noisy throughputs; on a loaded test
     // machine it can wobble, but it must stay within an order of magnitude.
-    assert!(r.fraction() > 0.1 && r.fraction() < 10.0, "fraction {}", r.fraction());
+    assert!(
+        r.fraction() > 0.1 && r.fraction() < 10.0,
+        "fraction {}",
+        r.fraction()
+    );
 }
 
 #[test]
