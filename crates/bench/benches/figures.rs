@@ -18,7 +18,7 @@ use std::time::Duration;
 use bravo::vrt::VisibleReadersTable;
 use kernelsim::mm::{MmStruct, PAGE_SIZE};
 use kvstore::MemTable;
-use rwlocks::{make_lock, LockKind};
+use rwlocks::LockKind;
 use rwsem::KernelVariant;
 
 fn configure(c: &mut Criterion) -> &mut Criterion {
@@ -32,7 +32,7 @@ fn bench_read_acquisition(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(100))
         .sample_size(20);
     for &kind in LockKind::paper_set() {
-        let lock = make_lock(kind);
+        let lock = kind.build();
         // Prime BRAVO bias so the steady-state fast path is measured.
         lock.lock_shared();
         lock.unlock_shared();
@@ -53,7 +53,7 @@ fn bench_write_acquisition(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(100))
         .sample_size(20);
     for &kind in LockKind::paper_set() {
-        let lock = make_lock(kind);
+        let lock = kind.build();
         group.bench_function(BenchmarkId::from_parameter(kind), |b| {
             b.iter(|| {
                 lock.lock_exclusive();
@@ -93,7 +93,7 @@ fn bench_memtable_get(c: &mut Criterion) {
         LockKind::Pthread,
         LockKind::BravoPthread,
     ] {
-        let table = MemTable::prepopulated(kind, 10_000);
+        let table = MemTable::prepopulated(kind, 10_000).unwrap();
         // Prime bias.
         table.get(0);
         let mut key = 0u64;

@@ -5,39 +5,62 @@
 //! the throughput of shared-table BRAVO-BA divided by the throughput of an
 //! idealized BRAVO-BA with a private 4096-slot table per lock instance. The
 //! paper's claim: the fraction never drops below ~0.94.
+//!
+//! Pass `--lock SPEC` (repeatable) to change the base composite(s) — each
+//! must be a flat BRAVO kind; the comparator run overrides the table to
+//! `private:4096`.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
-use workloads::interference::{interference_run, paper_lock_pool_series, InterferenceResult};
+use bench::{banner, fmt_f64, header, row, HarnessArgs};
+use rwlocks::LockKind;
+use workloads::interference::{interference_run_spec, paper_lock_pool_series, InterferenceResult};
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner(
-        "Figure 1: inter-lock interference (BRAVO-BA vs private-table BRAVO-BA)",
+        "Figure 1: inter-lock interference (shared-table vs private-table)",
         mode,
     );
 
+    let bases = args.lock_specs(&[LockKind::BravoBa]);
     let threads = match mode {
-        RunMode::Quick => 8,
-        RunMode::Standard => 16,
-        RunMode::Full => 64,
+        bench::RunMode::Quick => 8,
+        bench::RunMode::Standard => 16,
+        bench::RunMode::Full => 64,
     };
     let pools: Vec<usize> = match mode {
-        RunMode::Quick => paper_lock_pool_series().into_iter().step_by(3).collect(),
+        bench::RunMode::Quick => paper_lock_pool_series().into_iter().step_by(3).collect(),
         _ => paper_lock_pool_series(),
     };
 
-    header(&["locks", "shared_ops", "private_ops", "throughput_fraction"]);
-    for locks in pools {
-        let mut runs: Vec<InterferenceResult> = (0..mode.repetitions())
-            .map(|_| interference_run(locks, threads, mode.interval()))
-            .collect();
-        runs.sort_by(|a, b| a.fraction().total_cmp(&b.fraction()));
-        let result = runs[runs.len() / 2];
-        row(&[
-            locks.to_string(),
-            result.shared_table_ops.to_string(),
-            result.private_table_ops.to_string(),
-            fmt_f64(result.fraction()),
-        ]);
+    header(&[
+        "base_lock",
+        "locks",
+        "shared_ops",
+        "private_ops",
+        "throughput_fraction",
+    ]);
+    for base in &bases {
+        for &locks in &pools {
+            let mut runs: Vec<InterferenceResult> = (0..mode.repetitions())
+                .map(|_| {
+                    interference_run_spec(base, locks, threads, mode.interval()).unwrap_or_else(
+                        |e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        },
+                    )
+                })
+                .collect();
+            runs.sort_by(|a, b| a.fraction().total_cmp(&b.fraction()));
+            let result = runs[runs.len() / 2];
+            row(&[
+                base.to_string(),
+                locks.to_string(),
+                result.shared_table_ops.to_string(),
+                result.private_table_ops.to_string(),
+                fmt_f64(result.fraction()),
+            ]);
+        }
     }
 }

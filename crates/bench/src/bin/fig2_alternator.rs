@@ -5,31 +5,38 @@
 //! so the figure isolates reader-arrival coherence cost. Expected shape: the
 //! BA and pthread curves degrade as threads are added while BRAVO-BA /
 //! BRAVO-pthread stay flat and track the Per-CPU lock.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the paper set.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs};
 use rwlocks::LockKind;
 use workloads::alternator::alternator;
 use workloads::harness::median_of;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner(
         "Figure 2: alternator (ring of readers, Msteps per interval)",
         mode,
     );
 
-    header(&["threads", "lock", "steps", "steps_per_sec"]);
+    let specs = args.lock_specs(LockKind::paper_set());
+    header(&["threads", "lock", "steps", "steps_per_sec", "fast_read_pct"]);
     for threads in mode.thread_series() {
-        for &kind in LockKind::paper_set() {
+        for spec in &specs {
+            let lock = build_or_exit(spec);
             let ops = median_of(mode.repetitions(), || {
-                alternator(kind, threads, mode.interval()).operations
+                alternator(&lock, threads, mode.interval()).operations
             });
             let per_sec = ops as f64 / mode.interval().as_secs_f64();
             row(&[
                 threads.to_string(),
-                kind.to_string(),
+                lock.label().to_string(),
                 ops.to_string(),
                 fmt_f64(per_sec),
+                fast_read_cell(&lock.snapshot()),
             ]);
         }
     }

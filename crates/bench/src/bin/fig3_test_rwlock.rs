@@ -3,31 +3,46 @@
 //! One fixed-role writer plus `T` fixed-role readers on one central lock,
 //! extremely read-dominated. Expected shape: BRAVO-BA ≫ BA at higher thread
 //! counts and approaches Per-CPU; BRAVO-pthread ≫ pthread.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the paper set, e.g. `--lock "BRAVO-BA?n=99" --lock BRAVO-2D-BA`.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs};
 use rwlocks::LockKind;
 use workloads::harness::median_of;
 use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner(
         "Figure 3: test_rwlock (1 writer + T readers, ops/msec)",
         mode,
     );
 
-    header(&["readers", "lock", "iterations", "ops_per_msec"]);
+    let specs = args.lock_specs(LockKind::paper_set());
+    header(&[
+        "readers",
+        "lock",
+        "iterations",
+        "ops_per_msec",
+        "fast_read_pct",
+    ]);
     for threads in mode.thread_series() {
-        for &kind in LockKind::paper_set() {
+        for spec in &specs {
+            // One lock per data point: bias state and per-lock statistics
+            // are scoped to this (threads, spec) cell.
+            let lock = build_or_exit(spec);
             let result = median_of(mode.repetitions(), || {
-                test_rwlock(kind, TestRwlockConfig::paper(threads, mode.interval())).operations
+                test_rwlock(&lock, TestRwlockConfig::paper(threads, mode.interval())).operations
             });
             let per_msec = result as f64 / mode.interval().as_millis().max(1) as f64;
             row(&[
                 threads.to_string(),
-                kind.to_string(),
+                lock.label().to_string(),
                 result.to_string(),
                 fmt_f64(per_msec),
+                fast_read_cell(&lock.snapshot()),
             ]);
         }
     }

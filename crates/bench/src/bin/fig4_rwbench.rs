@@ -5,37 +5,51 @@
 //! every lock is serialized and BRAVO tracks its underlying lock (no harm);
 //! as the ratio drops, BRAVO-BA and BRAVO-pthread pull away from BA and
 //! pthread and approach Per-CPU / Cohort-RW.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the paper set.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs, RunMode};
 use rwlocks::LockKind;
 use workloads::harness::median_of;
 use workloads::rwbench::{rwbench, RwBenchConfig};
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner(
         "Figure 4: RWBench, one panel per write ratio (ops/msec)",
         mode,
     );
 
-    header(&["write_ratio", "threads", "lock", "ops", "ops_per_msec"]);
+    let specs = args.lock_specs(LockKind::paper_set());
+    header(&[
+        "write_ratio",
+        "threads",
+        "lock",
+        "ops",
+        "ops_per_msec",
+        "fast_read_pct",
+    ]);
     let ratios: Vec<f64> = match mode {
         RunMode::Quick => vec![0.9, 0.01, 0.0001],
         _ => RwBenchConfig::paper_write_ratios().to_vec(),
     };
     for &ratio in &ratios {
         for threads in mode.thread_series() {
-            for &kind in LockKind::paper_set() {
+            for spec in &specs {
+                let lock = build_or_exit(spec);
                 let ops = median_of(mode.repetitions(), || {
-                    rwbench(kind, RwBenchConfig::paper(threads, ratio, mode.interval())).operations
+                    rwbench(&lock, RwBenchConfig::paper(threads, ratio, mode.interval())).operations
                 });
                 let per_msec = ops as f64 / mode.interval().as_millis().max(1) as f64;
                 row(&[
                     ratio.to_string(),
                     threads.to_string(),
-                    kind.to_string(),
+                    lock.label().to_string(),
                     ops.to_string(),
                     fmt_f64(per_msec),
+                    fast_read_cell(&lock.snapshot()),
                 ]);
             }
         }

@@ -5,29 +5,38 @@
 //! (`--inplace_update_num_locks=1 --num=10000`). Expected shape: BRAVO-BA
 //! and BRAVO-pthread track Per-CPU and beat Cohort-RW and their underlying
 //! locks.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the paper set.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, fmt_f64, header, row, HarnessArgs};
 use kvstore::run_readwhilewriting;
 use rwlocks::LockKind;
 use workloads::harness::median_of;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner("Figure 5: rocksdb readwhilewriting (M ops/sec)", mode);
 
+    let specs = args.lock_specs(LockKind::paper_set());
     let num_keys = 10_000;
     header(&["readers", "lock", "reads", "writes", "mops_per_sec"]);
     for threads in mode.thread_series() {
-        for &kind in LockKind::paper_set() {
+        for spec in &specs {
             let (reads, writes) = median_of(mode.repetitions(), || {
-                let r = run_readwhilewriting(kind, threads, num_keys, mode.interval());
+                let r = run_readwhilewriting(spec, threads, num_keys, mode.interval())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
                 (r.reads + r.writes, r.writes)
             });
             let total = reads; // reads already includes writes in the tuple's first slot
             let mops = total as f64 / mode.interval().as_secs_f64() / 1.0e6;
             row(&[
                 threads.to_string(),
-                kind.to_string(),
+                spec.to_string(),
                 (total - writes).to_string(),
                 writes.to_string(),
                 fmt_f64(mops),

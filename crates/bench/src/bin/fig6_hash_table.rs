@@ -3,16 +3,21 @@
 //! One inserter, one eraser and `T` reader threads over a hash map behind a
 //! single reader-writer lock. Expected shape: BRAVO variants show
 //! substantial speedup over their underlying locks at higher reader counts.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the paper set.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, fmt_f64, header, row, HarnessArgs};
 use kvstore::run_hash_table_bench;
 use rwlocks::LockKind;
 use workloads::harness::median_of;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner("Figure 6: rocksdb hash_table_bench (ops/msec)", mode);
 
+    let specs = args.lock_specs(LockKind::paper_set());
     let key_space = 16_384;
     header(&[
         "readers",
@@ -23,16 +28,20 @@ fn main() {
         "ops_per_msec",
     ]);
     for threads in mode.thread_series() {
-        for &kind in LockKind::paper_set() {
+        for spec in &specs {
             let (reads, inserts, erases) = median_of(mode.repetitions(), || {
-                let r = run_hash_table_bench(kind, threads, key_space, mode.interval());
+                let r = run_hash_table_bench(spec, threads, key_space, mode.interval())
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
                 (r.reads, r.inserts, r.erases)
             });
             let total = reads + inserts + erases;
             let per_msec = total as f64 / mode.interval().as_millis().max(1) as f64;
             row(&[
                 threads.to_string(),
-                kind.to_string(),
+                spec.to_string(),
                 reads.to_string(),
                 inserts.to_string(),
                 erases.to_string(),

@@ -6,43 +6,60 @@
 //! thread count further under BRAVO; writes are somewhat lower under BRAVO
 //! (each write pays a revocation against 50 ms readers), and the no-bias
 //! control matches stock.
+//!
+//! Pass `--lock SPEC` (repeatable) to torture user-space catalog locks
+//! (e.g. `--lock BRAVO-BA`) instead of the simulated kernel semaphores.
 
-use bench::{banner, header, row, RunMode};
+use bench::{banner, build_or_exit, header, row, HarnessArgs, RunMode};
 use kernelsim::locktorture::{self, LockTortureConfig};
 use rwsem::KernelVariant;
 
+fn config_for(mode: RunMode, readers: usize) -> LockTortureConfig {
+    match mode {
+        RunMode::Quick => LockTortureConfig {
+            read_hold: std::time::Duration::from_micros(500),
+            write_hold: std::time::Duration::from_micros(100),
+            read_long_hold: std::time::Duration::from_millis(2),
+            write_long_hold: std::time::Duration::from_millis(10),
+            ..LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval())
+        },
+        _ => LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval()),
+    }
+}
+
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner(
         "Figure 7: locktorture, 1 writer (read and write acquisitions)",
         mode,
     );
 
-    header(&[
-        "readers",
-        "kernel",
-        "read_acquisitions",
-        "write_acquisitions",
-    ]);
+    header(&["readers", "lock", "read_acquisitions", "write_acquisitions"]);
     for readers in mode.thread_series() {
-        for &variant in KernelVariant::all() {
-            let config = match mode {
-                RunMode::Quick => LockTortureConfig {
-                    read_hold: std::time::Duration::from_micros(500),
-                    write_hold: std::time::Duration::from_micros(100),
-                    read_long_hold: std::time::Duration::from_millis(2),
-                    write_long_hold: std::time::Duration::from_millis(10),
-                    ..LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval())
-                },
-                _ => LockTortureConfig::kernel_defaults(readers, 1, mode.locktorture_interval()),
-            };
-            let result = locktorture::run(variant, config);
-            row(&[
-                readers.to_string(),
-                variant.to_string(),
-                result.read_acquisitions.to_string(),
-                result.write_acquisitions.to_string(),
-            ]);
+        let config = config_for(mode, readers);
+        if args.locks.is_empty() {
+            for &variant in KernelVariant::all() {
+                let result = locktorture::run(variant, config);
+                row(&[
+                    readers.to_string(),
+                    variant.to_string(),
+                    result.read_acquisitions.to_string(),
+                    result.write_acquisitions.to_string(),
+                ]);
+            }
+        } else {
+            for spec in &args.locks {
+                let lock = build_or_exit(spec);
+                let label = lock.label().to_string();
+                let result = locktorture::run_on_handle(lock, config);
+                row(&[
+                    readers.to_string(),
+                    label,
+                    result.read_acquisitions.to_string(),
+                    result.write_acquisitions.to_string(),
+                ]);
+            }
         }
     }
 }

@@ -6,56 +6,70 @@
 //! stock stops scaling once the shared counter becomes the bottleneck while
 //! BRAVO keeps scaling (refuting "read-write locks are only for long
 //! critical sections").
+//!
+//! Pass `--lock SPEC` (repeatable) to torture user-space catalog locks
+//! instead of the simulated kernel semaphores.
 
-use bench::{banner, header, row, RunMode};
-use kernelsim::locktorture::{self, LockTortureConfig};
+use bench::{banner, build_or_exit, header, row, HarnessArgs, RunMode};
+use kernelsim::locktorture::{self, LockTortureConfig, LockTortureResult};
 use rwsem::KernelVariant;
 
+fn panel_configs(mode: RunMode, readers: usize) -> [(&'static str, LockTortureConfig); 2] {
+    // Panel (a): original long critical sections (scaled down off --full so
+    // quick runs finish).
+    let long_hold = match mode {
+        RunMode::Full => std::time::Duration::from_millis(50),
+        RunMode::Standard => std::time::Duration::from_millis(5),
+        RunMode::Quick => std::time::Duration::from_micros(500),
+    };
+    [
+        (
+            "a_original",
+            LockTortureConfig {
+                readers,
+                writers: 0,
+                read_hold: long_hold,
+                write_hold: std::time::Duration::ZERO,
+                long_delay_one_in: 0,
+                read_long_hold: std::time::Duration::ZERO,
+                write_long_hold: std::time::Duration::ZERO,
+                duration: mode.locktorture_interval(),
+            },
+        ),
+        (
+            "b_modified_5us",
+            LockTortureConfig::short_read_sections(readers, mode.locktorture_interval()),
+        ),
+    ]
+}
+
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner("Figure 8: locktorture, 0 writers (read acquisitions)", mode);
 
-    header(&["panel", "readers", "kernel", "read_acquisitions"]);
+    header(&["panel", "readers", "lock", "read_acquisitions"]);
     for readers in mode.thread_series() {
-        for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
-            // Panel (a): original long critical sections (scaled down off
-            // --full so quick runs finish).
-            let long_hold = match mode {
-                RunMode::Full => std::time::Duration::from_millis(50),
-                RunMode::Standard => std::time::Duration::from_millis(5),
-                RunMode::Quick => std::time::Duration::from_micros(500),
+        for (panel, config) in panel_configs(mode, readers) {
+            let emit = |label: String, result: LockTortureResult| {
+                row(&[
+                    panel.to_string(),
+                    readers.to_string(),
+                    label,
+                    result.read_acquisitions.to_string(),
+                ]);
             };
-            let original = locktorture::run(
-                variant,
-                LockTortureConfig {
-                    readers,
-                    writers: 0,
-                    read_hold: long_hold,
-                    write_hold: std::time::Duration::ZERO,
-                    long_delay_one_in: 0,
-                    read_long_hold: std::time::Duration::ZERO,
-                    write_long_hold: std::time::Duration::ZERO,
-                    duration: mode.locktorture_interval(),
-                },
-            );
-            row(&[
-                "a_original".to_string(),
-                readers.to_string(),
-                variant.to_string(),
-                original.read_acquisitions.to_string(),
-            ]);
-
-            // Panel (b): modified 5 µs critical sections.
-            let modified = locktorture::run(
-                variant,
-                LockTortureConfig::short_read_sections(readers, mode.locktorture_interval()),
-            );
-            row(&[
-                "b_modified_5us".to_string(),
-                readers.to_string(),
-                variant.to_string(),
-                modified.read_acquisitions.to_string(),
-            ]);
+            if args.locks.is_empty() {
+                for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
+                    emit(variant.to_string(), locktorture::run(variant, config));
+                }
+            } else {
+                for spec in &args.locks {
+                    let lock = build_or_exit(spec);
+                    let label = lock.label().to_string();
+                    emit(label, locktorture::run_on_handle(lock, config));
+                }
+            }
         }
     }
 }

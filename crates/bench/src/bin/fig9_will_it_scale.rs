@@ -4,15 +4,20 @@
 //! scaling further on the BRAVO kernel once the stock kernel's shared
 //! counter saturates; the mmap benchmarks are write-heavy and should show no
 //! difference (BRAVO introduces no overhead where it is not profitable).
+//!
+//! These workloads run against the simulated mm subsystem, so `--lock` here
+//! selects kernel rwsem variants by name (`--lock stock --lock BRAVO`).
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, fmt_f64, header, row, HarnessArgs};
 use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
 use rwsem::KernelVariant;
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner("Figure 9: will-it-scale (operations per second)", mode);
 
+    let variants = args.kernel_variants(&[KernelVariant::Stock, KernelVariant::Bravo]);
     header(&[
         "benchmark",
         "tasks",
@@ -23,7 +28,7 @@ fn main() {
     ]);
     for &bench in WillItScaleBenchmark::all() {
         for tasks in mode.thread_series() {
-            for &variant in [KernelVariant::Stock, KernelVariant::Bravo].iter() {
+            for &variant in &variants {
                 let result = will_it_scale::run(bench, variant, tasks, mode.interval());
                 let per_sec = result.operations as f64 / mode.interval().as_secs_f64();
                 row(&[

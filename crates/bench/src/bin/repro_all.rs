@@ -9,8 +9,12 @@
 //! cargo run --release -p bench --bin repro_all            # quick pass
 //! cargo run --release -p bench --bin repro_all -- --full  # paper-scale
 //! ```
+//!
+//! Pass `--lock SPEC` (repeatable) to replace the default user-space lock
+//! sweep of the figure 2–6 sections; the kernel sections always compare
+//! stock vs BRAVO.
 
-use bench::{banner, fmt_f64, header, row, RunMode};
+use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs};
 use kernelsim::locktorture::{self, LockTortureConfig};
 use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
 use kvstore::{run_hash_table_bench, run_readwhilewriting};
@@ -23,12 +27,13 @@ use workloads::rwbench::{rwbench, RwBenchConfig};
 use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
 
 fn main() {
-    let mode = RunMode::from_args();
+    let args = HarnessArgs::from_args();
+    let mode = args.mode;
     banner("BRAVO reproduction: all experiments (summary pass)", mode);
     let before = bravo::stats::snapshot();
     let threads = *mode.thread_series().last().unwrap_or(&4);
 
-    header(&["experiment", "series", "value"]);
+    header(&["experiment", "series", "value", "fast_read_pct"]);
 
     // Figure 1 (one representative pool size).
     let interference = interference_run(256, threads.min(16), mode.interval());
@@ -36,54 +41,73 @@ fn main() {
         "fig1_interference".into(),
         "fraction@256locks".into(),
         fmt_f64(interference.fraction()),
+        "-".into(),
     ]);
 
-    // Figures 2–4: BA vs BRAVO-BA at the largest thread count.
-    for &kind in &[LockKind::Ba, LockKind::BravoBa, LockKind::PerCpu] {
-        let alt = alternator(kind, threads, mode.interval());
+    // Figures 2–4 over the selected (or default) user-space lock sweep.
+    let alternator_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa, LockKind::PerCpu]);
+    for spec in &alternator_specs {
+        let lock = build_or_exit(spec);
+        let alt = alternator(&lock, threads, mode.interval());
         row(&[
             "fig2_alternator".into(),
-            kind.to_string(),
+            lock.label().to_string(),
             alt.operations.to_string(),
+            fast_read_cell(&lock.snapshot()),
         ]);
     }
-    for &kind in &[
+    let rwlock_specs = args.lock_specs(&[
         LockKind::Ba,
         LockKind::BravoBa,
         LockKind::Pthread,
         LockKind::BravoPthread,
-    ] {
-        let t = test_rwlock(kind, TestRwlockConfig::paper(threads, mode.interval()));
+    ]);
+    for spec in &rwlock_specs {
+        let lock = build_or_exit(spec);
+        let t = test_rwlock(&lock, TestRwlockConfig::paper(threads, mode.interval()));
         row(&[
             "fig3_test_rwlock".into(),
-            kind.to_string(),
+            lock.label().to_string(),
             t.operations.to_string(),
+            fast_read_cell(&lock.snapshot()),
         ]);
     }
+    let rwbench_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
     for &ratio in &[0.9, 0.0001] {
-        for &kind in &[LockKind::Ba, LockKind::BravoBa] {
-            let r = rwbench(kind, RwBenchConfig::paper(threads, ratio, mode.interval()));
+        for spec in &rwbench_specs {
+            let lock = build_or_exit(spec);
+            let r = rwbench(&lock, RwBenchConfig::paper(threads, ratio, mode.interval()));
             row(&[
                 "fig4_rwbench".into(),
-                format!("{kind}@P={ratio}"),
+                format!("{}@P={ratio}", lock.label()),
                 r.operations.to_string(),
+                fast_read_cell(&lock.snapshot()),
             ]);
         }
     }
 
     // Figures 5–6.
-    for &kind in &[LockKind::Ba, LockKind::BravoBa] {
-        let r = run_readwhilewriting(kind, threads, 10_000, mode.interval());
+    let db_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    for spec in &db_specs {
+        let r = run_readwhilewriting(spec, threads, 10_000, mode.interval()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
         row(&[
             "fig5_readwhilewriting".into(),
-            kind.to_string(),
+            spec.to_string(),
             (r.reads + r.writes).to_string(),
+            "-".into(),
         ]);
-        let h = run_hash_table_bench(kind, threads, 16_384, mode.interval());
+        let h = run_hash_table_bench(spec, threads, 16_384, mode.interval()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
         row(&[
             "fig6_hash_table".into(),
-            kind.to_string(),
+            spec.to_string(),
             (h.reads + h.inserts + h.erases).to_string(),
+            "-".into(),
         ]);
     }
 
@@ -97,6 +121,7 @@ fn main() {
             "fig8_locktorture_5us".into(),
             variant.to_string(),
             t.read_acquisitions.to_string(),
+            "-".into(),
         ]);
         let w = will_it_scale::run(
             WillItScaleBenchmark::PageFault1,
@@ -108,6 +133,7 @@ fn main() {
             "fig9_page_fault1".into(),
             variant.to_string(),
             w.operations.to_string(),
+            "-".into(),
         ]);
     }
 
@@ -120,16 +146,19 @@ fn main() {
             "table1_wc".into(),
             variant.to_string(),
             format!("{:.3}s", w.runtime.as_secs_f64()),
+            "-".into(),
         ]);
         let m = wrmem(&records, threads, variant);
         row(&[
             "table2_wrmem".into(),
             variant.to_string(),
             format!("{:.3}s", m.runtime.as_secs_f64()),
+            "-".into(),
         ]);
     }
 
-    // BRAVO statistics over the whole pass.
+    // BRAVO statistics over the whole pass (process-global aggregate; the
+    // per-lock rows above carry each lock's own fast-read fraction).
     let delta = bravo::stats::snapshot().since(&before);
     println!();
     println!("# BRAVO statistics over this pass");

@@ -17,6 +17,11 @@
 
 use std::time::Duration;
 
+use bravo::spec::{LockHandle, LockSpec};
+use bravo::stats::Snapshot;
+use rwlocks::{build_lock, LockKind};
+use rwsem::KernelVariant;
+
 /// How long (and how wide) to run each experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
@@ -104,6 +109,153 @@ impl std::fmt::Display for RunMode {
     }
 }
 
+/// Parsed harness command line: run mode plus the `--lock SPEC` selections
+/// shared by every figure/table binary.
+///
+/// `--lock` is repeatable (`--lock BRAVO-BA --lock "BRAVO-BA?n=99"`) and
+/// also accepts the `--lock=SPEC` form. When absent, each binary sweeps its
+/// paper-default lock set. Spec strings follow the grammar documented in
+/// [`bravo::spec`].
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Interval/thread-count preset.
+    pub mode: RunMode,
+    /// Lock specs selected with `--lock`; empty means "use the binary's
+    /// default set".
+    pub locks: Vec<LockSpec>,
+}
+
+impl HarnessArgs {
+    /// Parses the process arguments; malformed `--lock` specs terminate the
+    /// process with a diagnostic (these are user-facing CLI errors, not
+    /// programming errors).
+    pub fn from_args() -> Self {
+        let mode = RunMode::from_args();
+        let mut locks = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let spec_text = if arg == "--lock" {
+                match args.next() {
+                    Some(text) => text,
+                    None => {
+                        eprintln!("--lock requires a spec argument, e.g. --lock BRAVO-BA?n=99");
+                        std::process::exit(2);
+                    }
+                }
+            } else if let Some(text) = arg.strip_prefix("--lock=") {
+                text.to_string()
+            } else {
+                continue;
+            };
+            match spec_text.parse::<LockSpec>() {
+                Ok(spec) => locks.push(spec),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self { mode, locks }
+    }
+
+    /// The lock specs this run sweeps: the `--lock` selections, or the
+    /// given default kinds when none were passed.
+    pub fn lock_specs(&self, default: &[LockKind]) -> Vec<LockSpec> {
+        if self.locks.is_empty() {
+            default.iter().map(|k| k.spec()).collect()
+        } else {
+            self.locks.clone()
+        }
+    }
+
+    /// For the kernel-side binaries (locktorture, will-it-scale, Metis):
+    /// interprets each `--lock` spec's kind as a [`KernelVariant`] name
+    /// ("stock", "BRAVO", "BRAVO-nobias"), terminating with a diagnostic on
+    /// anything else — including spec parameters (`n=`, `bias=`, `table=`,
+    /// `stats=`), which the kernel semaphores cannot honour and which would
+    /// otherwise silently mislabel the measurement.
+    pub fn kernel_variants(&self, default: &[KernelVariant]) -> Vec<KernelVariant> {
+        if self.locks.is_empty() {
+            return default.to_vec();
+        }
+        self.locks
+            .iter()
+            .map(|spec| {
+                if *spec != LockSpec::new(spec.kind()) {
+                    eprintln!(
+                        "this binary sweeps kernel rwsem variants; '{spec}' carries \
+                         parameters the kernel semaphores cannot honour — pass a bare \
+                         variant name instead"
+                    );
+                    std::process::exit(2);
+                }
+                match KernelVariant::parse(spec.kind()) {
+                    Some(variant) => variant,
+                    None => {
+                        eprintln!(
+                            "this binary sweeps kernel rwsem variants; \
+                             --lock must name one of: {}",
+                            KernelVariant::all()
+                                .iter()
+                                .map(|v| v.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl HarnessArgs {
+    /// For the two-column Metis tables: resolves `--lock` to exactly one
+    /// `(baseline, contender)` pair of kernel variants, terminating with a
+    /// diagnostic on any other arity — a lone variant would only compare
+    /// against itself.
+    pub fn kernel_pair(
+        &self,
+        default: (KernelVariant, KernelVariant),
+    ) -> (KernelVariant, KernelVariant) {
+        let variants = self.kernel_variants(&[default.0, default.1]);
+        match variants[..] {
+            [baseline, contender] => (baseline, contender),
+            _ => {
+                eprintln!(
+                    "this table compares exactly two kernel variants; pass --lock twice \
+                     (e.g. --lock stock --lock BRAVO), got {}",
+                    variants.len()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Builds a lock from a spec, terminating the process with a diagnostic on
+/// specs the catalog rejects (unknown kind, unsupported table/bias).
+pub fn build_or_exit(spec: &LockSpec) -> LockHandle {
+    match build_lock(spec) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Formats the per-lock statistics cell appended to result rows: the
+/// fast-read percentage over the lock's lifetime, or `-` when the lock
+/// recorded nothing (plain locks do not record).
+pub fn fast_read_cell(stats: &Snapshot) -> String {
+    if stats.total_reads() == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", stats.fast_read_fraction() * 100.0)
+    }
+}
+
 /// Prints the experiment banner: which figure/table this regenerates and
 /// the run mode in effect.
 pub fn banner(experiment: &str, mode: RunMode) {
@@ -164,5 +316,45 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(12345.6), "12346");
         assert_eq!(fmt_f64(1.234), "1.23");
+    }
+
+    #[test]
+    fn lock_specs_fall_back_to_the_default_set() {
+        let args = HarnessArgs {
+            mode: RunMode::Quick,
+            locks: Vec::new(),
+        };
+        let specs = args.lock_specs(LockKind::paper_set());
+        assert_eq!(specs.len(), LockKind::paper_set().len());
+        assert_eq!(specs[0].kind(), "Cohort-RW");
+
+        let args = HarnessArgs {
+            mode: RunMode::Quick,
+            locks: vec!["BRAVO-BA?n=99".parse().unwrap()],
+        };
+        let specs = args.lock_specs(LockKind::paper_set());
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].to_string(), "BRAVO-BA?n=99");
+    }
+
+    #[test]
+    fn kernel_variants_fall_back_and_parse() {
+        let args = HarnessArgs {
+            mode: RunMode::Quick,
+            locks: vec!["stock".parse().unwrap(), "BRAVO".parse().unwrap()],
+        };
+        let variants = args.kernel_variants(KernelVariant::all());
+        assert_eq!(variants, vec![KernelVariant::Stock, KernelVariant::Bravo]);
+    }
+
+    #[test]
+    fn fast_read_cell_handles_empty_and_populated_snapshots() {
+        assert_eq!(fast_read_cell(&Snapshot::default()), "-");
+        let s = Snapshot {
+            fast_reads: 3,
+            slow_reads_disabled: 1,
+            ..Snapshot::default()
+        };
+        assert_eq!(fast_read_cell(&s), "75.0%");
     }
 }

@@ -16,7 +16,7 @@
 use std::cell::RefCell;
 
 use crate::lock::{BravoLock, ReadToken};
-use crate::raw::RawRwLock;
+use crate::raw::{RawRwLock, RawTryRwLock, TryLockError};
 
 thread_local! {
     /// Per-thread stack of `(lock address, token)` pairs for reads acquired
@@ -86,16 +86,6 @@ impl<L: RawRwLock> RawRwLock for ReentrantBravo<L> {
         self.park_token(token);
     }
 
-    fn try_lock_shared(&self) -> bool {
-        match self.inner.try_read_lock() {
-            Some(token) => {
-                self.park_token(token);
-                true
-            }
-            None => false,
-        }
-    }
-
     fn unlock_shared(&self) {
         let token = self.take_token();
         self.inner.read_unlock(token);
@@ -105,16 +95,32 @@ impl<L: RawRwLock> RawRwLock for ReentrantBravo<L> {
         self.inner.write_lock();
     }
 
-    fn try_lock_exclusive(&self) -> bool {
-        self.inner.try_write_lock()
-    }
-
     fn unlock_exclusive(&self) {
         self.inner.write_unlock();
     }
 
     fn name() -> &'static str {
         "BRAVO(adapter)"
+    }
+}
+
+impl<L: RawTryRwLock> RawTryRwLock for ReentrantBravo<L> {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        match self.inner.try_read_lock() {
+            Some(token) => {
+                self.park_token(token);
+                Ok(())
+            }
+            None => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if self.inner.try_write_lock() {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
     }
 }
 
@@ -133,9 +139,9 @@ mod tests {
         l.unlock_shared();
         l.lock_exclusive();
         l.unlock_exclusive();
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 
@@ -149,8 +155,8 @@ mod tests {
         a.unlock_shared();
         b.unlock_shared();
         // Both locks are free again.
-        assert!(a.try_lock_exclusive());
-        assert!(b.try_lock_exclusive());
+        assert!(a.try_lock_exclusive().is_ok());
+        assert!(b.try_lock_exclusive().is_ok());
         a.unlock_exclusive();
         b.unlock_exclusive();
     }
@@ -165,7 +171,7 @@ mod tests {
         l.lock_shared();
         l.unlock_shared();
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 

@@ -65,7 +65,11 @@
 //!   future-work section.
 //! * [`policy`] — bias-enabling policies (inhibit-until, Bernoulli).
 //! * [`stats`] — process-wide, sharded statistics counters (fast/slow reads,
-//!   revocations) used by the reproduction experiments.
+//!   revocations) plus per-lock counter blocks ([`stats::LockStats`]) used
+//!   by the reproduction experiments.
+//! * [`spec`] — the declarative construction API: [`LockSpec`] (which lock,
+//!   configured how, instrumented where — with a compact string form) and
+//!   [`LockHandle`] (the harness-facing built lock).
 //! * [`clock`] — the monotonic nanosecond clock BRAVO's policy relies on.
 
 #![deny(missing_docs)]
@@ -80,6 +84,7 @@ pub mod model;
 pub mod policy;
 pub mod raw;
 pub mod rwlock;
+pub mod spec;
 pub mod stats;
 pub mod twod;
 pub mod vrt;
@@ -88,7 +93,9 @@ pub use compat::ReentrantBravo;
 pub use ext::{BravoDualProbe, BravoMutex, BravoNonBlockingRevoke};
 pub use lock::{BravoLock, ReadToken};
 pub use policy::{BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
-pub use raw::{DefaultRwLock, RawRwLock};
+pub use raw::{DefaultRwLock, RawRwLock, RawTryRwLock, TryLockError};
 pub use rwlock::{BravoReadGuard, BravoRwLock, BravoWriteGuard};
-pub use twod::{Bravo2dLock, SectoredTable};
+pub use spec::{LockHandle, LockSpec, SpecError, SpecParseError, StatsMode, TableSpec};
+pub use stats::{LockStats, Snapshot, StatsSink};
+pub use twod::{Bravo2dLock, SectoredHandle, SectoredTable};
 pub use vrt::{TableHandle, VisibleReadersTable, DEFAULT_TABLE_SIZE};

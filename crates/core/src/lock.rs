@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::clock::now_ns;
 use crate::policy::BiasPolicy;
-use crate::raw::{DefaultRwLock, RawRwLock};
-use crate::stats::{self, SlowReadReason};
+use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
+use crate::stats::{SlowReadReason, StatsSink};
 use crate::vrt::TableHandle;
 
 /// Proof that read permission is held on a [`BravoLock`], and how it was
@@ -62,6 +62,7 @@ pub struct BravoLock<L = DefaultRwLock> {
     underlying: L,
     table: TableHandle,
     policy: BiasPolicy,
+    stats: StatsSink,
 }
 
 impl<L: RawRwLock> Default for BravoLock<L> {
@@ -79,19 +80,39 @@ impl<L: RawRwLock> BravoLock<L> {
     }
 
     /// Creates a BRAVO lock with an explicit underlying lock, table handle
-    /// and bias policy.
+    /// and bias policy, recording statistics into the process-global
+    /// counters.
     ///
     /// Private tables ([`TableHandle::private`]) reproduce the idealized
     /// per-instance-table comparator of the paper's Figure 1;
     /// [`BiasPolicy::Disabled`] turns the wrapper into a pass-through.
     pub fn with_parts(underlying: L, table: TableHandle, policy: BiasPolicy) -> Self {
+        Self::with_instrumented(underlying, table, policy, StatsSink::Global)
+    }
+
+    /// Creates a BRAVO lock with every part explicit, including the
+    /// statistics sink. This is the constructor the catalog's spec-driven
+    /// builder uses: a [`crate::spec::LockSpec`] resolves to exactly these
+    /// four arguments.
+    pub fn with_instrumented(
+        underlying: L,
+        table: TableHandle,
+        policy: BiasPolicy,
+        stats: StatsSink,
+    ) -> Self {
         Self {
             rbias: AtomicBool::new(false),
             inhibit_until: AtomicU64::new(0),
             underlying,
             table,
             policy,
+            stats,
         }
+    }
+
+    /// The statistics sink this lock records into.
+    pub fn stats(&self) -> &StatsSink {
+        &self.stats
     }
 
     /// Creates a BRAVO lock with a given policy over the global table.
@@ -147,7 +168,7 @@ impl<L: RawRwLock> BravoLock<L> {
                 // fence between publishing our slot and re-checking RBias
                 // (Dekker-style with the writer's clear-then-scan sequence).
                 if self.rbias.load(Ordering::SeqCst) {
-                    stats::record_fast_read();
+                    self.stats.record_fast_read();
                     return ReadToken { slot: Some(slot) };
                 }
                 // A writer revoked bias between our publication and the
@@ -161,35 +182,10 @@ impl<L: RawRwLock> BravoLock<L> {
         self.slow_read(SlowReadReason::BiasDisabled)
     }
 
-    /// Attempts to acquire read permission without blocking.
-    pub fn try_read_lock(&self) -> Option<ReadToken> {
-        // Same fast path as `read_lock`; the underlying fallback uses the
-        // underlying lock's try operation, as described in §3.
-        if self.rbias.load(Ordering::Acquire) {
-            let table = self.table.table();
-            let addr = self.addr();
-            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
-            if table.try_publish(slot, addr) {
-                if self.rbias.load(Ordering::SeqCst) {
-                    stats::record_fast_read();
-                    return Some(ReadToken { slot: Some(slot) });
-                }
-                table.clear(slot, addr);
-            }
-        }
-        if self.underlying.try_lock_shared() {
-            self.maybe_enable_bias();
-            stats::record_slow_read(SlowReadReason::BiasDisabled);
-            Some(ReadToken { slot: None })
-        } else {
-            None
-        }
-    }
-
     fn slow_read(&self, reason: SlowReadReason) -> ReadToken {
         self.underlying.lock_shared();
         self.maybe_enable_bias();
-        stats::record_slow_read(reason);
+        self.stats.record_slow_read(reason);
         ReadToken { slot: None }
     }
 
@@ -204,7 +200,7 @@ impl<L: RawRwLock> BravoLock<L> {
                 .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
         {
             self.rbias.store(true, Ordering::Release);
-            stats::record_bias_enabled();
+            self.stats.record_bias_enabled();
         }
     }
 
@@ -227,17 +223,6 @@ impl<L: RawRwLock> BravoLock<L> {
         self.revoke_if_biased();
     }
 
-    /// Attempts to acquire write permission without blocking. On success,
-    /// bias is revoked exactly as in [`write_lock`](BravoLock::write_lock).
-    pub fn try_write_lock(&self) -> bool {
-        if self.underlying.try_lock_exclusive() {
-            self.revoke_if_biased();
-            true
-        } else {
-            false
-        }
-    }
-
     /// Revocation: runs with the underlying lock held exclusively.
     fn revoke_if_biased(&self) {
         if self.rbias.load(Ordering::Relaxed) {
@@ -255,10 +240,10 @@ impl<L: RawRwLock> BravoLock<L> {
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            stats::record_revocation_scan(table.len());
-            stats::record_write(true, conflicts as u64);
+            self.stats.record_revocation_scan(table.len());
+            self.stats.record_write(true, conflicts as u64);
         } else {
-            stats::record_write(false, 0);
+            self.stats.record_write(false, 0);
         }
     }
 
@@ -267,6 +252,47 @@ impl<L: RawRwLock> BravoLock<L> {
     /// [`try_write_lock`](BravoLock::try_write_lock).
     pub fn write_unlock(&self) {
         self.underlying.unlock_exclusive();
+    }
+}
+
+impl<L: RawTryRwLock> BravoLock<L> {
+    /// Attempts to acquire read permission without blocking.
+    ///
+    /// Only available when the underlying lock offers a non-blocking read
+    /// path ([`RawTryRwLock`]); the fast path itself is always
+    /// non-blocking, but the fallback needs the underlying try operation,
+    /// as described in §3.
+    pub fn try_read_lock(&self) -> Option<ReadToken> {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    self.stats.record_fast_read();
+                    return Some(ReadToken { slot: Some(slot) });
+                }
+                table.clear(slot, addr);
+            }
+        }
+        if self.underlying.try_lock_shared().is_ok() {
+            self.maybe_enable_bias();
+            self.stats.record_slow_read(SlowReadReason::BiasDisabled);
+            Some(ReadToken { slot: None })
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to acquire write permission without blocking. On success,
+    /// bias is revoked exactly as in [`write_lock`](BravoLock::write_lock).
+    pub fn try_write_lock(&self) -> bool {
+        if self.underlying.try_lock_exclusive().is_ok() {
+            self.revoke_if_biased();
+            true
+        } else {
+            false
+        }
     }
 }
 

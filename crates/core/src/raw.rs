@@ -3,15 +3,45 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::clock::cpu_relax;
+use crate::clock::Backoff;
+
+/// Why a non-blocking acquisition did not grant permission.
+///
+/// The split between [`RawRwLock`] (blocking operations) and
+/// [`RawTryRwLock`] (non-blocking operations) makes *capability* visible in
+/// the types; this error makes the *reason* for a refusal visible in the
+/// values, replacing the old `bool` that conflated "contended right now"
+/// with "this lock has no try path at all".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryLockError {
+    /// The permission is held incompatibly right now; retrying can succeed.
+    WouldBlock,
+    /// The lock algorithm provides no non-blocking path for this operation;
+    /// retrying can never succeed.
+    Unsupported,
+}
+
+impl std::fmt::Display for TryLockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryLockError::WouldBlock => f.write_str("lock is held; acquisition would block"),
+            TryLockError::Unsupported => {
+                f.write_str("lock algorithm has no non-blocking path for this operation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryLockError {}
 
 /// A raw reader-writer lock, the "underlying lock `A`" of the paper.
 ///
-/// The trait is deliberately minimal: BRAVO only needs the four acquire /
-/// release entry points plus their `try_` forms. Implementations must provide
-/// the usual reader-writer semantics — any number of concurrent shared
-/// holders *or* a single exclusive holder — and must be usable from any
-/// thread (`Send + Sync`).
+/// The trait is deliberately minimal: the four blocking acquire / release
+/// entry points. Locks that additionally offer non-blocking acquisition
+/// implement [`RawTryRwLock`] on top. Implementations must provide the
+/// usual reader-writer semantics — any number of concurrent shared holders
+/// *or* a single exclusive holder — and must be usable from any thread
+/// (`Send + Sync`).
 ///
 /// Calling a release function without holding the corresponding permission is
 /// a logic error. Implementations are encouraged to panic (at least in debug
@@ -28,31 +58,20 @@ pub trait RawRwLock: Send + Sync {
     /// Acquires shared (read) permission, blocking until it is granted.
     fn lock_shared(&self);
 
-    /// Attempts to acquire shared permission without blocking.
-    ///
-    /// Returns `true` on success.
-    fn try_lock_shared(&self) -> bool;
-
-    /// Releases shared permission previously obtained by [`lock_shared`] or a
-    /// successful [`try_lock_shared`].
+    /// Releases shared permission previously obtained by [`lock_shared`] or
+    /// a successful [`RawTryRwLock::try_lock_shared`].
     ///
     /// [`lock_shared`]: RawRwLock::lock_shared
-    /// [`try_lock_shared`]: RawRwLock::try_lock_shared
     fn unlock_shared(&self);
 
     /// Acquires exclusive (write) permission, blocking until it is granted.
     fn lock_exclusive(&self);
 
-    /// Attempts to acquire exclusive permission without blocking.
-    ///
-    /// Returns `true` on success.
-    fn try_lock_exclusive(&self) -> bool;
-
     /// Releases exclusive permission previously obtained by
-    /// [`lock_exclusive`] or a successful [`try_lock_exclusive`].
+    /// [`lock_exclusive`] or a successful
+    /// [`RawTryRwLock::try_lock_exclusive`].
     ///
     /// [`lock_exclusive`]: RawRwLock::lock_exclusive
-    /// [`try_lock_exclusive`]: RawRwLock::try_lock_exclusive
     fn unlock_exclusive(&self);
 
     /// A short human-readable name used by the benchmark harness when
@@ -63,6 +82,25 @@ pub trait RawRwLock: Send + Sync {
     {
         std::any::type_name::<Self>()
     }
+}
+
+/// The non-blocking half of a reader-writer lock.
+///
+/// Separated from [`RawRwLock`] so that harness code which *needs* try
+/// operations says so in its bounds, and locks without a usable try path
+/// (historically `ReentrantBravo2d`, whose `try_lock_exclusive` silently
+/// always failed) simply do not implement the trait instead of lying at run
+/// time.
+pub trait RawTryRwLock: RawRwLock {
+    /// Attempts to acquire shared permission without blocking indefinitely.
+    fn try_lock_shared(&self) -> Result<(), TryLockError>;
+
+    /// Attempts to acquire exclusive permission without blocking
+    /// indefinitely.
+    ///
+    /// Implementations may perform a short bounded wait (e.g. a revocation
+    /// with a deadline) but must not block without bound.
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError>;
 }
 
 /// A minimal centralized spin reader-writer lock.
@@ -94,31 +132,13 @@ impl RawRwLock for DefaultRwLock {
     }
 
     fn lock_shared(&self) {
+        let mut backoff = Backoff::new();
         loop {
-            if self.try_lock_shared() {
+            if self.try_lock_shared().is_ok() {
                 return;
             }
             while self.state.load(Ordering::Relaxed) & (WRITER | WRITER_PENDING) != 0 {
-                cpu_relax();
-            }
-        }
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        let mut cur = self.state.load(Ordering::Relaxed);
-        loop {
-            if cur & (WRITER | WRITER_PENDING) != 0 {
-                return false;
-            }
-            debug_assert!(cur & READER_MASK < READER_MASK, "reader count overflow");
-            match self.state.compare_exchange_weak(
-                cur,
-                cur + READER,
-                Ordering::Acquire,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(actual) => cur = actual,
+                backoff.snooze();
             }
         }
     }
@@ -134,6 +154,7 @@ impl RawRwLock for DefaultRwLock {
     fn lock_exclusive(&self) {
         // Announce intent so readers stop streaming in, then wait for the
         // reader count to drain and grab the writer bit.
+        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | WRITER_PENDING) == 0 {
@@ -150,7 +171,7 @@ impl RawRwLock for DefaultRwLock {
                     break;
                 }
             } else {
-                cpu_relax();
+                backoff.snooze();
             }
         }
         loop {
@@ -169,15 +190,9 @@ impl RawRwLock for DefaultRwLock {
                     return;
                 }
             } else {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        self.state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
     }
 
     fn unlock_exclusive(&self) {
@@ -190,6 +205,34 @@ impl RawRwLock for DefaultRwLock {
 
     fn name() -> &'static str {
         "default-spin"
+    }
+}
+
+impl RawTryRwLock for DefaultRwLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            if cur & (WRITER | WRITER_PENDING) != 0 {
+                return Err(TryLockError::WouldBlock);
+            }
+            debug_assert!(cur & READER_MASK < READER_MASK, "reader count overflow");
+            match self.state.compare_exchange_weak(
+                cur,
+                cur + READER,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .map(|_| ())
+            .map_err(|_| TryLockError::WouldBlock)
     }
 }
 
@@ -231,13 +274,13 @@ mod tests {
     fn try_lock_respects_exclusivity() {
         let l = DefaultRwLock::new();
         l.lock_exclusive();
-        assert!(!l.try_lock_shared());
-        assert!(!l.try_lock_exclusive());
+        assert_eq!(l.try_lock_shared(), Err(TryLockError::WouldBlock));
+        assert_eq!(l.try_lock_exclusive(), Err(TryLockError::WouldBlock));
         l.unlock_exclusive();
-        assert!(l.try_lock_shared());
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_shared().is_ok());
+        assert_eq!(l.try_lock_exclusive(), Err(TryLockError::WouldBlock));
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 
@@ -245,7 +288,10 @@ mod tests {
     fn readers_are_admitted_concurrently() {
         let l = DefaultRwLock::new();
         l.lock_shared();
-        assert!(l.try_lock_shared(), "second reader must be admitted");
+        assert!(
+            l.try_lock_shared().is_ok(),
+            "second reader must be admitted"
+        );
         l.unlock_shared();
         l.unlock_shared();
     }
@@ -288,12 +334,12 @@ mod tests {
         // reader is refused until the writer completes.
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(
-            !l.try_lock_shared(),
+            l.try_lock_shared().is_err(),
             "reader admitted past a pending writer"
         );
         l.unlock_shared();
         writer.join().unwrap();
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 }

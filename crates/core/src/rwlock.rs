@@ -6,7 +6,7 @@ use std::ops::{Deref, DerefMut};
 
 use crate::lock::{BravoLock, ReadToken};
 use crate::policy::BiasPolicy;
-use crate::raw::{DefaultRwLock, RawRwLock};
+use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
 use crate::vrt::TableHandle;
 
 /// A reader-writer lock protecting a value of type `T`, accelerated by the
@@ -75,27 +75,10 @@ impl<T: ?Sized, L: RawRwLock> BravoRwLock<T, L> {
         }
     }
 
-    /// Attempts to acquire shared access without blocking.
-    pub fn try_read(&self) -> Option<BravoReadGuard<'_, T, L>> {
-        self.raw.try_read_lock().map(|token| BravoReadGuard {
-            lock: self,
-            token: Some(token),
-        })
-    }
-
     /// Acquires exclusive (write) access, blocking until it is granted.
     pub fn write(&self) -> BravoWriteGuard<'_, T, L> {
         self.raw.write_lock();
         BravoWriteGuard { lock: self }
-    }
-
-    /// Attempts to acquire exclusive access without blocking.
-    pub fn try_write(&self) -> Option<BravoWriteGuard<'_, T, L>> {
-        if self.raw.try_write_lock() {
-            Some(BravoWriteGuard { lock: self })
-        } else {
-            None
-        }
     }
 
     /// Mutable access without locking; safe because `&mut self` proves there
@@ -110,13 +93,36 @@ impl<T: ?Sized, L: RawRwLock> BravoRwLock<T, L> {
     }
 }
 
+impl<T: ?Sized, L: RawTryRwLock> BravoRwLock<T, L> {
+    /// Attempts to acquire shared access without blocking. Requires the
+    /// underlying lock to provide a non-blocking read path
+    /// ([`RawTryRwLock`]).
+    pub fn try_read(&self) -> Option<BravoReadGuard<'_, T, L>> {
+        self.raw.try_read_lock().map(|token| BravoReadGuard {
+            lock: self,
+            token: Some(token),
+        })
+    }
+
+    /// Attempts to acquire exclusive access without blocking. Requires the
+    /// underlying lock to provide a non-blocking write path
+    /// ([`RawTryRwLock`]).
+    pub fn try_write(&self) -> Option<BravoWriteGuard<'_, T, L>> {
+        if self.raw.try_write_lock() {
+            Some(BravoWriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
 impl<T: Default, L: RawRwLock> Default for BravoRwLock<T, L> {
     fn default() -> Self {
         Self::new(T::default())
     }
 }
 
-impl<T: ?Sized + fmt::Debug, L: RawRwLock> fmt::Debug for BravoRwLock<T, L> {
+impl<T: ?Sized + fmt::Debug, L: RawTryRwLock> fmt::Debug for BravoRwLock<T, L> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_read() {
             Some(guard) => f

@@ -1,0 +1,667 @@
+//! Declarative lock construction and instrumentation: [`LockSpec`] and
+//! [`LockHandle`].
+//!
+//! The paper's central claim is that BRAVO is a *policy layer* wrapped
+//! around any reader-writer lock, tuned by two knobs it sweeps explicitly:
+//! the bias policy (`N`, the inhibit window) and the visible-readers-table
+//! layout (one global table vs. the sectored BRAVO-2D variant). A
+//! [`LockSpec`] captures exactly that tuple — *which lock, configured how,
+//! instrumented where* — as a value that round-trips through a compact
+//! string form, so every benchmark binary can accept a uniform `--lock SPEC`
+//! flag and a scenario sweep is just a list of strings:
+//!
+//! ```text
+//! BRAVO-BA
+//! BRAVO-BA?n=99
+//! BRAVO-BA?bias=disabled&stats=global
+//! BRAVO-BA?table=private:4096
+//! BRAVO-2D-BA?table=sectored:4x256
+//! ```
+//!
+//! Grammar: `KIND[?param&param...]` with parameters
+//!
+//! | key | values | selects |
+//! |-----|--------|---------|
+//! | `n` | integer | [`BiasPolicy::InhibitUntil`] with that multiplier |
+//! | `bias` | `disabled`, `bernoulli:<inverse_p>`, `inhibit:<n>` | the other [`BiasPolicy`] forms (`inhibit:<n>` is the long form of `n=<n>`) |
+//! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>` | the [`TableSpec`] |
+//! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
+//!
+//! A spec is resolved into a live lock by the catalog (`rwlocks::catalog`),
+//! which returns a [`LockHandle`]: the harness-facing object carrying the
+//! spec, its display label, the lock itself behind the blocking
+//! [`RawRwLock`] interface (plus the non-blocking [`RawTryRwLock`] interface
+//! when the algorithm honestly supports one), and the lock's own statistics
+//! channel.
+
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::policy::{BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
+use crate::raw::{RawRwLock, RawTryRwLock, TryLockError};
+use crate::stats::{Snapshot, StatsSink};
+
+/// Layout of the visible readers table a BRAVO composite publishes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TableSpec {
+    /// The process-global table shared by all locks (the paper's production
+    /// embodiment; zero per-lock table state).
+    #[default]
+    Global,
+    /// A table owned by this lock instance — the idealized per-instance
+    /// comparator of the paper's Figure 1, immune to inter-lock conflicts.
+    Private {
+        /// Number of slots (rounded up to a power of two at construction).
+        slots: usize,
+    },
+    /// A sectored (BRAVO-2D) table owned by this lock instance: `sectors`
+    /// rows of `slots` columns, writers revoke by scanning one column.
+    Sectored {
+        /// Number of rows (one per logical CPU in the global default).
+        sectors: usize,
+        /// Slots per row (rounded up to a power of two at construction).
+        slots: usize,
+    },
+}
+
+impl std::fmt::Display for TableSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableSpec::Global => f.write_str("global"),
+            TableSpec::Private { slots } => write!(f, "private:{slots}"),
+            TableSpec::Sectored { sectors, slots } => write!(f, "sectored:{sectors}x{slots}"),
+        }
+    }
+}
+
+/// Where a lock's instrumentation events are attributed.
+///
+/// This is the declarative form of [`StatsSink`]: the spec describes *which
+/// kind* of sink to create; the actual [`StatsSink`] (which may own an
+/// allocation) is minted per lock instance at build time via
+/// [`LockSpec::make_sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StatsMode {
+    /// Each built lock gets its own counter block, so two locks measured in
+    /// one process no longer smear each other's fast-read fractions. The
+    /// default.
+    #[default]
+    PerLock,
+    /// Record into the process-global counters only.
+    Global,
+}
+
+impl std::fmt::Display for StatsMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsMode::PerLock => f.write_str("per-lock"),
+            StatsMode::Global => f.write_str("global"),
+        }
+    }
+}
+
+/// A declarative description of one lock: algorithm, bias policy, table
+/// layout and statistics attribution.
+///
+/// Construct with [`LockSpec::new`] plus the `with_*` builder methods, or
+/// parse the compact string form (see the [module docs](self)); `Display`
+/// emits the same form back (omitting parameters at their defaults), so
+/// specs round-trip and double as result-table labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockSpec {
+    kind: String,
+    bias: BiasPolicy,
+    table: TableSpec,
+    stats: StatsMode,
+}
+
+impl LockSpec {
+    /// A spec for the named algorithm with the paper-default bias policy,
+    /// the global table and per-lock statistics.
+    ///
+    /// `kind` is the catalog name (e.g. `"BRAVO-BA"`); it is validated when
+    /// the spec is built into a lock, not here.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Self {
+            kind: kind.into(),
+            bias: BiasPolicy::paper_default(),
+            table: TableSpec::Global,
+            stats: StatsMode::PerLock,
+        }
+    }
+
+    /// Replaces the bias policy.
+    pub fn with_bias(mut self, bias: BiasPolicy) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// Replaces the table layout.
+    pub fn with_table(mut self, table: TableSpec) -> Self {
+        self.table = table;
+        self
+    }
+
+    /// Replaces the statistics mode.
+    pub fn with_stats(mut self, stats: StatsMode) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The algorithm name.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The bias policy.
+    pub fn bias(&self) -> BiasPolicy {
+        self.bias
+    }
+
+    /// The table layout.
+    pub fn table(&self) -> TableSpec {
+        self.table
+    }
+
+    /// The statistics mode.
+    pub fn stats(&self) -> StatsMode {
+        self.stats
+    }
+
+    /// Mints the [`StatsSink`] this spec prescribes. Each call produces an
+    /// independent sink: one per built lock instance.
+    pub fn make_sink(&self) -> StatsSink {
+        match self.stats {
+            StatsMode::PerLock => StatsSink::per_lock(),
+            StatsMode::Global => StatsSink::Global,
+        }
+    }
+}
+
+impl From<&LockSpec> for LockSpec {
+    fn from(spec: &LockSpec) -> Self {
+        spec.clone()
+    }
+}
+
+impl std::fmt::Display for LockSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.kind)?;
+        let mut sep = '?';
+        let mut param = |f: &mut std::fmt::Formatter<'_>, text: String| {
+            let r = write!(f, "{sep}{text}");
+            sep = '&';
+            r
+        };
+        match self.bias {
+            BiasPolicy::InhibitUntil {
+                n: DEFAULT_INHIBIT_MULTIPLIER,
+            } => {}
+            BiasPolicy::InhibitUntil { n } => param(f, format!("n={n}"))?,
+            BiasPolicy::Disabled => param(f, "bias=disabled".to_string())?,
+            BiasPolicy::Bernoulli { inverse_p } => param(f, format!("bias=bernoulli:{inverse_p}"))?,
+        }
+        if self.table != TableSpec::Global {
+            param(f, format!("table={}", self.table))?;
+        }
+        if self.stats != StatsMode::PerLock {
+            param(f, format!("stats={}", self.stats))?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing the compact string form of a [`LockSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    message: String,
+}
+
+impl SpecParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid lock spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+impl FromStr for LockSpec {
+    type Err = SpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (kind, params) = match s.split_once('?') {
+            Some((kind, params)) => (kind, Some(params)),
+            None => (s, None),
+        };
+        let kind = kind.trim();
+        if kind.is_empty() {
+            return Err(SpecParseError::new("empty lock kind"));
+        }
+        if kind.contains(['&', '=', ' ']) {
+            return Err(SpecParseError::new(format!(
+                "lock kind '{kind}' contains a reserved character"
+            )));
+        }
+        let mut spec = LockSpec::new(kind);
+        let Some(params) = params else {
+            return Ok(spec);
+        };
+        for param in params.split('&') {
+            let Some((key, value)) = param.split_once('=') else {
+                return Err(SpecParseError::new(format!(
+                    "parameter '{param}' is not of the form key=value"
+                )));
+            };
+            match key.trim() {
+                "n" => {
+                    let n = value.trim().parse::<u64>().map_err(|_| {
+                        SpecParseError::new(format!("n must be an integer, got '{value}'"))
+                    })?;
+                    spec.bias = BiasPolicy::InhibitUntil { n };
+                }
+                "bias" => {
+                    spec.bias = parse_bias(value.trim())?;
+                }
+                "table" => {
+                    spec.table = parse_table(value.trim())?;
+                }
+                "stats" => {
+                    spec.stats = match value.trim() {
+                        "per-lock" => StatsMode::PerLock,
+                        "global" => StatsMode::Global,
+                        other => {
+                            return Err(SpecParseError::new(format!(
+                                "stats must be 'per-lock' or 'global', got '{other}'"
+                            )))
+                        }
+                    };
+                }
+                other => {
+                    return Err(SpecParseError::new(format!(
+                        "unknown parameter '{other}' (expected n, bias, table or stats)"
+                    )));
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_bias(value: &str) -> Result<BiasPolicy, SpecParseError> {
+    if value == "disabled" {
+        return Ok(BiasPolicy::Disabled);
+    }
+    if let Some(p) = value.strip_prefix("bernoulli:") {
+        let inverse_p = p.parse::<u32>().map_err(|_| {
+            SpecParseError::new(format!(
+                "bernoulli inverse probability '{p}' is not an integer"
+            ))
+        })?;
+        return Ok(BiasPolicy::Bernoulli { inverse_p });
+    }
+    if let Some(n) = value.strip_prefix("inhibit:") {
+        let n = n.parse::<u64>().map_err(|_| {
+            SpecParseError::new(format!("inhibit multiplier '{n}' is not an integer"))
+        })?;
+        return Ok(BiasPolicy::InhibitUntil { n });
+    }
+    Err(SpecParseError::new(format!(
+        "bias must be 'disabled', 'bernoulli:<inverse_p>' or 'inhibit:<n>', got '{value}'"
+    )))
+}
+
+fn parse_table(value: &str) -> Result<TableSpec, SpecParseError> {
+    if value == "global" {
+        return Ok(TableSpec::Global);
+    }
+    if let Some(slots) = value.strip_prefix("private:") {
+        let slots = slots.parse::<usize>().map_err(|_| {
+            SpecParseError::new(format!("private table size '{slots}' is not an integer"))
+        })?;
+        if slots == 0 {
+            return Err(SpecParseError::new("private table size must be at least 1"));
+        }
+        return Ok(TableSpec::Private { slots });
+    }
+    if let Some(geometry) = value.strip_prefix("sectored:") {
+        let Some((sectors, slots)) = geometry.split_once('x') else {
+            return Err(SpecParseError::new(format!(
+                "sectored table geometry '{geometry}' is not of the form <sectors>x<slots>"
+            )));
+        };
+        let sectors = sectors.parse::<usize>().map_err(|_| {
+            SpecParseError::new(format!("sector count '{sectors}' is not an integer"))
+        })?;
+        let slots = slots.parse::<usize>().map_err(|_| {
+            SpecParseError::new(format!("slots-per-sector '{slots}' is not an integer"))
+        })?;
+        if sectors == 0 || slots == 0 {
+            return Err(SpecParseError::new(
+                "sectored table geometry must be at least 1x1",
+            ));
+        }
+        return Ok(TableSpec::Sectored { sectors, slots });
+    }
+    Err(SpecParseError::new(format!(
+        "table must be 'global', 'private:<slots>' or 'sectored:<sectors>x<slots>', got '{value}'"
+    )))
+}
+
+/// Error turning a (syntactically valid) [`LockSpec`] into a live lock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec's kind names no algorithm in the catalog.
+    UnknownKind {
+        /// The unrecognized kind string.
+        kind: String,
+        /// The catalog's valid kind names, for the error message.
+        known: Vec<&'static str>,
+    },
+    /// The spec's table layout is not supported by this algorithm (e.g. a
+    /// sectored table on a flat BRAVO composite, or any non-global table on
+    /// a lock that is not a BRAVO composite at all).
+    UnsupportedTable {
+        /// The algorithm the spec named.
+        kind: String,
+        /// The offending layout.
+        table: TableSpec,
+    },
+    /// The spec sets a bias policy but the algorithm is not a BRAVO
+    /// composite, so the policy could never take effect.
+    UnsupportedBias {
+        /// The algorithm the spec named.
+        kind: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownKind { kind, known } => {
+                write!(
+                    f,
+                    "unknown lock kind '{kind}'; known kinds: {}",
+                    known.join(", ")
+                )
+            }
+            SpecError::UnsupportedTable { kind, table } => {
+                write!(
+                    f,
+                    "lock kind '{kind}' does not support table layout '{table}'"
+                )
+            }
+            SpecError::UnsupportedBias { kind } => {
+                write!(
+                    f,
+                    "lock kind '{kind}' is not a BRAVO composite; a bias policy has no effect on it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A live lock built from a [`LockSpec`]: the object the benchmark harness
+/// passes around.
+///
+/// The handle carries the spec it was built from, a display label for result
+/// tables, the lock behind the blocking [`RawRwLock`] interface, the
+/// non-blocking [`RawTryRwLock`] interface *when the algorithm honestly
+/// provides one* (see [`LockHandle::supports_try_write`]), and the lock's
+/// statistics channel. Cloning is cheap (the lock is shared).
+#[derive(Clone)]
+pub struct LockHandle {
+    spec: LockSpec,
+    label: String,
+    blocking: Arc<dyn RawRwLock>,
+    non_blocking: Option<Arc<dyn RawTryRwLock>>,
+    stats: StatsSink,
+}
+
+impl LockHandle {
+    /// Wraps a lock that supports both blocking and non-blocking
+    /// acquisition.
+    pub fn from_try_lock<L>(spec: LockSpec, lock: Arc<L>, stats: StatsSink) -> Self
+    where
+        L: RawTryRwLock + 'static,
+    {
+        let label = spec.to_string();
+        Self {
+            spec,
+            label,
+            blocking: lock.clone(),
+            non_blocking: Some(lock),
+            stats,
+        }
+    }
+
+    /// Wraps a lock that only supports blocking acquisition; the handle's
+    /// try operations will report [`TryLockError::Unsupported`].
+    pub fn from_blocking<L>(spec: LockSpec, lock: Arc<L>, stats: StatsSink) -> Self
+    where
+        L: RawRwLock + 'static,
+    {
+        let label = spec.to_string();
+        Self {
+            spec,
+            label,
+            blocking: lock,
+            non_blocking: None,
+            stats,
+        }
+    }
+
+    /// The spec this lock was built from.
+    pub fn spec(&self) -> &LockSpec {
+        &self.spec
+    }
+
+    /// The display label for result tables (the spec's compact string form).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The lock's statistics sink.
+    pub fn stats(&self) -> &StatsSink {
+        &self.stats
+    }
+
+    /// The lock's statistics: its own counters when the spec said
+    /// `stats=per-lock` (the default), the process-global aggregate
+    /// otherwise.
+    pub fn snapshot(&self) -> Snapshot {
+        self.stats.snapshot()
+    }
+
+    /// Whether this lock provides an honest non-blocking write path. When
+    /// `false`, [`LockHandle::try_lock_exclusive`] always returns
+    /// [`TryLockError::Unsupported`] instead of failing silently.
+    pub fn supports_try_write(&self) -> bool {
+        self.non_blocking.is_some()
+    }
+
+    /// Acquires shared (read) permission, blocking until granted.
+    pub fn lock_shared(&self) {
+        self.blocking.lock_shared();
+    }
+
+    /// Releases shared permission.
+    pub fn unlock_shared(&self) {
+        self.blocking.unlock_shared();
+    }
+
+    /// Acquires exclusive (write) permission, blocking until granted.
+    pub fn lock_exclusive(&self) {
+        self.blocking.lock_exclusive();
+    }
+
+    /// Releases exclusive permission.
+    pub fn unlock_exclusive(&self) {
+        self.blocking.unlock_exclusive();
+    }
+
+    /// Attempts to acquire shared permission without blocking.
+    pub fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        match &self.non_blocking {
+            Some(lock) => lock.try_lock_shared(),
+            None => Err(TryLockError::Unsupported),
+        }
+    }
+
+    /// Attempts to acquire exclusive permission without blocking
+    /// indefinitely (implementations may use a short bounded wait).
+    pub fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        match &self.non_blocking {
+            Some(lock) => lock.try_lock_exclusive(),
+            None => Err(TryLockError::Unsupported),
+        }
+    }
+}
+
+impl std::fmt::Debug for LockHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockHandle")
+            .field("label", &self.label)
+            .field("supports_try_write", &self.supports_try_write())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::DefaultRwLock;
+
+    #[test]
+    fn default_spec_prints_just_the_kind() {
+        let spec = LockSpec::new("BRAVO-BA");
+        assert_eq!(spec.to_string(), "BRAVO-BA");
+        assert_eq!(spec.bias(), BiasPolicy::paper_default());
+        assert_eq!(spec.table(), TableSpec::Global);
+        assert_eq!(spec.stats(), StatsMode::PerLock);
+    }
+
+    #[test]
+    fn issue_example_parses() {
+        let spec: LockSpec = "BRAVO-BA?n=9&table=sectored:4x256".parse().unwrap();
+        assert_eq!(spec.kind(), "BRAVO-BA");
+        assert_eq!(spec.bias(), BiasPolicy::InhibitUntil { n: 9 });
+        assert_eq!(
+            spec.table(),
+            TableSpec::Sectored {
+                sectors: 4,
+                slots: 256
+            }
+        );
+    }
+
+    #[test]
+    fn non_default_params_round_trip() {
+        let specs = [
+            LockSpec::new("BA"),
+            LockSpec::new("BRAVO-BA").with_bias(BiasPolicy::InhibitUntil { n: 99 }),
+            LockSpec::new("BRAVO-BA").with_bias(BiasPolicy::Disabled),
+            LockSpec::new("BRAVO-pthread").with_bias(BiasPolicy::Bernoulli { inverse_p: 100 }),
+            LockSpec::new("BRAVO-BA").with_table(TableSpec::Private { slots: 4096 }),
+            LockSpec::new("BRAVO-2D-BA").with_table(TableSpec::Sectored {
+                sectors: 4,
+                slots: 256,
+            }),
+            LockSpec::new("BRAVO-BA").with_stats(StatsMode::Global),
+            LockSpec::new("BRAVO-BA")
+                .with_bias(BiasPolicy::InhibitUntil { n: 3 })
+                .with_table(TableSpec::Private { slots: 64 })
+                .with_stats(StatsMode::Global),
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let parsed: LockSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, spec, "{text} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for text in [
+            "",
+            "?n=9",
+            "BA?",
+            "BA?n",
+            "BA?n=x",
+            "BA?frobnicate=1",
+            "BA?table=sectored:4",
+            "BA?table=private:0",
+            "BA?table=sectored:0x8",
+            "BA?bias=sometimes",
+            "BA?stats=maybe",
+            "B A?n=9",
+        ] {
+            assert!(
+                text.parse::<LockSpec>().is_err(),
+                "'{text}' should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_defaults_parse_to_the_default_spec() {
+        let spec: LockSpec = "BA?n=9&table=global&stats=per-lock".parse().unwrap();
+        assert_eq!(spec, LockSpec::new("BA"));
+    }
+
+    #[test]
+    fn handle_delegates_and_reports_capability() {
+        let spec = LockSpec::new("default-spin");
+        let sink = spec.make_sink();
+        let handle = LockHandle::from_try_lock(spec.clone(), Arc::new(DefaultRwLock::new()), sink);
+        assert!(handle.supports_try_write());
+        assert_eq!(handle.label(), "default-spin");
+        handle.lock_shared();
+        assert!(handle.try_lock_exclusive().is_err());
+        handle.unlock_shared();
+        assert!(handle.try_lock_exclusive().is_ok());
+        handle.unlock_exclusive();
+        handle.lock_exclusive();
+        handle.unlock_exclusive();
+
+        let blocking_only =
+            LockHandle::from_blocking(spec, Arc::new(DefaultRwLock::new()), StatsSink::Global);
+        assert!(!blocking_only.supports_try_write());
+        assert_eq!(
+            blocking_only.try_lock_exclusive(),
+            Err(TryLockError::Unsupported)
+        );
+        assert_eq!(
+            blocking_only.try_lock_shared(),
+            Err(TryLockError::Unsupported)
+        );
+    }
+
+    #[test]
+    fn per_lock_handles_have_independent_snapshots() {
+        let spec = LockSpec::new("default-spin");
+        let a = LockHandle::from_try_lock(
+            spec.clone(),
+            Arc::new(DefaultRwLock::new()),
+            spec.make_sink(),
+        );
+        let b = LockHandle::from_try_lock(
+            spec.clone(),
+            Arc::new(DefaultRwLock::new()),
+            spec.make_sink(),
+        );
+        a.stats().record_fast_read();
+        assert_eq!(a.snapshot().fast_reads, 1);
+        assert_eq!(b.snapshot().fast_reads, 0);
+    }
+}

@@ -14,11 +14,11 @@
 //! while measuring.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use topology::CachePadded;
 
-/// One thread's private counter block.
+/// One thread's (or stripe's) private counter block.
 #[derive(Default)]
 struct ThreadCounters {
     fast_reads: AtomicU64,
@@ -30,6 +30,56 @@ struct ThreadCounters {
     revocation_wait_conflicts: AtomicU64,
     revocation_scan_slots: AtomicU64,
     bias_enabled: AtomicU64,
+}
+
+impl ThreadCounters {
+    #[inline]
+    fn add_fast_read(&self) {
+        self.fast_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_slow_read(&self, reason: SlowReadReason) {
+        let counter = match reason {
+            SlowReadReason::BiasDisabled => &self.slow_reads_disabled,
+            SlowReadReason::Collision => &self.slow_reads_collision,
+            SlowReadReason::Raced => &self.slow_reads_raced,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_write(&self, revoked: bool, wait_conflicts: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if revoked {
+            self.revocations.fetch_add(1, Ordering::Relaxed);
+            self.revocation_wait_conflicts
+                .fetch_add(wait_conflicts, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn add_revocation_scan(&self, slots: usize) {
+        self.revocation_scan_slots
+            .fetch_add(slots as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_bias_enabled(&self) {
+        self.bias_enabled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn accumulate_into(&self, out: &mut Snapshot) {
+        out.fast_reads += self.fast_reads.load(Ordering::Relaxed);
+        out.slow_reads_disabled += self.slow_reads_disabled.load(Ordering::Relaxed);
+        out.slow_reads_collision += self.slow_reads_collision.load(Ordering::Relaxed);
+        out.slow_reads_raced += self.slow_reads_raced.load(Ordering::Relaxed);
+        out.writes += self.writes.load(Ordering::Relaxed);
+        out.revocations += self.revocations.load(Ordering::Relaxed);
+        out.revocation_wait_conflicts += self.revocation_wait_conflicts.load(Ordering::Relaxed);
+        out.revocation_scan_slots += self.revocation_scan_slots.load(Ordering::Relaxed);
+        out.bias_enabled += self.bias_enabled.load(Ordering::Relaxed);
+    }
 }
 
 /// Why a reader ended up on the slow path.
@@ -149,22 +199,13 @@ fn with_local<F: FnOnce(&ThreadCounters)>(f: F) {
 /// Records a fast-path read acquisition.
 #[inline]
 pub fn record_fast_read() {
-    with_local(|c| {
-        c.fast_reads.fetch_add(1, Ordering::Relaxed);
-    });
+    with_local(|c| c.add_fast_read());
 }
 
 /// Records a slow-path read acquisition and the reason it was slow.
 #[inline]
 pub fn record_slow_read(reason: SlowReadReason) {
-    with_local(|c| {
-        let counter = match reason {
-            SlowReadReason::BiasDisabled => &c.slow_reads_disabled,
-            SlowReadReason::Collision => &c.slow_reads_collision,
-            SlowReadReason::Raced => &c.slow_reads_raced,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
-    });
+    with_local(|c| c.add_slow_read(reason));
 }
 
 /// Records a write acquisition; `revoked` says whether bias revocation was
@@ -172,31 +213,19 @@ pub fn record_slow_read(reason: SlowReadReason) {
 /// waited for.
 #[inline]
 pub fn record_write(revoked: bool, wait_conflicts: u64) {
-    with_local(|c| {
-        c.writes.fetch_add(1, Ordering::Relaxed);
-        if revoked {
-            c.revocations.fetch_add(1, Ordering::Relaxed);
-            c.revocation_wait_conflicts
-                .fetch_add(wait_conflicts, Ordering::Relaxed);
-        }
-    });
+    with_local(|c| c.add_write(revoked, wait_conflicts));
 }
 
 /// Records the number of slots visited by one revocation scan.
 #[inline]
 pub fn record_revocation_scan(slots: usize) {
-    with_local(|c| {
-        c.revocation_scan_slots
-            .fetch_add(slots as u64, Ordering::Relaxed);
-    });
+    with_local(|c| c.add_revocation_scan(slots));
 }
 
 /// Records that a slow-path reader re-enabled bias.
 #[inline]
 pub fn record_bias_enabled() {
-    with_local(|c| {
-        c.bias_enabled.fetch_add(1, Ordering::Relaxed);
-    });
+    with_local(|c| c.add_bias_enabled());
 }
 
 /// Aggregates all threads' counters into a [`Snapshot`].
@@ -204,17 +233,160 @@ pub fn snapshot() -> Snapshot {
     let mut out = Snapshot::default();
     let blocks = registry().blocks.lock().expect("stats registry poisoned");
     for c in blocks.iter() {
-        out.fast_reads += c.fast_reads.load(Ordering::Relaxed);
-        out.slow_reads_disabled += c.slow_reads_disabled.load(Ordering::Relaxed);
-        out.slow_reads_collision += c.slow_reads_collision.load(Ordering::Relaxed);
-        out.slow_reads_raced += c.slow_reads_raced.load(Ordering::Relaxed);
-        out.writes += c.writes.load(Ordering::Relaxed);
-        out.revocations += c.revocations.load(Ordering::Relaxed);
-        out.revocation_wait_conflicts += c.revocation_wait_conflicts.load(Ordering::Relaxed);
-        out.revocation_scan_slots += c.revocation_scan_slots.load(Ordering::Relaxed);
-        out.bias_enabled += c.bias_enabled.load(Ordering::Relaxed);
+        c.accumulate_into(&mut out);
     }
     out
+}
+
+/// Number of counter stripes in a [`LockStats`] block. Threads hash over the
+/// stripes by id, so up to this many recording threads proceed without
+/// write-sharing a counter line.
+const LOCK_STAT_STRIPES: usize = 8;
+
+/// Per-lock statistics: a small striped set of counter blocks owned by one
+/// lock instance.
+///
+/// The process-global counters answer "what did BRAVO do in this process";
+/// they cannot attribute events to individual locks, so two locks measured
+/// in one run smear each other's fast-read fractions. A `LockStats` block is
+/// owned by a single lock (via [`StatsSink::PerLock`]) and aggregates only
+/// that lock's events. Recording threads are striped over
+/// `LOCK_STAT_STRIPES` cache-padded blocks by thread id — coarser than the
+/// global registry's block-per-thread, in exchange for a bounded per-lock
+/// footprint.
+pub struct LockStats {
+    stripes: Box<[CachePadded<ThreadCounters>]>,
+}
+
+impl LockStats {
+    /// Creates a zeroed per-lock counter block.
+    pub fn new() -> Self {
+        Self {
+            stripes: (0..LOCK_STAT_STRIPES)
+                .map(|_| CachePadded::new(ThreadCounters::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self) -> &ThreadCounters {
+        &self.stripes[topology::current_thread_id().as_usize() % LOCK_STAT_STRIPES]
+    }
+
+    /// Aggregates this lock's counters into a [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let mut out = Snapshot::default();
+        for stripe in self.stripes.iter() {
+            stripe.accumulate_into(&mut out);
+        }
+        out
+    }
+}
+
+impl Default for LockStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LockStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// Where a lock's instrumentation events go.
+///
+/// Every recording method also feeds the process-global registry, so
+/// whole-run aggregates (e.g. `repro_all`'s summary) stay meaningful no
+/// matter how individual locks are configured; a [`StatsSink::PerLock`] sink
+/// *additionally* attributes the events to its own [`LockStats`] block,
+/// which [`StatsSink::snapshot`] then reads instead of the global counters.
+#[derive(Clone, Default)]
+pub enum StatsSink {
+    /// Record into the process-global sharded counters only.
+    #[default]
+    Global,
+    /// Record into a per-lock counter block (and tee into the globals).
+    PerLock(Arc<LockStats>),
+}
+
+impl StatsSink {
+    /// Creates a sink with a fresh per-lock counter block.
+    pub fn per_lock() -> Self {
+        StatsSink::PerLock(Arc::new(LockStats::new()))
+    }
+
+    /// Whether this sink attributes events to a single lock.
+    pub fn is_per_lock(&self) -> bool {
+        matches!(self, StatsSink::PerLock(_))
+    }
+
+    /// The counters this sink resolves to: the per-lock block for
+    /// [`StatsSink::PerLock`], the process-global aggregate for
+    /// [`StatsSink::Global`].
+    pub fn snapshot(&self) -> Snapshot {
+        match self {
+            StatsSink::Global => snapshot(),
+            StatsSink::PerLock(stats) => stats.snapshot(),
+        }
+    }
+
+    /// Records a fast-path read acquisition.
+    #[inline]
+    pub fn record_fast_read(&self) {
+        record_fast_read();
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_fast_read();
+        }
+    }
+
+    /// Records a slow-path read acquisition and why it was slow.
+    #[inline]
+    pub fn record_slow_read(&self, reason: SlowReadReason) {
+        record_slow_read(reason);
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_slow_read(reason);
+        }
+    }
+
+    /// Records a write acquisition (see [`record_write`]).
+    #[inline]
+    pub fn record_write(&self, revoked: bool, wait_conflicts: u64) {
+        record_write(revoked, wait_conflicts);
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_write(revoked, wait_conflicts);
+        }
+    }
+
+    /// Records the slot count of one revocation scan.
+    #[inline]
+    pub fn record_revocation_scan(&self, slots: usize) {
+        record_revocation_scan(slots);
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_revocation_scan(slots);
+        }
+    }
+
+    /// Records that a slow-path reader re-enabled bias.
+    #[inline]
+    pub fn record_bias_enabled(&self) {
+        record_bias_enabled();
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_bias_enabled();
+        }
+    }
+}
+
+impl std::fmt::Debug for StatsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsSink::Global => write!(f, "StatsSink::Global"),
+            StatsSink::PerLock(_) => write!(f, "StatsSink::PerLock"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +436,57 @@ mod tests {
         });
         let delta = snapshot().since(&before);
         assert!(delta.fast_reads >= 400);
+    }
+
+    #[test]
+    fn per_lock_sinks_do_not_bleed_into_each_other() {
+        let a = StatsSink::per_lock();
+        let b = StatsSink::per_lock();
+        a.record_fast_read();
+        a.record_fast_read();
+        b.record_write(true, 1);
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(sa.fast_reads, 2);
+        assert_eq!(sa.writes, 0);
+        assert_eq!(sb.writes, 1);
+        assert_eq!(sb.revocations, 1);
+        assert_eq!(sb.total_reads(), 0);
+    }
+
+    #[test]
+    fn per_lock_sink_tees_into_the_global_registry() {
+        let before = snapshot();
+        let sink = StatsSink::per_lock();
+        sink.record_slow_read(SlowReadReason::Collision);
+        sink.record_bias_enabled();
+        let delta = snapshot().since(&before);
+        assert!(delta.slow_reads_collision >= 1);
+        assert!(delta.bias_enabled >= 1);
+    }
+
+    #[test]
+    fn per_lock_counts_from_other_threads_aggregate() {
+        let sink = StatsSink::per_lock();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        sink.record_fast_read();
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.snapshot().fast_reads, 200);
+    }
+
+    #[test]
+    fn global_sink_snapshot_matches_process_totals() {
+        let sink = StatsSink::default();
+        assert!(!sink.is_per_lock());
+        sink.record_fast_read();
+        // A Global sink resolves to the process aggregate.
+        assert!(sink.snapshot().fast_reads >= 1);
     }
 
     #[test]

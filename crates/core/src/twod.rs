@@ -20,11 +20,11 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::clock::{cpu_relax, now_ns};
+use crate::clock::{now_ns, Backoff};
 use crate::hash::mix64;
 use crate::policy::BiasPolicy;
-use crate::raw::{DefaultRwLock, RawRwLock};
-use crate::stats::{self, SlowReadReason};
+use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
+use crate::stats::{SlowReadReason, StatsSink};
 use crate::vrt::VisibleReadersTable;
 
 /// Default number of slots per row (per logical CPU).
@@ -95,26 +95,36 @@ impl SectoredTable {
     /// only the lock's column in every row. Returns the number of
     /// conflicting readers waited for.
     pub fn wait_for_readers(&self, lock_addr: usize) -> usize {
+        self.wait_for_readers_until(lock_addr, u64::MAX)
+            .expect("unbounded revocation scan cannot time out")
+    }
+
+    /// Bounded revocation: like
+    /// [`wait_for_readers`](SectoredTable::wait_for_readers) but gives up
+    /// once the monotonic clock passes `deadline_ns`, returning `None`.
+    ///
+    /// On timeout some fast readers of `lock_addr` may still be published;
+    /// the caller must not assume write permission is safe and typically
+    /// backs out of the acquisition entirely.
+    pub fn wait_for_readers_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<usize> {
         let column = self.column_for(lock_addr);
         let mut conflicts = 0;
         for row in 0..self.rows {
             let slot = row * self.row_slots + column;
             if self.storage.peek(slot) == lock_addr {
                 conflicts += 1;
-                let mut spins = 0u32;
+                // Polite waiting (see the flat table's revocation): yield
+                // periodically so a preempted fast reader can depart.
+                let mut backoff = Backoff::new();
                 while self.storage.peek(slot) == lock_addr {
-                    spins += 1;
-                    if spins % 64 == 0 {
-                        // Polite waiting (see the flat table's revocation):
-                        // yield so a preempted fast reader can depart.
-                        std::thread::yield_now();
-                    } else {
-                        cpu_relax();
+                    if deadline_ns != u64::MAX && now_ns() >= deadline_ns {
+                        return None;
                     }
+                    backoff.snooze();
                 }
             }
         }
-        conflicts
+        Some(conflicts)
     }
 
     /// Number of slots a revocation visits (one per row).
@@ -147,17 +157,36 @@ pub fn global_sectored_table() -> &'static SectoredTable {
 
 /// Which sectored table a [`Bravo2dLock`] publishes into.
 #[derive(Clone, Default)]
-enum Table2dHandle {
+pub enum SectoredHandle {
+    /// The process-global sectored table (one row per logical CPU).
     #[default]
     Global,
+    /// A table owned by (a group of) lock instances.
     Owned(Arc<SectoredTable>),
 }
 
-impl Table2dHandle {
-    fn table(&self) -> &SectoredTable {
+impl SectoredHandle {
+    /// Creates a handle to a fresh private sectored table.
+    pub fn private(rows: usize, row_slots: usize) -> Self {
+        SectoredHandle::Owned(Arc::new(SectoredTable::new(rows, row_slots)))
+    }
+
+    /// Resolves the handle to the actual table.
+    pub fn table(&self) -> &SectoredTable {
         match self {
-            Table2dHandle::Global => global_sectored_table(),
-            Table2dHandle::Owned(t) => t,
+            SectoredHandle::Global => global_sectored_table(),
+            SectoredHandle::Owned(t) => t,
+        }
+    }
+}
+
+impl std::fmt::Debug for SectoredHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SectoredHandle::Global => write!(f, "SectoredHandle::Global"),
+            SectoredHandle::Owned(t) => {
+                write!(f, "SectoredHandle::Owned({}x{})", t.rows(), t.row_slots())
+            }
         }
     }
 }
@@ -169,8 +198,9 @@ pub struct Bravo2dLock<L = DefaultRwLock> {
     rbias: AtomicBool,
     inhibit_until: AtomicU64,
     underlying: L,
-    table: Table2dHandle,
+    table: SectoredHandle,
     policy: BiasPolicy,
+    stats: StatsSink,
 }
 
 impl<L: RawRwLock> Default for Bravo2dLock<L> {
@@ -183,25 +213,47 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     /// Creates a BRAVO-2D lock over a fresh underlying lock, using the
     /// global sectored table and the paper's default policy.
     pub fn new() -> Self {
-        Self {
-            rbias: AtomicBool::new(false),
-            inhibit_until: AtomicU64::new(0),
-            underlying: L::new(),
-            table: Table2dHandle::Global,
-            policy: BiasPolicy::paper_default(),
-        }
+        Self::with_instrumented(
+            L::new(),
+            SectoredHandle::Global,
+            BiasPolicy::paper_default(),
+            StatsSink::Global,
+        )
     }
 
     /// Creates a BRAVO-2D lock with a private sectored table (`rows ×
     /// row_slots`), for tests and ablations.
     pub fn with_private_table(rows: usize, row_slots: usize) -> Self {
+        Self::with_instrumented(
+            L::new(),
+            SectoredHandle::private(rows, row_slots),
+            BiasPolicy::paper_default(),
+            StatsSink::Global,
+        )
+    }
+
+    /// Creates a BRAVO-2D lock with every part explicit, including the
+    /// statistics sink. This is the constructor the catalog's spec-driven
+    /// builder uses.
+    pub fn with_instrumented(
+        underlying: L,
+        table: SectoredHandle,
+        policy: BiasPolicy,
+        stats: StatsSink,
+    ) -> Self {
         Self {
             rbias: AtomicBool::new(false),
             inhibit_until: AtomicU64::new(0),
-            underlying: L::new(),
-            table: Table2dHandle::Owned(Arc::new(SectoredTable::new(rows, row_slots))),
-            policy: BiasPolicy::paper_default(),
+            underlying,
+            table,
+            policy,
+            stats,
         }
+    }
+
+    /// The statistics sink this lock records into.
+    pub fn stats(&self) -> &StatsSink {
+        &self.stats
     }
 
     fn addr(&self) -> usize {
@@ -222,7 +274,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
             let slot = table.slot_for(topology::current_cpu(), addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
-                    stats::record_fast_read();
+                    self.stats.record_fast_read();
                     return token(Some(slot));
                 }
                 table.clear(slot, addr);
@@ -235,16 +287,23 @@ impl<L: RawRwLock> Bravo2dLock<L> {
 
     fn slow_read(&self, reason: SlowReadReason) -> crate::lock::ReadToken {
         self.underlying.lock_shared();
+        self.maybe_enable_bias();
+        self.stats.record_slow_read(reason);
+        token(None)
+    }
+
+    /// Re-enables bias if the policy allows; must be called while holding
+    /// read permission on the underlying lock (see
+    /// [`crate::BravoLock`]'s equivalent).
+    fn maybe_enable_bias(&self) {
         if !self.rbias.load(Ordering::Relaxed)
             && self
                 .policy
                 .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
         {
             self.rbias.store(true, Ordering::Release);
-            stats::record_bias_enabled();
+            self.stats.record_bias_enabled();
         }
-        stats::record_slow_read(reason);
-        token(None)
     }
 
     /// Releases read permission.
@@ -268,16 +327,99 @@ impl<L: RawRwLock> Bravo2dLock<L> {
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            stats::record_revocation_scan(table.revocation_scan_len());
-            stats::record_write(true, conflicts as u64);
+            self.stats
+                .record_revocation_scan(table.revocation_scan_len());
+            self.stats.record_write(true, conflicts as u64);
         } else {
-            stats::record_write(false, 0);
+            self.stats.record_write(false, 0);
         }
     }
 
     /// Releases write permission.
     pub fn write_unlock(&self) {
         self.underlying.unlock_exclusive();
+    }
+}
+
+impl<L: RawTryRwLock> Bravo2dLock<L> {
+    /// Attempts to acquire read permission without blocking, mirroring
+    /// [`crate::BravoLock::try_read_lock`]: the fast path is inherently
+    /// non-blocking and the fallback uses the underlying lock's try
+    /// operation.
+    pub fn try_read_lock(&self) -> Option<crate::lock::ReadToken> {
+        if self.rbias.load(Ordering::Acquire) {
+            let table = self.table.table();
+            let addr = self.addr();
+            let slot = table.slot_for(topology::current_cpu(), addr);
+            if table.try_publish(slot, addr) {
+                if self.rbias.load(Ordering::SeqCst) {
+                    self.stats.record_fast_read();
+                    return Some(token(Some(slot)));
+                }
+                table.clear(slot, addr);
+            }
+        }
+        if self.underlying.try_lock_shared().is_ok() {
+            self.maybe_enable_bias();
+            self.stats.record_slow_read(SlowReadReason::BiasDisabled);
+            Some(token(None))
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to acquire write permission with a bounded wait.
+    ///
+    /// BRAVO-2D writers must revoke reader bias before they own the lock,
+    /// and revocation waits for published fast readers to depart — an
+    /// unbounded wait in general, which is why this variant historically
+    /// had no try path at all. A *bounded* revocation makes an honest try
+    /// operation possible: acquire the underlying lock with its try path,
+    /// clear the bias flag, then scan the column with a deadline of
+    /// `budget` from now. On timeout the bias flag is restored, the
+    /// underlying lock is released, and the acquisition fails cleanly.
+    ///
+    /// Restoring the flag on timeout is load-bearing: the conflicting fast
+    /// readers are still published, and every write path gates its
+    /// revocation scan on `RBias` — leaving it clear would let the *next*
+    /// writer skip the scan and run concurrently with those readers. The
+    /// restore happens while the underlying lock is still held exclusively,
+    /// so a subsequent writer is guaranteed to observe it.
+    pub fn try_write_lock_for(&self, budget: std::time::Duration) -> bool {
+        if self.underlying.try_lock_exclusive().is_err() {
+            return false;
+        }
+        if self.rbias.load(Ordering::Relaxed) {
+            self.rbias.store(false, Ordering::SeqCst);
+            let start = now_ns();
+            let deadline = start.saturating_add(budget.as_nanos().min(u128::from(u64::MAX)) as u64);
+            let table = self.table.table();
+            let outcome = table.wait_for_readers_until(self.addr(), deadline);
+            let now = now_ns();
+            // Charge the inhibit window for the time actually spent, so a
+            // timed-out revocation still counts against re-enabling bias
+            // (the window only gates *re-enabling* by slow readers; the
+            // correctness restore below is not subject to it).
+            self.inhibit_until.store(
+                self.policy.inhibit_until_after_revocation(start, now),
+                Ordering::Relaxed,
+            );
+            match outcome {
+                Some(conflicts) => {
+                    self.stats
+                        .record_revocation_scan(table.revocation_scan_len());
+                    self.stats.record_write(true, conflicts as u64);
+                }
+                None => {
+                    self.rbias.store(true, Ordering::SeqCst);
+                    self.underlying.unlock_exclusive();
+                    return false;
+                }
+            }
+        } else {
+            self.stats.record_write(false, 0);
+        }
+        true
     }
 }
 
@@ -363,6 +505,66 @@ mod tests {
         l.read_unlock(held);
         writer.join().unwrap();
         assert!(done.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn bounded_try_write_succeeds_uncontended_and_revokes() {
+        let l = Lock2d::new();
+        l.read_unlock(l.read_lock());
+        assert!(l.is_reader_biased());
+        assert!(l.try_write_lock_for(std::time::Duration::from_millis(10)));
+        assert!(!l.is_reader_biased(), "try-write must revoke bias");
+        l.write_unlock();
+    }
+
+    #[test]
+    fn bounded_try_write_times_out_under_a_fast_reader_then_recovers() {
+        let l = Lock2d::with_private_table(4, 16);
+        l.read_unlock(l.read_lock());
+        let held = l.read_lock();
+        assert!(held.is_fast());
+        // The fast reader never departs within the budget: the try must
+        // fail and release the underlying lock.
+        assert!(!l.try_write_lock_for(std::time::Duration::from_millis(2)));
+        // The reader's permission is intact and the lock is not wedged.
+        l.read_unlock(held);
+        assert!(l.try_write_lock_for(std::time::Duration::from_millis(50)));
+        l.write_unlock();
+        // Readers still work after the whole episode.
+        l.read_unlock(l.read_lock());
+    }
+
+    #[test]
+    fn timed_out_try_write_does_not_disarm_later_writers() {
+        // Regression: a timed-out bounded revocation used to leave RBias
+        // clear while the conflicting fast reader was still published, so
+        // the *next* write acquisition skipped the revocation scan and ran
+        // concurrently with that reader. With the reader still held, every
+        // subsequent try must keep failing.
+        let l = Lock2d::with_private_table(4, 16);
+        l.read_unlock(l.read_lock());
+        let held = l.read_lock();
+        assert!(held.is_fast());
+        assert!(!l.try_write_lock_for(std::time::Duration::from_millis(2)));
+        assert!(
+            !l.try_write_lock_for(std::time::Duration::from_millis(2)),
+            "second try-write was granted while a fast reader is still published"
+        );
+        assert!(l.is_reader_biased(), "bias flag not restored after timeout");
+        l.read_unlock(held);
+        assert!(l.try_write_lock_for(std::time::Duration::from_millis(50)));
+        l.write_unlock();
+    }
+
+    #[test]
+    fn try_read_mirrors_the_blocking_path() {
+        let l = Lock2d::new();
+        let t = l.try_read_lock().expect("uncontended try-read");
+        l.read_unlock(t);
+        l.write_lock();
+        // A writer holds the underlying lock: try-read must fail, not block.
+        assert!(l.try_read_lock().is_none());
+        l.write_unlock();
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use crate::clock::cpu_relax;
+use crate::clock::Backoff;
 use crate::hash::slot_index;
 
 /// Number of slots in the process-global table (the paper's choice).
@@ -156,14 +156,9 @@ impl std::fmt::Debug for VisibleReadersTable {
 /// revoking writer can burn entire scheduler quanta waiting for a preempted
 /// reader.
 fn wait_for_slot_clear(slot: &AtomicUsize, lock_addr: usize) {
-    let mut spins = 0u32;
+    let mut backoff = Backoff::new();
     while slot.load(Ordering::SeqCst) == lock_addr {
-        spins += 1;
-        if spins % 64 == 0 {
-            std::thread::yield_now();
-        } else {
-            cpu_relax();
-        }
+        backoff.snooze();
     }
 }
 

@@ -169,6 +169,57 @@ pub fn run_on(sem: Arc<dyn RwSem>, config: LockTortureConfig) -> LockTortureResu
     }
 }
 
+/// A user-space [`LockHandle`](bravo::LockHandle) exposed through the kernel
+/// [`RwSem`] interface, so locktorture can be pointed at any lock the
+/// catalog can build (the spec-driven `--lock` flag of the fig7/fig8
+/// binaries) and not only at the simulated kernel semaphores.
+pub struct LockHandleSem {
+    handle: bravo::LockHandle,
+}
+
+impl LockHandleSem {
+    /// Wraps a built lock handle.
+    pub fn new(handle: bravo::LockHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The wrapped handle (for statistics after a run).
+    pub fn handle(&self) -> &bravo::LockHandle {
+        &self.handle
+    }
+}
+
+impl RwSem for LockHandleSem {
+    fn down_read(&self) {
+        self.handle.lock_shared();
+    }
+
+    fn down_read_trylock(&self) -> bool {
+        self.handle.try_lock_shared().is_ok()
+    }
+
+    fn up_read(&self) {
+        self.handle.unlock_shared();
+    }
+
+    fn down_write(&self) {
+        self.handle.lock_exclusive();
+    }
+
+    fn down_write_trylock(&self) -> bool {
+        self.handle.try_lock_exclusive().is_ok()
+    }
+
+    fn up_write(&self) {
+        self.handle.unlock_exclusive();
+    }
+}
+
+/// Runs locktorture against a user-space lock built by the catalog.
+pub fn run_on_handle(handle: bravo::LockHandle, config: LockTortureConfig) -> LockTortureResult {
+    run_on(Arc::new(LockHandleSem::new(handle)), config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

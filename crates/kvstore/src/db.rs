@@ -1,7 +1,7 @@
 //! A small `Get`/`Put`/`Delete` façade over the memtable, used by the
 //! runnable examples.
 
-use rwlocks::LockKind;
+use bravo::spec::{LockSpec, SpecError};
 
 use crate::memtable::{MemTable, Value};
 
@@ -17,20 +17,21 @@ pub struct Db {
 }
 
 impl Db {
-    /// Opens an empty store using the given lock algorithm for the memtable
-    /// GetLock.
-    pub fn open(kind: LockKind) -> Self {
-        Self {
-            memtable: MemTable::new(kind),
-        }
+    /// Opens an empty store using the given lock spec for the memtable
+    /// GetLock (a [`rwlocks::LockKind`] or a parsed [`LockSpec`] both
+    /// work).
+    pub fn open(spec: impl Into<LockSpec>) -> Result<Self, SpecError> {
+        Ok(Self {
+            memtable: MemTable::new(spec)?,
+        })
     }
 
     /// Opens a store pre-loaded with keys `0..n` (handy for read-mostly
     /// benchmarks and examples).
-    pub fn open_prepopulated(kind: LockKind, n: u64) -> Self {
-        Self {
-            memtable: MemTable::prepopulated(kind, n),
-        }
+    pub fn open_prepopulated(spec: impl Into<LockSpec>, n: u64) -> Result<Self, SpecError> {
+        Ok(Self {
+            memtable: MemTable::prepopulated(spec, n)?,
+        })
     }
 
     /// Reads the value stored for `key`.
@@ -81,11 +82,12 @@ impl std::fmt::Debug for Db {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rwlocks::LockKind;
     use std::sync::Arc;
 
     #[test]
     fn crud_round_trip() {
-        let db = Db::open(LockKind::BravoBa);
+        let db = Db::open(LockKind::BravoBa).unwrap();
         assert!(db.is_empty());
         db.put(10, [1; 4]);
         assert_eq!(db.get(10), Some([1; 4]));
@@ -98,7 +100,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_with_one_writer() {
-        let db = Arc::new(Db::open_prepopulated(LockKind::BravoPthread, 64));
+        let db = Arc::new(Db::open_prepopulated(LockKind::BravoPthread, 64).unwrap());
         std::thread::scope(|s| {
             let w = Arc::clone(&db);
             s.spawn(move || {

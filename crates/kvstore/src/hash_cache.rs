@@ -4,8 +4,9 @@
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 
-use bravo::RawRwLock;
-use rwlocks::{make_lock, LockKind};
+use bravo::spec::{LockHandle, LockSpec, SpecError};
+use bravo::stats::Snapshot;
+use rwlocks::build_lock;
 
 /// A cache entry, standing in for the block-cache metadata RocksDB stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,10 +21,9 @@ pub struct CacheEntry {
 /// structure `hash_table_bench` measures (`std::unordered_map` plus a
 /// reader-writer lock in RocksDB's persistent cache).
 pub struct HashCache {
-    lock: Box<dyn RawRwLock>,
+    lock: LockHandle,
     /// Key → entry map. Guarded by `lock`.
     map: UnsafeCell<HashMap<u64, CacheEntry>>,
-    kind: LockKind,
 }
 
 // SAFETY: `map` is only read under shared permission and only mutated under
@@ -33,19 +33,19 @@ unsafe impl Send for HashCache {}
 unsafe impl Sync for HashCache {}
 
 impl HashCache {
-    /// Creates an empty cache index using the given lock algorithm.
-    pub fn new(kind: LockKind) -> Self {
-        Self {
-            lock: make_lock(kind),
+    /// Creates an empty cache index whose lock is built from the given
+    /// spec (a [`rwlocks::LockKind`] or a parsed [`LockSpec`] both work).
+    pub fn new(spec: impl Into<LockSpec>) -> Result<Self, SpecError> {
+        Ok(Self {
+            lock: build_lock(&spec.into())?,
             map: UnsafeCell::new(HashMap::new()),
-            kind,
-        }
+        })
     }
 
     /// Creates a cache pre-populated with `n` entries, as the benchmark does
     /// before its measurement interval.
-    pub fn prepopulated(kind: LockKind, n: u64) -> Self {
-        let cache = Self::new(kind);
+    pub fn prepopulated(spec: impl Into<LockSpec>, n: u64) -> Result<Self, SpecError> {
+        let cache = Self::new(spec)?;
         for key in 0..n {
             cache.insert(
                 key,
@@ -55,12 +55,22 @@ impl HashCache {
                 },
             );
         }
-        cache
+        Ok(cache)
     }
 
-    /// The lock algorithm guarding this cache.
-    pub fn lock_kind(&self) -> LockKind {
-        self.kind
+    /// The lock handle guarding this cache.
+    pub fn lock(&self) -> &LockHandle {
+        &self.lock
+    }
+
+    /// Display label of the lock guarding this cache.
+    pub fn lock_label(&self) -> &str {
+        self.lock.label()
+    }
+
+    /// The lock's statistics snapshot.
+    pub fn lock_stats(&self) -> Snapshot {
+        self.lock.snapshot()
     }
 
     /// Looks up `key` under shared permission.
@@ -110,7 +120,7 @@ impl HashCache {
 impl std::fmt::Debug for HashCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HashCache")
-            .field("lock", &self.kind)
+            .field("lock", &self.lock.label())
             .field("len", &self.len())
             .finish_non_exhaustive()
     }
@@ -119,11 +129,12 @@ impl std::fmt::Debug for HashCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rwlocks::LockKind;
     use std::sync::Arc;
 
     #[test]
     fn insert_lookup_erase_round_trip() {
-        let c = HashCache::new(LockKind::BravoBa);
+        let c = HashCache::new(LockKind::BravoBa).unwrap();
         assert!(c.is_empty());
         assert_eq!(
             c.insert(
@@ -161,14 +172,14 @@ mod tests {
 
     #[test]
     fn prepopulation_sizes_correctly() {
-        let c = HashCache::prepopulated(LockKind::PerCpu, 256);
+        let c = HashCache::prepopulated(LockKind::PerCpu, 256).unwrap();
         assert_eq!(c.len(), 256);
         assert_eq!(c.lookup(255).unwrap().offset, 255 * 4096);
     }
 
     #[test]
     fn concurrent_insert_erase_lookup_is_consistent() {
-        let c = Arc::new(HashCache::prepopulated(LockKind::BravoBa, 128));
+        let c = Arc::new(HashCache::prepopulated(LockKind::BravoBa, 128).unwrap());
         std::thread::scope(|s| {
             let inserter = Arc::clone(&c);
             s.spawn(move || {

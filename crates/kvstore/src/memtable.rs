@@ -5,8 +5,9 @@ use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::RawRwLock;
-use rwlocks::{make_lock, LockKind};
+use bravo::spec::{LockHandle, LockSpec, SpecError};
+use bravo::stats::Snapshot;
+use rwlocks::build_lock;
 
 /// A fixed-size value, standing in for RocksDB's small in-place-updatable
 /// values.
@@ -18,11 +19,10 @@ pub type Value = [u64; 4];
 /// (`--inplace_update_num_locks=1` collapses RocksDB's lock striping to a
 /// single lock, which is exactly what the figure measures).
 pub struct MemTable {
-    get_lock: Box<dyn RawRwLock>,
+    get_lock: LockHandle,
     /// Key → value map. Guarded by `get_lock` (shared for `get`, exclusive
     /// for mutations), mirroring how RocksDB guards in-place updates.
     data: UnsafeCell<HashMap<u64, Value>>,
-    kind: LockKind,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -35,31 +35,42 @@ unsafe impl Send for MemTable {}
 unsafe impl Sync for MemTable {}
 
 impl MemTable {
-    /// Creates an empty memtable whose GetLock is of the given kind.
-    pub fn new(kind: LockKind) -> Self {
-        Self {
-            get_lock: make_lock(kind),
+    /// Creates an empty memtable whose GetLock is built from the given
+    /// spec (a [`rwlocks::LockKind`] or a parsed [`LockSpec`] both work).
+    pub fn new(spec: impl Into<LockSpec>) -> Result<Self, SpecError> {
+        Ok(Self {
+            get_lock: build_lock(&spec.into())?,
             data: UnsafeCell::new(HashMap::new()),
-            kind,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Creates a memtable pre-populated with keys `0..n`, as `db_bench`
     /// does before the measurement interval (`--num=10000` in the paper's
     /// command line).
-    pub fn prepopulated(kind: LockKind, n: u64) -> Self {
-        let table = Self::new(kind);
+    pub fn prepopulated(spec: impl Into<LockSpec>, n: u64) -> Result<Self, SpecError> {
+        let table = Self::new(spec)?;
         for key in 0..n {
             table.put(key, [key, key ^ 0xff, 0, 0]);
         }
-        table
+        Ok(table)
     }
 
-    /// The lock algorithm guarding this memtable.
-    pub fn lock_kind(&self) -> LockKind {
-        self.kind
+    /// The GetLock handle (label, spec, per-lock statistics).
+    pub fn lock(&self) -> &LockHandle {
+        &self.get_lock
+    }
+
+    /// Display label of the lock guarding this memtable.
+    pub fn lock_label(&self) -> &str {
+        self.get_lock.label()
+    }
+
+    /// The GetLock's statistics snapshot (per-lock under the default
+    /// `stats=per-lock` spec).
+    pub fn lock_stats(&self) -> Snapshot {
+        self.get_lock.snapshot()
     }
 
     /// Reads the value for `key` (RocksDB `::Get()`), taking the GetLock
@@ -140,7 +151,7 @@ impl MemTable {
 impl std::fmt::Debug for MemTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MemTable")
-            .field("lock", &self.kind)
+            .field("lock", &self.get_lock.label())
             .field("len", &self.len())
             .finish_non_exhaustive()
     }
@@ -149,11 +160,12 @@ impl std::fmt::Debug for MemTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rwlocks::LockKind;
     use std::sync::Arc;
 
     #[test]
     fn put_get_delete_round_trip() {
-        let t = MemTable::new(LockKind::BravoBa);
+        let t = MemTable::new(LockKind::BravoBa).unwrap();
         assert!(t.is_empty());
         t.put(1, [1, 2, 3, 4]);
         assert_eq!(t.get(1), Some([1, 2, 3, 4]));
@@ -165,14 +177,14 @@ mod tests {
 
     #[test]
     fn prepopulation_matches_db_bench() {
-        let t = MemTable::prepopulated(LockKind::Ba, 100);
+        let t = MemTable::prepopulated(LockKind::Ba, 100).unwrap();
         assert_eq!(t.len(), 100);
         assert_eq!(t.get(99).unwrap()[0], 99);
     }
 
     #[test]
     fn in_place_updates_apply_under_the_write_lock() {
-        let t = MemTable::new(LockKind::Pthread);
+        let t = MemTable::new(LockKind::Pthread).unwrap();
         t.update_in_place(7, |v| v[0] += 1);
         t.update_in_place(7, |v| v[0] += 1);
         assert_eq!(t.get(7).unwrap()[0], 2);
@@ -182,7 +194,7 @@ mod tests {
     fn readers_never_observe_torn_values() {
         // The writer always keeps value[0] == value[1]; readers check it.
         for kind in [LockKind::BravoBa, LockKind::Ba, LockKind::BravoPthread] {
-            let t = Arc::new(MemTable::prepopulated(kind, 16));
+            let t = Arc::new(MemTable::prepopulated(kind, 16).unwrap());
             std::thread::scope(|s| {
                 let writer = Arc::clone(&t);
                 s.spawn(move || {
@@ -210,7 +222,7 @@ mod tests {
     #[test]
     fn works_with_every_lock_in_the_catalog() {
         for &kind in LockKind::all() {
-            let t = MemTable::new(kind);
+            let t = MemTable::new(kind).unwrap();
             t.put(5, [5; 4]);
             assert_eq!(t.get(5), Some([5; 4]), "broken under {kind}");
         }

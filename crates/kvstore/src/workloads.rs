@@ -4,9 +4,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bravo::spec::{LockSpec, SpecError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rwlocks::LockKind;
 
 use crate::hash_cache::{CacheEntry, HashCache};
 use crate::memtable::MemTable;
@@ -33,12 +33,12 @@ impl ReadWhileWritingResult {
 ///
 /// `num_keys` corresponds to `db_bench --num` (the paper uses 10 000).
 pub fn run_readwhilewriting(
-    kind: LockKind,
+    spec: impl Into<LockSpec>,
     readers: usize,
     num_keys: u64,
     duration: Duration,
-) -> ReadWhileWritingResult {
-    let table = Arc::new(MemTable::prepopulated(kind, num_keys));
+) -> Result<ReadWhileWritingResult, SpecError> {
+    let table = Arc::new(MemTable::prepopulated(spec, num_keys)?);
     let stop = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
     let writes = Arc::new(AtomicU64::new(0));
@@ -83,10 +83,10 @@ pub fn run_readwhilewriting(
         stop.store(true, Ordering::Relaxed);
     });
 
-    ReadWhileWritingResult {
+    Ok(ReadWhileWritingResult {
         reads: reads.load(Ordering::Relaxed),
         writes: writes.load(Ordering::Relaxed),
-    }
+    })
 }
 
 /// Result of one `hash_table_bench` run (Figure 6).
@@ -111,12 +111,12 @@ impl HashTableBenchResult {
 /// `readers` lookup threads over a shared hash table behind a single
 /// reader-writer lock, for `duration`.
 pub fn run_hash_table_bench(
-    kind: LockKind,
+    spec: impl Into<LockSpec>,
     readers: usize,
     key_space: u64,
     duration: Duration,
-) -> HashTableBenchResult {
-    let cache = Arc::new(HashCache::prepopulated(kind, key_space));
+) -> Result<HashTableBenchResult, SpecError> {
+    let cache = Arc::new(HashCache::prepopulated(spec, key_space)?);
     let stop = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
     let inserts = Arc::new(AtomicU64::new(0));
@@ -180,21 +180,22 @@ pub fn run_hash_table_bench(
         stop.store(true, Ordering::Relaxed);
     });
 
-    HashTableBenchResult {
+    Ok(HashTableBenchResult {
         reads: reads.load(Ordering::Relaxed),
         inserts: inserts.load(Ordering::Relaxed),
         erases: erases.load(Ordering::Relaxed),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rwlocks::LockKind;
 
     #[test]
     fn readwhilewriting_makes_progress_on_bravo_and_ba() {
         for kind in [LockKind::Ba, LockKind::BravoBa] {
-            let r = run_readwhilewriting(kind, 2, 1_000, Duration::from_millis(100));
+            let r = run_readwhilewriting(kind, 2, 1_000, Duration::from_millis(100)).unwrap();
             assert!(r.reads > 0, "{kind}: no reads");
             assert!(r.writes > 0, "{kind}: no writes");
             assert!(r.ops_per_sec(Duration::from_millis(100)) > 0.0);
@@ -203,7 +204,8 @@ mod tests {
 
     #[test]
     fn hash_table_bench_makes_progress() {
-        let r = run_hash_table_bench(LockKind::BravoPthread, 2, 512, Duration::from_millis(100));
+        let r = run_hash_table_bench(LockKind::BravoPthread, 2, 512, Duration::from_millis(100))
+            .unwrap();
         assert!(r.reads > 0);
         assert!(r.inserts > 0);
         assert!(r.erases > 0);
@@ -214,7 +216,8 @@ mod tests {
     fn read_dominance_holds_with_many_readers() {
         // With several reader threads and one writer, reads dominate the
         // operation mix — the regime Figure 5 targets.
-        let r = run_readwhilewriting(LockKind::BravoBa, 3, 1_000, Duration::from_millis(150));
+        let r =
+            run_readwhilewriting(LockKind::BravoBa, 3, 1_000, Duration::from_millis(150)).unwrap();
         assert!(r.reads > r.writes);
     }
 }

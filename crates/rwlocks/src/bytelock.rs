@@ -12,8 +12,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// Number of favored reader slots (one cache line worth of bytes, as in the
 /// original TLRW byte-lock).
@@ -42,36 +42,8 @@ impl ByteLock {
         (id < FAVORED_SLOTS).then_some(id)
     }
 
-    fn readers_visible(&self) -> bool {
-        self.overflow_readers.load(Ordering::Acquire) != 0
-            || self
-                .slots
-                .iter()
-                .any(|slot| slot.load(Ordering::Acquire) != 0)
-    }
-}
-
-impl RawRwLock for ByteLock {
-    fn new() -> Self {
-        Self {
-            slots: std::array::from_fn(|_| AtomicU8::new(0)),
-            overflow_readers: AtomicU64::new(0),
-            writer: AtomicU64::new(0),
-        }
-    }
-
-    fn lock_shared(&self) {
-        loop {
-            if self.try_lock_shared() {
-                return;
-            }
-            while self.writer.load(Ordering::Relaxed) != 0 {
-                cpu_relax();
-            }
-        }
-    }
-
-    fn try_lock_shared(&self) -> bool {
+    /// Non-blocking reader admission; shared by the blocking and try paths.
+    fn acquire_shared_fast(&self) -> bool {
         if self.writer.load(Ordering::Acquire) != 0 {
             return false;
         }
@@ -102,6 +74,36 @@ impl RawRwLock for ByteLock {
         }
     }
 
+    fn readers_visible(&self) -> bool {
+        self.overflow_readers.load(Ordering::Acquire) != 0
+            || self
+                .slots
+                .iter()
+                .any(|slot| slot.load(Ordering::Acquire) != 0)
+    }
+}
+
+impl RawRwLock for ByteLock {
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| AtomicU8::new(0)),
+            overflow_readers: AtomicU64::new(0),
+            writer: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_shared(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            if self.acquire_shared_fast() {
+                return;
+            }
+            while self.writer.load(Ordering::Relaxed) != 0 {
+                backoff.snooze();
+            }
+        }
+    }
+
     fn unlock_shared(&self) {
         match Self::slot_of_current_thread() {
             Some(slot) => {
@@ -120,31 +122,17 @@ impl RawRwLock for ByteLock {
         // Claim the writer flag (one writer at a time), then wait for every
         // reader indicator — favored bytes and the overflow counter — to
         // drain.
+        let mut backoff = Backoff::new();
         while self
             .writer
             .compare_exchange_weak(0, 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
-            cpu_relax();
+            backoff.snooze();
         }
         while self.readers_visible() {
-            cpu_relax();
+            backoff.snooze();
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        if self
-            .writer
-            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
-            return false;
-        }
-        if self.readers_visible() {
-            self.writer.store(0, Ordering::Release);
-            return false;
-        }
-        true
     }
 
     fn unlock_exclusive(&self) {
@@ -154,6 +142,31 @@ impl RawRwLock for ByteLock {
 
     fn name() -> &'static str {
         "byte-lock"
+    }
+}
+
+impl RawTryRwLock for ByteLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        if self.acquire_shared_fast() {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if self
+            .writer
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Err(TryLockError::WouldBlock);
+        }
+        if self.readers_visible() {
+            self.writer.store(0, Ordering::Release);
+            return Err(TryLockError::WouldBlock);
+        }
+        Ok(())
     }
 }
 
@@ -212,9 +225,9 @@ mod tests {
     fn favored_reader_blocks_writer_until_departure() {
         let l = ByteLock::new();
         l.lock_shared();
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_err());
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 

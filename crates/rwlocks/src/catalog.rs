@@ -1,13 +1,29 @@
-//! Run-time selection of lock algorithms for the benchmark harness.
+//! Run-time selection and spec-driven construction of lock algorithms for
+//! the benchmark harness.
 //!
 //! The paper's figures all sweep the same set of locks ("BA", "BRAVO-BA",
 //! "Cohort-RW", "Per-CPU", "pthread", "BRAVO-pthread"); the harness selects
 //! them by name. [`LockKind`] enumerates every algorithm in this workspace
-//! and [`make_lock`] instantiates one behind a `Box<dyn RawRwLock>` so that
-//! workload drivers can be written once. Dynamic dispatch costs the same for
-//! every candidate, so relative comparisons are unaffected.
+//! and [`build_lock`] instantiates one from a declarative
+//! [`LockSpec`] — kind, bias policy, table layout,
+//! statistics attribution — behind a [`LockHandle`] so
+//! that workload drivers can be written once. Dynamic dispatch costs the
+//! same for every candidate, so relative comparisons are unaffected.
+//!
+//! A spec string such as `"BRAVO-BA?n=99&table=private:4096"` selects the
+//! BRAVO-BA composite with a 99× inhibit window publishing into its own
+//! 4096-slot table; see [`bravo::spec`] for the grammar.
 
-use bravo::{Bravo2dLock, RawRwLock, ReentrantBravo};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bravo::spec::{LockHandle, LockSpec, SpecError, TableSpec};
+use bravo::stats::StatsSink;
+use bravo::vrt::TableHandle;
+use bravo::{
+    BiasPolicy, Bravo2dLock, BravoLock, RawRwLock, RawTryRwLock, ReentrantBravo, SectoredHandle,
+    TryLockError,
+};
 
 use crate::cohort::CohortRwLock;
 use crate::counter::CounterRwLock;
@@ -118,6 +134,26 @@ impl LockKind {
                 | LockKind::Bravo2dBa
         )
     }
+
+    /// A [`LockSpec`] selecting this kind with paper-default configuration
+    /// (bias `N = 9`, global table, per-lock statistics).
+    pub fn spec(self) -> LockSpec {
+        LockSpec::new(self.name())
+    }
+
+    /// Builds a lock of this kind with paper-default configuration.
+    ///
+    /// This is the convenience form of [`build_lock`] for call sites that
+    /// sweep `LockKind`s directly; a default spec is always buildable.
+    pub fn build(self) -> LockHandle {
+        build_lock(&self.spec()).expect("a default LockSpec is always buildable")
+    }
+}
+
+impl From<LockKind> for LockSpec {
+    fn from(kind: LockKind) -> Self {
+        kind.spec()
+    }
 }
 
 impl std::fmt::Display for LockKind {
@@ -125,6 +161,15 @@ impl std::fmt::Display for LockKind {
         f.write_str(self.name())
     }
 }
+
+/// How long [`ReentrantBravo2d::try_lock_exclusive`] may wait for fast-path
+/// readers to drain before giving up.
+///
+/// The paper's revocation scans complete in single-digit microseconds
+/// (§3: ~1.1 ns per slot over one column per row); 200 µs covers even a
+/// heavily preempted reader on an oversubscribed host while remaining
+/// far below any blocking acquisition a caller could confuse it with.
+pub const BRAVO_2D_TRY_WRITE_BUDGET: Duration = Duration::from_micros(200);
 
 /// A [`Bravo2dLock`] exposed through the [`RawRwLock`] interface, analogous
 /// to [`ReentrantBravo`] for the flat-table lock.
@@ -137,6 +182,37 @@ thread_local! {
         const { std::cell::RefCell::new(Vec::new()) };
 }
 
+impl<L: RawRwLock> ReentrantBravo2d<L> {
+    /// Wraps an existing BRAVO-2D lock.
+    pub fn from_lock(inner: Bravo2dLock<L>) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped BRAVO-2D lock.
+    pub fn inner(&self) -> &Bravo2dLock<L> {
+        &self.inner
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn park_token(&self, token: bravo::ReadToken) {
+        HELD_2D.with(|h| h.borrow_mut().push((self.key(), token)));
+    }
+
+    fn take_token(&self) -> bravo::ReadToken {
+        HELD_2D.with(|h| {
+            let mut held = h.borrow_mut();
+            let idx = held
+                .iter()
+                .rposition(|(addr, _)| *addr == self.key())
+                .expect("unlock_shared on a ReentrantBravo2d not read-held by this thread");
+            held.remove(idx).1
+        })
+    }
+}
+
 impl<L: RawRwLock> RawRwLock for ReentrantBravo2d<L> {
     fn new() -> Self {
         Self {
@@ -146,39 +222,16 @@ impl<L: RawRwLock> RawRwLock for ReentrantBravo2d<L> {
 
     fn lock_shared(&self) {
         let token = self.inner.read_lock();
-        HELD_2D.with(|h| h.borrow_mut().push((self as *const Self as usize, token)));
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        // BRAVO-2D has no dedicated try path in the paper; the blocking read
-        // path is non-blocking whenever the underlying lock's slow path is,
-        // so fall back to the conservative approach: only proceed when the
-        // underlying lock admits a reader immediately.
-        self.lock_shared();
-        true
+        self.park_token(token);
     }
 
     fn unlock_shared(&self) {
-        let token = HELD_2D.with(|h| {
-            let mut held = h.borrow_mut();
-            let idx = held
-                .iter()
-                .rposition(|(addr, _)| *addr == self as *const Self as usize)
-                .expect("unlock_shared on a ReentrantBravo2d not read-held by this thread");
-            held.remove(idx).1
-        });
+        let token = self.take_token();
         self.inner.read_unlock(token);
     }
 
     fn lock_exclusive(&self) {
         self.inner.write_lock();
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        // No try path on the 2D variant: emulate with the blocking path only
-        // when the lock is uncontended is not possible generically, so report
-        // failure; harness code paths that need try-locks use the flat BRAVO.
-        false
     }
 
     fn unlock_exclusive(&self) {
@@ -190,27 +243,154 @@ impl<L: RawRwLock> RawRwLock for ReentrantBravo2d<L> {
     }
 }
 
-/// Instantiates one lock of the requested kind behind a trait object.
-pub fn make_lock(kind: LockKind) -> Box<dyn RawRwLock> {
+impl<L: RawTryRwLock> RawTryRwLock for ReentrantBravo2d<L> {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        match self.inner.try_read_lock() {
+            Some(token) => {
+                self.park_token(token);
+                Ok(())
+            }
+            None => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        // An honest bounded-wait try: revocation runs with a deadline of
+        // [`BRAVO_2D_TRY_WRITE_BUDGET`], after which the acquisition backs
+        // out cleanly. (This replaces the historical always-fail stub.)
+        if self.inner.try_write_lock_for(BRAVO_2D_TRY_WRITE_BUDGET) {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
+    }
+}
+
+/// Resolves a flat-table spec to a [`TableHandle`], rejecting sectored
+/// layouts (those belong to the BRAVO-2D kind).
+fn flat_table(spec: &LockSpec) -> Result<TableHandle, SpecError> {
+    match spec.table() {
+        TableSpec::Global => Ok(TableHandle::Global),
+        TableSpec::Private { slots } => Ok(TableHandle::private(slots)),
+        table @ TableSpec::Sectored { .. } => Err(SpecError::UnsupportedTable {
+            kind: spec.kind().to_string(),
+            table,
+        }),
+    }
+}
+
+/// Resolves a sectored-table spec to a [`SectoredHandle`], rejecting flat
+/// private layouts (BRAVO-2D tables are always sectored).
+fn sectored_table(spec: &LockSpec) -> Result<SectoredHandle, SpecError> {
+    match spec.table() {
+        TableSpec::Global => Ok(SectoredHandle::Global),
+        TableSpec::Sectored { sectors, slots } => Ok(SectoredHandle::private(sectors, slots)),
+        table @ TableSpec::Private { .. } => Err(SpecError::UnsupportedTable {
+            kind: spec.kind().to_string(),
+            table,
+        }),
+    }
+}
+
+/// Rejects bias/table parameters on kinds that are not BRAVO composites, so
+/// a spec like `"BA?n=99"` fails loudly instead of silently selecting a
+/// lock the parameters cannot affect.
+fn reject_bravo_params(spec: &LockSpec) -> Result<(), SpecError> {
+    if spec.bias() != BiasPolicy::paper_default() {
+        return Err(SpecError::UnsupportedBias {
+            kind: spec.kind().to_string(),
+        });
+    }
+    if spec.table() != TableSpec::Global {
+        return Err(SpecError::UnsupportedTable {
+            kind: spec.kind().to_string(),
+            table: spec.table(),
+        });
+    }
+    Ok(())
+}
+
+fn bravo_flat<L: RawTryRwLock + 'static>(
+    spec: &LockSpec,
+    sink: StatsSink,
+) -> Result<LockHandle, SpecError> {
+    let table = flat_table(spec)?;
+    let lock = ReentrantBravo::from_lock(BravoLock::with_instrumented(
+        L::new(),
+        table,
+        spec.bias(),
+        sink.clone(),
+    ));
+    Ok(LockHandle::from_try_lock(
+        spec.clone(),
+        Arc::new(lock),
+        sink,
+    ))
+}
+
+fn plain<L: RawTryRwLock + 'static>(spec: &LockSpec) -> Result<LockHandle, SpecError> {
+    reject_bravo_params(spec)?;
+    // Plain locks record no BRAVO statistics, so the handle always gets its
+    // own (permanently zero) per-lock block regardless of the spec's stats
+    // mode: a `StatsSink::Global` here would make `snapshot()` report the
+    // *process* aggregate — other locks' teed events — as if it were this
+    // lock's, mislabelling harness output.
+    Ok(LockHandle::from_try_lock(
+        spec.clone(),
+        Arc::new(L::new()),
+        StatsSink::per_lock(),
+    ))
+}
+
+/// Builds one lock instance from a declarative spec.
+///
+/// The kind is resolved through [`LockKind::parse`]; bias and table
+/// parameters are honoured for BRAVO composites and rejected (not ignored)
+/// for plain locks. Statistics attribution follows the spec's `stats` mode
+/// for BRAVO composites, which record into the handle's sink; plain locks
+/// perform no recording, so their handles' snapshots read all zeros
+/// regardless of the mode.
+pub fn build_lock(spec: &LockSpec) -> Result<LockHandle, SpecError> {
+    let Some(kind) = LockKind::parse(spec.kind()) else {
+        return Err(SpecError::UnknownKind {
+            kind: spec.kind().to_string(),
+            known: LockKind::all().iter().map(|k| k.name()).collect(),
+        });
+    };
     match kind {
-        LockKind::Ba => Box::new(PhaseFairQueueLock::new()),
-        LockKind::BravoBa => Box::new(ReentrantBravo::<PhaseFairQueueLock>::new()),
-        LockKind::PfT => Box::new(PhaseFairTicketLock::new()),
-        LockKind::BravoPfT => Box::new(ReentrantBravo::<PhaseFairTicketLock>::new()),
-        LockKind::Pthread => Box::new(PthreadRwLock::new()),
-        LockKind::BravoPthread => Box::new(ReentrantBravo::<PthreadRwLock>::new()),
-        LockKind::CohortRw => Box::new(CohortRwLock::new()),
-        LockKind::PerCpu => Box::new(PerCpuRwLock::<PhaseFairQueueLock>::new()),
-        LockKind::Counter => Box::new(CounterRwLock::new()),
-        LockKind::BravoCounter => Box::new(ReentrantBravo::<CounterRwLock>::new()),
-        LockKind::Fair => Box::new(FairRwLock::new()),
-        LockKind::Bravo2dBa => Box::new(ReentrantBravo2d::<PhaseFairQueueLock>::new()),
+        LockKind::Ba => plain::<PhaseFairQueueLock>(spec),
+        LockKind::PfT => plain::<PhaseFairTicketLock>(spec),
+        LockKind::Pthread => plain::<PthreadRwLock>(spec),
+        LockKind::CohortRw => plain::<CohortRwLock>(spec),
+        LockKind::PerCpu => plain::<PerCpuRwLock<PhaseFairQueueLock>>(spec),
+        LockKind::Counter => plain::<CounterRwLock>(spec),
+        LockKind::Fair => plain::<FairRwLock>(spec),
+        LockKind::BravoBa => bravo_flat::<PhaseFairQueueLock>(spec, spec.make_sink()),
+        LockKind::BravoPfT => bravo_flat::<PhaseFairTicketLock>(spec, spec.make_sink()),
+        LockKind::BravoPthread => bravo_flat::<PthreadRwLock>(spec, spec.make_sink()),
+        LockKind::BravoCounter => bravo_flat::<CounterRwLock>(spec, spec.make_sink()),
+        LockKind::Bravo2dBa => {
+            let sink = spec.make_sink();
+            let table = sectored_table(spec)?;
+            let lock = ReentrantBravo2d::from_lock(Bravo2dLock::with_instrumented(
+                PhaseFairQueueLock::new(),
+                table,
+                spec.bias(),
+                sink.clone(),
+            ));
+            Ok(LockHandle::from_try_lock(
+                spec.clone(),
+                Arc::new(lock),
+                sink,
+            ))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bravo::spec::StatsMode;
 
     #[test]
     fn every_kind_round_trips_through_parse() {
@@ -232,13 +412,30 @@ mod tests {
     #[test]
     fn every_kind_constructs_and_locks() {
         for &kind in LockKind::all() {
-            let lock = make_lock(kind);
+            let lock = kind.build();
             lock.lock_shared();
             lock.unlock_shared();
             lock.lock_exclusive();
             lock.unlock_exclusive();
             lock.lock_shared();
             lock.unlock_shared();
+        }
+    }
+
+    #[test]
+    fn every_kind_has_an_honest_try_write() {
+        // The historical `ReentrantBravo2d::try_lock_exclusive` silently
+        // always failed; the redesign fences that off in the types, so every
+        // cataloged kind must now either support try-write for real or not
+        // expose it at all.
+        for &kind in LockKind::all() {
+            let lock = kind.build();
+            assert!(lock.supports_try_write(), "{kind} lost its try path");
+            assert!(
+                lock.try_lock_exclusive().is_ok(),
+                "{kind}: uncontended try-write failed"
+            );
+            lock.unlock_exclusive();
         }
     }
 
@@ -251,14 +448,97 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_use_through_trait_objects() {
+    fn specs_resolve_bias_and_table_parameters() {
+        let spec: LockSpec = "BRAVO-BA?n=99&table=private:64".parse().unwrap();
+        let lock = build_lock(&spec).unwrap();
+        assert_eq!(lock.label(), "BRAVO-BA?n=99&table=private:64");
+        lock.lock_shared();
+        lock.unlock_shared();
+        lock.lock_shared();
+        lock.unlock_shared();
+        // The second read of a biased BRAVO lock takes the fast path; the
+        // per-lock sink must have seen it.
+        assert!(lock.snapshot().fast_reads >= 1);
+    }
+
+    #[test]
+    fn sectored_spec_builds_a_2d_lock_with_private_geometry() {
+        let spec: LockSpec = "BRAVO-2D-BA?table=sectored:4x64".parse().unwrap();
+        let lock = build_lock(&spec).unwrap();
+        lock.lock_shared();
+        lock.unlock_shared();
+        lock.lock_shared();
+        lock.unlock_shared();
+        assert!(lock.snapshot().fast_reads >= 1);
+        lock.lock_exclusive();
+        lock.unlock_exclusive();
+        assert!(lock.snapshot().revocations >= 1);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_not_ignored() {
+        // Unknown kind.
+        assert!(matches!(
+            build_lock(&LockSpec::new("no-such-lock")),
+            Err(SpecError::UnknownKind { .. })
+        ));
+        // Bias parameters on a non-BRAVO kind.
+        assert!(matches!(
+            build_lock(&"BA?n=99".parse().unwrap()),
+            Err(SpecError::UnsupportedBias { .. })
+        ));
+        // Table parameters on a non-BRAVO kind.
+        assert!(matches!(
+            build_lock(&"Per-CPU?table=private:64".parse().unwrap()),
+            Err(SpecError::UnsupportedTable { .. })
+        ));
+        // Sectored table on a flat composite, private table on the 2D one.
+        assert!(matches!(
+            build_lock(&"BRAVO-BA?table=sectored:4x64".parse().unwrap()),
+            Err(SpecError::UnsupportedTable { .. })
+        ));
+        assert!(matches!(
+            build_lock(&"BRAVO-2D-BA?table=private:64".parse().unwrap()),
+            Err(SpecError::UnsupportedTable { .. })
+        ));
+    }
+
+    #[test]
+    fn global_stats_mode_is_honoured() {
+        let spec = LockKind::BravoBa.spec().with_stats(StatsMode::Global);
+        let lock = build_lock(&spec).unwrap();
+        assert!(!lock.stats().is_per_lock());
+        assert_eq!(lock.label(), "BRAVO-BA?stats=global");
+    }
+
+    #[test]
+    fn bounded_2d_try_write_fails_while_a_fast_reader_is_published() {
+        let lock = LockKind::Bravo2dBa.build();
+        // Prime bias, then hold a fast read.
+        lock.lock_shared();
+        lock.unlock_shared();
+        lock.lock_shared();
+        let started = std::time::Instant::now();
+        assert_eq!(lock.try_lock_exclusive(), Err(TryLockError::WouldBlock));
+        // The bounded wait must not have degenerated into blocking.
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "try-write blocked instead of timing out"
+        );
+        lock.unlock_shared();
+        assert!(lock.try_lock_exclusive().is_ok());
+        lock.unlock_exclusive();
+    }
+
+    #[test]
+    fn concurrent_use_through_handles() {
         for &kind in LockKind::paper_set() {
-            let lock: std::sync::Arc<dyn RawRwLock> = std::sync::Arc::from(make_lock(kind));
-            let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+            let lock = kind.build();
+            let counter = std::sync::atomic::AtomicU64::new(0);
             std::thread::scope(|s| {
                 for _ in 0..3 {
-                    let lock = std::sync::Arc::clone(&lock);
-                    let counter = std::sync::Arc::clone(&counter);
+                    let lock = &lock;
+                    let counter = &counter;
                     s.spawn(move || {
                         for _ in 0..500 {
                             lock.lock_exclusive();

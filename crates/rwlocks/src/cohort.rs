@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 use topology::CachePadded;
 
 use crate::mutex::{CohortMutex, RawMutex};
@@ -75,8 +75,9 @@ impl CohortRwLock {
 
     fn wait_for_all_readers(&self) {
         for node in self.indicators.iter() {
+            let mut backoff = Backoff::new();
             while !node.is_empty() {
-                cpu_relax();
+                backoff.snooze();
             }
         }
     }
@@ -99,20 +100,11 @@ impl RawRwLock for CohortRwLock {
             }
             // Writer preference: withdraw and wait for the writer to finish.
             indicator.egress.fetch_add(1, Ordering::SeqCst);
+            let mut backoff = Backoff::new();
             while self.writer_barrier.load(Ordering::Relaxed) {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        let indicator = self.my_indicator();
-        indicator.ingress.fetch_add(1, Ordering::SeqCst);
-        if !self.writer_barrier.load(Ordering::SeqCst) {
-            return true;
-        }
-        indicator.egress.fetch_add(1, Ordering::SeqCst);
-        false
     }
 
     fn unlock_shared(&self) {
@@ -125,22 +117,6 @@ impl RawRwLock for CohortRwLock {
         self.wait_for_all_readers();
     }
 
-    fn try_lock_exclusive(&self) -> bool {
-        if !self.writer_lock.try_lock() {
-            return false;
-        }
-        self.writer_barrier.store(true, Ordering::SeqCst);
-        // Single pass over the indicators: if any node has active readers,
-        // back off rather than wait.
-        if self.indicators.iter().all(|n| n.is_empty()) {
-            true
-        } else {
-            self.writer_barrier.store(false, Ordering::SeqCst);
-            self.writer_lock.unlock();
-            false
-        }
-    }
-
     fn unlock_exclusive(&self) {
         self.writer_barrier.store(false, Ordering::SeqCst);
         self.writer_lock.unlock();
@@ -148,6 +124,34 @@ impl RawRwLock for CohortRwLock {
 
     fn name() -> &'static str {
         "Cohort-RW"
+    }
+}
+
+impl RawTryRwLock for CohortRwLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        let indicator = self.my_indicator();
+        indicator.ingress.fetch_add(1, Ordering::SeqCst);
+        if !self.writer_barrier.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        indicator.egress.fetch_add(1, Ordering::SeqCst);
+        Err(TryLockError::WouldBlock)
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if !self.writer_lock.try_lock() {
+            return Err(TryLockError::WouldBlock);
+        }
+        self.writer_barrier.store(true, Ordering::SeqCst);
+        // Single pass over the indicators: if any node has active readers,
+        // back off rather than wait.
+        if self.indicators.iter().all(|n| n.is_empty()) {
+            Ok(())
+        } else {
+            self.writer_barrier.store(false, Ordering::SeqCst);
+            self.writer_lock.unlock();
+            Err(TryLockError::WouldBlock)
+        }
     }
 }
 
@@ -216,13 +220,13 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(!writer_in.load(Ordering::SeqCst));
             assert!(
-                !l.try_lock_shared(),
+                l.try_lock_shared().is_err(),
                 "reader admitted past a pending writer"
             );
             l.unlock_shared();
         });
         assert!(writer_in.load(Ordering::SeqCst));
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 

@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// A compact reader-writer lock with a single central reader counter.
 ///
@@ -39,6 +39,7 @@ impl RawRwLock for CounterRwLock {
     }
 
     fn lock_shared(&self) {
+        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | PENDING) == 0 {
@@ -50,18 +51,9 @@ impl RawRwLock for CounterRwLock {
                     return;
                 }
             } else {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        let cur = self.state.load(Ordering::Relaxed);
-        cur & (WRITER | PENDING) == 0
-            && self
-                .state
-                .compare_exchange(cur, cur + READER, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
     }
 
     fn unlock_shared(&self) {
@@ -75,6 +67,7 @@ impl RawRwLock for CounterRwLock {
 
     fn lock_exclusive(&self) {
         // Phase 1: claim the pending bit (only one writer may own it).
+        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | PENDING) == 0 {
@@ -86,7 +79,7 @@ impl RawRwLock for CounterRwLock {
                     break;
                 }
             } else {
-                cpu_relax();
+                backoff.snooze();
             }
         }
         // Phase 2: wait for readers to drain, then convert pending → active.
@@ -106,15 +99,9 @@ impl RawRwLock for CounterRwLock {
                     return;
                 }
             } else {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        self.state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
     }
 
     fn unlock_exclusive(&self) {
@@ -128,6 +115,29 @@ impl RawRwLock for CounterRwLock {
 
     fn name() -> &'static str {
         "counter"
+    }
+}
+
+impl RawTryRwLock for CounterRwLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        let cur = self.state.load(Ordering::Relaxed);
+        if cur & (WRITER | PENDING) == 0
+            && self
+                .state
+                .compare_exchange(cur, cur + READER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .map(|_| ())
+            .map_err(|_| TryLockError::WouldBlock)
     }
 }
 
@@ -182,12 +192,12 @@ mod tests {
             // Wait for the writer to set its pending bit.
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(
-                !l.try_lock_shared(),
+                l.try_lock_shared().is_err(),
                 "reader admitted past a pending writer"
             );
             l.unlock_shared();
         });
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 

@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 use crate::mutex::{RawMutex, TicketMutex};
 
@@ -43,15 +43,6 @@ impl RawRwLock for FairRwLock {
         self.entry.unlock();
     }
 
-    fn try_lock_shared(&self) -> bool {
-        if !self.entry.try_lock() {
-            return false;
-        }
-        self.active_readers.fetch_add(1, Ordering::Acquire);
-        self.entry.unlock();
-        true
-    }
-
     fn unlock_shared(&self) {
         let prev = self.active_readers.fetch_sub(1, Ordering::Release);
         debug_assert_ne!(prev, 0, "unlock_shared with no active readers");
@@ -59,20 +50,10 @@ impl RawRwLock for FairRwLock {
 
     fn lock_exclusive(&self) {
         self.entry.lock();
+        let mut backoff = Backoff::new();
         while self.active_readers.load(Ordering::Acquire) != 0 {
-            cpu_relax();
+            backoff.snooze();
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        if !self.entry.try_lock() {
-            return false;
-        }
-        if self.active_readers.load(Ordering::Acquire) != 0 {
-            self.entry.unlock();
-            return false;
-        }
-        true
     }
 
     fn unlock_exclusive(&self) {
@@ -81,6 +62,28 @@ impl RawRwLock for FairRwLock {
 
     fn name() -> &'static str {
         "MCS-fair"
+    }
+}
+
+impl RawTryRwLock for FairRwLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        if !self.entry.try_lock() {
+            return Err(TryLockError::WouldBlock);
+        }
+        self.active_readers.fetch_add(1, Ordering::Acquire);
+        self.entry.unlock();
+        Ok(())
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if !self.entry.try_lock() {
+            return Err(TryLockError::WouldBlock);
+        }
+        if self.active_readers.load(Ordering::Acquire) != 0 {
+            self.entry.unlock();
+            return Err(TryLockError::WouldBlock);
+        }
+        Ok(())
     }
 }
 
@@ -132,11 +135,11 @@ mod tests {
     fn writer_blocks_until_readers_drain() {
         let l = FairRwLock::new();
         l.lock_shared();
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_err());
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         // A reader arriving behind an active writer is refused.
-        assert!(!l.try_lock_shared());
+        assert!(l.try_lock_shared().is_err());
         l.unlock_exclusive();
     }
 }

@@ -38,9 +38,9 @@ pub mod pthread_like;
 pub mod rwlock;
 pub mod seqlock;
 
-pub use bravo::RawRwLock;
+pub use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 pub use bytelock::ByteLock;
-pub use catalog::{make_lock, LockKind};
+pub use catalog::{build_lock, LockKind, ReentrantBravo2d};
 pub use cohort::CohortRwLock;
 pub use counter::CounterRwLock;
 pub use fair::FairRwLock;

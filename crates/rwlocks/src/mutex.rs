@@ -5,7 +5,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
+use bravo::clock::Backoff;
 use topology::CachePadded;
 
 /// A raw mutual-exclusion lock.
@@ -49,8 +49,9 @@ impl RawMutex for TicketMutex {
 
     fn lock(&self) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
         while self.grant.load(Ordering::Acquire) != ticket {
-            cpu_relax();
+            backoff.snooze();
         }
     }
 
@@ -154,8 +155,9 @@ impl RawMutex for McsMutex {
             // MCS protocol guarantees it stays valid until it hands over to us.
             unsafe {
                 (*prev).next.store(node, Ordering::Release);
+                let mut backoff = Backoff::new();
                 while (*node).locked.load(Ordering::Acquire) {
-                    cpu_relax();
+                    backoff.snooze();
                 }
             }
         }
@@ -216,12 +218,13 @@ impl RawMutex for McsMutex {
                     return;
                 }
                 // A successor is in the middle of linking itself; wait for it.
+                let mut backoff = Backoff::new();
                 loop {
                     next = (*node).next.load(Ordering::Acquire);
                     if !next.is_null() {
                         break;
                     }
-                    cpu_relax();
+                    backoff.snooze();
                 }
             }
             (*next).locked.store(false, Ordering::Release);

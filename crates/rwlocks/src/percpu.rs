@@ -1,6 +1,6 @@
 //! The Per-CPU ("big-reader" / brlock-style) reader-writer lock.
 
-use bravo::RawRwLock;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 use topology::CachePadded;
 
 use crate::pf_q::PhaseFairQueueLock;
@@ -55,10 +55,6 @@ impl<R: RawRwLock> RawRwLock for PerCpuRwLock<R> {
         self.my_sublock().lock_shared();
     }
 
-    fn try_lock_shared(&self) -> bool {
-        self.my_sublock().try_lock_shared()
-    }
-
     fn unlock_shared(&self) {
         // The simulated topology pins a thread to one CPU for its lifetime,
         // so the sub-lock addressed here is the one `lock_shared` used.
@@ -73,19 +69,6 @@ impl<R: RawRwLock> RawRwLock for PerCpuRwLock<R> {
         }
     }
 
-    fn try_lock_exclusive(&self) -> bool {
-        for (i, sub) in self.sublocks.iter().enumerate() {
-            if !sub.try_lock_exclusive() {
-                // Roll back the prefix we already own.
-                for owned in self.sublocks[..i].iter() {
-                    owned.unlock_exclusive();
-                }
-                return false;
-            }
-        }
-        true
-    }
-
     fn unlock_exclusive(&self) {
         for sub in self.sublocks.iter().rev() {
             sub.unlock_exclusive();
@@ -94,6 +77,25 @@ impl<R: RawRwLock> RawRwLock for PerCpuRwLock<R> {
 
     fn name() -> &'static str {
         "Per-CPU"
+    }
+}
+
+impl<R: RawTryRwLock> RawTryRwLock for PerCpuRwLock<R> {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        self.my_sublock().try_lock_shared()
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        for (i, sub) in self.sublocks.iter().enumerate() {
+            if sub.try_lock_exclusive().is_err() {
+                // Roll back the prefix we already own.
+                for owned in self.sublocks[..i].iter() {
+                    owned.unlock_exclusive();
+                }
+                return Err(TryLockError::WouldBlock);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -146,9 +148,9 @@ mod tests {
         l.lock_exclusive();
         // No reader may enter on any sub-lock while the writer holds all of
         // them; this thread's try maps to one sub-lock, which is locked.
-        assert!(!l.try_lock_shared());
+        assert!(l.try_lock_shared().is_err());
         l.unlock_exclusive();
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 
@@ -156,10 +158,10 @@ mod tests {
     fn try_write_rolls_back_cleanly() {
         let l = PerCpu::with_cpus(4);
         l.lock_shared();
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_err());
         l.unlock_shared();
         // All sub-locks must have been released by the rollback.
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 

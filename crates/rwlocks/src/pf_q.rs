@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 use crate::mutex::{McsMutex, RawMutex};
 
@@ -57,20 +57,11 @@ impl RawRwLock for PhaseFairQueueLock {
         let w = self.rin.fetch_add(RINC, Ordering::Acquire) & WBITS;
         if w != 0 {
             // A writer is present or waiting: wait for the phase to change.
+            let mut backoff = Backoff::new();
             while self.rin.load(Ordering::Acquire) & WBITS == w {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        let cur = self.rin.load(Ordering::Relaxed);
-        if cur & WBITS != 0 {
-            return false;
-        }
-        self.rin
-            .compare_exchange(cur, cur + RINC, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
     }
 
     fn unlock_shared(&self) {
@@ -81,22 +72,6 @@ impl RawRwLock for PhaseFairQueueLock {
         // Writers queue up with local spinning; the queue head proceeds.
         self.wqueue.lock();
         self.block_readers_and_wait();
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        if !self.wqueue.try_lock() {
-            return false;
-        }
-        // We own the writer queue; check that no reader is active before
-        // committing to the announcement (announcing obliges us to wait).
-        let rin = self.rin.load(Ordering::Relaxed);
-        let rout = self.rout.load(Ordering::Relaxed);
-        if rin & !WBITS != rout & !WBITS {
-            self.wqueue.unlock();
-            return false;
-        }
-        self.block_readers_and_wait();
-        true
     }
 
     fn unlock_exclusive(&self) {
@@ -111,6 +86,35 @@ impl RawRwLock for PhaseFairQueueLock {
     }
 }
 
+impl RawTryRwLock for PhaseFairQueueLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        let cur = self.rin.load(Ordering::Relaxed);
+        if cur & WBITS != 0 {
+            return Err(TryLockError::WouldBlock);
+        }
+        self.rin
+            .compare_exchange(cur, cur + RINC, Ordering::Acquire, Ordering::Relaxed)
+            .map(|_| ())
+            .map_err(|_| TryLockError::WouldBlock)
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if !self.wqueue.try_lock() {
+            return Err(TryLockError::WouldBlock);
+        }
+        // We own the writer queue; check that no reader is active before
+        // committing to the announcement (announcing obliges us to wait).
+        let rin = self.rin.load(Ordering::Relaxed);
+        let rout = self.rout.load(Ordering::Relaxed);
+        if rin & !WBITS != rout & !WBITS {
+            self.wqueue.unlock();
+            return Err(TryLockError::WouldBlock);
+        }
+        self.block_readers_and_wait();
+        Ok(())
+    }
+}
+
 impl PhaseFairQueueLock {
     /// With the writer queue held: announce writer presence to readers and
     /// wait for the readers that arrived before the announcement to drain.
@@ -119,8 +123,9 @@ impl PhaseFairQueueLock {
         let w = PRES | phase;
         let rticket = self.rin.fetch_add(w, Ordering::Acquire);
         let target = rticket & !WBITS;
+        let mut backoff = Backoff::new();
         while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            cpu_relax();
+            backoff.snooze();
         }
     }
 }
@@ -188,12 +193,15 @@ mod tests {
                 wd.store(true, Ordering::SeqCst);
             });
             std::thread::sleep(std::time::Duration::from_millis(20));
-            assert!(!l.try_lock_shared(), "reader admitted while a writer waits");
+            assert!(
+                l.try_lock_shared().is_err(),
+                "reader admitted while a writer waits"
+            );
             l.unlock_shared();
         });
         assert!(writer_done.load(Ordering::SeqCst));
         // Reader phase reopened.
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 
@@ -201,9 +209,9 @@ mod tests {
     fn try_exclusive_does_not_deadlock_with_reader_present() {
         let l = PhaseFairQueueLock::new();
         l.lock_shared();
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_err());
         l.unlock_shared();
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
     }
 }

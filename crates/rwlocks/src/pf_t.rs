@@ -2,8 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::cpu_relax;
-use bravo::RawRwLock;
+use bravo::clock::Backoff;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// The Brandenburg–Anderson *phase-fair ticket* reader-writer lock.
 ///
@@ -54,27 +54,11 @@ impl RawRwLock for PhaseFairTicketLock {
         // If a writer is present, wait until the writer bits change (either
         // the writer leaves or the phase advances past it).
         if w != 0 {
+            let mut backoff = Backoff::new();
             while self.rin.load(Ordering::Acquire) & WBITS == w {
-                cpu_relax();
+                backoff.snooze();
             }
         }
-    }
-
-    fn try_lock_shared(&self) -> bool {
-        // Admit only when no writer is present or pending; otherwise do not
-        // register at all (registering would oblige us to wait).
-        let cur = self.rin.load(Ordering::Relaxed);
-        if cur & WBITS != 0 {
-            return false;
-        }
-        // Also refuse if a writer holds or waits for the lock without having
-        // yet set the entry bits (between its ticket grab and its rin update).
-        if self.win.load(Ordering::Relaxed) != self.wout.load(Ordering::Relaxed) {
-            return false;
-        }
-        self.rin
-            .compare_exchange(cur, cur + RINC, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
     }
 
     fn unlock_shared(&self) {
@@ -84,54 +68,19 @@ impl RawRwLock for PhaseFairTicketLock {
     fn lock_exclusive(&self) {
         // Writer-writer mutual exclusion via tickets.
         let ticket = self.win.fetch_add(1, Ordering::Acquire);
+        let mut backoff = Backoff::new();
         while self.wout.load(Ordering::Acquire) != ticket {
-            cpu_relax();
+            backoff.snooze();
         }
         // Announce presence to readers and snapshot the reader ingress count.
         let w = PRES | (ticket & PHID);
         let rticket = self.rin.fetch_add(w, Ordering::Acquire);
         // Wait for all readers that arrived before the announcement to leave.
         let target = rticket & !WBITS;
+        let mut backoff = Backoff::new();
         while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            cpu_relax();
+            backoff.snooze();
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        // Succeed only when there are no writers and no active readers.
-        let ticket = self.wout.load(Ordering::Relaxed);
-        if self.win.load(Ordering::Relaxed) != ticket {
-            return false;
-        }
-        let rin = self.rin.load(Ordering::Relaxed);
-        let rout = self.rout.load(Ordering::Relaxed);
-        if rin & WBITS != 0 || rin & !WBITS != rout & !WBITS {
-            return false;
-        }
-        // Claim the writer ticket; if someone beat us to it, give up.
-        if self
-            .win
-            .compare_exchange(ticket, ticket + 1, Ordering::Acquire, Ordering::Relaxed)
-            .is_err()
-        {
-            return false;
-        }
-        // We now hold the writer slot; perform the same announcement as the
-        // blocking path and verify no reader slipped in before it.
-        let w = PRES | (ticket & PHID);
-        let rticket = self.rin.fetch_add(w, Ordering::Acquire);
-        let target = rticket & !WBITS;
-        if self.rout.load(Ordering::Acquire) & !WBITS == target {
-            return true;
-        }
-        // A reader raced in: we cannot back out of a ticket lock cheaply, so
-        // wait for the (bounded, already-admitted) readers to drain. This
-        // keeps try_lock linearizable at the cost of a short wait, mirroring
-        // the "writer claims then waits" structure of the blocking path.
-        while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            cpu_relax();
-        }
-        true
     }
 
     fn unlock_exclusive(&self) {
@@ -143,6 +92,64 @@ impl RawRwLock for PhaseFairTicketLock {
 
     fn name() -> &'static str {
         "PF-T"
+    }
+}
+
+impl RawTryRwLock for PhaseFairTicketLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        // Admit only when no writer is present or pending; otherwise do not
+        // register at all (registering would oblige us to wait).
+        let cur = self.rin.load(Ordering::Relaxed);
+        if cur & WBITS != 0 {
+            return Err(TryLockError::WouldBlock);
+        }
+        // Also refuse if a writer holds or waits for the lock without having
+        // yet set the entry bits (between its ticket grab and its rin update).
+        if self.win.load(Ordering::Relaxed) != self.wout.load(Ordering::Relaxed) {
+            return Err(TryLockError::WouldBlock);
+        }
+        self.rin
+            .compare_exchange(cur, cur + RINC, Ordering::Acquire, Ordering::Relaxed)
+            .map(|_| ())
+            .map_err(|_| TryLockError::WouldBlock)
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        // Succeed only when there are no writers and no active readers.
+        let ticket = self.wout.load(Ordering::Relaxed);
+        if self.win.load(Ordering::Relaxed) != ticket {
+            return Err(TryLockError::WouldBlock);
+        }
+        let rin = self.rin.load(Ordering::Relaxed);
+        let rout = self.rout.load(Ordering::Relaxed);
+        if rin & WBITS != 0 || rin & !WBITS != rout & !WBITS {
+            return Err(TryLockError::WouldBlock);
+        }
+        // Claim the writer ticket; if someone beat us to it, give up.
+        if self
+            .win
+            .compare_exchange(ticket, ticket + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return Err(TryLockError::WouldBlock);
+        }
+        // We now hold the writer slot; perform the same announcement as the
+        // blocking path and verify no reader slipped in before it.
+        let w = PRES | (ticket & PHID);
+        let rticket = self.rin.fetch_add(w, Ordering::Acquire);
+        let target = rticket & !WBITS;
+        if self.rout.load(Ordering::Acquire) & !WBITS == target {
+            return Ok(());
+        }
+        // A reader raced in: we cannot back out of a ticket lock cheaply, so
+        // wait for the (bounded, already-admitted) readers to drain. This
+        // keeps try_lock linearizable at the cost of a short wait, mirroring
+        // the "writer claims then waits" structure of the blocking path.
+        let mut backoff = Backoff::new();
+        while self.rout.load(Ordering::Acquire) & !WBITS != target {
+            backoff.snooze();
+        }
+        Ok(())
     }
 }
 
@@ -215,7 +222,7 @@ mod tests {
                 "writer entered past an active reader"
             );
             assert!(
-                !l.try_lock_shared(),
+                l.try_lock_shared().is_err(),
                 "reader admitted while a writer is waiting (not phase-fair)"
             );
             l.unlock_shared();

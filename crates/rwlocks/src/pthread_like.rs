@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use bravo::RawRwLock;
+use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// A reader-preference, blocking reader-writer lock — the "pthread" baseline.
 ///
@@ -34,37 +34,9 @@ struct Waiters {
 const WRITER: u64 = 1 << 63;
 const READERS: u64 = WRITER - 1;
 
-impl RawRwLock for PthreadRwLock {
-    fn new() -> Self {
-        Self {
-            state: AtomicU64::new(0),
-            inner: Mutex::new(Waiters::default()),
-            readers_cv: Condvar::new(),
-            writers_cv: Condvar::new(),
-        }
-    }
-
-    fn lock_shared(&self) {
-        // Reader preference: a reader is admitted whenever no writer is
-        // *active*, regardless of waiting writers.
-        if self.try_lock_shared() {
-            return;
-        }
-        let mut inner = self.inner.lock().expect("pthread-like lock poisoned");
-        loop {
-            if self.try_lock_shared() {
-                return;
-            }
-            inner.waiting_readers += 1;
-            inner = self
-                .readers_cv
-                .wait(inner)
-                .expect("pthread-like lock poisoned");
-            inner.waiting_readers -= 1;
-        }
-    }
-
-    fn try_lock_shared(&self) -> bool {
+impl PthreadRwLock {
+    /// Lock-free reader admission; shared by the blocking and try paths.
+    fn acquire_shared_fast(&self) -> bool {
         let mut cur = self.state.load(Ordering::Relaxed);
         loop {
             if cur & WRITER != 0 {
@@ -82,6 +54,44 @@ impl RawRwLock for PthreadRwLock {
         }
     }
 
+    /// Lock-free writer admission; shared by the blocking and try paths.
+    fn acquire_exclusive_fast(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+impl RawRwLock for PthreadRwLock {
+    fn new() -> Self {
+        Self {
+            state: AtomicU64::new(0),
+            inner: Mutex::new(Waiters::default()),
+            readers_cv: Condvar::new(),
+            writers_cv: Condvar::new(),
+        }
+    }
+
+    fn lock_shared(&self) {
+        // Reader preference: a reader is admitted whenever no writer is
+        // *active*, regardless of waiting writers.
+        if self.acquire_shared_fast() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("pthread-like lock poisoned");
+        loop {
+            if self.acquire_shared_fast() {
+                return;
+            }
+            inner.waiting_readers += 1;
+            inner = self
+                .readers_cv
+                .wait(inner)
+                .expect("pthread-like lock poisoned");
+            inner.waiting_readers -= 1;
+        }
+    }
+
     fn unlock_shared(&self) {
         let prev = self.state.fetch_sub(1, Ordering::Release);
         debug_assert_ne!(prev & READERS, 0, "unlock_shared with no readers");
@@ -95,12 +105,12 @@ impl RawRwLock for PthreadRwLock {
     }
 
     fn lock_exclusive(&self) {
-        if self.try_lock_exclusive() {
+        if self.acquire_exclusive_fast() {
             return;
         }
         let mut inner = self.inner.lock().expect("pthread-like lock poisoned");
         loop {
-            if self.try_lock_exclusive() {
+            if self.acquire_exclusive_fast() {
                 return;
             }
             inner.waiting_writers += 1;
@@ -110,12 +120,6 @@ impl RawRwLock for PthreadRwLock {
                 .expect("pthread-like lock poisoned");
             inner.waiting_writers -= 1;
         }
-    }
-
-    fn try_lock_exclusive(&self) -> bool {
-        self.state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
     }
 
     fn unlock_exclusive(&self) {
@@ -133,6 +137,24 @@ impl RawRwLock for PthreadRwLock {
 
     fn name() -> &'static str {
         "pthread"
+    }
+}
+
+impl RawTryRwLock for PthreadRwLock {
+    fn try_lock_shared(&self) -> Result<(), TryLockError> {
+        if self.acquire_shared_fast() {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
+    }
+
+    fn try_lock_exclusive(&self) -> Result<(), TryLockError> {
+        if self.acquire_exclusive_fast() {
+            Ok(())
+        } else {
+            Err(TryLockError::WouldBlock)
+        }
     }
 }
 
@@ -200,7 +222,7 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(20));
             assert!(!writer_in.load(Ordering::SeqCst));
             assert!(
-                l.try_lock_shared(),
+                l.try_lock_shared().is_ok(),
                 "reader-preference lock refused a reader while only a writer waits"
             );
             l.unlock_shared();

@@ -4,7 +4,7 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 
-use bravo::RawRwLock;
+use bravo::{RawRwLock, RawTryRwLock};
 
 use crate::pf_q::PhaseFairQueueLock;
 
@@ -60,28 +60,10 @@ impl<T: ?Sized, R: RawRwLock> RwLock<T, R> {
         ReadGuard { lock: self }
     }
 
-    /// Attempts to acquire shared access without blocking.
-    pub fn try_read(&self) -> Option<ReadGuard<'_, T, R>> {
-        if self.raw.try_lock_shared() {
-            Some(ReadGuard { lock: self })
-        } else {
-            None
-        }
-    }
-
     /// Acquires exclusive access.
     pub fn write(&self) -> WriteGuard<'_, T, R> {
         self.raw.lock_exclusive();
         WriteGuard { lock: self }
-    }
-
-    /// Attempts to acquire exclusive access without blocking.
-    pub fn try_write(&self) -> Option<WriteGuard<'_, T, R>> {
-        if self.raw.try_lock_exclusive() {
-            Some(WriteGuard { lock: self })
-        } else {
-            None
-        }
     }
 
     /// Mutable access without locking (`&mut self` proves uniqueness).
@@ -95,13 +77,35 @@ impl<T: ?Sized, R: RawRwLock> RwLock<T, R> {
     }
 }
 
+impl<T: ?Sized, R: RawTryRwLock> RwLock<T, R> {
+    /// Attempts to acquire shared access without blocking. Requires the raw
+    /// lock to provide a non-blocking read path ([`RawTryRwLock`]).
+    pub fn try_read(&self) -> Option<ReadGuard<'_, T, R>> {
+        if self.raw.try_lock_shared().is_ok() {
+            Some(ReadGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to acquire exclusive access without blocking. Requires the
+    /// raw lock to provide a non-blocking write path ([`RawTryRwLock`]).
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T, R>> {
+        if self.raw.try_lock_exclusive().is_ok() {
+            Some(WriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+}
+
 impl<T: Default, R: RawRwLock> Default for RwLock<T, R> {
     fn default() -> Self {
         Self::new(T::default())
     }
 }
 
-impl<T: ?Sized + fmt::Debug, R: RawRwLock> fmt::Debug for RwLock<T, R> {
+impl<T: ?Sized + fmt::Debug, R: RawTryRwLock> fmt::Debug for RwLock<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_read() {
             Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
@@ -163,39 +167,42 @@ impl<T: ?Sized, R: RawRwLock> Drop for WriteGuard<'_, T, R> {
 /// Shared concurrency-test helpers used by every lock module in this crate.
 #[cfg(test)]
 pub(crate) mod tests_support {
-    use bravo::RawRwLock;
+    use bravo::{RawRwLock, RawTryRwLock};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// Uncontended lock/try-lock state machine checks every lock must pass.
-    pub fn try_lock_matrix<L: RawRwLock>() {
+    pub fn try_lock_matrix<L: RawTryRwLock>() {
         let l = L::new();
         // read blocks write, allows read
         l.lock_shared();
-        assert!(!l.try_lock_exclusive());
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_exclusive().is_err());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
         l.unlock_shared();
         // write blocks both
         l.lock_exclusive();
-        assert!(!l.try_lock_shared());
-        assert!(!l.try_lock_exclusive());
+        assert!(l.try_lock_shared().is_err());
+        assert!(l.try_lock_exclusive().is_err());
         l.unlock_exclusive();
         // free again
-        assert!(l.try_lock_exclusive());
+        assert!(l.try_lock_exclusive().is_ok());
         l.unlock_exclusive();
-        assert!(l.try_lock_shared());
+        assert!(l.try_lock_shared().is_ok());
         l.unlock_shared();
     }
 
     /// Two readers on different threads must both be inside the critical
     /// section at the same time.
-    pub fn read_concurrency_smoke<L: RawRwLock + 'static>() {
+    pub fn read_concurrency_smoke<L: RawTryRwLock + 'static>() {
         let l = Arc::new(L::new());
         l.lock_shared();
         let l2 = Arc::clone(&l);
         let other = std::thread::spawn(move || {
-            assert!(l2.try_lock_shared(), "second concurrent reader was refused");
+            assert!(
+                l2.try_lock_shared().is_ok(),
+                "second concurrent reader was refused"
+            );
             l2.unlock_shared();
         });
         other.join().unwrap();

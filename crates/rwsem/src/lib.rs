@@ -134,6 +134,16 @@ impl KernelVariant {
         }
     }
 
+    /// Parses a name as produced by [`KernelVariant::name`]
+    /// (case-insensitive), for the kernel-side binaries' `--lock` flags.
+    pub fn parse(name: &str) -> Option<Self> {
+        let lowered = name.to_ascii_lowercase();
+        Self::all()
+            .iter()
+            .copied()
+            .find(|v| v.name().to_ascii_lowercase() == lowered)
+    }
+
     /// Creates a semaphore of this variant.
     pub fn make_sem(self) -> std::sync::Arc<dyn RwSem> {
         match self {

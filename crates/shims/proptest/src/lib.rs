@@ -9,11 +9,13 @@
 //!
 //! Semantics versus the real crate:
 //!
-//! * Each property runs [`test_runner::CASES`] deterministic cases; the
-//!   case stream is seeded from the test's name, so a failure is always
-//!   reproducible by re-running the same test.
-//! * There is **no shrinking**. A failure reports the case index and the
-//!   assertion message instead of a minimized input.
+//! * Each property runs [`test_runner::cases`] deterministic cases (128 by
+//!   default, overridable via the `PROPTEST_CASES` environment variable —
+//!   CI raises it to 512); the case stream is seeded from the test's name,
+//!   so a failure is always reproducible by re-running the same test.
+//! * There is **no shrinking**. A failure reports the case index, the
+//!   *generated input values*, and the assertion message instead of a
+//!   minimized input.
 //! * `prop_assume!` skips the current case rather than tracking a global
 //!   rejection quota.
 //!
@@ -39,9 +41,11 @@ pub mod prelude {
 ///
 /// Each `fn name(arg in strategy, ...) { body }` item expands to a regular
 /// `#[test]` function (the attribute is written by the caller, as with the
-/// real crate) that generates [`test_runner::CASES`] deterministic inputs
+/// real crate) that generates [`test_runner::cases`] deterministic inputs
 /// from the strategies and runs the body against each. The body may use the
-/// `prop_assert*` and `prop_assume!` macros.
+/// `prop_assert*` and `prop_assume!` macros. On failure the panic message
+/// includes the generated input values (strategy outputs must be `Debug`,
+/// as with the real crate), since the shim cannot shrink.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
@@ -49,8 +53,19 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                for case in 0..$crate::test_runner::CASES {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
                     $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // Capture the inputs before the body can move them, so
+                    // a failure can report what was generated.
+                    let mut case_inputs = ::std::string::String::new();
+                    $(
+                        case_inputs.push_str(&::std::format!(
+                            "\n  {} = {:?}",
+                            stringify!($arg),
+                            &$arg,
+                        ));
+                    )+
                     let outcome: ::core::result::Result<(), ::std::string::String> = (|| {
                         $body
                         #[allow(unreachable_code)]
@@ -58,10 +73,11 @@ macro_rules! proptest {
                     })();
                     if let ::core::result::Result::Err(message) = outcome {
                         ::core::panic!(
-                            "property '{}' failed at case {}/{}: {}",
+                            "property '{}' failed at case {}/{} with inputs:{}\n{}",
                             stringify!($name),
                             case,
-                            $crate::test_runner::CASES,
+                            cases,
+                            case_inputs,
                             message,
                         );
                     }

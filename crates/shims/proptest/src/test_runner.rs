@@ -1,10 +1,26 @@
 //! Deterministic case generation for the [`proptest!`](crate::proptest)
 //! macro.
 
-/// Number of cases each property runs. The real crate defaults to 256;
-/// 128 keeps the heavyweight model-based properties fast in CI while still
-/// exercising a broad input sample.
-pub const CASES: usize = 128;
+use std::sync::OnceLock;
+
+/// Default number of cases each property runs. The real crate defaults to
+/// 256; 128 keeps the heavyweight model-based properties fast for local
+/// `cargo test` runs while still exercising a broad input sample.
+pub const DEFAULT_CASES: usize = 128;
+
+/// Number of cases each property runs: the `PROPTEST_CASES` environment
+/// variable when set to a positive integer (CI raises it to 512),
+/// [`DEFAULT_CASES`] otherwise. Read once per process.
+pub fn cases() -> usize {
+    static CASES: OnceLock<usize> = OnceLock::new();
+    *CASES.get_or_init(|| {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|value| value.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CASES)
+    })
+}
 
 /// Deterministic random stream for one property (xorshift64* seeded from
 /// the test name), so every failure is reproducible by re-running the test.
@@ -41,7 +57,18 @@ impl TestRng {
 
 #[cfg(test)]
 mod tests {
-    use super::TestRng;
+    use super::{cases, TestRng, DEFAULT_CASES};
+
+    #[test]
+    fn case_count_is_positive_and_defaults_sensibly() {
+        // The environment may or may not set PROPTEST_CASES; either way the
+        // resolved count must be usable as a loop bound.
+        let n = cases();
+        assert!(n >= 1);
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(n, DEFAULT_CASES);
+        }
+    }
 
     #[test]
     fn streams_are_deterministic_per_name() {

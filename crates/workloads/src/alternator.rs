@@ -12,18 +12,16 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-use rwlocks::{make_lock, LockKind};
+use bravo::spec::LockHandle;
 use topology::CachePadded;
 
 use crate::harness::ThroughputResult;
 
-/// Runs the alternator ring with `threads` participants for `duration` on a
-/// lock of the given kind, returning the total number of ring steps
-/// (notifications) completed.
-pub fn alternator(kind: LockKind, threads: usize, duration: Duration) -> ThroughputResult {
+/// Runs the alternator ring with `threads` participants for `duration` on
+/// the given lock, returning the total number of ring steps (notifications)
+/// completed.
+pub fn alternator(lock: &LockHandle, threads: usize, duration: Duration) -> ThroughputResult {
     let threads = threads.max(1);
-    let lock = make_lock(kind);
-    let lock = &*lock;
     // One notification mailbox per thread, each on its own cache sector so
     // notification costs a single line transfer, as in the paper's setup.
     let mailboxes: Vec<CachePadded<AtomicU64>> = (0..threads)
@@ -96,14 +94,16 @@ mod tests {
 
     #[test]
     fn single_thread_ring_spins_on_itself() {
-        let r = alternator(LockKind::BravoBa, 1, Duration::from_millis(50));
+        let lock = rwlocks::LockKind::BravoBa.build();
+        let r = alternator(&lock, 1, Duration::from_millis(50));
         assert!(r.operations > 0);
     }
 
     #[test]
     fn multi_thread_ring_makes_progress_on_every_paper_lock() {
-        for &kind in LockKind::paper_set() {
-            let r = alternator(kind, 3, Duration::from_millis(50));
+        for &kind in rwlocks::LockKind::paper_set() {
+            let lock = kind.build();
+            let r = alternator(&lock, 3, Duration::from_millis(50));
             assert!(r.operations > 0, "{kind}: ring made no progress");
         }
     }
@@ -113,7 +113,8 @@ mod tests {
         // Each full circulation gives every thread exactly one step, so the
         // total is (threads × circulations) ± threads.
         let threads = 4;
-        let r = alternator(LockKind::Ba, threads, Duration::from_millis(80));
+        let lock = rwlocks::LockKind::Ba.build();
+        let r = alternator(&lock, threads, Duration::from_millis(80));
         assert!(r.operations as usize >= threads, "ring barely turned");
     }
 }

@@ -12,8 +12,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use bravo::{BravoLock, DEFAULT_TABLE_SIZE};
-use rwlocks::PhaseFairQueueLock;
+use bravo::spec::{LockHandle, LockSpec, SpecError, TableSpec};
+use bravo::DEFAULT_TABLE_SIZE;
+use rwlocks::{build_lock, LockKind};
 
 use crate::harness::{run_for, WorkloadRng};
 
@@ -40,21 +41,11 @@ impl InterferenceResult {
     }
 }
 
-/// Which table arrangement a run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TableArrangement {
-    SharedGlobal,
-    PrivatePerLock,
+fn build_pool(spec: &LockSpec, locks: usize) -> Result<Vec<LockHandle>, SpecError> {
+    (0..locks.max(1)).map(|_| build_lock(spec)).collect()
 }
 
-fn run_one(arrangement: TableArrangement, locks: usize, threads: usize, duration: Duration) -> u64 {
-    let pool: Vec<BravoLock<PhaseFairQueueLock>> = (0..locks.max(1))
-        .map(|_| match arrangement {
-            TableArrangement::SharedGlobal => BravoLock::new(),
-            TableArrangement::PrivatePerLock => BravoLock::with_private_table(DEFAULT_TABLE_SIZE),
-        })
-        .collect();
-    let pool = &pool;
+fn measure(pool: &[LockHandle], threads: usize, duration: Duration) -> u64 {
     run_for(threads, duration, move |t, stop: &AtomicBool| {
         let mut rng = WorkloadRng::new(t as u64 + 1);
         let mut ops = 0;
@@ -62,9 +53,9 @@ fn run_one(arrangement: TableArrangement, locks: usize, threads: usize, duration
             // Pick a random lock, read-acquire it, do 20 units of work in
             // the critical section and 100 outside, as the paper describes.
             let lock = &pool[rng.below(pool.len() as u64) as usize];
-            let token = lock.read_lock();
+            lock.lock_shared();
             rng.advance(20);
-            lock.read_unlock(token);
+            lock.unlock_shared();
             rng.advance(100);
             ops += 1;
         }
@@ -73,14 +64,47 @@ fn run_one(arrangement: TableArrangement, locks: usize, threads: usize, duration
     .operations
 }
 
-/// Runs the interference experiment for one pool size, returning both the
-/// shared-table and private-table acquisition counts.
-pub fn interference_run(locks: usize, threads: usize, duration: Duration) -> InterferenceResult {
-    InterferenceResult {
-        locks,
-        shared_table_ops: run_one(TableArrangement::SharedGlobal, locks, threads, duration),
-        private_table_ops: run_one(TableArrangement::PrivatePerLock, locks, threads, duration),
+/// Runs the interference experiment for one pool size with an explicit base
+/// spec: the shared run uses the spec as given and the comparator run
+/// overrides the table to a private [`DEFAULT_TABLE_SIZE`]-slot table per
+/// lock instance.
+///
+/// The base spec must name a flat BRAVO composite *on the global table* —
+/// the experiment measures shared-table interference, so a base that
+/// already uses a private table would compare identical configurations and
+/// produce a meaningless fraction; it is rejected up front. Both pools are
+/// built (and therefore both specs validated) before either measurement
+/// starts, so an invalid comparator cannot waste a completed shared run.
+pub fn interference_run_spec(
+    base: &LockSpec,
+    locks: usize,
+    threads: usize,
+    duration: Duration,
+) -> Result<InterferenceResult, SpecError> {
+    if base.table() != TableSpec::Global {
+        return Err(SpecError::UnsupportedTable {
+            kind: base.kind().to_string(),
+            table: base.table(),
+        });
     }
+    let private = base.clone().with_table(TableSpec::Private {
+        slots: DEFAULT_TABLE_SIZE,
+    });
+    let shared_pool = build_pool(base, locks)?;
+    let private_pool = build_pool(&private, locks)?;
+    Ok(InterferenceResult {
+        locks,
+        shared_table_ops: measure(&shared_pool, threads, duration),
+        private_table_ops: measure(&private_pool, threads, duration),
+    })
+}
+
+/// Runs the interference experiment for one pool size with the paper's
+/// arrangement: BRAVO-BA over the shared global table vs. BRAVO-BA with a
+/// private 4096-slot table per instance.
+pub fn interference_run(locks: usize, threads: usize, duration: Duration) -> InterferenceResult {
+    interference_run_spec(&LockKind::BravoBa.spec(), locks, threads, duration)
+        .expect("the default BRAVO-BA interference spec is always buildable")
 }
 
 /// Convenience wrapper returning only the throughput fraction.
@@ -125,14 +149,34 @@ mod tests {
 
     #[test]
     fn read_only_workload_keeps_locks_biased() {
-        // After a run with no writers, bias should be enabled on the pool's
+        // After a run with no writers, bias stays enabled on the pool's
         // locks (it is never revoked), which is what makes the fast path the
-        // common case in this experiment.
-        let pool: Vec<BravoLock<PhaseFairQueueLock>> = (0..4).map(|_| BravoLock::new()).collect();
+        // common case in this experiment: the second read of each lock must
+        // land on the fast path, visible in the per-lock statistics.
+        let pool: Vec<_> = (0..4).map(|_| LockKind::BravoBa.build()).collect();
         for lock in &pool {
-            let t = lock.read_lock();
-            lock.read_unlock(t);
-            assert!(lock.is_reader_biased());
+            lock.lock_shared();
+            lock.unlock_shared();
+            lock.lock_shared();
+            lock.unlock_shared();
+            assert!(lock.snapshot().fast_reads >= 1);
         }
+    }
+
+    #[test]
+    fn spec_driven_run_rejects_non_bravo_bases() {
+        let err = interference_run_spec(&LockKind::Ba.spec(), 2, 2, Duration::from_millis(10));
+        assert!(err.is_err(), "a plain lock cannot take a private table");
+    }
+
+    #[test]
+    fn spec_driven_run_rejects_non_global_base_tables() {
+        // A base already on a private table would make the "shared" run not
+        // shared, so the fraction would compare identical configurations.
+        let base = LockKind::BravoBa
+            .spec()
+            .with_table(TableSpec::Private { slots: 64 });
+        let err = interference_run_spec(&base, 2, 2, Duration::from_millis(10));
+        assert!(err.is_err(), "non-global base table must be rejected");
     }
 }

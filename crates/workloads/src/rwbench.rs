@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use rwlocks::{make_lock, LockKind};
+use bravo::spec::LockHandle;
 
 use crate::harness::{run_for, ThroughputResult, WorkloadRng};
 
@@ -52,12 +52,9 @@ impl RwBenchConfig {
     }
 }
 
-/// Runs RWBench on a lock of the given kind, returning the total number of
-/// top-level loop iterations completed (the figure's Y axis, per
-/// millisecond).
-pub fn rwbench(kind: LockKind, config: RwBenchConfig) -> ThroughputResult {
-    let lock = make_lock(kind);
-    let lock = &*lock;
+/// Runs RWBench on the given lock, returning the total number of top-level
+/// loop iterations completed (the figure's Y axis, per millisecond).
+pub fn rwbench(lock: &LockHandle, config: RwBenchConfig) -> ThroughputResult {
     run_for(
         config.threads,
         config.duration,
@@ -99,8 +96,9 @@ mod tests {
     #[test]
     fn write_heavy_and_read_heavy_configs_both_progress() {
         for p in [0.9, 0.001] {
-            for kind in [LockKind::Ba, LockKind::BravoBa] {
-                let r = rwbench(kind, RwBenchConfig::paper(3, p, Duration::from_millis(50)));
+            for kind in [rwlocks::LockKind::Ba, rwlocks::LockKind::BravoBa] {
+                let lock = kind.build();
+                let r = rwbench(&lock, RwBenchConfig::paper(3, p, Duration::from_millis(50)));
                 assert!(r.operations > 0, "{kind} at P={p}: no progress");
             }
         }
@@ -108,19 +106,20 @@ mod tests {
 
     #[test]
     fn read_only_bravo_run_uses_the_fast_path() {
-        // Read-only RWBench on a BRAVO lock must drive fast-path reads.
-        // (Stats are process-global and other tests run concurrently, so
-        // only the lower bound on fast reads is asserted.)
-        let before = bravo::stats::snapshot();
+        // Read-only RWBench on a BRAVO lock must drive fast-path reads —
+        // observable precisely (not as a lower bound against process-global
+        // noise) because the handle's statistics are per-lock.
+        let lock = rwlocks::LockKind::BravoBa.build();
         let r = rwbench(
-            LockKind::BravoBa,
+            &lock,
             RwBenchConfig::paper(2, 0.0, Duration::from_millis(60)),
         );
-        let delta = bravo::stats::snapshot().since(&before);
+        let stats = lock.snapshot();
         assert!(r.operations > 0);
         assert!(
-            delta.fast_reads > 0,
+            stats.fast_reads > 0,
             "no fast reads in a read-only BRAVO run"
         );
+        assert_eq!(stats.writes, 0);
     }
 }

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-use rwlocks::{make_lock, LockKind};
+use bravo::spec::LockHandle;
 
 use crate::harness::{ThroughputResult, WorkloadRng};
 
@@ -45,11 +45,11 @@ impl TestRwlockConfig {
     }
 }
 
-/// Runs `test_rwlock` on a lock of the given kind and returns the combined
-/// iteration count of all threads (the number the benchmark prints).
-pub fn test_rwlock(kind: LockKind, config: TestRwlockConfig) -> ThroughputResult {
-    let lock = make_lock(kind);
-    let lock = &*lock;
+/// Runs `test_rwlock` on the given lock and returns the combined iteration
+/// count of all threads (the number the benchmark prints). The handle's
+/// per-lock statistics accumulate over the run and can be read afterwards
+/// via [`LockHandle::snapshot`].
+pub fn test_rwlock(lock: &LockHandle, config: TestRwlockConfig) -> ThroughputResult {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
 
@@ -110,16 +110,18 @@ mod tests {
 
     #[test]
     fn all_paper_locks_make_progress() {
-        for &kind in LockKind::paper_set() {
-            let r = test_rwlock(kind, TestRwlockConfig::paper(2, Duration::from_millis(50)));
+        for &kind in rwlocks::LockKind::paper_set() {
+            let lock = kind.build();
+            let r = test_rwlock(&lock, TestRwlockConfig::paper(2, Duration::from_millis(50)));
             assert!(r.operations > 0, "{kind}: no iterations completed");
         }
     }
 
     #[test]
     fn read_only_configuration_is_supported() {
+        let lock = rwlocks::LockKind::BravoBa.build();
         let r = test_rwlock(
-            LockKind::BravoBa,
+            &lock,
             TestRwlockConfig {
                 readers: 3,
                 writers: 0,
@@ -129,5 +131,10 @@ mod tests {
             },
         );
         assert!(r.operations > 0);
+        // The run was read-only on a BRAVO composite: the handle's own
+        // statistics channel must have seen the reads (and no writes).
+        let stats = lock.snapshot();
+        assert!(stats.total_reads() > 0);
+        assert_eq!(stats.writes, 0);
     }
 }

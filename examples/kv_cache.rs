@@ -27,7 +27,7 @@ const THREADS: usize = 4;
 const INTERVAL: Duration = Duration::from_millis(500);
 
 fn drive(kind: LockKind) -> u64 {
-    let db = Arc::new(Db::open_prepopulated(kind, KEYS));
+    let db = Arc::new(Db::open_prepopulated(kind, KEYS).expect("catalog kinds always build"));
     let stop = Arc::new(AtomicBool::new(false));
     let ops = Arc::new(AtomicU64::new(0));
 

@@ -5,7 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bravo_repro::bravo::{stats, BiasPolicy, BravoLock, BravoRwLock, RawRwLock, ReentrantBravo};
+use bravo_repro::bravo::{
+    stats, BiasPolicy, BravoLock, BravoRwLock, RawRwLock, RawTryRwLock, ReentrantBravo,
+};
 use bravo_repro::rwlocks::{
     CohortRwLock, CounterRwLock, FairRwLock, LockKind, PerCpuRwLock, PhaseFairQueueLock,
     PhaseFairTicketLock, PthreadRwLock,
@@ -103,7 +105,7 @@ fn preference_of_the_underlying_lock_is_preserved() {
         });
         std::thread::sleep(Duration::from_millis(30));
         assert!(
-            pthread_based.try_lock_shared(),
+            pthread_based.try_lock_shared().is_ok(),
             "BRAVO-pthread lost the underlying lock's reader preference"
         );
         pthread_based.unlock_shared();
@@ -127,7 +129,7 @@ fn preference_of_the_underlying_lock_is_preserved() {
         });
         std::thread::sleep(Duration::from_millis(30));
         assert!(
-            !ba_based.try_lock_shared(),
+            ba_based.try_lock_shared().is_err(),
             "BRAVO-BA lost the underlying lock's phase-fair writer protection"
         );
         ba_based.unlock_shared();
@@ -153,11 +155,11 @@ fn disabled_policy_behaves_exactly_like_the_underlying_lock() {
 #[test]
 fn every_catalog_lock_survives_a_mixed_stress_run() {
     for &kind in LockKind::all() {
-        let lock = Arc::from(bravo_repro::rwlocks::make_lock(kind));
+        let lock = Arc::new(kind.build());
         let counter = Arc::new(AtomicU64::new(0));
         std::thread::scope(|s| {
             for t in 0..3 {
-                let lock: Arc<dyn RawRwLock> = Arc::clone(&lock);
+                let lock = Arc::clone(&lock);
                 let counter = Arc::clone(&counter);
                 s.spawn(move || {
                     for i in 0..1_000u64 {

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use bravo_repro::bravo::hash::{mix64, slot_index};
 use bravo_repro::bravo::policy::BiasPolicy;
+use bravo_repro::bravo::spec::{LockSpec, StatsMode, TableSpec};
 use bravo_repro::bravo::vrt::VisibleReadersTable;
 use bravo_repro::bravo::{BravoRwLock, SectoredTable};
 use bravo_repro::rwlocks::{LockKind, PhaseFairQueueLock, RwLock};
@@ -110,6 +111,44 @@ proptest! {
             per_node_count[m.node_of_cpu(cpu)] += 1;
         }
         prop_assert!(per_node_count.iter().all(|&c| c == per_node));
+    }
+}
+
+/// Every syntactically constructible LockSpec must survive a round trip
+/// through its compact string form (`Display` then `FromStr`).
+fn arbitrary_spec_strategy() -> impl Strategy<Value = LockSpec> {
+    let kind = (0usize..LockKind::all().len()).prop_map(|i| LockKind::all()[i].name().to_string());
+    let bias = prop_oneof![
+        (0u64..1_000).prop_map(|n| BiasPolicy::InhibitUntil { n }),
+        (1u32..10_000).prop_map(|inverse_p| BiasPolicy::Bernoulli { inverse_p }),
+        (0u8..1).prop_map(|_| BiasPolicy::Disabled),
+    ];
+    let table = prop_oneof![
+        (0u8..1).prop_map(|_| TableSpec::Global),
+        (1usize..100_000).prop_map(|slots| TableSpec::Private { slots }),
+        (1usize..512, 1usize..4_096)
+            .prop_map(|(sectors, slots)| TableSpec::Sectored { sectors, slots }),
+    ];
+    let stats = prop_oneof![
+        (0u8..1).prop_map(|_| StatsMode::PerLock),
+        (0u8..1).prop_map(|_| StatsMode::Global),
+    ];
+    (kind, bias, table, stats).prop_map(|(kind, bias, table, stats)| {
+        LockSpec::new(kind)
+            .with_bias(bias)
+            .with_table(table)
+            .with_stats(stats)
+    })
+}
+
+proptest! {
+    #[test]
+    fn lock_specs_round_trip_through_display_and_from_str(spec in arbitrary_spec_strategy()) {
+        let text = spec.to_string();
+        let reparsed: LockSpec = text
+            .parse()
+            .unwrap_or_else(|e| panic!("'{text}' failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, spec);
     }
 }
 
@@ -220,7 +259,7 @@ fn collision_rate_matches_balls_into_bins_model() {
 fn catalog_locks_construct_and_report_names() {
     for &kind in LockKind::all() {
         assert!(!kind.name().is_empty());
-        let lock = bravo_repro::rwlocks::make_lock(kind);
+        let lock = kind.build();
         lock.lock_shared();
         lock.unlock_shared();
     }

@@ -4,7 +4,6 @@
 
 use std::time::Duration;
 
-use bravo_repro::bravo::stats;
 use bravo_repro::kernelsim::locktorture::{self, LockTortureConfig};
 use bravo_repro::kernelsim::will_it_scale::{self, WillItScaleBenchmark};
 use bravo_repro::kvstore::{run_hash_table_bench, run_readwhilewriting};
@@ -35,7 +34,8 @@ fn figure1_interference_pipeline() {
 #[test]
 fn figure2_alternator_pipeline() {
     for kind in [LockKind::Ba, LockKind::BravoBa] {
-        let r = alternator(kind, 2, SHORT);
+        let lock = kind.build();
+        let r = alternator(&lock, 2, SHORT);
         assert!(r.operations > 0, "{kind}: alternator made no progress");
     }
 }
@@ -43,7 +43,8 @@ fn figure2_alternator_pipeline() {
 #[test]
 fn figure3_test_rwlock_pipeline() {
     for kind in [LockKind::Pthread, LockKind::BravoPthread] {
-        let r = test_rwlock(kind, TestRwlockConfig::paper(2, SHORT));
+        let lock = kind.build();
+        let r = test_rwlock(&lock, TestRwlockConfig::paper(2, SHORT));
         assert!(r.operations > 0, "{kind}: test_rwlock made no progress");
     }
 }
@@ -51,16 +52,17 @@ fn figure3_test_rwlock_pipeline() {
 #[test]
 fn figure4_rwbench_pipeline_covers_all_ratios() {
     for &ratio in RwBenchConfig::paper_write_ratios() {
-        let r = rwbench(LockKind::BravoBa, RwBenchConfig::paper(2, ratio, SHORT));
+        let lock = LockKind::BravoBa.build();
+        let r = rwbench(&lock, RwBenchConfig::paper(2, ratio, SHORT));
         assert!(r.operations > 0, "P={ratio}: rwbench made no progress");
     }
 }
 
 #[test]
 fn figure5_and_6_rocksdb_pipelines() {
-    let rww = run_readwhilewriting(LockKind::BravoBa, 2, 1_000, SHORT);
+    let rww = run_readwhilewriting(LockKind::BravoBa, 2, 1_000, SHORT).unwrap();
     assert!(rww.reads > 0 && rww.writes > 0);
-    let htb = run_hash_table_bench(LockKind::Ba, 2, 1_024, SHORT);
+    let htb = run_hash_table_bench(LockKind::Ba, 2, 1_024, SHORT).unwrap();
     assert!(htb.reads > 0 && htb.inserts > 0 && htb.erases > 0);
 }
 
@@ -118,10 +120,12 @@ fn tables_1_and_2_metis_pipelines_agree_across_kernels() {
 #[test]
 fn bravo_fast_path_dominates_a_read_only_workload() {
     // The headline mechanism end to end: a read-only workload on BRAVO-BA
-    // must complete the overwhelming majority of its reads on the fast path.
-    let before = stats::snapshot();
+    // must complete the overwhelming majority of its reads on the fast
+    // path. The handle's per-lock statistics make this exact: no other
+    // concurrently running test can inflate the counters.
+    let lock = LockKind::BravoBa.build();
     let r = test_rwlock(
-        LockKind::BravoBa,
+        &lock,
         TestRwlockConfig {
             readers: 2,
             writers: 0,
@@ -130,12 +134,12 @@ fn bravo_fast_path_dominates_a_read_only_workload() {
             duration: Duration::from_millis(150),
         },
     );
-    let delta = stats::snapshot().since(&before);
+    let stats = lock.snapshot();
     assert!(r.operations > 100);
     assert!(
-        delta.fast_reads > r.operations / 2,
+        stats.fast_reads > r.operations / 2,
         "only {} fast reads out of {} operations",
-        delta.fast_reads,
+        stats.fast_reads,
         r.operations
     );
 }
