@@ -72,7 +72,7 @@ fn bench_bias_policy(c: &mut Criterion) {
     ];
     for (name, policy) in policies {
         let lock: BravoLock<DefaultRwLock> =
-            BravoLock::with_parts(DefaultRwLock::default(), TableHandle::Global, policy);
+            BravoLock::with_parts(DefaultRwLock::default(), TableHandle::global(), policy);
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut i = 0u64;
             b.iter(|| {

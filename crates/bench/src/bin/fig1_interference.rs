@@ -7,15 +7,25 @@
 //! paper's claim: the fraction never drops below ~0.94.
 //!
 //! Pass `--lock SPEC` (repeatable) to change the base composite(s) — each
-//! must be a flat BRAVO kind; the comparator run overrides the table to
-//! `private:4096`.
+//! must be a BRAVO composite on a *process-shared* table layout (`global`
+//! or `numa:<nodes>x<slots>`); the comparator run overrides the table to
+//! `private:4096`. Beyond the paper's fraction, each row reports the
+//! table-level interference directly: cross-lock slot collisions in the
+//! shared run (total and per shard) and the average slots a revoking
+//! writer scans (`scan_slots_per_revoke`, measured by a revocation probe
+//! over the shared pool after the read phase). Running both a flat and a
+//! `numa:` base in one invocation shows the sharded layout's win: the flat
+//! global writer always walks all 4096 slots, the NUMA writer skips every
+//! shard its occupancy counter proves empty.
 
 use bench::{banner, fmt_f64, header, row, HarnessArgs};
+use bravo::stats::format_shard_counts;
 use rwlocks::LockKind;
 use workloads::interference::{interference_run_spec, paper_lock_pool_series, InterferenceResult};
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig1_interference");
     let mode = args.mode;
     banner(
         "Figure 1: inter-lock interference (shared-table vs private-table)",
@@ -39,6 +49,9 @@ fn main() {
         "shared_ops",
         "private_ops",
         "throughput_fraction",
+        "xlock_collisions",
+        "collisions_per_shard",
+        "scan_slots_per_revoke",
     ]);
     for base in &bases {
         for &locks in &pools {
@@ -60,6 +73,9 @@ fn main() {
                 result.shared_table_ops.to_string(),
                 result.private_table_ops.to_string(),
                 fmt_f64(result.fraction()),
+                result.shared_collisions.to_string(),
+                format_shard_counts(&result.shard_collisions, result.shards),
+                fmt_f64(result.scan_slots_per_revocation()),
             ]);
         }
     }

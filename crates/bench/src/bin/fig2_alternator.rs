@@ -16,6 +16,7 @@ use workloads::harness::median_of;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig2_alternator");
     let mode = args.mode;
     banner(
         "Figure 2: alternator (ring of readers, Msteps per interval)",

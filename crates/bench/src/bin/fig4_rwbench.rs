@@ -16,6 +16,7 @@ use workloads::rwbench::{rwbench, RwBenchConfig};
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig4_rwbench");
     let mode = args.mode;
     banner(
         "Figure 4: RWBench, one panel per write ratio (ops/msec)",

@@ -16,6 +16,7 @@ use workloads::harness::median_of;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig5_readwhilewriting");
     let mode = args.mode;
     banner("Figure 5: rocksdb readwhilewriting (M ops/sec)", mode);
 

@@ -14,6 +14,7 @@ use workloads::harness::median_of;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig6_hash_table");
     let mode = args.mode;
     banner("Figure 6: rocksdb hash_table_bench (ops/msec)", mode);
 

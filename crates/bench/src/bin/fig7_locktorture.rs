@@ -29,6 +29,7 @@ fn config_for(mode: RunMode, readers: usize) -> LockTortureConfig {
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig7_locktorture");
     let mode = args.mode;
     banner(
         "Figure 7: locktorture, 1 writer (read and write acquisitions)",

@@ -45,6 +45,7 @@ fn panel_configs(mode: RunMode, readers: usize) -> [(&'static str, LockTortureCo
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig8_locktorture_readers");
     let mode = args.mode;
     banner("Figure 8: locktorture, 0 writers (read acquisitions)", mode);
 

@@ -14,6 +14,7 @@ use rwsem::KernelVariant;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("fig9_will_it_scale");
     let mode = args.mode;
     banner("Figure 9: will-it-scale (operations per second)", mode);
 

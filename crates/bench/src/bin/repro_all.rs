@@ -13,8 +13,14 @@
 //! Pass `--lock SPEC` (repeatable) to replace the default user-space lock
 //! sweep of the figure 2–6 sections; the kernel sections always compare
 //! stock vs BRAVO.
+//!
+//! Pass `--out results/` to additionally collect each experiment's rows as
+//! a CSV file (`results/fig2_alternator.csv`, …) with the spec-string
+//! labels and `fast_read_pct` columns preserved, plus the end-of-run BRAVO
+//! statistics in `results/bravo_stats.csv` — the collection step for
+//! turning a paper-scale run into figures.
 
-use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs};
+use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs, ResultsDir};
 use kernelsim::locktorture::{self, LockTortureConfig};
 use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
 use kvstore::{run_hash_table_bench, run_readwhilewriting};
@@ -26,35 +32,57 @@ use workloads::interference::interference_run;
 use workloads::rwbench::{rwbench, RwBenchConfig};
 use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
 
+const COLUMNS: [&str; 4] = ["experiment", "series", "value", "fast_read_pct"];
+
+/// Prints one result row and, in `--out` mode, appends it to the
+/// experiment's CSV file.
+fn emit(
+    results: Option<&ResultsDir>,
+    experiment: &str,
+    series: String,
+    value: String,
+    fast: String,
+) {
+    let cells = [experiment.to_string(), series, value, fast];
+    row(&cells);
+    if let Some(results) = results {
+        results.append(experiment, &COLUMNS, &cells);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::from_args();
     let mode = args.mode;
     banner("BRAVO reproduction: all experiments (summary pass)", mode);
+    let results = args.results_dir();
+    let results = results.as_ref();
     let before = bravo::stats::snapshot();
     let threads = *mode.thread_series().last().unwrap_or(&4);
 
-    header(&["experiment", "series", "value", "fast_read_pct"]);
+    header(&COLUMNS);
 
     // Figure 1 (one representative pool size).
     let interference = interference_run(256, threads.min(16), mode.interval());
-    row(&[
-        "fig1_interference".into(),
+    emit(
+        results,
+        "fig1_interference",
         "fraction@256locks".into(),
         fmt_f64(interference.fraction()),
         "-".into(),
-    ]);
+    );
 
     // Figures 2–4 over the selected (or default) user-space lock sweep.
     let alternator_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa, LockKind::PerCpu]);
     for spec in &alternator_specs {
         let lock = build_or_exit(spec);
         let alt = alternator(&lock, threads, mode.interval());
-        row(&[
-            "fig2_alternator".into(),
+        emit(
+            results,
+            "fig2_alternator",
             lock.label().to_string(),
             alt.operations.to_string(),
             fast_read_cell(&lock.snapshot()),
-        ]);
+        );
     }
     let rwlock_specs = args.lock_specs(&[
         LockKind::Ba,
@@ -65,24 +93,26 @@ fn main() {
     for spec in &rwlock_specs {
         let lock = build_or_exit(spec);
         let t = test_rwlock(&lock, TestRwlockConfig::paper(threads, mode.interval()));
-        row(&[
-            "fig3_test_rwlock".into(),
+        emit(
+            results,
+            "fig3_test_rwlock",
             lock.label().to_string(),
             t.operations.to_string(),
             fast_read_cell(&lock.snapshot()),
-        ]);
+        );
     }
     let rwbench_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
     for &ratio in &[0.9, 0.0001] {
         for spec in &rwbench_specs {
             let lock = build_or_exit(spec);
             let r = rwbench(&lock, RwBenchConfig::paper(threads, ratio, mode.interval()));
-            row(&[
-                "fig4_rwbench".into(),
+            emit(
+                results,
+                "fig4_rwbench",
                 format!("{}@P={ratio}", lock.label()),
                 r.operations.to_string(),
                 fast_read_cell(&lock.snapshot()),
-            ]);
+            );
         }
     }
 
@@ -93,22 +123,24 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-        row(&[
-            "fig5_readwhilewriting".into(),
+        emit(
+            results,
+            "fig5_readwhilewriting",
             spec.to_string(),
             (r.reads + r.writes).to_string(),
             "-".into(),
-        ]);
+        );
         let h = run_hash_table_bench(spec, threads, 16_384, mode.interval()).unwrap_or_else(|e| {
             eprintln!("{e}");
             std::process::exit(2);
         });
-        row(&[
-            "fig6_hash_table".into(),
+        emit(
+            results,
+            "fig6_hash_table",
             spec.to_string(),
             (h.reads + h.inserts + h.erases).to_string(),
             "-".into(),
-        ]);
+        );
     }
 
     // Figures 7–8 (locktorture) and 9 (will-it-scale), stock vs BRAVO.
@@ -117,24 +149,26 @@ fn main() {
             variant,
             LockTortureConfig::short_read_sections(threads, mode.locktorture_interval()),
         );
-        row(&[
-            "fig8_locktorture_5us".into(),
+        emit(
+            results,
+            "fig8_locktorture_5us",
             variant.to_string(),
             t.read_acquisitions.to_string(),
             "-".into(),
-        ]);
+        );
         let w = will_it_scale::run(
             WillItScaleBenchmark::PageFault1,
             variant,
             threads,
             mode.interval(),
         );
-        row(&[
-            "fig9_page_fault1".into(),
+        emit(
+            results,
+            "fig9_page_fault1",
             variant.to_string(),
             w.operations.to_string(),
             "-".into(),
-        ]);
+        );
     }
 
     // Tables 1–2 (scaled-down corpora in quick mode).
@@ -142,39 +176,54 @@ fn main() {
     let records = generate_random_words(mode.corpus_words() / 4, 1024, 0xfeed);
     for &variant in &[KernelVariant::Stock, KernelVariant::Bravo] {
         let w = wc(&corpus, threads, variant);
-        row(&[
-            "table1_wc".into(),
+        emit(
+            results,
+            "table1_wc",
             variant.to_string(),
             format!("{:.3}s", w.runtime.as_secs_f64()),
             "-".into(),
-        ]);
+        );
         let m = wrmem(&records, threads, variant);
-        row(&[
-            "table2_wrmem".into(),
+        emit(
+            results,
+            "table2_wrmem",
             variant.to_string(),
             format!("{:.3}s", m.runtime.as_secs_f64()),
             "-".into(),
-        ]);
+        );
     }
 
     // BRAVO statistics over the whole pass (process-global aggregate; the
     // per-lock rows above carry each lock's own fast-read fraction).
     let delta = bravo::stats::snapshot().since(&before);
+    let stats: [(&str, String); 9] = [
+        ("fast_read_fraction", fmt_f64(delta.fast_read_fraction())),
+        ("total_reads", delta.total_reads().to_string()),
+        ("fast_reads", delta.fast_reads.to_string()),
+        ("slow_reads_disabled", delta.slow_reads_disabled.to_string()),
+        (
+            "slow_reads_collision",
+            delta.slow_reads_collision.to_string(),
+        ),
+        ("slow_reads_raced", delta.slow_reads_raced.to_string()),
+        ("writes", delta.writes.to_string()),
+        ("revocations", delta.revocations.to_string()),
+        ("revocation_fraction", fmt_f64(delta.revocation_fraction())),
+    ];
     println!();
     println!("# BRAVO statistics over this pass");
-    println!(
-        "fast_read_fraction\t{}",
-        fmt_f64(delta.fast_read_fraction())
-    );
-    println!("total_reads\t{}", delta.total_reads());
-    println!("fast_reads\t{}", delta.fast_reads);
-    println!("slow_reads_disabled\t{}", delta.slow_reads_disabled);
-    println!("slow_reads_collision\t{}", delta.slow_reads_collision);
-    println!("slow_reads_raced\t{}", delta.slow_reads_raced);
-    println!("writes\t{}", delta.writes);
-    println!("revocations\t{}", delta.revocations);
-    println!(
-        "revocation_fraction\t{}",
-        fmt_f64(delta.revocation_fraction())
-    );
+    for (metric, value) in &stats {
+        println!("{metric}\t{value}");
+        if let Some(results) = results {
+            results.append(
+                "bravo_stats",
+                &["metric", "value"],
+                &[metric.to_string(), value.clone()],
+            );
+        }
+    }
+    if let Some(results) = results {
+        println!();
+        println!("# CSV rows collected under {}", results.path().display());
+    }
 }

@@ -16,6 +16,7 @@ use rwsem::KernelVariant;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("table1_wc");
     let mode = args.mode;
     banner("Table 1: Metis wc runtime (seconds, lower is better)", mode);
 

@@ -17,6 +17,7 @@ use rwsem::KernelVariant;
 
 fn main() {
     let args = HarnessArgs::from_args();
+    args.init_results("table2_wrmem");
     let mode = args.mode;
     banner(
         "Table 2: Metis wrmem runtime (seconds, lower is better)",

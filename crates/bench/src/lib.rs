@@ -110,12 +110,15 @@ impl std::fmt::Display for RunMode {
 }
 
 /// Parsed harness command line: run mode plus the `--lock SPEC` selections
-/// shared by every figure/table binary.
+/// shared by every figure/table binary and the optional `--out DIR` results
+/// directory.
 ///
 /// `--lock` is repeatable (`--lock BRAVO-BA --lock "BRAVO-BA?n=99"`) and
 /// also accepts the `--lock=SPEC` form. When absent, each binary sweeps its
 /// paper-default lock set. Spec strings follow the grammar documented in
-/// [`bravo::spec`].
+/// [`bravo::spec`]. `--out DIR` (or `--out=DIR`) asks the binary to
+/// additionally write its rows as CSV files into `DIR` (see [`ResultsDir`]);
+/// `repro_all` uses it to collect one CSV per experiment.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Interval/thread-count preset.
@@ -123,6 +126,8 @@ pub struct HarnessArgs {
     /// Lock specs selected with `--lock`; empty means "use the binary's
     /// default set".
     pub locks: Vec<LockSpec>,
+    /// Results directory selected with `--out`; `None` means stdout only.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl HarnessArgs {
@@ -132,8 +137,22 @@ impl HarnessArgs {
     pub fn from_args() -> Self {
         let mode = RunMode::from_args();
         let mut locks = Vec::new();
+        let mut out = None;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
+            if arg == "--out" {
+                match args.next() {
+                    Some(dir) => out = Some(std::path::PathBuf::from(dir)),
+                    None => {
+                        eprintln!("--out requires a directory argument, e.g. --out results/");
+                        std::process::exit(2);
+                    }
+                }
+                continue;
+            } else if let Some(dir) = arg.strip_prefix("--out=") {
+                out = Some(std::path::PathBuf::from(dir));
+                continue;
+            }
             let spec_text = if arg == "--lock" {
                 match args.next() {
                     Some(text) => text,
@@ -155,7 +174,39 @@ impl HarnessArgs {
                 }
             }
         }
-        Self { mode, locks }
+        Self { mode, locks, out }
+    }
+
+    /// Opens the `--out` results directory if one was selected, terminating
+    /// with a diagnostic when it cannot be created. Used by `repro_all`,
+    /// which routes many experiments into one directory; single-table
+    /// binaries use [`HarnessArgs::init_results`] instead.
+    pub fn results_dir(&self) -> Option<ResultsDir> {
+        self.out.as_ref().map(|dir| {
+            ResultsDir::create(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create results directory {}: {e}", dir.display());
+                std::process::exit(2);
+            })
+        })
+    }
+
+    /// Honours `--out` for a single-table binary: installs a process-wide
+    /// tee so every subsequent [`header`]/[`row`] call is mirrored into
+    /// `<dir>/<experiment>.csv`. A no-op when `--out` was not passed;
+    /// terminates with a diagnostic when the directory cannot be created.
+    pub fn init_results(&self, experiment: &str) {
+        let Some(results) = self.results_dir() else {
+            return;
+        };
+        println!(
+            "# collecting rows in {}",
+            results.path().join(format!("{experiment}.csv")).display()
+        );
+        let _ = TEE.set(ResultsTee {
+            results,
+            experiment: experiment.to_string(),
+            header: std::sync::Mutex::new(Vec::new()),
+        });
     }
 
     /// The lock specs this run sweeps: the `--lock` selections, or the
@@ -233,6 +284,105 @@ impl HarnessArgs {
     }
 }
 
+/// A directory collecting benchmark rows as CSV, one file per experiment.
+///
+/// This is the `--out results/` mode: every row a binary prints is also
+/// appended to `<dir>/<experiment>.csv`, with a header row written when the
+/// file is first touched in this run. Opening the directory deletes every
+/// `.csv` left by a previous run **up front**, so the directory reflects
+/// exactly one run even if this run exits early. Cells keep the
+/// spec-string labels and `fast_read_pct` columns of the stdout tables, so
+/// the CSVs are directly plottable.
+pub struct ResultsDir {
+    dir: std::path::PathBuf,
+    started: std::sync::Mutex<std::collections::HashSet<String>>,
+}
+
+impl ResultsDir {
+    /// Creates (or reuses) the directory and clears any `.csv` files a
+    /// previous run left in it.
+    pub fn create(dir: &std::path::Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_file() && path.extension().is_some_and(|e| e == "csv") {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            started: std::sync::Mutex::new(std::collections::HashSet::new()),
+        })
+    }
+
+    /// Appends one row to `<experiment>.csv`, writing `header` first if this
+    /// is the experiment's first row of the run. Failures are reported to
+    /// stderr but do not abort the run — the stdout table is authoritative.
+    pub fn append<S: AsRef<str>>(&self, experiment: &str, header: &[S], cells: &[String]) {
+        if let Err(e) = self.try_append(experiment, header, cells) {
+            eprintln!("warning: could not write {experiment}.csv: {e}");
+        }
+    }
+
+    fn try_append<S: AsRef<str>>(
+        &self,
+        experiment: &str,
+        header: &[S],
+        cells: &[String],
+    ) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let fresh = self
+            .started
+            .lock()
+            .expect("results registry poisoned")
+            .insert(experiment.to_string());
+        let path = self.dir.join(format!("{experiment}.csv"));
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        if fresh {
+            writeln!(file, "{}", csv_row(header))?;
+        }
+        writeln!(file, "{}", csv_row(cells))
+    }
+
+    /// Path of the directory (for end-of-run reporting).
+    pub fn path(&self) -> &std::path::Path {
+        &self.dir
+    }
+}
+
+fn csv_row<S: AsRef<str>>(cells: &[S]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_cell(c.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The single-experiment tee installed by [`HarnessArgs::init_results`]:
+/// [`header`] and [`row`] mirror everything they print into
+/// `<dir>/<experiment>.csv`.
+struct ResultsTee {
+    results: ResultsDir,
+    experiment: String,
+    header: std::sync::Mutex<Vec<String>>,
+}
+
+static TEE: std::sync::OnceLock<ResultsTee> = std::sync::OnceLock::new();
+
+/// Minimal CSV quoting: cells containing a comma, quote or newline are
+/// quoted with internal quotes doubled; everything else passes through
+/// (spec strings contain `?`/`&`/`:` but none of the special characters).
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
 /// Builds a lock from a spec, terminating the process with a diagnostic on
 /// specs the catalog rejects (unknown kind, unsupported table/bias).
 pub fn build_or_exit(spec: &LockSpec) -> LockHandle {
@@ -263,14 +413,24 @@ pub fn banner(experiment: &str, mode: RunMode) {
     println!("# run mode: {mode} (use --full for paper-scale intervals)");
 }
 
-/// Prints a tab-separated header row.
+/// Prints a tab-separated header row (and remembers it for the `--out` CSV
+/// tee installed by [`HarnessArgs::init_results`]).
 pub fn header(columns: &[&str]) {
     println!("{}", columns.join("\t"));
+    if let Some(tee) = TEE.get() {
+        *tee.header.lock().expect("results tee poisoned") =
+            columns.iter().map(|c| c.to_string()).collect();
+    }
 }
 
-/// Prints a tab-separated data row.
+/// Prints a tab-separated data row (mirrored into the `--out` CSV when a
+/// tee is installed).
 pub fn row(cells: &[String]) {
     println!("{}", cells.join("\t"));
+    if let Some(tee) = TEE.get() {
+        let header = tee.header.lock().expect("results tee poisoned").clone();
+        tee.results.append(&tee.experiment, &header, cells);
+    }
 }
 
 /// Formats a floating-point cell with sensible precision for throughput
@@ -323,6 +483,7 @@ mod tests {
         let args = HarnessArgs {
             mode: RunMode::Quick,
             locks: Vec::new(),
+            out: None,
         };
         let specs = args.lock_specs(LockKind::paper_set());
         assert_eq!(specs.len(), LockKind::paper_set().len());
@@ -331,6 +492,7 @@ mod tests {
         let args = HarnessArgs {
             mode: RunMode::Quick,
             locks: vec!["BRAVO-BA?n=99".parse().unwrap()],
+            out: None,
         };
         let specs = args.lock_specs(LockKind::paper_set());
         assert_eq!(specs.len(), 1);
@@ -342,9 +504,54 @@ mod tests {
         let args = HarnessArgs {
             mode: RunMode::Quick,
             locks: vec!["stock".parse().unwrap(), "BRAVO".parse().unwrap()],
+            out: None,
         };
         let variants = args.kernel_variants(KernelVariant::all());
         assert_eq!(variants, vec![KernelVariant::Stock, KernelVariant::Bravo]);
+    }
+
+    #[test]
+    fn results_dir_writes_headers_once_and_truncates_previous_runs() {
+        let dir = std::env::temp_dir().join(format!("bravo_results_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let results = ResultsDir::create(&dir).unwrap();
+            results.append(
+                "fig_test",
+                &["experiment", "series", "value"],
+                &["fig_test".into(), "BRAVO-BA?n=9".into(), "1".into()],
+            );
+            results.append(
+                "fig_test",
+                &["experiment", "series", "value"],
+                &["fig_test".into(), "BA".into(), "2".into()],
+            );
+        }
+        let text = std::fs::read_to_string(dir.join("fig_test.csv")).unwrap();
+        assert_eq!(
+            text,
+            "experiment,series,value\nfig_test,BRAVO-BA?n=9,1\nfig_test,BA,2\n"
+        );
+        // A later run truncates the previous run's rows.
+        let results = ResultsDir::create(&dir).unwrap();
+        results.append(
+            "fig_test",
+            &["experiment", "series", "value"],
+            &["fig_test".into(), "pthread".into(), "3".into()],
+        );
+        let text = std::fs::read_to_string(dir.join("fig_test.csv")).unwrap();
+        assert_eq!(text, "experiment,series,value\nfig_test,pthread,3\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_cells_quote_only_when_needed() {
+        assert_eq!(
+            csv_cell("BRAVO-BA?n=9&table=numa:2x1024"),
+            "BRAVO-BA?n=9&table=numa:2x1024"
+        );
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
     }
 
     #[test]

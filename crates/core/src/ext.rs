@@ -52,7 +52,7 @@ impl<L: RawRwLock> BravoDualProbe<L> {
     /// Creates a dual-probe BRAVO lock over a fresh underlying lock and the
     /// global table, with the paper's default policy.
     pub fn new() -> Self {
-        Self::with_parts(L::new(), TableHandle::Global, BiasPolicy::paper_default())
+        Self::with_parts(L::new(), TableHandle::global(), BiasPolicy::paper_default())
     }
 
     /// Creates a dual-probe BRAVO lock from explicit parts.
@@ -89,12 +89,21 @@ impl<L: RawRwLock> BravoDualProbe<L> {
     }
 
     /// Acquires read permission, probing up to two slots on the fast path.
+    ///
+    /// The secondary probe is only taken on layouts whose revocation scan
+    /// covers arbitrary slots ([`ReaderTable::probe_anywhere`](crate::vrt::ReaderTable::probe_anywhere)); on a
+    /// sectored table a publication outside the lock's column would be
+    /// invisible to the revoking writer, so the probe degenerates to the
+    /// primary slot alone.
     pub fn read_lock(&self) -> ReadToken {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let primary = table.slot_for(addr, topology::current_thread_id().as_usize());
-            for slot in [primary, self.secondary_slot(primary, table.len())] {
+            let primary = table.slot_for_current(addr);
+            let secondary = table
+                .probe_anywhere()
+                .then(|| self.secondary_slot(primary, table.len()));
+            for slot in std::iter::once(primary).chain(secondary) {
                 if table.try_publish(slot, addr) {
                     if self.rbias.load(Ordering::SeqCst) {
                         stats::record_fast_read();
@@ -137,15 +146,15 @@ impl<L: RawRwLock> BravoDualProbe<L> {
         if self.rbias.load(Ordering::Relaxed) {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let table = self.table.table();
-            let conflicts = table.wait_for_readers(self.addr());
+            let rev = self.table.table().revoke(self.addr());
             let now = now_ns();
             self.inhibit_until.store(
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            stats::record_revocation_scan(table.len());
-            stats::record_write(true, conflicts as u64);
+            stats::record_revocation_scan(rev.scanned_slots);
+            stats::record_shard_conflicts(&rev.conflicts_per_shard);
+            stats::record_write(true, rev.conflicts);
         } else {
             stats::record_write(false, 0);
         }
@@ -237,7 +246,7 @@ impl<M: RawMutexLike> BravoMutex<M> {
             rbias: AtomicBool::new(false),
             inhibit_until: AtomicU64::new(0),
             underlying: M::new(),
-            table: TableHandle::Global,
+            table: TableHandle::global(),
             policy: BiasPolicy::paper_default(),
         }
     }
@@ -258,7 +267,7 @@ impl<M: RawMutexLike> BravoMutex<M> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
                     stats::record_fast_read();
@@ -294,15 +303,15 @@ impl<M: RawMutexLike> BravoMutex<M> {
         if self.rbias.load(Ordering::Relaxed) {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let table = self.table.table();
-            let conflicts = table.wait_for_readers(self.addr());
+            let rev = self.table.table().revoke(self.addr());
             let now = now_ns();
             self.inhibit_until.store(
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            stats::record_revocation_scan(table.len());
-            stats::record_write(true, conflicts as u64);
+            stats::record_revocation_scan(rev.scanned_slots);
+            stats::record_shard_conflicts(&rev.conflicts_per_shard);
+            stats::record_write(true, rev.conflicts);
         } else {
             stats::record_write(false, 0);
         }
@@ -347,7 +356,7 @@ impl<L: RawRwLock, M: RawMutexLike> BravoNonBlockingRevoke<L, M> {
             inhibit_until: AtomicU64::new(0),
             underlying: L::new(),
             writer_mutex: M::new(),
-            table: TableHandle::Global,
+            table: TableHandle::global(),
             policy: BiasPolicy::paper_default(),
         }
     }
@@ -367,7 +376,7 @@ impl<L: RawRwLock, M: RawMutexLike> BravoNonBlockingRevoke<L, M> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
                     stats::record_fast_read();
@@ -408,15 +417,15 @@ impl<L: RawRwLock, M: RawMutexLike> BravoNonBlockingRevoke<L, M> {
     fn revoke(&self) -> u64 {
         self.rbias.store(false, Ordering::SeqCst);
         let start = now_ns();
-        let table = self.table.table();
-        let conflicts = table.wait_for_readers(self.addr());
+        let rev = self.table.table().revoke(self.addr());
         let now = now_ns();
         self.inhibit_until.store(
             self.policy.inhibit_until_after_revocation(start, now),
             Ordering::Relaxed,
         );
-        stats::record_revocation_scan(table.len());
-        conflicts as u64
+        stats::record_revocation_scan(rev.scanned_slots);
+        stats::record_shard_conflicts(&rev.conflicts_per_shard);
+        rev.conflicts
     }
 
     /// Acquires write permission: writer mutex first (resolves write-write

@@ -57,12 +57,13 @@
 //!
 //! * [`raw`] — the [`RawRwLock`] trait that underlying locks implement, plus
 //!   a minimal default spin lock.
-//! * [`vrt`] — the visible readers table (global, per-instance and sectored
-//!   variants) and the hash that disperses readers over it.
+//! * [`vrt`] — the visible readers table behind the [`ReaderTable`]
+//!   abstraction: the flat, sectored and NUMA-sharded layouts, the
+//!   process-shared instances, and the [`TableHandle`] locks hold.
 //! * [`lock`] — [`BravoLock`], the raw (token-based) form of the algorithm.
 //! * [`rwlock`] — [`BravoRwLock`], the data-carrying RAII-guard form.
-//! * [`twod`] — the BRAVO-2D sectored variant sketched in the paper's
-//!   future-work section.
+//! * [`twod`] — the BRAVO-2D variant sketched in the paper's future-work
+//!   section, built on the shared sectored layout.
 //! * [`policy`] — bias-enabling policies (inhibit-until, Bernoulli).
 //! * [`stats`] — process-wide, sharded statistics counters (fast/slow reads,
 //!   revocations) plus per-lock counter blocks ([`stats::LockStats`]) used
@@ -97,5 +98,8 @@ pub use raw::{DefaultRwLock, RawRwLock, RawTryRwLock, TryLockError};
 pub use rwlock::{BravoReadGuard, BravoRwLock, BravoWriteGuard};
 pub use spec::{LockHandle, LockSpec, SpecError, SpecParseError, StatsMode, TableSpec};
 pub use stats::{LockStats, Snapshot, StatsSink};
-pub use twod::{Bravo2dLock, SectoredHandle, SectoredTable};
-pub use vrt::{TableHandle, VisibleReadersTable, DEFAULT_TABLE_SIZE};
+pub use twod::Bravo2dLock;
+pub use vrt::{
+    NumaTable, ReaderTable, Revocation, SectoredTable, TableHandle, VisibleReadersTable,
+    DEFAULT_TABLE_SIZE, MAX_TRACKED_SHARDS,
+};

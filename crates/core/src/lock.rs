@@ -55,7 +55,9 @@ impl ReadToken {
 /// The structure adds exactly the two fields the paper describes — the
 /// reader-bias flag and the inhibit-until timestamp — plus the handle to the
 /// visible readers table (globally shared by default, hence zero bytes of
-/// per-lock state in the paper's C embodiment) and the bias policy.
+/// per-lock state in the paper's C embodiment) and the bias policy. The
+/// lock is written against the [`ReaderTable`](crate::vrt::ReaderTable) abstraction, so any layout —
+/// flat, sectored, NUMA-sharded — can stand behind the handle.
 pub struct BravoLock<L = DefaultRwLock> {
     rbias: AtomicBool,
     inhibit_until: AtomicU64,
@@ -76,7 +78,7 @@ impl<L: RawRwLock> BravoLock<L> {
     /// readers in the process-global table and using the paper's default
     /// policy (`N = 9`).
     pub fn new() -> Self {
-        Self::with_parts(L::new(), TableHandle::Global, BiasPolicy::paper_default())
+        Self::with_parts(L::new(), TableHandle::global(), BiasPolicy::paper_default())
     }
 
     /// Creates a BRAVO lock with an explicit underlying lock, table handle
@@ -117,7 +119,7 @@ impl<L: RawRwLock> BravoLock<L> {
 
     /// Creates a BRAVO lock with a given policy over the global table.
     pub fn with_policy(policy: BiasPolicy) -> Self {
-        Self::with_parts(L::new(), TableHandle::Global, policy)
+        Self::with_parts(L::new(), TableHandle::global(), policy)
     }
 
     /// Creates a BRAVO lock that publishes into a private table of
@@ -162,13 +164,13 @@ impl<L: RawRwLock> BravoLock<L> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 // The successful CAS is SeqCst and doubles as the store-load
                 // fence between publishing our slot and re-checking RBias
                 // (Dekker-style with the writer's clear-then-scan sequence).
                 if self.rbias.load(Ordering::SeqCst) {
-                    self.stats.record_fast_read();
+                    self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return ReadToken { slot: Some(slot) };
                 }
                 // A writer revoked bias between our publication and the
@@ -177,6 +179,7 @@ impl<L: RawRwLock> BravoLock<L> {
                 return self.slow_read(SlowReadReason::Raced);
             }
             // Slot occupied: a collision with another (lock, thread) pair.
+            self.stats.record_shard_collision(table.shard_of_slot(slot));
             return self.slow_read(SlowReadReason::Collision);
         }
         self.slow_read(SlowReadReason::BiasDisabled)
@@ -231,8 +234,7 @@ impl<L: RawRwLock> BravoLock<L> {
             // reader's SeqCst publish + re-check.
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let table = self.table.table();
-            let conflicts = table.wait_for_readers(self.addr());
+            let rev = self.table.table().revoke(self.addr());
             let now = now_ns();
             // Primum non nocere: inhibit re-enabling bias long enough to
             // amortize this revocation's cost down to the configured bound.
@@ -240,8 +242,8 @@ impl<L: RawRwLock> BravoLock<L> {
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            self.stats.record_revocation_scan(table.len());
-            self.stats.record_write(true, conflicts as u64);
+            self.stats.record_revocation(&rev);
+            self.stats.record_write(true, rev.conflicts);
         } else {
             self.stats.record_write(false, 0);
         }
@@ -266,10 +268,10 @@ impl<L: RawTryRwLock> BravoLock<L> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(addr, topology::current_thread_id().as_usize());
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
-                    self.stats.record_fast_read();
+                    self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return Some(ReadToken { slot: Some(slot) });
                 }
                 table.clear(slot, addr);

@@ -16,6 +16,7 @@
 //! BRAVO-BA?bias=disabled&stats=global
 //! BRAVO-BA?table=private:4096
 //! BRAVO-2D-BA?table=sectored:4x256
+//! BRAVO-BA?table=numa:2x1024
 //! ```
 //!
 //! Grammar: `KIND[?param&param...]` with parameters
@@ -24,7 +25,7 @@
 //! |-----|--------|---------|
 //! | `n` | integer | [`BiasPolicy::InhibitUntil`] with that multiplier |
 //! | `bias` | `disabled`, `bernoulli:<inverse_p>`, `inhibit:<n>` | the other [`BiasPolicy`] forms (`inhibit:<n>` is the long form of `n=<n>`) |
-//! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>` | the [`TableSpec`] |
+//! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>`, `numa:<nodes>x<slots>` | the [`TableSpec`] |
 //! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
 //!
 //! A spec is resolved into a live lock by the catalog (`rwlocks::catalog`),
@@ -62,6 +63,39 @@ pub enum TableSpec {
         /// Slots per row (rounded up to a power of two at construction).
         slots: usize,
     },
+    /// A NUMA-sharded table, **process-shared** per geometry like the
+    /// global flat table: `nodes` shards of `slots` slots, readers publish
+    /// into their home-node shard, writers skip empty shards during
+    /// revocation.
+    Numa {
+        /// Number of shards (one per NUMA node; nodes wrap round-robin if
+        /// the machine has more).
+        nodes: usize,
+        /// Slots per shard (rounded up to a power of two at construction).
+        slots: usize,
+    },
+}
+
+impl TableSpec {
+    /// Whether this layout resolves to a *process-shared* table (one table
+    /// for every lock built with the same spec) rather than a table owned
+    /// per lock instance. The interference experiment requires a shared
+    /// base layout — an owned base would be interference-free by
+    /// construction.
+    pub fn is_process_shared(&self) -> bool {
+        matches!(self, TableSpec::Global | TableSpec::Numa { .. })
+    }
+
+    /// Number of shards the layout's revocation scan distinguishes (what
+    /// the per-shard statistics report against): 1 for flat layouts, one
+    /// per row/node otherwise.
+    pub fn shards(&self) -> usize {
+        match self {
+            TableSpec::Global | TableSpec::Private { .. } => 1,
+            TableSpec::Sectored { sectors, .. } => *sectors,
+            TableSpec::Numa { nodes, .. } => (*nodes).max(1),
+        }
+    }
 }
 
 impl std::fmt::Display for TableSpec {
@@ -70,6 +104,7 @@ impl std::fmt::Display for TableSpec {
             TableSpec::Global => f.write_str("global"),
             TableSpec::Private { slots } => write!(f, "private:{slots}"),
             TableSpec::Sectored { sectors, slots } => write!(f, "sectored:{sectors}x{slots}"),
+            TableSpec::Numa { nodes, slots } => write!(f, "numa:{nodes}x{slots}"),
         }
     }
 }
@@ -332,27 +367,42 @@ fn parse_table(value: &str) -> Result<TableSpec, SpecParseError> {
         return Ok(TableSpec::Private { slots });
     }
     if let Some(geometry) = value.strip_prefix("sectored:") {
-        let Some((sectors, slots)) = geometry.split_once('x') else {
-            return Err(SpecParseError::new(format!(
-                "sectored table geometry '{geometry}' is not of the form <sectors>x<slots>"
-            )));
-        };
-        let sectors = sectors.parse::<usize>().map_err(|_| {
-            SpecParseError::new(format!("sector count '{sectors}' is not an integer"))
-        })?;
-        let slots = slots.parse::<usize>().map_err(|_| {
-            SpecParseError::new(format!("slots-per-sector '{slots}' is not an integer"))
-        })?;
-        if sectors == 0 || slots == 0 {
-            return Err(SpecParseError::new(
-                "sectored table geometry must be at least 1x1",
-            ));
-        }
+        let (sectors, slots) = parse_geometry("sectored", geometry)?;
         return Ok(TableSpec::Sectored { sectors, slots });
     }
+    if let Some(geometry) = value.strip_prefix("numa:") {
+        let (nodes, slots) = parse_geometry("numa", geometry)?;
+        return Ok(TableSpec::Numa { nodes, slots });
+    }
     Err(SpecParseError::new(format!(
-        "table must be 'global', 'private:<slots>' or 'sectored:<sectors>x<slots>', got '{value}'"
+        "table must be 'global', 'private:<slots>', 'sectored:<sectors>x<slots>' or \
+         'numa:<nodes>x<slots>', got '{value}'"
     )))
+}
+
+/// Parses a `<a>x<b>` table geometry, rejecting zero dimensions.
+fn parse_geometry(layout: &str, geometry: &str) -> Result<(usize, usize), SpecParseError> {
+    let Some((a, b)) = geometry.split_once('x') else {
+        return Err(SpecParseError::new(format!(
+            "{layout} table geometry '{geometry}' is not of the form <a>x<b>"
+        )));
+    };
+    let a = a.parse::<usize>().map_err(|_| {
+        SpecParseError::new(format!(
+            "{layout} geometry component '{a}' is not an integer"
+        ))
+    })?;
+    let b = b.parse::<usize>().map_err(|_| {
+        SpecParseError::new(format!(
+            "{layout} geometry component '{b}' is not an integer"
+        ))
+    })?;
+    if a == 0 || b == 0 {
+        return Err(SpecParseError::new(format!(
+            "{layout} table geometry must be at least 1x1"
+        )));
+    }
+    Ok((a, b))
 }
 
 /// Error turning a (syntactically valid) [`LockSpec`] into a live lock.
@@ -365,9 +415,10 @@ pub enum SpecError {
         /// The catalog's valid kind names, for the error message.
         known: Vec<&'static str>,
     },
-    /// The spec's table layout is not supported by this algorithm (e.g. a
-    /// sectored table on a flat BRAVO composite, or any non-global table on
-    /// a lock that is not a BRAVO composite at all).
+    /// The spec's table layout is not supported by this algorithm (any
+    /// non-global table on a lock that is not a BRAVO composite — BRAVO
+    /// composites accept every layout) or by this workload (e.g. an owned
+    /// layout as the interference experiment's shared base).
     UnsupportedTable {
         /// The algorithm the spec named.
         kind: String,
@@ -577,6 +628,10 @@ mod tests {
                 sectors: 4,
                 slots: 256,
             }),
+            LockSpec::new("BRAVO-BA").with_table(TableSpec::Numa {
+                nodes: 2,
+                slots: 1024,
+            }),
             LockSpec::new("BRAVO-BA").with_stats(StatsMode::Global),
             LockSpec::new("BRAVO-BA")
                 .with_bias(BiasPolicy::InhibitUntil { n: 3 })
@@ -602,6 +657,10 @@ mod tests {
             "BA?table=sectored:4",
             "BA?table=private:0",
             "BA?table=sectored:0x8",
+            "BA?table=numa:2",
+            "BA?table=numa:0x64",
+            "BA?table=numa:2x0",
+            "BA?table=numa:axb",
             "BA?bias=sometimes",
             "BA?stats=maybe",
             "B A?n=9",
@@ -611,6 +670,37 @@ mod tests {
                 "'{text}' should not parse"
             );
         }
+    }
+
+    #[test]
+    fn numa_layout_parses_and_classifies_as_shared() {
+        let spec: LockSpec = "BRAVO-BA?table=numa:2x1024".parse().unwrap();
+        assert_eq!(
+            spec.table(),
+            TableSpec::Numa {
+                nodes: 2,
+                slots: 1024
+            }
+        );
+        assert!(spec.table().is_process_shared());
+        assert_eq!(spec.table().shards(), 2);
+        assert_eq!(spec.to_string(), "BRAVO-BA?table=numa:2x1024");
+        assert!(TableSpec::Global.is_process_shared());
+        assert!(!TableSpec::Private { slots: 64 }.is_process_shared());
+        assert!(!TableSpec::Sectored {
+            sectors: 4,
+            slots: 64
+        }
+        .is_process_shared());
+        assert_eq!(TableSpec::Global.shards(), 1);
+        assert_eq!(
+            TableSpec::Sectored {
+                sectors: 4,
+                slots: 64
+            }
+            .shards(),
+            4
+        );
     }
 
     #[test]

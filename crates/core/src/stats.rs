@@ -18,6 +18,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use topology::CachePadded;
 
+use crate::vrt::{tracked_shard, Revocation, MAX_TRACKED_SHARDS};
+
 /// One thread's (or stripe's) private counter block.
 #[derive(Default)]
 struct ThreadCounters {
@@ -30,6 +32,9 @@ struct ThreadCounters {
     revocation_wait_conflicts: AtomicU64,
     revocation_scan_slots: AtomicU64,
     bias_enabled: AtomicU64,
+    shard_publishes: [AtomicU64; MAX_TRACKED_SHARDS],
+    shard_collisions: [AtomicU64; MAX_TRACKED_SHARDS],
+    shard_conflicts: [AtomicU64; MAX_TRACKED_SHARDS],
 }
 
 impl ThreadCounters {
@@ -69,6 +74,25 @@ impl ThreadCounters {
         self.bias_enabled.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    fn add_shard_publish(&self, shard: usize) {
+        self.shard_publishes[tracked_shard(shard)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_shard_collision(&self, shard: usize) {
+        self.shard_collisions[tracked_shard(shard)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_shard_conflicts(&self, per_shard: &[u64; MAX_TRACKED_SHARDS]) {
+        for (counter, &n) in self.shard_conflicts.iter().zip(per_shard) {
+            if n > 0 {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
     fn accumulate_into(&self, out: &mut Snapshot) {
         out.fast_reads += self.fast_reads.load(Ordering::Relaxed);
         out.slow_reads_disabled += self.slow_reads_disabled.load(Ordering::Relaxed);
@@ -79,6 +103,11 @@ impl ThreadCounters {
         out.revocation_wait_conflicts += self.revocation_wait_conflicts.load(Ordering::Relaxed);
         out.revocation_scan_slots += self.revocation_scan_slots.load(Ordering::Relaxed);
         out.bias_enabled += self.bias_enabled.load(Ordering::Relaxed);
+        for shard in 0..MAX_TRACKED_SHARDS {
+            out.shard_publishes[shard] += self.shard_publishes[shard].load(Ordering::Relaxed);
+            out.shard_collisions[shard] += self.shard_collisions[shard].load(Ordering::Relaxed);
+            out.shard_conflicts[shard] += self.shard_conflicts[shard].load(Ordering::Relaxed);
+        }
     }
 }
 
@@ -115,6 +144,15 @@ pub struct Snapshot {
     pub revocation_scan_slots: u64,
     /// Times a slow-path reader re-enabled bias.
     pub bias_enabled: u64,
+    /// Fast-path publications per tracked table shard (occupancy pressure;
+    /// flat tables attribute everything to shard 0, shards beyond
+    /// [`MAX_TRACKED_SHARDS`] fold into the last bucket).
+    pub shard_publishes: [u64; MAX_TRACKED_SHARDS],
+    /// Slot collisions per tracked table shard — the cross-lock conflicts
+    /// the interference experiment reports.
+    pub shard_collisions: [u64; MAX_TRACKED_SHARDS],
+    /// Revocation-wait conflicts per tracked table shard.
+    pub shard_conflicts: [u64; MAX_TRACKED_SHARDS],
 }
 
 impl Snapshot {
@@ -149,6 +187,20 @@ impl Snapshot {
         }
     }
 
+    /// Total cross-lock slot collisions over the tracked shards.
+    pub fn total_shard_collisions(&self) -> u64 {
+        self.shard_collisions.iter().sum()
+    }
+
+    /// Average slots visited per revocation scan (0 when there were none).
+    pub fn scan_slots_per_revocation(&self) -> f64 {
+        if self.revocations == 0 {
+            0.0
+        } else {
+            self.revocation_scan_slots as f64 / self.revocations as f64
+        }
+    }
+
     /// Difference between two snapshots (`self` taken after `earlier`).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
@@ -162,8 +214,56 @@ impl Snapshot {
                 - earlier.revocation_wait_conflicts,
             revocation_scan_slots: self.revocation_scan_slots - earlier.revocation_scan_slots,
             bias_enabled: self.bias_enabled - earlier.bias_enabled,
+            shard_publishes: array_sub(&self.shard_publishes, &earlier.shard_publishes),
+            shard_collisions: array_sub(&self.shard_collisions, &earlier.shard_collisions),
+            shard_conflicts: array_sub(&self.shard_conflicts, &earlier.shard_conflicts),
         }
     }
+
+    /// Elementwise sum of two snapshots (used to aggregate a pool of
+    /// per-lock sinks into one view).
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        Snapshot {
+            fast_reads: self.fast_reads + other.fast_reads,
+            slow_reads_disabled: self.slow_reads_disabled + other.slow_reads_disabled,
+            slow_reads_collision: self.slow_reads_collision + other.slow_reads_collision,
+            slow_reads_raced: self.slow_reads_raced + other.slow_reads_raced,
+            writes: self.writes + other.writes,
+            revocations: self.revocations + other.revocations,
+            revocation_wait_conflicts: self.revocation_wait_conflicts
+                + other.revocation_wait_conflicts,
+            revocation_scan_slots: self.revocation_scan_slots + other.revocation_scan_slots,
+            bias_enabled: self.bias_enabled + other.bias_enabled,
+            shard_publishes: array_add(&self.shard_publishes, &other.shard_publishes),
+            shard_collisions: array_add(&self.shard_collisions, &other.shard_collisions),
+            shard_conflicts: array_add(&self.shard_conflicts, &other.shard_conflicts),
+        }
+    }
+}
+
+fn array_sub(
+    a: &[u64; MAX_TRACKED_SHARDS],
+    b: &[u64; MAX_TRACKED_SHARDS],
+) -> [u64; MAX_TRACKED_SHARDS] {
+    std::array::from_fn(|i| a[i] - b[i])
+}
+
+fn array_add(
+    a: &[u64; MAX_TRACKED_SHARDS],
+    b: &[u64; MAX_TRACKED_SHARDS],
+) -> [u64; MAX_TRACKED_SHARDS] {
+    std::array::from_fn(|i| a[i] + b[i])
+}
+
+/// Formats the first `shards` tracked buckets of a per-shard counter array
+/// as a compact `a:b:…` cell for result tables.
+pub fn format_shard_counts(counts: &[u64; MAX_TRACKED_SHARDS], shards: usize) -> String {
+    counts
+        .iter()
+        .take(shards.clamp(1, MAX_TRACKED_SHARDS))
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(":")
 }
 
 /// Registry of every thread's counter block.
@@ -226,6 +326,25 @@ pub fn record_revocation_scan(slots: usize) {
 #[inline]
 pub fn record_bias_enabled() {
     with_local(|c| c.add_bias_enabled());
+}
+
+/// Records a fast-path publication into a table shard.
+#[inline]
+pub fn record_shard_publish(shard: usize) {
+    with_local(|c| c.add_shard_publish(shard));
+}
+
+/// Records a slot collision in a table shard (the reader found the slot
+/// occupied and fell back to the slow path).
+#[inline]
+pub fn record_shard_collision(shard: usize) {
+    with_local(|c| c.add_shard_collision(shard));
+}
+
+/// Records the per-shard conflict breakdown of one revocation scan.
+#[inline]
+pub fn record_shard_conflicts(per_shard: &[u64; MAX_TRACKED_SHARDS]) {
+    with_local(|c| c.add_shard_conflicts(per_shard));
 }
 
 /// Aggregates all threads' counters into a [`Snapshot`].
@@ -378,6 +497,44 @@ impl StatsSink {
             stats.stripe().add_bias_enabled();
         }
     }
+
+    /// Records a fast-path read acquisition *and* its publication into the
+    /// given table shard, in one call (the common fast-path pairing).
+    #[inline]
+    pub fn record_fast_read_in(&self, shard: usize) {
+        record_fast_read();
+        record_shard_publish(shard);
+        if let StatsSink::PerLock(stats) = self {
+            let stripe = stats.stripe();
+            stripe.add_fast_read();
+            stripe.add_shard_publish(shard);
+        }
+    }
+
+    /// Records a slot collision in a table shard. The matching
+    /// [`SlowReadReason::Collision`] slow read is recorded separately by
+    /// the fallback path.
+    #[inline]
+    pub fn record_shard_collision(&self, shard: usize) {
+        record_shard_collision(shard);
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_shard_collision(shard);
+        }
+    }
+
+    /// Records the table-side outcome of one revocation scan: the slots it
+    /// visited and the per-shard conflict breakdown. The write acquisition
+    /// itself is recorded by [`StatsSink::record_write`].
+    #[inline]
+    pub fn record_revocation(&self, rev: &Revocation) {
+        record_revocation_scan(rev.scanned_slots);
+        record_shard_conflicts(&rev.conflicts_per_shard);
+        if let StatsSink::PerLock(stats) = self {
+            let stripe = stats.stripe();
+            stripe.add_revocation_scan(rev.scanned_slots);
+            stripe.add_shard_conflicts(&rev.conflicts_per_shard);
+        }
+    }
 }
 
 impl std::fmt::Debug for StatsSink {
@@ -487,6 +644,62 @@ mod tests {
         sink.record_fast_read();
         // A Global sink resolves to the process aggregate.
         assert!(sink.snapshot().fast_reads >= 1);
+    }
+
+    #[test]
+    fn shard_counters_attribute_fold_and_diff() {
+        let sink = StatsSink::per_lock();
+        sink.record_fast_read_in(1);
+        sink.record_fast_read_in(1);
+        sink.record_shard_collision(0);
+        // Shards past the tracked range fold into the last bucket.
+        sink.record_shard_collision(MAX_TRACKED_SHARDS + 3);
+        let mut per_shard = [0u64; MAX_TRACKED_SHARDS];
+        per_shard[2] = 4;
+        sink.record_revocation(&Revocation {
+            conflicts: 4,
+            scanned_slots: 128,
+            conflicts_per_shard: per_shard,
+        });
+        let s = sink.snapshot();
+        assert_eq!(s.fast_reads, 2);
+        assert_eq!(s.shard_publishes[1], 2);
+        assert_eq!(s.shard_collisions[0], 1);
+        assert_eq!(s.shard_collisions[MAX_TRACKED_SHARDS - 1], 1);
+        assert_eq!(s.total_shard_collisions(), 2);
+        assert_eq!(s.shard_conflicts[2], 4);
+        assert_eq!(s.revocation_scan_slots, 128);
+        // Diff and merge stay elementwise.
+        let d = s.since(&Snapshot::default());
+        assert_eq!(d.shard_publishes, s.shard_publishes);
+        let m = s.merged(&s);
+        assert_eq!(m.shard_conflicts[2], 8);
+        assert_eq!(m.fast_reads, 4);
+    }
+
+    #[test]
+    fn shard_cells_format_compactly() {
+        let mut counts = [0u64; MAX_TRACKED_SHARDS];
+        counts[0] = 3;
+        counts[1] = 1;
+        assert_eq!(format_shard_counts(&counts, 2), "3:1");
+        assert_eq!(format_shard_counts(&counts, 1), "3");
+        assert_eq!(format_shard_counts(&counts, 0), "3");
+        assert_eq!(
+            format_shard_counts(&counts, MAX_TRACKED_SHARDS + 4),
+            "3:1:0:0:0:0:0:0"
+        );
+    }
+
+    #[test]
+    fn scan_slots_per_revocation_handles_zero() {
+        assert_eq!(Snapshot::default().scan_slots_per_revocation(), 0.0);
+        let s = Snapshot {
+            revocations: 2,
+            revocation_scan_slots: 100,
+            ..Snapshot::default()
+        };
+        assert_eq!(s.scan_slots_per_revocation(), 50.0);
     }
 
     #[test]

@@ -1,204 +1,35 @@
 //! BRAVO-2D: the sectored-table variant from the paper's future-work list.
 //!
-//! The flat table hashes `(thread, lock)` anywhere in 4096 slots, which is
-//! simple but lets unrelated threads land in adjacent slots (near collisions
-//! → false sharing) and forces revoking writers to scan the whole table.
-//! BRAVO-2D instead partitions the table into *rows*, one per logical CPU,
-//! each aligned to a cache sector:
+//! The sectoring *logic* — one row per logical CPU, lock-hashed columns,
+//! single-column revocation — lives in [`crate::vrt::SectoredTable`]
+//! alongside the other table layouts; this module is a consumer of that
+//! layout, not its owner. What remains here is the lock itself:
+//! [`Bravo2dLock`] has identical admission semantics to
+//! [`crate::BravoLock`] but defaults to the process-global sectored table
+//! and adds a *bounded* revocation ([`Bravo2dLock::try_write_lock_for`])
+//! that makes an honest non-blocking write path possible.
 //!
-//! * A fast-path reader picks its row with its CPU id and the *column*
-//!   within the row by hashing the lock address. Threads therefore enjoy
-//!   spatial and temporal locality within their own row and essentially
-//!   never false-share with other CPUs.
-//! * A revoking writer only needs to scan the lock's column — one slot per
-//!   row — instead of the whole table.
-//!
-//! The trade-off is a higher *intra-thread* inter-lock collision rate (a
-//! given thread has only one candidate slot per lock per row), which the
-//! paper argues is rare because threads hold few read locks at once.
+//! Because the lock is written against the [`ReaderTable`](crate::vrt::ReaderTable) abstraction it
+//! can in fact publish into any layout (a spec like
+//! `BRAVO-2D-BA?table=numa:2x1024` is valid); the kind only selects the
+//! *default* layout.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
 
-use crate::clock::{now_ns, Backoff};
-use crate::hash::mix64;
+use crate::clock::now_ns;
 use crate::policy::BiasPolicy;
 use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
 use crate::stats::{SlowReadReason, StatsSink};
-use crate::vrt::VisibleReadersTable;
-
-/// Default number of slots per row (per logical CPU).
-pub const DEFAULT_ROW_SLOTS: usize = 64;
-
-/// A visible readers table partitioned into one row per logical CPU.
-pub struct SectoredTable {
-    storage: VisibleReadersTable,
-    rows: usize,
-    row_slots: usize,
-}
-
-impl SectoredTable {
-    /// Creates a table with `rows` rows of `row_slots` slots each.
-    /// `row_slots` is rounded up to a power of two.
-    pub fn new(rows: usize, row_slots: usize) -> Self {
-        let rows = rows.max(1);
-        let row_slots = row_slots.max(1).next_power_of_two();
-        Self {
-            storage: VisibleReadersTable::new(rows * row_slots),
-            rows,
-            row_slots,
-        }
-    }
-
-    /// Number of rows (one per logical CPU in the default configuration).
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Slots per row.
-    pub fn row_slots(&self) -> usize {
-        self.row_slots
-    }
-
-    /// Total number of slots.
-    pub fn len(&self) -> usize {
-        self.rows * self.row_slots
-    }
-
-    /// Whether the table has zero slots (never true in practice).
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Column a lock hashes to (same for every row, which is what lets the
-    /// writer restrict its scan to one column).
-    pub fn column_for(&self, lock_addr: usize) -> usize {
-        (mix64(lock_addr as u64) as usize) & (self.row_slots - 1)
-    }
-
-    /// Flat slot index for (cpu row, lock column).
-    pub fn slot_for(&self, cpu: usize, lock_addr: usize) -> usize {
-        (cpu % self.rows) * self.row_slots + self.column_for(lock_addr)
-    }
-
-    /// Fast-path publication into the caller's row.
-    pub fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
-        self.storage.try_publish(slot, lock_addr)
-    }
-
-    /// Fast-path release.
-    pub fn clear(&self, slot: usize, lock_addr: usize) {
-        self.storage.clear(slot, lock_addr)
-    }
-
-    /// Revocation: wait for fast readers of `lock_addr` to depart, visiting
-    /// only the lock's column in every row. Returns the number of
-    /// conflicting readers waited for.
-    pub fn wait_for_readers(&self, lock_addr: usize) -> usize {
-        self.wait_for_readers_until(lock_addr, u64::MAX)
-            .expect("unbounded revocation scan cannot time out")
-    }
-
-    /// Bounded revocation: like
-    /// [`wait_for_readers`](SectoredTable::wait_for_readers) but gives up
-    /// once the monotonic clock passes `deadline_ns`, returning `None`.
-    ///
-    /// On timeout some fast readers of `lock_addr` may still be published;
-    /// the caller must not assume write permission is safe and typically
-    /// backs out of the acquisition entirely.
-    pub fn wait_for_readers_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<usize> {
-        let column = self.column_for(lock_addr);
-        let mut conflicts = 0;
-        for row in 0..self.rows {
-            let slot = row * self.row_slots + column;
-            if self.storage.peek(slot) == lock_addr {
-                conflicts += 1;
-                // Polite waiting (see the flat table's revocation): yield
-                // periodically so a preempted fast reader can depart.
-                let mut backoff = Backoff::new();
-                while self.storage.peek(slot) == lock_addr {
-                    if deadline_ns != u64::MAX && now_ns() >= deadline_ns {
-                        return None;
-                    }
-                    backoff.snooze();
-                }
-            }
-        }
-        Some(conflicts)
-    }
-
-    /// Number of slots a revocation visits (one per row).
-    pub fn revocation_scan_len(&self) -> usize {
-        self.rows
-    }
-
-    /// Occupied slots (racy snapshot, for tests).
-    pub fn occupancy(&self) -> usize {
-        self.storage.occupancy()
-    }
-}
-
-impl std::fmt::Debug for SectoredTable {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SectoredTable")
-            .field("rows", &self.rows)
-            .field("row_slots", &self.row_slots)
-            .finish()
-    }
-}
-
-static GLOBAL_2D: OnceLock<SectoredTable> = OnceLock::new();
-
-/// The process-global sectored table: one row per logical CPU of the
-/// simulated machine, [`DEFAULT_ROW_SLOTS`] slots per row.
-pub fn global_sectored_table() -> &'static SectoredTable {
-    GLOBAL_2D.get_or_init(|| SectoredTable::new(topology::logical_cpus(), DEFAULT_ROW_SLOTS))
-}
-
-/// Which sectored table a [`Bravo2dLock`] publishes into.
-#[derive(Clone, Default)]
-pub enum SectoredHandle {
-    /// The process-global sectored table (one row per logical CPU).
-    #[default]
-    Global,
-    /// A table owned by (a group of) lock instances.
-    Owned(Arc<SectoredTable>),
-}
-
-impl SectoredHandle {
-    /// Creates a handle to a fresh private sectored table.
-    pub fn private(rows: usize, row_slots: usize) -> Self {
-        SectoredHandle::Owned(Arc::new(SectoredTable::new(rows, row_slots)))
-    }
-
-    /// Resolves the handle to the actual table.
-    pub fn table(&self) -> &SectoredTable {
-        match self {
-            SectoredHandle::Global => global_sectored_table(),
-            SectoredHandle::Owned(t) => t,
-        }
-    }
-}
-
-impl std::fmt::Debug for SectoredHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SectoredHandle::Global => write!(f, "SectoredHandle::Global"),
-            SectoredHandle::Owned(t) => {
-                write!(f, "SectoredHandle::Owned({}x{})", t.rows(), t.row_slots())
-            }
-        }
-    }
-}
+use crate::vrt::TableHandle;
 
 /// The BRAVO-2D lock: identical admission semantics to [`crate::BravoLock`],
-/// but fast readers publish into the sectored table and writers revoke by
-/// scanning a single column.
+/// but fast readers publish into the sectored table by default and writers
+/// revoke by scanning a single column.
 pub struct Bravo2dLock<L = DefaultRwLock> {
     rbias: AtomicBool,
     inhibit_until: AtomicU64,
     underlying: L,
-    table: SectoredHandle,
+    table: TableHandle,
     policy: BiasPolicy,
     stats: StatsSink,
 }
@@ -215,7 +46,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     pub fn new() -> Self {
         Self::with_instrumented(
             L::new(),
-            SectoredHandle::Global,
+            TableHandle::global_sectored(),
             BiasPolicy::paper_default(),
             StatsSink::Global,
         )
@@ -226,7 +57,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     pub fn with_private_table(rows: usize, row_slots: usize) -> Self {
         Self::with_instrumented(
             L::new(),
-            SectoredHandle::private(rows, row_slots),
+            TableHandle::sectored(rows, row_slots),
             BiasPolicy::paper_default(),
             StatsSink::Global,
         )
@@ -237,7 +68,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     /// builder uses.
     pub fn with_instrumented(
         underlying: L,
-        table: SectoredHandle,
+        table: TableHandle,
         policy: BiasPolicy,
         stats: StatsSink,
     ) -> Self {
@@ -271,15 +102,16 @@ impl<L: RawRwLock> Bravo2dLock<L> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(topology::current_cpu(), addr);
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
-                    self.stats.record_fast_read();
+                    self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return token(Some(slot));
                 }
                 table.clear(slot, addr);
                 return self.slow_read(SlowReadReason::Raced);
             }
+            self.stats.record_shard_collision(table.shard_of_slot(slot));
             return self.slow_read(SlowReadReason::Collision);
         }
         self.slow_read(SlowReadReason::BiasDisabled)
@@ -320,16 +152,14 @@ impl<L: RawRwLock> Bravo2dLock<L> {
         if self.rbias.load(Ordering::Relaxed) {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let table = self.table.table();
-            let conflicts = table.wait_for_readers(self.addr());
+            let rev = self.table.table().revoke(self.addr());
             let now = now_ns();
             self.inhibit_until.store(
                 self.policy.inhibit_until_after_revocation(start, now),
                 Ordering::Relaxed,
             );
-            self.stats
-                .record_revocation_scan(table.revocation_scan_len());
-            self.stats.record_write(true, conflicts as u64);
+            self.stats.record_revocation(&rev);
+            self.stats.record_write(true, rev.conflicts);
         } else {
             self.stats.record_write(false, 0);
         }
@@ -350,10 +180,10 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
         if self.rbias.load(Ordering::Acquire) {
             let table = self.table.table();
             let addr = self.addr();
-            let slot = table.slot_for(topology::current_cpu(), addr);
+            let slot = table.slot_for_current(addr);
             if table.try_publish(slot, addr) {
                 if self.rbias.load(Ordering::SeqCst) {
-                    self.stats.record_fast_read();
+                    self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return Some(token(Some(slot)));
                 }
                 table.clear(slot, addr);
@@ -375,9 +205,9 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
     /// unbounded wait in general, which is why this variant historically
     /// had no try path at all. A *bounded* revocation makes an honest try
     /// operation possible: acquire the underlying lock with its try path,
-    /// clear the bias flag, then scan the column with a deadline of
-    /// `budget` from now. On timeout the bias flag is restored, the
-    /// underlying lock is released, and the acquisition fails cleanly.
+    /// clear the bias flag, then scan with a deadline of `budget` from
+    /// now. On timeout the bias flag is restored, the underlying lock is
+    /// released, and the acquisition fails cleanly.
     ///
     /// Restoring the flag on timeout is load-bearing: the conflicting fast
     /// readers are still published, and every write path gates its
@@ -393,8 +223,7 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
             let deadline = start.saturating_add(budget.as_nanos().min(u128::from(u64::MAX)) as u64);
-            let table = self.table.table();
-            let outcome = table.wait_for_readers_until(self.addr(), deadline);
+            let outcome = self.table.table().revoke_until(self.addr(), deadline);
             let now = now_ns();
             // Charge the inhibit window for the time actually spent, so a
             // timed-out revocation still counts against re-enabling bias
@@ -405,10 +234,9 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
                 Ordering::Relaxed,
             );
             match outcome {
-                Some(conflicts) => {
-                    self.stats
-                        .record_revocation_scan(table.revocation_scan_len());
-                    self.stats.record_write(true, conflicts as u64);
+                Some(rev) => {
+                    self.stats.record_revocation(&rev);
+                    self.stats.record_write(true, rev.conflicts);
                 }
                 None => {
                     self.rbias.store(true, Ordering::SeqCst);
@@ -436,43 +264,6 @@ mod tests {
     type Lock2d = Bravo2dLock<DefaultRwLock>;
 
     #[test]
-    fn sectored_geometry() {
-        let t = SectoredTable::new(4, 60);
-        assert_eq!(t.rows(), 4);
-        assert_eq!(t.row_slots(), 64);
-        assert_eq!(t.len(), 256);
-        assert_eq!(t.revocation_scan_len(), 4);
-    }
-
-    #[test]
-    fn same_lock_hashes_to_same_column_in_every_row() {
-        let t = SectoredTable::new(8, 64);
-        let addr = 0xabc0usize;
-        let col = t.column_for(addr);
-        for cpu in 0..8 {
-            assert_eq!(t.slot_for(cpu, addr) % t.row_slots(), col);
-            assert_eq!(t.slot_for(cpu, addr) / t.row_slots(), cpu);
-        }
-    }
-
-    #[test]
-    fn column_scan_finds_readers_in_any_row() {
-        let t = SectoredTable::new(4, 16);
-        let addr = 0x3330usize;
-        let slot = t.slot_for(2, addr);
-        assert!(t.try_publish(slot, addr));
-        // Clear from another thread while the main thread revokes.
-        std::thread::scope(|s| {
-            s.spawn(|| {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-                t.clear(slot, addr);
-            });
-            assert_eq!(t.wait_for_readers(addr), 1);
-        });
-        assert_eq!(t.occupancy(), 0);
-    }
-
-    #[test]
     fn bravo_2d_read_write_cycle() {
         let l = Lock2d::new();
         let t = l.read_lock();
@@ -484,6 +275,27 @@ mod tests {
         l.write_lock();
         assert!(!l.is_reader_biased());
         l.write_unlock();
+    }
+
+    #[test]
+    fn bravo_2d_over_a_numa_table_still_excludes() {
+        // The kind only selects the default layout; the lock must be
+        // correct over any ReaderTable.
+        let l: Lock2d = Bravo2dLock::with_instrumented(
+            DefaultRwLock::new(),
+            TableHandle::numa(2, 64),
+            BiasPolicy::paper_default(),
+            StatsSink::per_lock(),
+        );
+        l.read_unlock(l.read_lock());
+        let t = l.read_lock();
+        assert!(t.is_fast());
+        l.read_unlock(t);
+        l.write_lock();
+        assert!(!l.is_reader_biased());
+        l.write_unlock();
+        assert!(l.stats().snapshot().fast_reads >= 1);
+        assert!(l.stats().snapshot().revocations >= 1);
     }
 
     #[test]

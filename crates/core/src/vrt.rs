@@ -1,29 +1,177 @@
-//! The visible readers table (VRT).
+//! The visible readers table (VRT) and its layouts.
 //!
-//! The table is the heart of BRAVO: a fixed array of slots, each either null
-//! or the address of a reader-writer lock that currently has a fast-path
-//! reader. One table is shared by *all* locks and threads in the address
-//! space (the paper sizes it at 4096 slots ≈ 32 KiB of pointers); readers of
-//! the same lock hash to different slots, so reader arrival generates no
-//! write-sharing.
+//! The table is the heart of BRAVO: an array of slots, each either null or
+//! the address of a reader-writer lock that currently has a fast-path
+//! reader. The *layout* of that array is the knob the paper turns to trade
+//! inter-lock interference against revocation-scan cost, and this module
+//! puts every layout behind one abstraction, [`ReaderTable`]:
 //!
-//! Besides the process-global table this module also supports *owned*
-//! per-lock tables. Those are not part of the production design — they are
-//! the "idealized form that has a large per-instance footprint but which is
-//! immune to inter-lock conflicts" used as the comparator in the paper's
-//! inter-lock-interference experiment (Figure 1).
+//! * [`VisibleReadersTable`] — the **flat** layout: one hash-indexed array
+//!   shared by all locks and threads (the paper sizes the process-global
+//!   instance at 4096 slots ≈ 32 KiB of pointers). Owned flat instances are
+//!   the "idealized form that has a large per-instance footprint but which
+//!   is immune to inter-lock conflicts" used as the comparator in the
+//!   paper's Figure 1.
+//! * [`SectoredTable`] — the **sectored** (BRAVO-2D) layout from the
+//!   paper's future-work list: one row per logical CPU, lock-hashed
+//!   columns, so writers revoke by scanning a single column.
+//! * [`NumaTable`] — the **NUMA-sharded** layout: one shard per NUMA node.
+//!   A reader publishes into its home-node shard (via the topology
+//!   registry), so publications are always node-local, and each shard keeps
+//!   an occupancy counter so a revoking writer skips empty shards entirely
+//!   instead of walking every slot.
+//!
+//! Locks hold a [`TableHandle`], which resolves either to a process-shared
+//! table (the flat global, the sectored global, or a per-geometry shared
+//! NUMA table) or to a table owned by the lock instance.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::clock::Backoff;
-use crate::hash::slot_index;
+use topology::CachePadded;
 
-/// Number of slots in the process-global table (the paper's choice).
+use crate::clock::{now_ns, Backoff};
+use crate::hash::{mix64, slot_index};
+
+/// Number of slots in the process-global flat table (the paper's choice).
 pub const DEFAULT_TABLE_SIZE: usize = 4096;
 
-/// A visible readers table: `size` slots, each holding either null (0) or
-/// the address of a lock with an active fast-path reader.
+/// Default number of slots per row of the sectored (BRAVO-2D) layout.
+pub const DEFAULT_ROW_SLOTS: usize = 64;
+
+/// How many shards the statistics layer tracks individually; shards beyond
+/// this fold into the last bucket. (Machines with more NUMA nodes than this
+/// are rare, and the fold only coarsens reporting, never correctness.)
+pub const MAX_TRACKED_SHARDS: usize = 8;
+
+/// Folds a shard index into the statistics layer's tracked range.
+pub fn tracked_shard(shard: usize) -> usize {
+    shard.min(MAX_TRACKED_SHARDS - 1)
+}
+
+/// Outcome of one revocation scan: what the writer had to wait for and how
+/// much of the table it visited, broken down per shard for the statistics
+/// layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Revocation {
+    /// Fast-path readers the writer had to wait for.
+    pub conflicts: u64,
+    /// Slots the scan visited (for a NUMA table, a skipped empty shard
+    /// counts as one visited slot — the occupancy probe).
+    pub scanned_slots: usize,
+    /// Conflicts attributed to each tracked shard (see
+    /// [`MAX_TRACKED_SHARDS`]); flat tables report everything in shard 0.
+    pub conflicts_per_shard: [u64; MAX_TRACKED_SHARDS],
+}
+
+/// A visible readers table layout.
+///
+/// All three layouts (flat, sectored, NUMA-sharded) implement this trait;
+/// BRAVO composites are written against it, so a lock's layout is chosen by
+/// its [`TableSpec`](crate::spec::TableSpec) instead of by its type.
+///
+/// The contract every layout upholds: a publication made through
+/// [`slot_for_current`](ReaderTable::slot_for_current) +
+/// [`try_publish`](ReaderTable::try_publish) on any thread is found by a
+/// concurrent [`revoke`](ReaderTable::revoke) for the same lock address
+/// (the BRAVO safety property).
+pub trait ReaderTable: Send + Sync {
+    /// Short name of the layout (`"flat"`, `"sectored"`, `"numa"`).
+    fn layout(&self) -> &'static str;
+
+    /// Total number of slots.
+    fn len(&self) -> usize;
+
+    /// Whether the table has zero slots (never true for the provided
+    /// layouts).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards a revocation scan distinguishes: 1 for the flat
+    /// layout, one per row for the sectored layout, one per node for the
+    /// NUMA layout.
+    fn shards(&self) -> usize;
+
+    /// Shard containing `slot` (not folded; callers fold for statistics via
+    /// [`tracked_shard`]).
+    fn shard_of_slot(&self, slot: usize) -> usize;
+
+    /// Slot the *calling thread* publishes `lock_addr` into, per this
+    /// layout's placement rule (thread-hashed for flat, CPU row for
+    /// sectored, home-node shard for NUMA).
+    fn slot_for_current(&self, lock_addr: usize) -> usize;
+
+    /// Whether a revocation scan finds a publication in *any* slot, or only
+    /// in slots derived from
+    /// [`slot_for_current`](ReaderTable::slot_for_current). The dual-probe
+    /// extension publishes into arbitrary secondary slots and must not do
+    /// so on layouts (sectored) whose writers scan a single column.
+    fn probe_anywhere(&self) -> bool;
+
+    /// Attempts to publish `lock_addr` in `slot` (the fast-path reader's
+    /// CAS from null). Returns `false` if the slot was already occupied.
+    ///
+    /// On success the operation is sequentially consistent, which provides
+    /// the store-load fence the algorithm needs between publishing the slot
+    /// and re-checking the lock's bias flag.
+    fn try_publish(&self, slot: usize, lock_addr: usize) -> bool;
+
+    /// Clears `slot`, which must currently hold `lock_addr` published by
+    /// this thread (the fast-path reader's release).
+    fn clear(&self, slot: usize, lock_addr: usize);
+
+    /// Reads the raw contents of `slot` (0 if empty).
+    fn peek(&self, slot: usize) -> usize;
+
+    /// The writer's revocation scan: waits until no slot this lock's
+    /// readers can occupy holds `lock_addr`.
+    fn revoke(&self, lock_addr: usize) -> Revocation {
+        self.revoke_until(lock_addr, u64::MAX)
+            .expect("unbounded revocation scan cannot time out")
+    }
+
+    /// Bounded revocation: like [`revoke`](ReaderTable::revoke) but gives
+    /// up once the monotonic clock passes `deadline_ns`, returning `None`.
+    /// On timeout some fast readers may still be published; the caller must
+    /// not assume write permission is safe.
+    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation>;
+
+    /// Number of currently occupied slots (racy snapshot, for tests and
+    /// occupancy experiments).
+    fn occupancy(&self) -> usize;
+
+    /// Number of slots currently publishing `lock_addr` (racy snapshot).
+    fn count_for(&self, lock_addr: usize) -> usize;
+}
+
+/// Two-pass drain over an already-collected set of conflicting slots.
+///
+/// The first sweep (done by the caller) only *collects* occupied indices;
+/// this drain then re-polls the whole set each round, so a revoking writer
+/// is never head-of-line blocked on the first occupied slot while readers
+/// later in the scan order have long departed. Returns `false` on deadline.
+fn drain_pending(
+    slots: &[AtomicUsize],
+    pending: &mut Vec<usize>,
+    lock_addr: usize,
+    deadline_ns: u64,
+) -> bool {
+    let mut backoff = Backoff::new();
+    loop {
+        pending.retain(|&i| slots[i].load(Ordering::SeqCst) == lock_addr);
+        if pending.is_empty() {
+            return true;
+        }
+        if deadline_ns != u64::MAX && now_ns() >= deadline_ns {
+            return false;
+        }
+        backoff.snooze();
+    }
+}
+
+/// The flat layout: `size` hash-indexed slots, each holding either null (0)
+/// or the address of a lock with an active fast-path reader.
 pub struct VisibleReadersTable {
     slots: Box<[AtomicUsize]>,
 }
@@ -55,16 +203,8 @@ impl VisibleReadersTable {
         slot_index(lock_addr, thread_id, self.slots.len())
     }
 
-    /// Attempts to publish `lock_addr` in `slot`.
-    ///
-    /// This is the fast-path reader's CAS from null to the lock address.
-    /// Returns `true` if this call installed the address; `false` if the slot
-    /// was already occupied (a true collision, or this thread's own earlier
-    /// publication of the same lock).
-    ///
-    /// On success the operation is sequentially consistent, which provides
-    /// the store-load fence the algorithm needs between publishing the slot
-    /// and re-checking the lock's bias flag.
+    /// Attempts to publish `lock_addr` in `slot`; see
+    /// [`ReaderTable::try_publish`].
     pub fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
         debug_assert_ne!(lock_addr, 0, "cannot publish a null lock address");
         self.slots[slot]
@@ -89,35 +229,37 @@ impl VisibleReadersTable {
         self.slots[slot].load(Ordering::SeqCst)
     }
 
-    /// Scans the whole table and busy-waits until no slot holds `lock_addr`.
+    /// Scans the whole table and waits until no slot holds `lock_addr`.
     ///
-    /// This is the writer's revocation scan. The scan itself is sequential —
-    /// the paper relies on the hardware prefetcher making it cheap (~1.1 ns
-    /// per slot on their testbed) — and each occupied matching slot is
-    /// re-polled until the fast-path reader departs. Returns the number of
+    /// This is the writer's revocation scan. It is **two-pass**: the first
+    /// sweep only collects the conflicting slot indices (the paper relies
+    /// on the hardware prefetcher making it cheap — ~1.1 ns per slot on
+    /// their testbed), and the second pass re-polls only those slots until
+    /// every conflicting reader departs, so the writer is not head-of-line
+    /// blocked on the first occupied slot. Returns the number of
     /// conflicting readers that had to be waited for.
     pub fn wait_for_readers(&self, lock_addr: usize) -> usize {
-        let mut conflicts = 0;
-        for slot in self.slots.iter() {
-            if slot.load(Ordering::SeqCst) == lock_addr {
-                conflicts += 1;
-                wait_for_slot_clear(slot, lock_addr);
-            }
-        }
+        let mut pending = self.collect_conflicts(0..self.slots.len(), lock_addr);
+        let conflicts = pending.len();
+        drain_pending(&self.slots, &mut pending, lock_addr, u64::MAX);
         conflicts
     }
 
-    /// Scans a sub-range of slots (used by the sectored BRAVO-2D variant and
-    /// by tests) and waits for matching readers to depart.
+    /// Scans a sub-range of slots (used by tests and by range-restricted
+    /// embeddings) and waits, two-pass, for matching readers to depart.
     pub fn wait_for_readers_in(&self, range: std::ops::Range<usize>, lock_addr: usize) -> usize {
-        let mut conflicts = 0;
-        for slot in &self.slots[range] {
-            if slot.load(Ordering::SeqCst) == lock_addr {
-                conflicts += 1;
-                wait_for_slot_clear(slot, lock_addr);
-            }
-        }
+        let mut pending = self.collect_conflicts(range, lock_addr);
+        let conflicts = pending.len();
+        drain_pending(&self.slots, &mut pending, lock_addr, u64::MAX);
         conflicts
+    }
+
+    /// First revocation pass: indices in `range` currently publishing
+    /// `lock_addr`.
+    fn collect_conflicts(&self, range: std::ops::Range<usize>, lock_addr: usize) -> Vec<usize> {
+        range
+            .filter(|&i| self.slots[i].load(Ordering::SeqCst) == lock_addr)
+            .collect()
     }
 
     /// Number of currently occupied slots. Used by tests and by the
@@ -138,6 +280,67 @@ impl VisibleReadersTable {
     }
 }
 
+impl ReaderTable for VisibleReadersTable {
+    fn layout(&self) -> &'static str {
+        "flat"
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn shard_of_slot(&self, _slot: usize) -> usize {
+        0
+    }
+
+    fn slot_for_current(&self, lock_addr: usize) -> usize {
+        self.slot_for(lock_addr, topology::current_thread_id().as_usize())
+    }
+
+    fn probe_anywhere(&self) -> bool {
+        true
+    }
+
+    fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
+        VisibleReadersTable::try_publish(self, slot, lock_addr)
+    }
+
+    fn clear(&self, slot: usize, lock_addr: usize) {
+        VisibleReadersTable::clear(self, slot, lock_addr)
+    }
+
+    fn peek(&self, slot: usize) -> usize {
+        VisibleReadersTable::peek(self, slot)
+    }
+
+    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+        let mut pending = self.collect_conflicts(0..self.slots.len(), lock_addr);
+        let mut rev = Revocation {
+            conflicts: pending.len() as u64,
+            scanned_slots: self.slots.len(),
+            ..Revocation::default()
+        };
+        rev.conflicts_per_shard[0] = rev.conflicts;
+        if drain_pending(&self.slots, &mut pending, lock_addr, deadline_ns) {
+            Some(rev)
+        } else {
+            None
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy()
+    }
+
+    fn count_for(&self, lock_addr: usize) -> usize {
+        self.count_for(lock_addr)
+    }
+}
+
 impl std::fmt::Debug for VisibleReadersTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VisibleReadersTable")
@@ -147,64 +350,479 @@ impl std::fmt::Debug for VisibleReadersTable {
     }
 }
 
-/// Busy-waits for one occupied slot to be cleared by its fast-path reader.
+/// The sectored (BRAVO-2D) layout: one row per logical CPU, aligned to a
+/// cache sector.
 ///
-/// The paper's revoking writers spin; it also notes that shifting to a
-/// "polite" waiting policy is trivial. We spin but yield the CPU
-/// periodically so that, when there are more runnable threads than hardware
-/// threads, the departing reader actually gets to run — without this, a
-/// revoking writer can burn entire scheduler quanta waiting for a preempted
-/// reader.
-fn wait_for_slot_clear(slot: &AtomicUsize, lock_addr: usize) {
-    let mut backoff = Backoff::new();
-    while slot.load(Ordering::SeqCst) == lock_addr {
-        backoff.snooze();
+/// The flat table hashes `(thread, lock)` anywhere, which is simple but
+/// lets unrelated threads land in adjacent slots (near collisions → false
+/// sharing) and forces revoking writers to scan the whole table. The
+/// sectored layout instead gives every CPU its own row:
+///
+/// * A fast-path reader picks its row with its CPU id and the *column*
+///   within the row by hashing the lock address, so threads enjoy spatial
+///   and temporal locality within their own row and essentially never
+///   false-share with other CPUs.
+/// * A revoking writer only needs to scan the lock's column — one slot per
+///   row — instead of the whole table.
+///
+/// The trade-off is a higher *intra-thread* inter-lock collision rate (a
+/// given thread has only one candidate slot per lock per row), which the
+/// paper argues is rare because threads hold few read locks at once.
+pub struct SectoredTable {
+    storage: VisibleReadersTable,
+    rows: usize,
+    row_slots: usize,
+}
+
+impl SectoredTable {
+    /// Creates a table with `rows` rows of `row_slots` slots each.
+    /// `row_slots` is rounded up to a power of two.
+    pub fn new(rows: usize, row_slots: usize) -> Self {
+        let rows = rows.max(1);
+        let row_slots = row_slots.max(1).next_power_of_two();
+        Self {
+            storage: VisibleReadersTable::new(rows * row_slots),
+            rows,
+            row_slots,
+        }
+    }
+
+    /// Number of rows (one per logical CPU in the default configuration).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Slots per row.
+    pub fn row_slots(&self) -> usize {
+        self.row_slots
+    }
+
+    /// Total number of slots.
+    pub fn len(&self) -> usize {
+        self.rows * self.row_slots
+    }
+
+    /// Whether the table has zero slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column a lock hashes to (same for every row, which is what lets the
+    /// writer restrict its scan to one column).
+    pub fn column_for(&self, lock_addr: usize) -> usize {
+        (mix64(lock_addr as u64) as usize) & (self.row_slots - 1)
+    }
+
+    /// Flat slot index for (cpu row, lock column).
+    pub fn slot_for(&self, cpu: usize, lock_addr: usize) -> usize {
+        (cpu % self.rows) * self.row_slots + self.column_for(lock_addr)
+    }
+
+    /// Number of slots a revocation visits (one per row).
+    pub fn revocation_scan_len(&self) -> usize {
+        self.rows
+    }
+}
+
+impl ReaderTable for SectoredTable {
+    fn layout(&self) -> &'static str {
+        "sectored"
+    }
+
+    fn len(&self) -> usize {
+        self.len()
+    }
+
+    fn shards(&self) -> usize {
+        self.rows
+    }
+
+    fn shard_of_slot(&self, slot: usize) -> usize {
+        slot / self.row_slots
+    }
+
+    fn slot_for_current(&self, lock_addr: usize) -> usize {
+        self.slot_for(topology::current_cpu(), lock_addr)
+    }
+
+    fn probe_anywhere(&self) -> bool {
+        // Writers scan one column; a publication outside the lock's column
+        // would be invisible to revocation.
+        false
+    }
+
+    fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
+        self.storage.try_publish(slot, lock_addr)
+    }
+
+    fn clear(&self, slot: usize, lock_addr: usize) {
+        self.storage.clear(slot, lock_addr)
+    }
+
+    fn peek(&self, slot: usize) -> usize {
+        self.storage.peek(slot)
+    }
+
+    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+        // Column scan, two-pass: collect the occupied slots of the lock's
+        // column first, then re-poll only those.
+        let column = self.column_for(lock_addr);
+        let mut pending: Vec<usize> = (0..self.rows)
+            .map(|row| row * self.row_slots + column)
+            .filter(|&slot| self.storage.peek(slot) == lock_addr)
+            .collect();
+        let mut rev = Revocation {
+            conflicts: pending.len() as u64,
+            scanned_slots: self.rows,
+            ..Revocation::default()
+        };
+        for &slot in &pending {
+            rev.conflicts_per_shard[tracked_shard(self.shard_of_slot(slot))] += 1;
+        }
+        if drain_pending(&self.storage.slots, &mut pending, lock_addr, deadline_ns) {
+            Some(rev)
+        } else {
+            None
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.storage.occupancy()
+    }
+
+    fn count_for(&self, lock_addr: usize) -> usize {
+        self.storage.count_for(lock_addr)
+    }
+}
+
+impl std::fmt::Debug for SectoredTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SectoredTable")
+            .field("rows", &self.rows)
+            .field("row_slots", &self.row_slots)
+            .finish()
+    }
+}
+
+/// One shard of a [`NumaTable`]: its slots plus a cache-padded occupancy
+/// counter that lets revoking writers skip the shard when it is empty.
+struct NumaShard {
+    /// Upper bound on the number of published entries in this shard:
+    /// readers increment *before* publishing and decrement *after*
+    /// clearing, so `occupancy == 0` proves the shard holds no publication.
+    occupancy: CachePadded<AtomicUsize>,
+    slots: Box<[AtomicUsize]>,
+}
+
+/// The NUMA-sharded layout: one shard of slots per NUMA node.
+///
+/// A fast-path reader publishes into the shard of its home node (via
+/// [`topology::current_shard`]), hashing `(lock, thread)` within the shard
+/// exactly like the flat layout — so same-node readers of one lock still
+/// diffuse over the shard, while the publication cache line is always
+/// node-local. A revoking writer probes each shard's occupancy counter and
+/// scans only the shards that can hold a reader, so on a machine where the
+/// lock's readers live on a subset of nodes (or after they departed) the
+/// scan touches a fraction of the slots the flat layout would walk.
+pub struct NumaTable {
+    shards: Box<[NumaShard]>,
+    slots_per_shard: usize,
+}
+
+impl NumaTable {
+    /// Creates a table with `nodes` shards of `slots_per_shard` slots each.
+    /// `slots_per_shard` is rounded up to a power of two.
+    pub fn new(nodes: usize, slots_per_shard: usize) -> Self {
+        let nodes = nodes.max(1);
+        let slots_per_shard = slots_per_shard.max(1).next_power_of_two();
+        let shards = (0..nodes)
+            .map(|_| NumaShard {
+                occupancy: CachePadded::new(AtomicUsize::new(0)),
+                slots: (0..slots_per_shard)
+                    .map(|_| AtomicUsize::new(0))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice(),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            shards,
+            slots_per_shard,
+        }
+    }
+
+    /// Slots per shard.
+    pub fn slots_per_shard(&self) -> usize {
+        self.slots_per_shard
+    }
+
+    /// Number of shards (one per NUMA node at construction).
+    pub fn node_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic slot for a `(lock, thread)` pair homed on `node`.
+    /// This is the placement [`ReaderTable::slot_for_current`] applies to
+    /// the calling thread; exposed separately so tests can check the
+    /// distribution without going through the thread registry.
+    pub fn slot_for_thread_on_node(
+        &self,
+        lock_addr: usize,
+        thread_id: usize,
+        node: usize,
+    ) -> usize {
+        let shard = node % self.shards.len();
+        shard * self.slots_per_shard + slot_index(lock_addr, thread_id, self.slots_per_shard)
+    }
+
+    /// Racy snapshot of one shard's published-entry upper bound (tests).
+    pub fn shard_occupancy_hint(&self, shard: usize) -> usize {
+        self.shards[shard].occupancy.load(Ordering::SeqCst)
+    }
+
+    fn locate(&self, slot: usize) -> (usize, usize) {
+        (slot / self.slots_per_shard, slot % self.slots_per_shard)
+    }
+}
+
+impl ReaderTable for NumaTable {
+    fn layout(&self) -> &'static str {
+        "numa"
+    }
+
+    fn len(&self) -> usize {
+        self.shards.len() * self.slots_per_shard
+    }
+
+    fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of_slot(&self, slot: usize) -> usize {
+        slot / self.slots_per_shard
+    }
+
+    fn slot_for_current(&self, lock_addr: usize) -> usize {
+        self.slot_for_thread_on_node(
+            lock_addr,
+            topology::current_thread_id().as_usize(),
+            topology::current_shard(self.shards.len()),
+        )
+    }
+
+    fn probe_anywhere(&self) -> bool {
+        // Occupancy accounting is per slot (try_publish/clear derive the
+        // shard from the slot index), so a publication in *any* slot is
+        // covered by the revocation scan.
+        true
+    }
+
+    fn try_publish(&self, slot: usize, lock_addr: usize) -> bool {
+        debug_assert_ne!(lock_addr, 0, "cannot publish a null lock address");
+        let (shard, offset) = self.locate(slot);
+        let shard = &self.shards[shard];
+        // Occupancy rises *before* the publish CAS: a writer that observes
+        // occupancy == 0 (after its SeqCst bias clear) is therefore
+        // guaranteed no granted fast reader hides in this shard — the
+        // reader's increment is SeqCst-ordered before its bias re-check.
+        shard.occupancy.fetch_add(1, Ordering::SeqCst);
+        if shard.slots[offset]
+            .compare_exchange(0, lock_addr, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            true
+        } else {
+            shard.occupancy.fetch_sub(1, Ordering::SeqCst);
+            false
+        }
+    }
+
+    fn clear(&self, slot: usize, lock_addr: usize) {
+        let (shard, offset) = self.locate(slot);
+        let shard = &self.shards[shard];
+        let prev = shard.slots[offset].swap(0, Ordering::Release);
+        debug_assert_eq!(
+            prev, lock_addr,
+            "slot cleared by a thread that did not own it"
+        );
+        let _ = (prev, lock_addr);
+        // After the slot itself: occupancy stays an upper bound throughout.
+        shard.occupancy.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn peek(&self, slot: usize) -> usize {
+        let (shard, offset) = self.locate(slot);
+        self.shards[shard].slots[offset].load(Ordering::SeqCst)
+    }
+
+    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+        let mut rev = Revocation::default();
+        for (index, shard) in self.shards.iter().enumerate() {
+            if shard.occupancy.load(Ordering::SeqCst) == 0 {
+                // Empty shard: the occupancy probe is the whole visit.
+                rev.scanned_slots += 1;
+                continue;
+            }
+            rev.scanned_slots += shard.slots.len();
+            let mut pending: Vec<usize> = (0..shard.slots.len())
+                .filter(|&i| shard.slots[i].load(Ordering::SeqCst) == lock_addr)
+                .collect();
+            rev.conflicts += pending.len() as u64;
+            rev.conflicts_per_shard[tracked_shard(index)] += pending.len() as u64;
+            if !drain_pending(&shard.slots, &mut pending, lock_addr, deadline_ns) {
+                return None;
+            }
+        }
+        Some(rev)
+    }
+
+    fn occupancy(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter(|s| s.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+
+    fn count_for(&self, lock_addr: usize) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter(|s| s.load(Ordering::Relaxed) == lock_addr)
+            .count()
+    }
+}
+
+impl std::fmt::Debug for NumaTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NumaTable")
+            .field("shards", &self.shards.len())
+            .field("slots_per_shard", &self.slots_per_shard)
+            .finish()
     }
 }
 
 static GLOBAL: OnceLock<VisibleReadersTable> = OnceLock::new();
 
-/// Returns the process-global visible readers table (4096 slots, created on
-/// first use).
+/// Returns the process-global flat table (4096 slots, created on first
+/// use) — the paper's production embodiment.
 pub fn global_table() -> &'static VisibleReadersTable {
     GLOBAL.get_or_init(|| VisibleReadersTable::new(DEFAULT_TABLE_SIZE))
 }
 
-/// Which table a BRAVO lock publishes its fast-path readers into.
+static GLOBAL_2D: OnceLock<SectoredTable> = OnceLock::new();
+
+/// The process-global sectored table: one row per logical CPU of the
+/// simulated machine, [`DEFAULT_ROW_SLOTS`] slots per row.
+pub fn global_sectored_table() -> &'static SectoredTable {
+    GLOBAL_2D.get_or_init(|| SectoredTable::new(topology::logical_cpus(), DEFAULT_ROW_SLOTS))
+}
+
+/// Registry of process-shared NUMA tables, one per distinct geometry.
 ///
-/// Production BRAVO uses [`TableHandle::Global`]; the per-instance variant
-/// exists for the Figure 1 interference experiment and for unit tests that
-/// need an isolated table.
-#[derive(Clone, Default)]
+/// NUMA tables are shared like the flat global table — every lock built
+/// with `table=numa:<nodes>x<slots>` publishes into the *same* table for
+/// that geometry, which is what makes the layout comparable to the global
+/// flat table in the interference experiment. Tables are leaked (a handful
+/// of geometries per process, each a few KiB).
+static NUMA_TABLES: OnceLock<Mutex<Vec<&'static NumaTable>>> = OnceLock::new();
+
+/// Returns the process-shared NUMA table for the given geometry, creating
+/// it on first use. Geometry is normalized exactly as [`NumaTable::new`]
+/// normalizes it, so `numa:2x1000` and `numa:2x1024` share one table.
+pub fn shared_numa_table(nodes: usize, slots_per_shard: usize) -> &'static NumaTable {
+    let nodes = nodes.max(1);
+    let slots_per_shard = slots_per_shard.max(1).next_power_of_two();
+    let mut tables = NUMA_TABLES
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("numa table registry poisoned");
+    if let Some(table) = tables
+        .iter()
+        .find(|t| t.node_shards() == nodes && t.slots_per_shard() == slots_per_shard)
+    {
+        return table;
+    }
+    let table: &'static NumaTable = Box::leak(Box::new(NumaTable::new(nodes, slots_per_shard)));
+    tables.push(table);
+    table
+}
+
+/// Which visible readers table a BRAVO composite publishes into.
+///
+/// Production BRAVO uses the process-shared tables (zero bytes of per-lock
+/// table state); owned tables exist for the Figure 1 interference
+/// experiment, for BRAVO-2D private geometries, and for unit tests that
+/// need isolation.
+#[derive(Clone)]
 pub enum TableHandle {
-    /// The process-global shared table.
-    #[default]
-    Global,
+    /// A process-shared table (the flat global, the sectored global, or a
+    /// per-geometry shared NUMA table).
+    Shared(&'static (dyn ReaderTable + 'static)),
     /// A table owned by (a group of) lock instances.
-    Owned(Arc<VisibleReadersTable>),
+    Owned(Arc<dyn ReaderTable>),
+}
+
+impl Default for TableHandle {
+    fn default() -> Self {
+        TableHandle::global()
+    }
 }
 
 impl TableHandle {
-    /// Creates a handle to a fresh private table with `size` slots.
+    /// The process-global flat table (the paper's production default).
+    pub fn global() -> Self {
+        TableHandle::Shared(global_table())
+    }
+
+    /// The process-global sectored table (the BRAVO-2D default).
+    pub fn global_sectored() -> Self {
+        TableHandle::Shared(global_sectored_table())
+    }
+
+    /// The process-shared NUMA table for the given geometry.
+    pub fn numa(nodes: usize, slots_per_shard: usize) -> Self {
+        TableHandle::Shared(shared_numa_table(nodes, slots_per_shard))
+    }
+
+    /// A fresh private flat table with `size` slots.
     pub fn private(size: usize) -> Self {
         TableHandle::Owned(Arc::new(VisibleReadersTable::new(size)))
     }
 
+    /// A fresh private sectored table (`rows × row_slots`).
+    pub fn sectored(rows: usize, row_slots: usize) -> Self {
+        TableHandle::Owned(Arc::new(SectoredTable::new(rows, row_slots)))
+    }
+
+    /// Wraps an existing table.
+    pub fn owned(table: Arc<dyn ReaderTable>) -> Self {
+        TableHandle::Owned(table)
+    }
+
     /// Resolves the handle to the actual table.
-    pub fn table(&self) -> &VisibleReadersTable {
+    pub fn table(&self) -> &dyn ReaderTable {
         match self {
-            TableHandle::Global => global_table(),
-            TableHandle::Owned(t) => t,
+            TableHandle::Shared(t) => *t,
+            TableHandle::Owned(t) => &**t,
         }
     }
 }
 
 impl std::fmt::Debug for TableHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            TableHandle::Global => write!(f, "TableHandle::Global"),
-            TableHandle::Owned(t) => write!(f, "TableHandle::Owned(len={})", t.len()),
-        }
+        let scope = match self {
+            TableHandle::Shared(_) => "Shared",
+            TableHandle::Owned(_) => "Owned",
+        };
+        let t = self.table();
+        write!(
+            f,
+            "TableHandle::{scope}({} layout, {} slots, {} shards)",
+            t.layout(),
+            t.len(),
+            t.shards()
+        )
     }
 }
 
@@ -256,6 +874,34 @@ mod tests {
     }
 
     #[test]
+    fn two_pass_scan_collects_all_conflicts_before_waiting() {
+        // Publish the same lock from several "threads"; every conflict must
+        // be counted even though all of them are still held when the scan
+        // starts (the first pass collects, the drain waits on the set).
+        let t = Arc::new(VisibleReadersTable::new(256));
+        let addr = 0x7000;
+        let slots: Vec<usize> = (0..5)
+            .map(|tid| {
+                let slot = t.slot_for(addr, tid);
+                assert!(t.try_publish(slot, addr));
+                slot
+            })
+            .collect();
+        let t2 = Arc::clone(&t);
+        let clearer = std::thread::spawn(move || {
+            // Depart in reverse scan order: a single-pass scanner would be
+            // head-of-line blocked on the earliest slot the whole time.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            for &slot in slots.iter().rev() {
+                t2.clear(slot, addr);
+            }
+        });
+        assert_eq!(t.wait_for_readers(addr), 5);
+        clearer.join().unwrap();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
     fn wait_ignores_other_locks() {
         let t = VisibleReadersTable::new(64);
         let other = 0x8000;
@@ -275,6 +921,150 @@ mod tests {
     }
 
     #[test]
+    fn flat_table_reader_table_contract() {
+        let t = VisibleReadersTable::new(64);
+        let table: &dyn ReaderTable = &t;
+        assert_eq!(table.layout(), "flat");
+        assert_eq!(table.shards(), 1);
+        assert_eq!(table.shard_of_slot(63), 0);
+        assert!(table.probe_anywhere());
+        let addr = 0x6000;
+        let slot = table.slot_for_current(addr);
+        assert!(table.try_publish(slot, addr));
+        table.clear(slot, addr);
+        let rev = table.revoke(addr);
+        assert_eq!(rev.conflicts, 0);
+        assert_eq!(rev.scanned_slots, 64);
+    }
+
+    #[test]
+    fn sectored_geometry() {
+        let t = SectoredTable::new(4, 60);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.row_slots(), 64);
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.revocation_scan_len(), 4);
+        assert_eq!(ReaderTable::shards(&t), 4);
+        assert!(!t.probe_anywhere());
+    }
+
+    #[test]
+    fn same_lock_hashes_to_same_column_in_every_row() {
+        let t = SectoredTable::new(8, 64);
+        let addr = 0xabc0usize;
+        let col = t.column_for(addr);
+        for cpu in 0..8 {
+            assert_eq!(t.slot_for(cpu, addr) % t.row_slots(), col);
+            assert_eq!(t.slot_for(cpu, addr) / t.row_slots(), cpu);
+        }
+    }
+
+    #[test]
+    fn sectored_column_scan_finds_readers_in_any_row() {
+        let t = SectoredTable::new(4, 16);
+        let addr = 0x3330usize;
+        let slot = t.slot_for(2, addr);
+        assert!(t.try_publish(slot, addr));
+        // Clear from another thread while the main thread revokes.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                ReaderTable::clear(&t, slot, addr);
+            });
+            let rev = t.revoke(addr);
+            assert_eq!(rev.conflicts, 1);
+            assert_eq!(rev.scanned_slots, 4, "column scan visits one slot per row");
+            assert_eq!(
+                rev.conflicts_per_shard[2], 1,
+                "conflict attributed to row 2"
+            );
+        });
+        assert_eq!(ReaderTable::occupancy(&t), 0);
+    }
+
+    #[test]
+    fn numa_geometry_and_placement() {
+        let t = NumaTable::new(4, 60);
+        assert_eq!(t.node_shards(), 4);
+        assert_eq!(t.slots_per_shard(), 64);
+        assert_eq!(ReaderTable::len(&t), 256);
+        assert!(t.probe_anywhere());
+        for node in 0..4 {
+            let slot = t.slot_for_thread_on_node(0xbeef0, 7, node);
+            assert_eq!(t.shard_of_slot(slot), node, "publication not node-local");
+        }
+        // Node ids beyond the shard count wrap.
+        let wrapped = t.slot_for_thread_on_node(0xbeef0, 7, 6);
+        assert_eq!(t.shard_of_slot(wrapped), 2);
+    }
+
+    #[test]
+    fn numa_occupancy_counter_tracks_publications() {
+        let t = NumaTable::new(2, 16);
+        let addr = 0xa0;
+        let slot = t.slot_for_thread_on_node(addr, 1, 1);
+        assert_eq!(t.shard_occupancy_hint(1), 0);
+        assert!(t.try_publish(slot, addr));
+        assert_eq!(t.shard_occupancy_hint(1), 1);
+        assert_eq!(t.shard_occupancy_hint(0), 0);
+        // A failed publish leaves no residue.
+        assert!(!t.try_publish(slot, 0xb0));
+        assert_eq!(t.shard_occupancy_hint(1), 1);
+        t.clear(slot, addr);
+        assert_eq!(t.shard_occupancy_hint(1), 0);
+        assert_eq!(ReaderTable::occupancy(&t), 0);
+    }
+
+    #[test]
+    fn numa_revocation_skips_empty_shards() {
+        let t = NumaTable::new(4, 64);
+        let addr = 0xcc0;
+        // Nothing published anywhere: every shard is skipped with a single
+        // occupancy probe.
+        let rev = t.revoke(addr);
+        assert_eq!(rev.conflicts, 0);
+        assert_eq!(rev.scanned_slots, 4, "one probe per empty shard");
+
+        // One reader on node 2: its shard is walked, the others skipped.
+        let slot = t.slot_for_thread_on_node(addr, 3, 2);
+        assert!(t.try_publish(slot, addr));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                t.clear(slot, addr);
+            });
+            let rev = t.revoke(addr);
+            assert_eq!(rev.conflicts, 1);
+            assert_eq!(rev.scanned_slots, 64 + 3);
+            assert_eq!(rev.conflicts_per_shard[2], 1);
+            assert_eq!(rev.conflicts_per_shard[0], 0);
+        });
+    }
+
+    #[test]
+    fn numa_bounded_revocation_times_out_and_recovers() {
+        let t = NumaTable::new(2, 16);
+        let addr = 0xdd0;
+        let slot = t.slot_for_thread_on_node(addr, 0, 0);
+        assert!(t.try_publish(slot, addr));
+        // The reader never departs within the budget.
+        let deadline = now_ns() + 2_000_000; // 2 ms
+        assert!(t.revoke_until(addr, deadline).is_none());
+        t.clear(slot, addr);
+        let rev = t.revoke(addr);
+        assert_eq!(rev.conflicts, 0);
+    }
+
+    #[test]
+    fn shared_numa_tables_dedupe_by_normalized_geometry() {
+        let a = shared_numa_table(2, 1000) as *const NumaTable;
+        let b = shared_numa_table(2, 1024) as *const NumaTable;
+        assert_eq!(a, b, "geometry must be normalized before dedup");
+        let c = shared_numa_table(4, 1024) as *const NumaTable;
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn table_handle_resolution() {
         let h = TableHandle::default();
         assert_eq!(h.table().len(), DEFAULT_TABLE_SIZE);
@@ -282,6 +1072,25 @@ mod tests {
         assert_eq!(p.table().len(), 128);
         // Owned handles clone to the same table.
         let p2 = p.clone();
-        assert!(std::ptr::eq(p.table(), p2.table()));
+        assert!(std::ptr::eq(
+            p.table() as *const dyn ReaderTable as *const u8,
+            p2.table() as *const dyn ReaderTable as *const u8
+        ));
+        assert_eq!(TableHandle::global_sectored().table().layout(), "sectored");
+        assert_eq!(TableHandle::numa(2, 64).table().layout(), "numa");
+        assert_eq!(TableHandle::sectored(4, 16).table().len(), 64);
+    }
+
+    #[test]
+    fn tracked_shard_folds_the_tail() {
+        assert_eq!(tracked_shard(0), 0);
+        assert_eq!(
+            tracked_shard(MAX_TRACKED_SHARDS - 1),
+            MAX_TRACKED_SHARDS - 1
+        );
+        assert_eq!(
+            tracked_shard(MAX_TRACKED_SHARDS + 5),
+            MAX_TRACKED_SHARDS - 1
+        );
     }
 }

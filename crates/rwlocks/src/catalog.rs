@@ -21,8 +21,7 @@ use bravo::spec::{LockHandle, LockSpec, SpecError, TableSpec};
 use bravo::stats::StatsSink;
 use bravo::vrt::TableHandle;
 use bravo::{
-    BiasPolicy, Bravo2dLock, BravoLock, RawRwLock, RawTryRwLock, ReentrantBravo, SectoredHandle,
-    TryLockError,
+    BiasPolicy, Bravo2dLock, BravoLock, RawRwLock, RawTryRwLock, ReentrantBravo, TryLockError,
 };
 
 use crate::cohort::CohortRwLock;
@@ -266,29 +265,21 @@ impl<L: RawTryRwLock> RawTryRwLock for ReentrantBravo2d<L> {
     }
 }
 
-/// Resolves a flat-table spec to a [`TableHandle`], rejecting sectored
-/// layouts (those belong to the BRAVO-2D kind).
-fn flat_table(spec: &LockSpec) -> Result<TableHandle, SpecError> {
+/// Resolves a spec's table layout to a live [`TableHandle`].
+///
+/// Every BRAVO composite accepts every layout — the kind only chooses what
+/// a bare `table=global` (or an absent parameter) means: the flat global
+/// table for the flat composites, the sectored global table for BRAVO-2D.
+/// `private:`/`sectored:` geometries build tables owned by the lock
+/// instance; `numa:` geometries resolve to the process-shared table for
+/// that geometry (see [`bravo::vrt::shared_numa_table`]).
+fn resolve_table(spec: &LockSpec, sectored_default: bool) -> TableHandle {
     match spec.table() {
-        TableSpec::Global => Ok(TableHandle::Global),
-        TableSpec::Private { slots } => Ok(TableHandle::private(slots)),
-        table @ TableSpec::Sectored { .. } => Err(SpecError::UnsupportedTable {
-            kind: spec.kind().to_string(),
-            table,
-        }),
-    }
-}
-
-/// Resolves a sectored-table spec to a [`SectoredHandle`], rejecting flat
-/// private layouts (BRAVO-2D tables are always sectored).
-fn sectored_table(spec: &LockSpec) -> Result<SectoredHandle, SpecError> {
-    match spec.table() {
-        TableSpec::Global => Ok(SectoredHandle::Global),
-        TableSpec::Sectored { sectors, slots } => Ok(SectoredHandle::private(sectors, slots)),
-        table @ TableSpec::Private { .. } => Err(SpecError::UnsupportedTable {
-            kind: spec.kind().to_string(),
-            table,
-        }),
+        TableSpec::Global if sectored_default => TableHandle::global_sectored(),
+        TableSpec::Global => TableHandle::global(),
+        TableSpec::Private { slots } => TableHandle::private(slots),
+        TableSpec::Sectored { sectors, slots } => TableHandle::sectored(sectors, slots),
+        TableSpec::Numa { nodes, slots } => TableHandle::numa(nodes, slots),
     }
 }
 
@@ -314,10 +305,9 @@ fn bravo_flat<L: RawTryRwLock + 'static>(
     spec: &LockSpec,
     sink: StatsSink,
 ) -> Result<LockHandle, SpecError> {
-    let table = flat_table(spec)?;
     let lock = ReentrantBravo::from_lock(BravoLock::with_instrumented(
         L::new(),
-        table,
+        resolve_table(spec, false),
         spec.bias(),
         sink.clone(),
     ));
@@ -346,10 +336,13 @@ fn plain<L: RawTryRwLock + 'static>(spec: &LockSpec) -> Result<LockHandle, SpecE
 ///
 /// The kind is resolved through [`LockKind::parse`]; bias and table
 /// parameters are honoured for BRAVO composites and rejected (not ignored)
-/// for plain locks. Statistics attribution follows the spec's `stats` mode
-/// for BRAVO composites, which record into the handle's sink; plain locks
-/// perform no recording, so their handles' snapshots read all zeros
-/// regardless of the mode.
+/// for plain locks. Every BRAVO composite accepts every table layout
+/// (`global`, `private:`, `sectored:`, `numa:`); a bare `global` resolves to
+/// the flat global table, except on `BRAVO-2D-BA` where it selects the
+/// sectored global table. Statistics attribution follows the
+/// spec's `stats` mode for BRAVO composites, which record into the handle's
+/// sink; plain locks perform no recording, so their handles' snapshots read
+/// all zeros regardless of the mode.
 pub fn build_lock(spec: &LockSpec) -> Result<LockHandle, SpecError> {
     let Some(kind) = LockKind::parse(spec.kind()) else {
         return Err(SpecError::UnknownKind {
@@ -371,10 +364,9 @@ pub fn build_lock(spec: &LockSpec) -> Result<LockHandle, SpecError> {
         LockKind::BravoCounter => bravo_flat::<CounterRwLock>(spec, spec.make_sink()),
         LockKind::Bravo2dBa => {
             let sink = spec.make_sink();
-            let table = sectored_table(spec)?;
             let lock = ReentrantBravo2d::from_lock(Bravo2dLock::with_instrumented(
                 PhaseFairQueueLock::new(),
-                table,
+                resolve_table(spec, true),
                 spec.bias(),
                 sink.clone(),
             ));
@@ -492,15 +484,68 @@ mod tests {
             build_lock(&"Per-CPU?table=private:64".parse().unwrap()),
             Err(SpecError::UnsupportedTable { .. })
         ));
-        // Sectored table on a flat composite, private table on the 2D one.
         assert!(matches!(
-            build_lock(&"BRAVO-BA?table=sectored:4x64".parse().unwrap()),
+            build_lock(&"Cohort-RW?table=numa:2x64".parse().unwrap()),
             Err(SpecError::UnsupportedTable { .. })
         ));
-        assert!(matches!(
-            build_lock(&"BRAVO-2D-BA?table=private:64".parse().unwrap()),
-            Err(SpecError::UnsupportedTable { .. })
-        ));
+    }
+
+    #[test]
+    fn every_bravo_kind_builds_over_every_layout() {
+        // The kind used to *own* its layout (flat composites rejected
+        // sectored tables, BRAVO-2D rejected flat ones); with the unified
+        // ReaderTable abstraction the kind only picks the default, and
+        // every layout is constructible for every BRAVO composite.
+        let layouts = [
+            "",
+            "?table=private:256",
+            "?table=sectored:4x64",
+            "?table=numa:2x128",
+        ];
+        for &kind in LockKind::all() {
+            if !kind.is_bravo() {
+                continue;
+            }
+            for layout in layouts {
+                let text = format!("{}{layout}", kind.name());
+                let spec: LockSpec = text.parse().unwrap();
+                let lock =
+                    build_lock(&spec).unwrap_or_else(|e| panic!("'{text}' failed to build: {e}"));
+                lock.lock_shared();
+                lock.unlock_shared();
+                lock.lock_shared();
+                lock.unlock_shared();
+                lock.lock_exclusive();
+                lock.unlock_exclusive();
+                assert!(
+                    lock.snapshot().fast_reads >= 1,
+                    "'{text}': second read did not take the fast path"
+                );
+                assert!(
+                    lock.snapshot().revocations >= 1,
+                    "'{text}': writer did not revoke"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numa_specs_share_one_table_per_geometry() {
+        // Two locks built from the same numa spec publish into the same
+        // process-shared table; per-shard publish counters prove the
+        // publications landed in the caller's home-node shard.
+        let spec: LockSpec = "BRAVO-BA?table=numa:2x128".parse().unwrap();
+        let a = build_lock(&spec).unwrap();
+        let b = build_lock(&spec).unwrap();
+        for lock in [&a, &b] {
+            lock.lock_shared();
+            lock.unlock_shared();
+            lock.lock_shared();
+            lock.unlock_shared();
+        }
+        let home = topology::current_shard(2);
+        assert!(a.snapshot().shard_publishes[home] >= 1);
+        assert!(b.snapshot().shard_publishes[home] >= 1);
     }
 
     #[test]
