@@ -1,0 +1,104 @@
+//! Figure 10 (reproduction extension) — serving traffic over loopback.
+//!
+//! The paper's experiments are all in-process; the north star ("serve heavy
+//! traffic") calls for measuring lock specs under *connection concurrency*.
+//! This binary sweeps `{connections} × {lock specs}`: for each spec it
+//! starts an in-process `bravod` server on an ephemeral loopback port, then
+//! drives the open-loop load generator at each connection count, reporting
+//! achieved throughput and p50/p95/p99 completion latency (measured from
+//! the scheduled arrival, so server-side queueing is charged to the lock).
+//!
+//! Expected shape: read-mostly traffic keeps BRAVO composites on the fast
+//! path (`fast_read_pct` high), so added connections raise throughput
+//! without the reader-count-proportional writer penalty the underlying
+//! lock would pay; the `table=numa` layouts trade slot budget for
+//! node-local publication exactly as in fig1.
+//!
+//! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
+//! the default `BA` vs `BRAVO-BA` pair.
+
+use std::time::Duration;
+
+use bench::{
+    banner, fast_read_cell, fmt_f64, header, latency_cells, loadgen_or_exit, row, HarnessArgs,
+    RunMode,
+};
+use rwlocks::LockKind;
+use server::loadgen::LoadConfig;
+use server::{Server, ServerConfig};
+
+/// Offered load per connection (operations per second): high enough to
+/// stress the GetLock, low enough that a laptop's loopback stack keeps up
+/// and the open loop measures the lock, not the NIC.
+const RATE_PER_CONNECTION: f64 = 2_000.0;
+
+/// Connection counts to sweep: the run mode's thread series, capped so the
+/// thread-per-connection server stays within reason on small hosts.
+fn connection_series(mode: RunMode) -> Vec<usize> {
+    mode.thread_series()
+        .into_iter()
+        .filter(|&t| t <= 32)
+        .collect()
+}
+
+/// The load the sweep offers at a given connection count.
+fn sweep_config(mode: RunMode, connections: usize) -> LoadConfig {
+    LoadConfig {
+        connections,
+        rate: RATE_PER_CONNECTION * connections as f64,
+        duration: mode.interval().max(Duration::from_millis(200)),
+        keys: 10_000,
+        ..LoadConfig::quick()
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::from_args();
+    args.init_results("fig10_server");
+    let mode = args.mode;
+    banner(
+        "Figure 10: bravod loopback serving sweep (open-loop, ops/sec + latency)",
+        mode,
+    );
+
+    let specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    header(&[
+        "connections",
+        "lock",
+        "ops",
+        "errors",
+        "ops_per_sec",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "fast_read_pct",
+    ]);
+    for spec in &specs {
+        let server = match Server::bind("127.0.0.1:0", ServerConfig::new(spec.clone())) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        let addr = server.local_addr();
+        for connections in connection_series(mode) {
+            let before = server.db().memtable().lock_stats();
+            let report = loadgen_or_exit(addr, &sweep_config(mode, connections));
+            let delta = server.db().memtable().lock_stats().since(&before);
+            let [p50, p95, p99] = latency_cells(&report);
+            row(&[
+                connections.to_string(),
+                spec.to_string(),
+                report.operations.to_string(),
+                report.errors.to_string(),
+                fmt_f64(report.throughput()),
+                p50,
+                p95,
+                p99,
+                fast_read_cell(&delta),
+            ]);
+        }
+        server.shutdown();
+    }
+}

@@ -11,8 +11,8 @@
 //! ```
 //!
 //! Pass `--lock SPEC` (repeatable) to replace the default user-space lock
-//! sweep of the figure 2–6 sections; the kernel sections always compare
-//! stock vs BRAVO.
+//! sweep of the figure 2–6 and 10 sections; the kernel sections always
+//! compare stock vs BRAVO.
 //!
 //! Pass `--out results/` to additionally collect each experiment's rows as
 //! a CSV file (`results/fig2_alternator.csv`, …) with the spec-string
@@ -141,6 +141,36 @@ fn main() {
             (h.reads + h.inserts + h.erases).to_string(),
             "-".into(),
         );
+    }
+
+    // Figure 10 (serving traffic): an in-process bravod on loopback, driven
+    // by the open-loop load generator at one representative connection
+    // count; per-lock fast-read attribution via the GetLock's sink.
+    let server_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    let connections = threads.min(4);
+    for spec in &server_specs {
+        let server = server::Server::bind("127.0.0.1:0", server::ServerConfig::new(spec.clone()))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        let before = server.db().memtable().lock_stats();
+        let config = server::LoadConfig {
+            connections,
+            rate: 2_000.0 * connections as f64,
+            duration: mode.interval().max(std::time::Duration::from_millis(200)),
+            ..server::LoadConfig::quick()
+        };
+        let report = bench::loadgen_or_exit(server.local_addr(), &config);
+        let delta = server.db().memtable().lock_stats().since(&before);
+        emit(
+            results,
+            "fig10_server",
+            format!("{}@conns={connections}", spec),
+            fmt_f64(report.throughput()),
+            fast_read_cell(&delta),
+        );
+        server.shutdown();
     }
 
     // Figures 7–8 (locktorture) and 9 (will-it-scale), stock vs BRAVO.

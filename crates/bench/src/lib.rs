@@ -395,6 +395,35 @@ pub fn build_or_exit(spec: &LockSpec) -> LockHandle {
     }
 }
 
+// The latency formatting helpers live next to `LoadReport` in
+// `server::loadgen` (bravod's own CLI needs them and `server` cannot
+// depend on `bench`); re-exported here so the fig binaries keep one
+// import root for result-table plumbing.
+pub use server::loadgen::{micros_cell, LATENCY_COLUMNS};
+
+/// The p50/p95/p99 cells of one load-generator report, matching
+/// [`LATENCY_COLUMNS`].
+pub fn latency_cells(report: &server::LoadReport) -> [String; 3] {
+    report.latency_cells()
+}
+
+/// Runs the open-loop load generator against a serving address,
+/// terminating the process with a diagnostic when no connection could be
+/// established (a dead or unreachable server is a harness failure, not a
+/// data point).
+pub fn loadgen_or_exit(
+    addr: std::net::SocketAddr,
+    config: &server::LoadConfig,
+) -> server::LoadReport {
+    match server::loadgen::run(addr, config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("load generator failed against {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Formats the per-lock statistics cell appended to result rows: the
 /// fast-read percentage over the lock's lifetime, or `-` when the lock
 /// recorded nothing (plain locks do not record).
@@ -476,6 +505,24 @@ mod tests {
     fn float_formatting() {
         assert_eq!(fmt_f64(12345.6), "12346");
         assert_eq!(fmt_f64(1.234), "1.23");
+    }
+
+    #[test]
+    fn latency_cells_match_their_columns() {
+        assert_eq!(micros_cell(Duration::from_micros(150)), "150.0");
+        let mut latencies = server::LatencyHistogram::new();
+        latencies.record(Duration::from_micros(100));
+        let report = server::LoadReport {
+            operations: 1,
+            errors: 0,
+            elapsed: Duration::from_secs(1),
+            latencies,
+        };
+        let cells = latency_cells(&report);
+        assert_eq!(cells.len(), LATENCY_COLUMNS.len());
+        for cell in &cells {
+            assert!(cell.parse::<f64>().unwrap() > 0.0);
+        }
     }
 
     #[test]

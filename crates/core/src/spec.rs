@@ -25,7 +25,7 @@
 //! |-----|--------|---------|
 //! | `n` | integer | [`BiasPolicy::InhibitUntil`] with that multiplier |
 //! | `bias` | `disabled`, `bernoulli:<inverse_p>`, `inhibit:<n>` | the other [`BiasPolicy`] forms (`inhibit:<n>` is the long form of `n=<n>`) |
-//! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>`, `numa:<nodes>x<slots>` | the [`TableSpec`] |
+//! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>`, `numa:<nodes>x<slots>`, bare `numa` | the [`TableSpec`] (bare `numa` auto-sizes from the machine topology, see [`TableSpec::numa_auto`]) |
 //! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
 //!
 //! A spec is resolved into a live lock by the catalog (`rwlocks::catalog`),
@@ -77,6 +77,24 @@ pub enum TableSpec {
 }
 
 impl TableSpec {
+    /// The auto-sized NUMA layout selected by the bare `table=numa` spec
+    /// form: one shard per node of [`topology::machine`], with
+    /// `DEFAULT_TABLE_SIZE / nodes × 2` slots per shard, so the sharded
+    /// layout carries twice the flat global table's aggregate slot budget
+    /// and in-shard collision counts stay comparable under same-node load.
+    ///
+    /// The geometry is resolved *when the spec is parsed* (freezing the
+    /// process-global machine if it was not already frozen), so the
+    /// resulting spec prints its concrete `numa:<nodes>x<slots>` form and
+    /// the Display ↔ FromStr round-trip is preserved.
+    pub fn numa_auto() -> Self {
+        let nodes = topology::numa_nodes().max(1);
+        TableSpec::Numa {
+            nodes,
+            slots: (crate::vrt::DEFAULT_TABLE_SIZE / nodes).max(1) * 2,
+        }
+    }
+
     /// Whether this layout resolves to a *process-shared* table (one table
     /// for every lock built with the same spec) rather than a table owned
     /// per lock instance. The interference experiment requires a shared
@@ -370,13 +388,17 @@ fn parse_table(value: &str) -> Result<TableSpec, SpecParseError> {
         let (sectors, slots) = parse_geometry("sectored", geometry)?;
         return Ok(TableSpec::Sectored { sectors, slots });
     }
+    if value == "numa" {
+        return Ok(TableSpec::numa_auto());
+    }
     if let Some(geometry) = value.strip_prefix("numa:") {
         let (nodes, slots) = parse_geometry("numa", geometry)?;
         return Ok(TableSpec::Numa { nodes, slots });
     }
     Err(SpecParseError::new(format!(
-        "table must be 'global', 'private:<slots>', 'sectored:<sectors>x<slots>' or \
-         'numa:<nodes>x<slots>', got '{value}'"
+        "table must be 'global', 'private:<slots>', 'sectored:<sectors>x<slots>', \
+         'numa:<nodes>x<slots>' or bare 'numa' (auto-sized from the machine topology), \
+         got '{value}'"
     )))
 }
 
@@ -514,6 +536,22 @@ impl LockHandle {
     /// The spec this lock was built from.
     pub fn spec(&self) -> &LockSpec {
         &self.spec
+    }
+
+    /// Returns a handle sharing this lock (and its statistics channel) but
+    /// carrying a different display label.
+    ///
+    /// This is the labelling surface multi-client harnesses use with
+    /// `stats=per-lock` specs: the `bravod` server hands each connection a
+    /// relabelled clone (e.g. `BRAVO-BA@conn7`) so per-connection log lines
+    /// and result rows stay distinguishable. Note the statistics are *not*
+    /// split: every clone records into — and snapshots — the one shared
+    /// per-lock sink.
+    pub fn labeled(&self, label: impl Into<String>) -> LockHandle {
+        LockHandle {
+            label: label.into(),
+            ..self.clone()
+        }
     }
 
     /// The display label for result tables (the spec's compact string form).
@@ -701,6 +739,39 @@ mod tests {
             .shards(),
             4
         );
+    }
+
+    #[test]
+    fn bare_numa_auto_sizes_from_the_machine_topology() {
+        let spec: LockSpec = "BRAVO-BA?table=numa".parse().unwrap();
+        let nodes = topology::numa_nodes().max(1);
+        let slots = (crate::vrt::DEFAULT_TABLE_SIZE / nodes).max(1) * 2;
+        assert_eq!(spec.table(), TableSpec::Numa { nodes, slots });
+        assert_eq!(spec.table(), TableSpec::numa_auto());
+        // The resolved geometry is concrete, so Display prints it and the
+        // round-trip invariant holds.
+        let text = spec.to_string();
+        assert_eq!(text, format!("BRAVO-BA?table=numa:{nodes}x{slots}"));
+        assert_eq!(text.parse::<LockSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn labeled_handles_share_the_lock_and_sink() {
+        let spec = LockSpec::new("default-spin");
+        let sink = spec.make_sink();
+        let handle = LockHandle::from_try_lock(spec, Arc::new(DefaultRwLock::new()), sink);
+        let conn = handle.labeled("default-spin@conn3");
+        assert_eq!(conn.label(), "default-spin@conn3");
+        assert_eq!(handle.label(), "default-spin");
+        // Same underlying lock: an exclusive hold through one handle blocks
+        // try-acquisition through the other.
+        conn.lock_exclusive();
+        assert!(handle.try_lock_shared().is_err());
+        conn.unlock_exclusive();
+        // Same statistics channel: events recorded through the relabelled
+        // clone are visible through the original.
+        conn.stats().record_fast_read();
+        assert_eq!(handle.snapshot().fast_reads, 1);
     }
 
     #[test]

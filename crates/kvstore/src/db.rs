@@ -55,6 +55,12 @@ impl Db {
         self.memtable.delete(key).is_some()
     }
 
+    /// Ordered range scan: up to `limit` pairs with `key >= start`, holding
+    /// the GetLock shared for the whole scan (see [`MemTable::scan`]).
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, Value)> {
+        self.memtable.scan(start, limit)
+    }
+
     /// Number of live keys.
     pub fn len(&self) -> usize {
         self.memtable.len()
@@ -96,6 +102,16 @@ mod tests {
         assert!(db.delete(10));
         assert!(!db.delete(10));
         assert!(db.get(10).is_none());
+    }
+
+    #[test]
+    fn scan_passes_through_to_the_memtable() {
+        let db = Db::open_prepopulated(LockKind::BravoBa, 16).unwrap();
+        let entries = db.scan(12, 8);
+        assert_eq!(
+            entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![12, 13, 14, 15]
+        );
     }
 
     #[test]

@@ -116,6 +116,29 @@ impl MemTable {
         self.get_lock.unlock_exclusive();
     }
 
+    /// Ordered range scan: up to `limit` key/value pairs with `key >=
+    /// start`, in ascending key order.
+    ///
+    /// The GetLock is held **shared for the entire scan** — collection *and*
+    /// sorting happen under the lock, like a RocksDB iterator pinning the
+    /// memtable — so this is the long reader section the `bravod` Scan
+    /// operation uses to stress revocation latency under service traffic.
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, Value)> {
+        self.get_lock.lock_shared();
+        // SAFETY: the GetLock is held shared; writers hold it exclusively.
+        let mut entries: Vec<(u64, Value)> = unsafe {
+            (*self.data.get())
+                .iter()
+                .filter(|(k, _)| **k >= start)
+                .map(|(k, v)| (*k, *v))
+                .collect()
+        };
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries.truncate(limit);
+        self.get_lock.unlock_shared();
+        entries
+    }
+
     /// Removes `key`, returning the previous value if any.
     pub fn delete(&self, key: u64) -> Option<Value> {
         self.get_lock.lock_exclusive();
@@ -180,6 +203,20 @@ mod tests {
         let t = MemTable::prepopulated(LockKind::Ba, 100).unwrap();
         assert_eq!(t.len(), 100);
         assert_eq!(t.get(99).unwrap()[0], 99);
+    }
+
+    #[test]
+    fn scan_returns_an_ordered_bounded_range() {
+        let t = MemTable::prepopulated(LockKind::BravoBa, 32).unwrap();
+        let entries = t.scan(10, 5);
+        assert_eq!(
+            entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![10, 11, 12, 13, 14]
+        );
+        assert_eq!(entries[0].1[0], 10);
+        assert!(t.scan(32, 8).is_empty());
+        assert_eq!(t.scan(30, 100).len(), 2);
+        assert!(t.scan(0, 0).is_empty());
     }
 
     #[test]

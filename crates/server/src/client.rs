@@ -1,0 +1,122 @@
+//! A minimal blocking client for the `bravod` wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a time
+//! (the protocol answers requests in order, so a synchronous call loop
+//! needs no request ids). The load generator opens one client per simulated
+//! connection; tests use it directly.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use kvstore::memtable::Value;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// A blocking `bravod` connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    body: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a `bravod` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            body: Vec::new(),
+        })
+    }
+
+    /// Issues one request and decodes the server's answer. Server-side
+    /// rejections ([`Response::Err`]) surface as `InvalidData` errors.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.body.clear();
+        request.encode(&mut self.body);
+        write_frame(&mut self.writer, &self.body)?;
+        self.writer.flush()?;
+        if !read_frame(&mut self.reader, &mut self.body)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ));
+        }
+        let response = Response::decode(&self.body).map_err(io::Error::from)?;
+        if let Response::Err(message) = &response {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server rejected the request: {message}"),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Point read.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Value>> {
+        match self.call(&Request::Get { key })? {
+            Response::Value(value) => Ok(Some(value)),
+            Response::NotFound => Ok(None),
+            other => Err(unexpected("Get", &other)),
+        }
+    }
+
+    /// Insert-or-overwrite.
+    pub fn put(&mut self, key: u64, value: Value) -> io::Result<()> {
+        match self.call(&Request::Put { key, value })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Put", &other)),
+        }
+    }
+
+    /// Read-modify-write: adds `delta` word-wise (wrapping) to the stored
+    /// value, zero-initialized when absent.
+    pub fn merge(&mut self, key: u64, delta: Value) -> io::Result<()> {
+        match self.call(&Request::Merge { key, delta })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("Merge", &other)),
+        }
+    }
+
+    /// Point delete; returns whether the key was present.
+    pub fn delete(&mut self, key: u64) -> io::Result<bool> {
+        match self.call(&Request::Delete { key })? {
+            Response::Deleted(present) => Ok(present),
+            other => Err(unexpected("Delete", &other)),
+        }
+    }
+
+    /// Ordered range scan of up to `limit` pairs with key ≥ `start`.
+    pub fn scan(&mut self, start: u64, limit: u32) -> io::Result<Vec<(u64, Value)>> {
+        match self.call(&Request::Scan { start, limit })? {
+            Response::Entries(entries) => Ok(entries),
+            other => Err(unexpected("Scan", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Ping", &other)),
+        }
+    }
+}
+
+fn unexpected(operation: &str, response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{operation} answered with an unexpected {response:?}"),
+    )
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("peer", &self.reader.get_ref().peer_addr().ok())
+            .finish_non_exhaustive()
+    }
+}

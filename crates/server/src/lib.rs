@@ -1,0 +1,33 @@
+//! `bravod`: serving real traffic over the BRAVO reproduction's store.
+//!
+//! The paper's claim is that biased reader-writer locks pay off under
+//! *service-shaped* read-mostly traffic; every other harness in this
+//! workspace is single-process and closed-loop. This crate provides the
+//! serving half:
+//!
+//! * [`protocol`] — a tiny length-prefixed binary wire protocol carrying
+//!   `Get`/`Put`/`Merge`/`Delete`/`Scan`/`Ping` over TCP.
+//! * [`server`] — `bravod` itself: a std-only threaded TCP server over a
+//!   [`kvstore::Db`] whose GetLock is built from a `--lock SPEC` string.
+//! * [`client`] — a blocking protocol client.
+//! * [`loadgen`] — an **open-loop** load generator (`bravod bench`): N
+//!   connections at a target arrival rate with configurable read ratio and
+//!   key skew, measuring latency from the *scheduled* arrival so queueing
+//!   is charged to the lock instead of silently throttling offered load.
+//!
+//! The `fig10_server` bench binary sweeps `{connections} × {lock specs}`
+//! over loopback with these pieces; CI smokes the full client/server path
+//! with `bravod serve` + `bravod bench --quick`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{LatencyHistogram, LoadConfig, LoadReport};
+pub use protocol::{Request, Response, WireError, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
+pub use server::{ServeError, Server, ServerConfig};

@@ -1,0 +1,462 @@
+//! The open-loop load generator behind `bravod bench` and the `fig10_server`
+//! sweep.
+//!
+//! **Open-loop** means arrivals are scheduled by a clock, not by completions:
+//! each connection computes the instant its next operation *should* start
+//! and measures latency from that scheduled instant to completion, so
+//! server-side queueing shows up as latency instead of silently throttling
+//! the offered load — the service-shaped behaviour closed-loop harnesses
+//! (every other driver in this workspace) cannot exhibit. See
+//! "coordinated omission" in the latency-measurement literature.
+//!
+//! Keys are drawn from a power-law approximation of a Zipf distribution
+//! (`skew` = the Zipf θ; 0 selects uniform), and the operation mix is
+//! `read_ratio` reads — a slice of which are `Scan`s, the long reader
+//! sections — with the remainder split evenly across `Put`/`Merge`/`Delete`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::client::Client;
+use crate::protocol::MAX_SCAN_LIMIT;
+
+/// One open-loop run: connection count, offered load and mix.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of concurrent client connections (one thread each).
+    pub connections: usize,
+    /// Total offered load across all connections, operations per second.
+    pub rate: f64,
+    /// Fraction of operations that are reads (`Get` or `Scan`).
+    pub read_ratio: f64,
+    /// Fraction of *all* operations that are `Scan`s (counted inside
+    /// `read_ratio`); scans are the long reader sections.
+    pub scan_ratio: f64,
+    /// Entry cap per scan.
+    pub scan_limit: u32,
+    /// Key-space size; keys are drawn from `0..keys`.
+    pub keys: u64,
+    /// Zipf-like skew θ in `[0, 1)`: 0 = uniform, larger = hotter head.
+    pub skew: f64,
+    /// Measurement interval.
+    pub duration: Duration,
+    /// RNG seed (each connection derives its own stream from it).
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// The `--quick` preset: a smoke-scale run that still exercises every
+    /// operation type (sub-second, a few thousand operations).
+    pub fn quick() -> Self {
+        Self {
+            connections: 4,
+            rate: 4_000.0,
+            read_ratio: 0.95,
+            scan_ratio: 0.01,
+            scan_limit: 64,
+            keys: 4_096,
+            skew: 0.6,
+            duration: Duration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Merged outcome of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations completed successfully.
+    pub operations: u64,
+    /// Operations that failed (I/O or protocol errors; a failing
+    /// connection stops issuing and reports what it got through).
+    pub errors: u64,
+    /// Wall-clock time from first scheduled operation to last completion.
+    pub elapsed: Duration,
+    /// Completion latencies, measured from the *scheduled* start.
+    pub latencies: LatencyHistogram,
+}
+
+/// The latency-percentile columns serving harnesses report, in the order
+/// [`LoadReport::latency_cells`] emits them. Living next to [`LoadReport`]
+/// so `bravod bench` and the `fig10_server` harness share one definition.
+pub const LATENCY_COLUMNS: [&str; 3] = ["p50_us", "p95_us", "p99_us"];
+
+/// Formats a latency as a microseconds cell with one decimal.
+pub fn micros_cell(latency: Duration) -> String {
+    format!("{:.1}", latency.as_secs_f64() * 1e6)
+}
+
+impl LoadReport {
+    /// Achieved throughput in operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            0.0
+        } else {
+            self.operations as f64 / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// The p50/p95/p99 cells of this report, matching [`LATENCY_COLUMNS`].
+    pub fn latency_cells(&self) -> [String; 3] {
+        [
+            micros_cell(self.p50()),
+            micros_cell(self.p95()),
+            micros_cell(self.p99()),
+        ]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.latencies.percentile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.latencies.percentile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.latencies.percentile(0.99)
+    }
+}
+
+/// Number of linear sub-buckets per power of two: 16 ⇒ ≤ 6.25% relative
+/// quantization error, HdrHistogram-style.
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Enough buckets for latencies up to 2^48 ns (~3.3 days).
+const BUCKETS: usize = (48 - SUB_BITS as usize + 1) << SUB_BITS;
+
+/// A fixed-footprint log-linear latency histogram (nanosecond samples,
+/// ≤ 6.25% relative error per recorded value).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            max_nanos: 0,
+        }
+    }
+
+    fn bucket_index(nanos: u64) -> usize {
+        let n = nanos.max(1);
+        let exp = 63 - n.leading_zeros();
+        if exp < SUB_BITS {
+            return n as usize;
+        }
+        let mantissa = (n >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+        let index = (((exp - SUB_BITS + 1) as u64) << SUB_BITS) + mantissa;
+        (index as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive, in nanoseconds) of values mapped to `index`.
+    fn bucket_upper(index: usize) -> u64 {
+        let index = index as u64;
+        let sub_bits = u64::from(SUB_BITS);
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let exp = (index >> sub_bits) + sub_bits - 1;
+        let mantissa = index & (SUB_BUCKETS - 1);
+        let base = (SUB_BUCKETS + mantissa) << (exp - sub_bits);
+        base + (1u64 << (exp - sub_bits)) - 1
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.total += 1;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (upper bound of the hosting
+    /// bucket, capped at the recorded maximum; zero when empty).
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Duration::from_nanos(Self::bucket_upper(index).min(self.max_nanos));
+            }
+        }
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.percentile(0.5))
+            .field("p99", &self.percentile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Draws a key from `0..keys` with power-law skew θ (`skew` = 0 is
+/// uniform): the continuous inverse-transform approximation of a bounded
+/// Zipf, `key = ⌊keys · u^(1/(1−θ))⌋`, whose density is ∝ `key^(−θ)`.
+fn skewed_key(rng: &mut SmallRng, keys: u64, skew: f64) -> u64 {
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let scaled = if skew <= 0.0 {
+        unit
+    } else {
+        unit.powf(1.0 / (1.0 - skew.clamp(0.0, 0.99)))
+    };
+    ((scaled * keys as f64) as u64).min(keys.saturating_sub(1))
+}
+
+/// Drives one open-loop run against a `bravod` server and merges every
+/// connection's outcome. Fails only if *no* connection could be
+/// established; individual connection errors are counted in the report.
+pub fn run(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
+    let connections = config.connections.max(1);
+    let interval = Duration::from_secs_f64(connections as f64 / config.rate.max(1.0));
+    let start = Instant::now();
+    let outcomes: Vec<(u64, u64, LatencyHistogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                let config = config.clone();
+                s.spawn(move || {
+                    // Stagger connections across one interval so aggregate
+                    // arrivals are evenly spaced, then run the open loop.
+                    let offset = interval.mul_f64(conn as f64 / connections as f64);
+                    connection_loop(addr, &config, conn as u64, start + offset, interval)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load generator connection panicked"))
+            .collect()
+    });
+    let mut report = LoadReport {
+        operations: 0,
+        errors: 0,
+        elapsed: start.elapsed(),
+        latencies: LatencyHistogram::new(),
+    };
+    let mut connected = false;
+    for (operations, errors, histogram) in &outcomes {
+        // A connection that never got a socket reports errors with zero
+        // operations and an empty histogram.
+        connected |= *operations > 0 || histogram.count() > 0;
+        report.operations += operations;
+        report.errors += errors;
+        report.latencies.merge(histogram);
+    }
+    if !connected && report.errors > 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("no load-generator connection reached {addr}"),
+        ));
+    }
+    Ok(report)
+}
+
+/// One connection's open loop: issue operations at the scheduled instants
+/// until the configured duration has elapsed.
+fn connection_loop(
+    addr: SocketAddr,
+    config: &LoadConfig,
+    conn: u64,
+    first: Instant,
+    interval: Duration,
+) -> (u64, u64, LatencyHistogram) {
+    let mut histogram = LatencyHistogram::new();
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        // Could not even connect: report one error and no samples.
+        Err(_) => return (0, 1, histogram),
+    };
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+    let scan_limit = config.scan_limit.clamp(1, MAX_SCAN_LIMIT);
+    let deadline = first + config.duration;
+    let mut operations = 0u64;
+    let mut errors = 0u64;
+    for k in 0u32.. {
+        let scheduled = first + interval * k;
+        if scheduled >= deadline {
+            break;
+        }
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let key = skewed_key(&mut rng, config.keys, config.skew);
+        let outcome = issue(&mut client, &mut rng, config, key, scan_limit);
+        match outcome {
+            Ok(()) => {
+                histogram.record(Instant::now().saturating_duration_since(scheduled));
+                operations += 1;
+            }
+            Err(_) => {
+                errors += 1;
+                // The stream may be desynchronized; stop this connection.
+                break;
+            }
+        }
+    }
+    (operations, errors, histogram)
+}
+
+/// Issues one operation drawn from the configured mix.
+fn issue(
+    client: &mut Client,
+    rng: &mut SmallRng,
+    config: &LoadConfig,
+    key: u64,
+    scan_limit: u32,
+) -> io::Result<()> {
+    let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    if draw < config.scan_ratio.min(config.read_ratio) {
+        client.scan(key, scan_limit)?;
+    } else if draw < config.read_ratio {
+        client.get(key)?;
+    } else {
+        match rng.gen_range(0u32..3) {
+            0 => client.put(key, [key, !key, 0, 0])?,
+            1 => client.merge(key, [1, 1, 1, 1])?,
+            _ => {
+                client.delete(key)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p95, p99) = (h.percentile(0.5), h.percentile(0.95), h.percentile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+        assert!(p99 <= h.max());
+        // ≤ 6.25% quantization error on a known median.
+        let p50_us = p50.as_secs_f64() * 1e6;
+        assert!((468.0..=532.0).contains(&p50_us), "p50 was {p50_us}µs");
+    }
+
+    #[test]
+    fn histogram_buckets_invert() {
+        for nanos in [
+            0,
+            1,
+            5,
+            15,
+            16,
+            17,
+            100,
+            1023,
+            1024,
+            123_456,
+            u32::MAX as u64,
+        ] {
+            let index = LatencyHistogram::bucket_index(nanos);
+            let upper = LatencyHistogram::bucket_upper(index);
+            assert!(
+                upper >= nanos.max(1),
+                "bucket {index} upper {upper} < sample {nanos}"
+            );
+            // ≤ 6.25% relative error above the exact range.
+            if nanos > 16 {
+                assert!(
+                    upper - nanos.max(1) <= nanos / 16 + 1,
+                    "bucket {index} upper {upper} too far from {nanos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn skewed_keys_stay_in_range_and_skew_toward_the_head() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let keys = 1_000;
+        let mut head_uniform = 0;
+        let mut head_skewed = 0;
+        for _ in 0..4_000 {
+            let u = skewed_key(&mut rng, keys, 0.0);
+            let z = skewed_key(&mut rng, keys, 0.8);
+            assert!(u < keys && z < keys);
+            head_uniform += u64::from(u < keys / 10);
+            head_skewed += u64::from(z < keys / 10);
+        }
+        assert!(
+            head_skewed > head_uniform * 2,
+            "skew had no effect: {head_skewed} vs {head_uniform}"
+        );
+    }
+
+    #[test]
+    fn quick_preset_is_sane() {
+        let c = LoadConfig::quick();
+        assert!(c.connections >= 1);
+        assert!(c.read_ratio > 0.5 && c.read_ratio <= 1.0);
+        assert!(c.scan_ratio <= c.read_ratio);
+        assert!(c.duration <= Duration::from_secs(2));
+    }
+}

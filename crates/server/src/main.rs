@@ -1,0 +1,241 @@
+//! `bravod` — the BRAVO reproduction's RPC server and load generator.
+//!
+//! ```text
+//! bravod serve [--addr 127.0.0.1:4629] [--lock SPEC] [--keys N]
+//!              [--port-file PATH] [--verbose]
+//! bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
+//!              [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
+//!              [--duration-ms MS] [--seed S] [--label TEXT] [--csv PATH]
+//! ```
+//!
+//! `serve` opens a [`kvstore::Db`] with the given lock spec and serves the
+//! wire protocol until killed. With `--addr 127.0.0.1:0` the kernel picks
+//! an ephemeral port; `--port-file` writes the bound port there so scripts
+//! (CI's `server-smoke` step) can find it.
+//!
+//! `bench` drives the open-loop load generator against a running server
+//! and prints one result row (throughput plus p50/p95/p99 latency); with
+//! `--csv PATH` the row is also appended as CSV. Exits nonzero when the
+//! run completed zero operations, so smoke tests fail loudly on a dead
+//! server.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use bravo::spec::LockSpec;
+use server::loadgen::{self, LoadConfig, LATENCY_COLUMNS};
+use server::{Server, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("bench") => bench(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+bravod: the BRAVO reproduction's RPC server and open-loop load generator
+
+  bravod serve [--addr 127.0.0.1:4629] [--lock SPEC] [--keys N]
+               [--port-file PATH] [--verbose]
+  bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
+               [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
+               [--duration-ms MS] [--seed S] [--label TEXT] [--csv PATH]
+
+SPEC follows the lock-spec grammar, e.g. BRAVO-BA?table=numa:2x1024.
+";
+
+/// Pulls the value of `--flag VALUE` / `--flag=VALUE` out of `args`,
+/// exiting with a diagnostic when the value is missing or unparsable.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T>
+where
+    T::Err: std::fmt::Display,
+{
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let text = if arg == flag {
+            match iter.next() {
+                Some(value) => value.clone(),
+                None => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(value) = arg.strip_prefix(&format!("{flag}=")) {
+            value.to_string()
+        } else {
+            continue;
+        };
+        match text.parse::<T>() {
+            Ok(value) => return Some(value),
+            Err(e) => {
+                eprintln!("invalid value '{text}' for {flag}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    None
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn serve(args: &[String]) {
+    let addr: String = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:4629".to_string());
+    let spec: LockSpec = flag_value(args, "--lock").unwrap_or_else(|| LockSpec::new("BRAVO-BA"));
+    let keys: u64 = flag_value(args, "--keys").unwrap_or(10_000);
+    let port_file: Option<String> = flag_value(args, "--port-file");
+    let config = ServerConfig {
+        spec: spec.clone(),
+        prepopulate: keys,
+        verbose: has_flag(args, "--verbose"),
+    };
+    let server = match Server::bind(addr.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bravod: {e}");
+            std::process::exit(2);
+        }
+    };
+    let bound = server.local_addr();
+    println!("bravod: serving {spec} on {bound} ({keys} keys)");
+    if let Some(path) = port_file {
+        // Written atomically-enough for scripts: the whole port in one call.
+        if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
+            eprintln!("bravod: cannot write port file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    // Serve until killed. The accept loop runs on its own thread; park the
+    // main thread (loop: park may wake spuriously).
+    loop {
+        std::thread::park();
+    }
+}
+
+fn bench(args: &[String]) {
+    let Some(addr_text) = flag_value::<String>(args, "--addr") else {
+        eprintln!("bench requires --addr HOST:PORT\n{USAGE}");
+        std::process::exit(2);
+    };
+    let addr: SocketAddr = match addr_text.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(addr) => addr,
+        None => {
+            eprintln!("cannot resolve --addr '{addr_text}'");
+            std::process::exit(2);
+        }
+    };
+    let mut config = LoadConfig::quick();
+    if !has_flag(args, "--quick") {
+        config.duration = Duration::from_millis(2_000);
+        config.connections = 8;
+        config.rate = 20_000.0;
+    }
+    if let Some(connections) = flag_value(args, "--connections") {
+        config.connections = connections;
+    }
+    if let Some(rate) = flag_value(args, "--rate") {
+        config.rate = rate;
+    }
+    if let Some(read_ratio) = flag_value(args, "--read-ratio") {
+        config.read_ratio = read_ratio;
+    }
+    if let Some(scan_ratio) = flag_value(args, "--scan-ratio") {
+        config.scan_ratio = scan_ratio;
+    }
+    if let Some(skew) = flag_value(args, "--skew") {
+        config.skew = skew;
+    }
+    if let Some(keys) = flag_value(args, "--keys") {
+        config.keys = keys;
+    }
+    if let Some(ms) = flag_value::<u64>(args, "--duration-ms") {
+        config.duration = Duration::from_millis(ms);
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.seed = seed;
+    }
+    let label: String = flag_value(args, "--label").unwrap_or_else(|| addr_text.clone());
+    let csv: Option<String> = flag_value(args, "--csv");
+
+    let report = match loadgen::run(addr, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bravod bench: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let [p50_col, p95_col, p99_col] = LATENCY_COLUMNS;
+    let header = [
+        "label",
+        "connections",
+        "rate_target",
+        "read_ratio",
+        "duration_ms",
+        "ops",
+        "errors",
+        "ops_per_sec",
+        p50_col,
+        p95_col,
+        p99_col,
+    ];
+    let [p50, p95, p99] = report.latency_cells();
+    let cells = [
+        label,
+        config.connections.to_string(),
+        format!("{:.0}", config.rate),
+        format!("{}", config.read_ratio),
+        config.duration.as_millis().to_string(),
+        report.operations.to_string(),
+        report.errors.to_string(),
+        format!("{:.0}", report.throughput()),
+        p50,
+        p95,
+        p99,
+    ];
+    println!("{}", header.join("\t"));
+    println!("{}", cells.join("\t"));
+    if let Some(path) = csv {
+        if let Err(e) = append_csv(&path, &header, &cells) {
+            eprintln!("bravod bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# row appended to {path}");
+    }
+    if report.operations == 0 {
+        eprintln!("bravod bench: completed zero operations against {addr}");
+        std::process::exit(1);
+    }
+}
+
+/// Appends one CSV row to `path`, writing the header first when the file
+/// is new or empty. Cells here never contain commas or quotes (labels are
+/// spec strings), so no quoting is needed.
+fn append_csv(path: &str, header: &[&str], cells: &[String]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let fresh = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if fresh {
+        writeln!(file, "{}", header.join(","))?;
+    }
+    writeln!(file, "{}", cells.join(","))
+}

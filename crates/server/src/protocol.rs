@@ -1,0 +1,549 @@
+//! The `bravod` wire protocol: length-prefixed binary frames.
+//!
+//! Every message on the wire is one **frame**: a little-endian `u32` body
+//! length followed by that many body bytes. Frame bodies carry one
+//! [`Request`] (client → server) or one [`Response`] (server → client),
+//! encoded as a tag byte plus fixed-width little-endian integers — no
+//! self-describing container, no allocation proportional to attacker input
+//! (the length prefix is validated against [`MAX_FRAME_LEN`] *before* any
+//! body byte is read).
+//!
+//! The protocol is deliberately tiny: five data operations mirroring
+//! [`kvstore::Db`] (`Get`/`Put`/`Merge`/`Delete`/`Scan`) plus `Ping` for
+//! liveness probes. `Scan` is the long-reader-section operation: the server
+//! holds the memtable's GetLock shared while it collects and sorts the
+//! range, which is exactly the service-shaped read BRAVO's revocation cost
+//! model cares about.
+
+use std::io::{self, Read, Write};
+
+use kvstore::memtable::Value;
+
+/// Hard cap on a frame body, bytes. Large enough for a full
+/// [`MAX_SCAN_LIMIT`]-entry scan response, small enough that a corrupt or
+/// hostile length prefix cannot make the peer allocate unboundedly.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// Largest entry count a `Scan` request may ask for; chosen so the worst-
+/// case response (`tag + count + entries × 40 bytes`) fits [`MAX_FRAME_LEN`].
+pub const MAX_SCAN_LIMIT: u32 = 1024;
+
+/// Bytes occupied by one encoded [`Value`] (`[u64; 4]`).
+const VALUE_BYTES: usize = 32;
+
+/// A client request, one per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point read of `key`.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Insert-or-overwrite of `key`.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// Value to store.
+        value: Value,
+    },
+    /// Read-modify-write: each word of `delta` is added (wrapping) to the
+    /// stored value, which is zero-initialized when absent.
+    Merge {
+        /// Key to update in place.
+        key: u64,
+        /// Per-word wrapping addend.
+        delta: Value,
+    },
+    /// Point delete of `key`.
+    Delete {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Ordered range scan: up to `limit` pairs with key ≥ `start`.
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Entry cap; at most [`MAX_SCAN_LIMIT`].
+        limit: u32,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// A server response, one per request frame, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `Put`/`Merge` acknowledgement.
+    Ok,
+    /// `Get` hit.
+    Value(
+        /// The stored value.
+        Value,
+    ),
+    /// `Get` miss.
+    NotFound,
+    /// `Delete` acknowledgement; carries whether the key was present.
+    Deleted(
+        /// Whether the key existed.
+        bool,
+    ),
+    /// `Scan` result: ascending key order.
+    Entries(
+        /// The scanned key/value pairs.
+        Vec<(u64, Value)>,
+    ),
+    /// `Ping` acknowledgement.
+    Pong,
+    /// The server rejected the request (decode error, bad parameter).
+    Err(
+        /// Human-readable reason.
+        String,
+    ),
+}
+
+/// Why a frame body failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The body ended before the message did.
+    Truncated,
+    /// The body continued past the end of the message.
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// A frame header announced a body larger than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The announced body length.
+        len: usize,
+    },
+    /// The leading tag byte names no message.
+    UnknownTag(
+        /// The offending tag.
+        u8,
+    ),
+    /// A `Scan` asked for more than [`MAX_SCAN_LIMIT`] entries.
+    ScanLimit(
+        /// The requested limit.
+        u32,
+    ),
+    /// An `Err` response payload was not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame body"),
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after the message")
+            }
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame body of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            WireError::ScanLimit(limit) => {
+                write!(f, "scan limit {limit} exceeds the cap of {MAX_SCAN_LIMIT}")
+            }
+            WireError::BadUtf8 => f.write_str("error payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Incremental little-endian reader over a frame body.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Self { rest: body }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn value(&mut self) -> Result<Value, WireError> {
+        let raw = self.take(VALUE_BYTES)?;
+        let mut v: Value = [0; 4];
+        for (word, chunk) in v.iter_mut().zip(raw.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                extra: self.rest.len(),
+            })
+        }
+    }
+}
+
+fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    for word in value {
+        buf.extend_from_slice(&word.to_le_bytes());
+    }
+}
+
+impl Request {
+    const GET: u8 = 0x01;
+    const PUT: u8 = 0x02;
+    const MERGE: u8 = 0x03;
+    const DELETE: u8 = 0x04;
+    const SCAN: u8 = 0x05;
+    const PING: u8 = 0x06;
+
+    /// Appends this request's frame body to `buf` (the frame header is
+    /// written by [`write_frame`]).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } => {
+                buf.push(Self::GET);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Put { key, value } => {
+                buf.push(Self::PUT);
+                buf.extend_from_slice(&key.to_le_bytes());
+                put_value(buf, value);
+            }
+            Request::Merge { key, delta } => {
+                buf.push(Self::MERGE);
+                buf.extend_from_slice(&key.to_le_bytes());
+                put_value(buf, delta);
+            }
+            Request::Delete { key } => {
+                buf.push(Self::DELETE);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+            Request::Scan { start, limit } => {
+                buf.push(Self::SCAN);
+                buf.extend_from_slice(&start.to_le_bytes());
+                buf.extend_from_slice(&limit.to_le_bytes());
+            }
+            Request::Ping => buf.push(Self::PING),
+        }
+    }
+
+    /// Decodes one request from a frame body, rejecting truncated or
+    /// trailing bytes and out-of-range scan limits.
+    pub fn decode(body: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(body);
+        let request = match c.u8()? {
+            Self::GET => Request::Get { key: c.u64()? },
+            Self::PUT => Request::Put {
+                key: c.u64()?,
+                value: c.value()?,
+            },
+            Self::MERGE => Request::Merge {
+                key: c.u64()?,
+                delta: c.value()?,
+            },
+            Self::DELETE => Request::Delete { key: c.u64()? },
+            Self::SCAN => {
+                let start = c.u64()?;
+                let limit = c.u32()?;
+                if limit > MAX_SCAN_LIMIT {
+                    return Err(WireError::ScanLimit(limit));
+                }
+                Request::Scan { start, limit }
+            }
+            Self::PING => Request::Ping,
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        c.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    const OK: u8 = 0x81;
+    const VALUE: u8 = 0x82;
+    const NOT_FOUND: u8 = 0x83;
+    const DELETED: u8 = 0x84;
+    const ENTRIES: u8 = 0x85;
+    const PONG: u8 = 0x86;
+    const ERR: u8 = 0x87;
+
+    /// Appends this response's frame body to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Ok => buf.push(Self::OK),
+            Response::Value(value) => {
+                buf.push(Self::VALUE);
+                put_value(buf, value);
+            }
+            Response::NotFound => buf.push(Self::NOT_FOUND),
+            Response::Deleted(present) => {
+                buf.push(Self::DELETED);
+                buf.push(u8::from(*present));
+            }
+            Response::Entries(entries) => {
+                buf.push(Self::ENTRIES);
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for (key, value) in entries {
+                    buf.extend_from_slice(&key.to_le_bytes());
+                    put_value(buf, value);
+                }
+            }
+            Response::Pong => buf.push(Self::PONG),
+            Response::Err(message) => {
+                buf.push(Self::ERR);
+                buf.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                buf.extend_from_slice(message.as_bytes());
+            }
+        }
+    }
+
+    /// Decodes one response from a frame body.
+    pub fn decode(body: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor::new(body);
+        let response = match c.u8()? {
+            Self::OK => Response::Ok,
+            Self::VALUE => Response::Value(c.value()?),
+            Self::NOT_FOUND => Response::NotFound,
+            Self::DELETED => Response::Deleted(c.u8()? != 0),
+            Self::ENTRIES => {
+                let count = c.u32()? as usize;
+                if count > MAX_SCAN_LIMIT as usize {
+                    return Err(WireError::ScanLimit(count as u32));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = c.u64()?;
+                    entries.push((key, c.value()?));
+                }
+                Response::Entries(entries)
+            }
+            Self::PONG => Response::Pong,
+            Self::ERR => {
+                let len = c.u32()? as usize;
+                let raw = c.take(len)?;
+                let message = std::str::from_utf8(raw).map_err(|_| WireError::BadUtf8)?;
+                Response::Err(message.to_string())
+            }
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        c.finish()?;
+        Ok(response)
+    }
+}
+
+/// Writes one frame: the `u32` length prefix followed by `body`.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_LEN`] — outbound messages are
+/// produced by this module and are bounded by construction, so an oversized
+/// body is a programming error, not a peer error.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    assert!(
+        body.len() <= MAX_FRAME_LEN,
+        "outbound frame of {} bytes exceeds MAX_FRAME_LEN",
+        body.len()
+    );
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)
+}
+
+/// Reads one frame body into `buf` (cleared first).
+///
+/// Returns `Ok(false)` on a clean end of stream (the peer closed between
+/// frames), `Ok(true)` when a full body was read, and an error on a
+/// mid-frame EOF or a length prefix beyond [`MAX_FRAME_LEN`]. The length is
+/// validated **before** the body is read, so a hostile prefix cannot force
+/// an allocation.
+pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            // Retry EINTR like read_exact does for the body, so a stray
+            // signal cannot tear down a healthy connection.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len }.into());
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(request: Request) {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        assert_eq!(Request::decode(&buf), Ok(request));
+    }
+
+    fn round_trip_response(response: Response) {
+        let mut buf = Vec::new();
+        response.encode(&mut buf);
+        assert_eq!(Response::decode(&buf), Ok(response));
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        round_trip_request(Request::Get { key: 7 });
+        round_trip_request(Request::Put {
+            key: u64::MAX,
+            value: [1, 2, 3, 4],
+        });
+        round_trip_request(Request::Merge {
+            key: 0,
+            delta: [u64::MAX; 4],
+        });
+        round_trip_request(Request::Delete { key: 42 });
+        round_trip_request(Request::Scan {
+            start: 9,
+            limit: MAX_SCAN_LIMIT,
+        });
+        round_trip_request(Request::Ping);
+        round_trip_response(Response::Ok);
+        round_trip_response(Response::Value([5; 4]));
+        round_trip_response(Response::NotFound);
+        round_trip_response(Response::Deleted(true));
+        round_trip_response(Response::Deleted(false));
+        round_trip_response(Response::Entries(vec![(1, [1; 4]), (2, [2; 4])]));
+        round_trip_response(Response::Pong);
+        round_trip_response(Response::Err("no".to_string()));
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Put {
+            key: 3,
+            value: [9; 4],
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Request::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Request::Ping.encode(&mut buf);
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(WireError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn unknown_tags_and_scan_limits_are_rejected() {
+        assert_eq!(Request::decode(&[0xff]), Err(WireError::UnknownTag(0xff)));
+        assert_eq!(Response::decode(&[0x01]), Err(WireError::UnknownTag(0x01)));
+        let mut buf = Vec::new();
+        buf.push(0x05);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&(MAX_SCAN_LIMIT + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::ScanLimit(MAX_SCAN_LIMIT + 1))
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_the_body_is_read() {
+        // A header announcing MAX_FRAME_LEN + 1 with no body at all: the
+        // reader must fail on the prefix alone, not wait for body bytes.
+        let wire = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        let mut cursor = io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn frame_reader_distinguishes_clean_eof_from_mid_frame_eof() {
+        let mut buf = Vec::new();
+        // Clean EOF: zero bytes available.
+        assert!(!read_frame(&mut io::Cursor::new(Vec::new()), &mut buf).unwrap());
+        // Mid-header EOF.
+        let err = read_frame(&mut io::Cursor::new(vec![1, 0]), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Mid-body EOF.
+        let mut wire = 8u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0; 3]);
+        let err = read_frame(&mut io::Cursor::new(wire), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        Request::Scan { start: 1, limit: 4 }.encode(&mut body);
+        write_frame(&mut wire, &body).unwrap();
+        body.clear();
+        Request::Ping.encode(&mut body);
+        write_frame(&mut wire, &body).unwrap();
+
+        let mut cursor = io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(
+            Request::decode(&buf),
+            Ok(Request::Scan { start: 1, limit: 4 })
+        );
+        assert!(read_frame(&mut cursor, &mut buf).unwrap());
+        assert_eq!(Request::decode(&buf), Ok(Request::Ping));
+        assert!(!read_frame(&mut cursor, &mut buf).unwrap());
+    }
+}

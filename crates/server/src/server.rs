@@ -1,0 +1,382 @@
+//! The threaded `bravod` TCP server: one accept loop, one handler thread
+//! per connection, all requests applied to a shared [`kvstore::Db`].
+//!
+//! The server is deliberately std-only (no async runtime — this build
+//! environment has no crates.io access) and thread-per-connection: the
+//! point is not C10K but putting a *process boundary* and real sockets
+//! between the load generator and the lock under test, so lock specs are
+//! measured under connection concurrency instead of closed-loop worker
+//! threads sharing one address space with the harness.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bravo::spec::{LockSpec, SpecError};
+use kvstore::Db;
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// What a [`Server`] serves: the lock spec its memtable GetLock is built
+/// from and how many keys to pre-load.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Lock spec for the store's GetLock (the `--lock SPEC` string).
+    pub spec: LockSpec,
+    /// Keys `0..prepopulate` loaded before serving, as `db_bench` does.
+    pub prepopulate: u64,
+    /// Whether to log per-connection open/close lines to stderr.
+    pub verbose: bool,
+}
+
+impl ServerConfig {
+    /// A config serving the given spec with the default 10 000-key
+    /// pre-population (the paper's `--num=10000`), quiet.
+    pub fn new(spec: LockSpec) -> Self {
+        Self {
+            spec,
+            prepopulate: 10_000,
+            verbose: false,
+        }
+    }
+}
+
+/// Why a server could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The lock spec was rejected by the catalog.
+    Spec(SpecError),
+    /// Binding or inspecting the listener failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "cannot build the store's lock: {e}"),
+            ServeError::Io(e) => write!(f, "cannot bind the listener: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> Self {
+        ServeError::Spec(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A running `bravod` instance: accept loop plus per-connection handler
+/// threads, all against one shared [`Db`].
+///
+/// Dropping the server (or calling [`Server::shutdown`]) stops the accept
+/// loop. Handler threads notice the stop flag after their next request (or
+/// exit on client EOF) and are not joined — they hold only the shared `Db`
+/// and die with their sockets.
+pub struct Server {
+    addr: SocketAddr,
+    db: Arc<Db>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Opens the store described by `config` and starts accepting on
+    /// `addr` (use port 0 for an ephemeral port; the bound address is
+    /// reported by [`Server::local_addr`]).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> Result<Self, ServeError> {
+        let db = Arc::new(Db::open_prepopulated(&config.spec, config.prepopulate)?);
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            let verbose = config.verbose;
+            std::thread::Builder::new()
+                .name("bravod-accept".to_string())
+                .spawn(move || accept_loop(listener, db, stop, connections, verbose))
+                .map_err(ServeError::Io)?
+        };
+        Ok(Self {
+            addr,
+            db,
+            stop,
+            connections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store being served (for in-process instrumentation: the fig10
+    /// harness reads the GetLock's per-lock statistics through this).
+    pub fn db(&self) -> &Arc<Db> {
+        &self.db
+    }
+
+    /// Number of connections accepted so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and waits for it to exit. Equivalent to
+    /// dropping the server, but explicit at call sites that sequence
+    /// measurements.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection; if that
+        // fails the listener is already dead and accept will error out.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("lock", &self.db.memtable().lock_label())
+            .field("connections", &self.connections_accepted())
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    db: Arc<Db>,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+    verbose: bool,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                eprintln!("bravod: accept failed: {e}");
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let id = connections.fetch_add(1, Ordering::Relaxed);
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        let result = std::thread::Builder::new()
+            .name(format!("bravod-conn{id}"))
+            .spawn(move || handle_connection(stream, id, db, stop, verbose));
+        if let Err(e) = result {
+            eprintln!("bravod: cannot spawn handler for connection {id}: {e}");
+        }
+    }
+}
+
+/// Serves one connection until EOF, a protocol error, or server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    id: u64,
+    db: Arc<Db>,
+    stop: Arc<AtomicBool>,
+    verbose: bool,
+) {
+    let _ = stream.set_nodelay(true);
+    // A relabelled GetLock handle tags this connection's log lines (see
+    // `LockHandle::labeled`); all clones feed the one shared per-lock sink,
+    // so this buys distinguishable labels, not per-connection counters.
+    // Only built when logging actually happens.
+    let conn_lock = verbose.then(|| {
+        db.memtable()
+            .lock()
+            .labeled(format!("{}@conn{id}", db.memtable().lock_label()))
+    });
+    if let Some(conn_lock) = &conn_lock {
+        eprintln!("bravod: connection {id} open ({})", conn_lock.label());
+    }
+    let peer = stream.try_clone();
+    let mut reader = BufReader::new(stream);
+    let mut writer = match peer {
+        Ok(stream) => BufWriter::new(stream),
+        Err(e) => {
+            eprintln!("bravod: connection {id}: cannot clone stream: {e}");
+            return;
+        }
+    };
+    let mut body = Vec::new();
+    let mut out = Vec::new();
+    let mut served = 0u64;
+    let outcome = loop {
+        match read_frame(&mut reader, &mut body) {
+            Ok(true) => {}
+            Ok(false) => break Ok(()),
+            Err(e) => break Err(e),
+        }
+        let response = match Request::decode(&body) {
+            Ok(request) => apply(&db, request),
+            Err(e) => Response::Err(e.to_string()),
+        };
+        let fatal = matches!(response, Response::Err(_));
+        out.clear();
+        response.encode(&mut out);
+        if let Err(e) = write_frame(&mut writer, &out).and_then(|()| writer.flush()) {
+            break Err(e);
+        }
+        if fatal {
+            // A malformed frame leaves the stream unsynchronized; report
+            // once and drop the connection rather than guessing at the
+            // next frame boundary.
+            break Ok(());
+        }
+        served += 1;
+        if stop.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+    };
+    if let Some(conn_lock) = &conn_lock {
+        match outcome {
+            Ok(()) => eprintln!(
+                "bravod: connection {id} closed after {served} ops ({})",
+                conn_lock.label()
+            ),
+            Err(e) => eprintln!("bravod: connection {id} aborted after {served} ops: {e}"),
+        }
+    }
+}
+
+/// Applies one decoded request to the store.
+fn apply(db: &Db, request: Request) -> Response {
+    match request {
+        Request::Get { key } => match db.get(key) {
+            Some(value) => Response::Value(value),
+            None => Response::NotFound,
+        },
+        Request::Put { key, value } => {
+            db.put(key, value);
+            Response::Ok
+        }
+        Request::Merge { key, delta } => {
+            db.merge(key, |value| {
+                for (word, d) in value.iter_mut().zip(delta) {
+                    *word = word.wrapping_add(d);
+                }
+            });
+            Response::Ok
+        }
+        Request::Delete { key } => Response::Deleted(db.delete(key)),
+        Request::Scan { start, limit } => Response::Entries(db.scan(start, limit as usize)),
+        Request::Ping => Response::Pong,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rwlocks::LockKind;
+
+    fn test_db() -> Db {
+        Db::open_prepopulated(LockKind::BravoBa, 8).unwrap()
+    }
+
+    #[test]
+    fn apply_covers_every_operation() {
+        let db = test_db();
+        assert_eq!(apply(&db, Request::Ping), Response::Pong);
+        assert!(matches!(
+            apply(&db, Request::Get { key: 3 }),
+            Response::Value(_)
+        ));
+        assert_eq!(apply(&db, Request::Get { key: 99 }), Response::NotFound);
+        assert_eq!(
+            apply(
+                &db,
+                Request::Put {
+                    key: 99,
+                    value: [7; 4]
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            apply(&db, Request::Get { key: 99 }),
+            Response::Value([7; 4])
+        );
+        assert_eq!(
+            apply(
+                &db,
+                Request::Merge {
+                    key: 99,
+                    delta: [1; 4]
+                }
+            ),
+            Response::Ok
+        );
+        assert_eq!(
+            apply(&db, Request::Get { key: 99 }),
+            Response::Value([8; 4])
+        );
+        assert_eq!(
+            apply(&db, Request::Delete { key: 99 }),
+            Response::Deleted(true)
+        );
+        assert_eq!(
+            apply(&db, Request::Delete { key: 99 }),
+            Response::Deleted(false)
+        );
+        match apply(&db, Request::Scan { start: 2, limit: 3 }) {
+            Response::Entries(entries) => {
+                assert_eq!(
+                    entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                    vec![2, 3, 4]
+                );
+            }
+            other => panic!("scan returned {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_rejects_bad_specs() {
+        let config = ServerConfig::new("no-such-lock".parse().unwrap());
+        match Server::bind("127.0.0.1:0", config) {
+            Err(ServeError::Spec(_)) => {}
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_binds_an_ephemeral_port_and_shuts_down() {
+        let server =
+            Server::bind("127.0.0.1:0", ServerConfig::new(LockKind::BravoBa.spec())).unwrap();
+        assert_ne!(server.local_addr().port(), 0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests over the `bravod` wire protocol: encode/decode
+//! round-trips and rejection of truncated, trailing and oversized frames.
+
+use proptest::prelude::*;
+
+use server::protocol::{read_frame, Request, Response, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
+
+type Value = [u64; 4];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| [a, b, c, d])
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0u8..6,
+        any::<u64>(),
+        value_strategy(),
+        0u32..MAX_SCAN_LIMIT + 1,
+    )
+        .prop_map(|(op, key, value, limit)| match op {
+            0 => Request::Get { key },
+            1 => Request::Put { key, value },
+            2 => Request::Merge { key, delta: value },
+            3 => Request::Delete { key },
+            4 => Request::Scan { start: key, limit },
+            _ => Request::Ping,
+        })
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    (
+        0u8..7,
+        value_strategy(),
+        any::<bool>(),
+        proptest::collection::vec((any::<u64>(), value_strategy()), 0..20),
+    )
+        .prop_map(|(tag, value, flag, entries)| match tag {
+            0 => Response::Ok,
+            1 => Response::Value(value),
+            2 => Response::NotFound,
+            3 => Response::Deleted(flag),
+            4 => Response::Entries(entries),
+            5 => Response::Pong,
+            _ => Response::Err(format!("error {}", value[0] % 1000)),
+        })
+}
+
+proptest! {
+    /// Every request survives an encode/decode round-trip unchanged.
+    #[test]
+    fn requests_round_trip(request in request_strategy()) {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        prop_assert_eq!(Request::decode(&buf), Ok(request));
+    }
+
+    /// Every response survives an encode/decode round-trip unchanged.
+    #[test]
+    fn responses_round_trip(response in response_strategy()) {
+        let mut buf = Vec::new();
+        response.encode(&mut buf);
+        prop_assert_eq!(Response::decode(&buf), Ok(response));
+    }
+
+    /// No strict prefix of a valid request encoding decodes: truncation is
+    /// always detected, never misread as a shorter message.
+    #[test]
+    fn truncated_requests_are_rejected(request in request_strategy()) {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(Request::decode(&buf[..cut]).is_err(), "prefix {} decoded", cut);
+        }
+    }
+
+    /// No strict prefix of a valid response encoding decodes.
+    #[test]
+    fn truncated_responses_are_rejected(response in response_strategy()) {
+        let mut buf = Vec::new();
+        response.encode(&mut buf);
+        for cut in 0..buf.len() {
+            prop_assert!(Response::decode(&buf[..cut]).is_err(), "prefix {} decoded", cut);
+        }
+    }
+
+    /// Appending any byte to a valid encoding is rejected as trailing
+    /// garbage (frames carry exactly one message).
+    #[test]
+    fn trailing_bytes_are_rejected(request in request_strategy(), extra in any::<u8>()) {
+        let mut buf = Vec::new();
+        request.encode(&mut buf);
+        buf.push(extra);
+        prop_assert!(Request::decode(&buf).is_err());
+    }
+
+    /// Any frame header announcing a body beyond MAX_FRAME_LEN is rejected
+    /// from the four header bytes alone — no body is read or allocated.
+    #[test]
+    fn oversized_frame_headers_are_rejected(excess in 1usize..1 << 20) {
+        let announced = MAX_FRAME_LEN + excess;
+        let wire = (announced as u32).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(wire.to_vec());
+        let mut buf = Vec::new();
+        let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        prop_assert!(buf.capacity() == 0, "body buffer was grown for a rejected frame");
+    }
+}

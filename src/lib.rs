@@ -17,6 +17,7 @@
 //! | [`kvstore`] | RocksDB-like memtable, persistent-cache hash table, mini DB |
 //! | [`mapreduce`] | Metis-like MapReduce with the `wc` and `wrmem` applications |
 //! | [`workloads`] | Figure 1–4 workload generators and the measurement harness |
+//! | [`server`] | `bravod`: the TCP front over the mini DB plus the open-loop load generator |
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +28,7 @@ pub use kvstore;
 pub use mapreduce;
 pub use rwlocks;
 pub use rwsem;
+pub use server;
 pub use topology;
 pub use workloads;
 
@@ -48,6 +50,7 @@ mod tests {
         let _ = crate::kvstore::Db::open(crate::rwlocks::LockKind::Ba);
         let _ = crate::mapreduce::generate_text(16, 1);
         let _ = crate::workloads::paper_thread_series(4);
+        let _ = crate::server::MAX_FRAME_LEN;
         assert!(crate::PAPER.contains("BRAVO"));
     }
 }

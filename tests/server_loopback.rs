@@ -1,0 +1,101 @@
+//! End-to-end test of the `bravod` client/server path: a real TCP socket
+//! on loopback, a short mixed workload, and the open-loop load generator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bravo_repro::server::loadgen::{self, LoadConfig};
+use bravo_repro::server::{Client, Server, ServerConfig};
+
+fn quick_server(spec: &str, keys: u64) -> Server {
+    let mut config = ServerConfig::new(spec.parse().expect("valid spec"));
+    config.prepopulate = keys;
+    Server::bind("127.0.0.1:0", config).expect("bind loopback")
+}
+
+#[test]
+fn crud_round_trip_over_a_real_socket() {
+    let server = quick_server("BRAVO-BA", 16);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    // Pre-populated keys are visible.
+    assert_eq!(client.get(3).unwrap().unwrap()[0], 3);
+    assert_eq!(client.get(999).unwrap(), None);
+    // Writes round-trip.
+    client.put(999, [9, 8, 7, 6]).unwrap();
+    assert_eq!(client.get(999).unwrap(), Some([9, 8, 7, 6]));
+    client.merge(999, [1, 1, 1, 1]).unwrap();
+    assert_eq!(client.get(999).unwrap(), Some([10, 9, 8, 7]));
+    assert!(client.delete(999).unwrap());
+    assert!(!client.delete(999).unwrap());
+    // Scans are ordered and bounded.
+    let entries = client.scan(10, 4).unwrap();
+    assert_eq!(
+        entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        vec![10, 11, 12, 13]
+    );
+    assert!(server.connections_accepted() >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_connections_run_a_mixed_workload() {
+    let server = quick_server("BRAVO-BA?table=numa:2x1024", 64);
+    let addr = server.local_addr();
+    let total_ops = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for conn in 0..4u64 {
+            let total_ops = &total_ops;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..200u64 {
+                    let key = (conn * 211 + i) % 64;
+                    match i % 4 {
+                        0 => {
+                            client.get(key).unwrap();
+                        }
+                        1 => client.merge(key, [1, 0, 0, 1]).unwrap(),
+                        2 => {
+                            client.scan(key, 16).unwrap();
+                        }
+                        _ => client.put(key, [key; 4]).unwrap(),
+                    }
+                    total_ops.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(total_ops.load(Ordering::Relaxed), 800);
+    assert_eq!(server.connections_accepted(), 4);
+    // The server's GetLock recorded traffic through its per-lock sink.
+    let stats = server.db().memtable().lock_stats();
+    assert!(
+        stats.total_reads() > 0,
+        "no reads attributed to the GetLock: {stats:?}"
+    );
+    assert!(stats.writes > 0, "no writes attributed to the GetLock");
+    server.shutdown();
+}
+
+#[test]
+fn open_loop_load_generator_reports_latency_percentiles() {
+    let server = quick_server("BRAVO-BA", 256);
+    let config = LoadConfig {
+        connections: 2,
+        rate: 2_000.0,
+        duration: Duration::from_millis(200),
+        keys: 256,
+        ..LoadConfig::quick()
+    };
+    let report = loadgen::run(server.local_addr(), &config).unwrap();
+    assert!(
+        report.operations > 0,
+        "load generator completed no operations"
+    );
+    assert_eq!(report.errors, 0, "load generator hit errors: {report:?}");
+    assert_eq!(report.latencies.count(), report.operations);
+    let (p50, p95, p99) = (report.p50(), report.p95(), report.p99());
+    assert!(p50 <= p95 && p95 <= p99, "{p50:?} {p95:?} {p99:?}");
+    assert!(report.throughput() > 0.0);
+    server.shutdown();
+}
