@@ -144,33 +144,40 @@ fn main() {
     }
 
     // Figure 10 (serving traffic): an in-process bravod on loopback, driven
-    // by the open-loop load generator at one representative connection
-    // count; per-lock fast-read attribution via the GetLock's sink.
+    // by the open-loop load generator, one representative connection count
+    // per backend — a thread-per-connection count for `threads`, a
+    // connections-beyond-threads count for `mux`; per-lock fast-read
+    // attribution via the GetLock's sink.
     let server_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
-    let connections = threads.min(4);
-    for spec in &server_specs {
-        let server = server::Server::bind("127.0.0.1:0", server::ServerConfig::new(spec.clone()))
-            .unwrap_or_else(|e| {
+    for backend in server::BackendKind::all() {
+        let connections = match backend {
+            server::BackendKind::Threads => threads.min(4),
+            server::BackendKind::Mux => 128,
+        };
+        for spec in &server_specs {
+            let config = server::ServerConfig::new(spec.clone()).with_backend(backend);
+            let server = server::Server::bind("127.0.0.1:0", config).unwrap_or_else(|e| {
                 eprintln!("{e}");
                 std::process::exit(2);
             });
-        let before = server.db().memtable().lock_stats();
-        let config = server::LoadConfig {
-            connections,
-            rate: 2_000.0 * connections as f64,
-            duration: mode.interval().max(std::time::Duration::from_millis(200)),
-            ..server::LoadConfig::quick()
-        };
-        let report = bench::loadgen_or_exit(server.local_addr(), &config);
-        let delta = server.db().memtable().lock_stats().since(&before);
-        emit(
-            results,
-            "fig10_server",
-            format!("{}@conns={connections}", spec),
-            fmt_f64(report.throughput()),
-            fast_read_cell(&delta),
-        );
-        server.shutdown();
+            let before = server.db().memtable().lock_stats();
+            let config = server::LoadConfig {
+                connections,
+                rate: bench::serving_sweep_rate(connections),
+                duration: mode.interval().max(std::time::Duration::from_millis(200)),
+                ..server::LoadConfig::quick()
+            };
+            let report = bench::loadgen_or_exit(server.local_addr(), &config);
+            let delta = server.db().memtable().lock_stats().since(&before);
+            emit(
+                results,
+                "fig10_server",
+                format!("{spec}@{backend}x{connections}"),
+                fmt_f64(report.throughput()),
+                fast_read_cell(&delta),
+            );
+            server.shutdown();
+        }
     }
 
     // Figures 7–8 (locktorture) and 9 (will-it-scale), stock vs BRAVO.

@@ -401,6 +401,26 @@ pub fn build_or_exit(spec: &LockSpec) -> LockHandle {
 // import root for result-table plumbing.
 pub use server::loadgen::{micros_cell, LATENCY_COLUMNS};
 
+/// Offered load per connection for the serving sweeps (operations per
+/// second): high enough to stress the GetLock, low enough that a laptop's
+/// loopback stack keeps up and the open loop measures the lock, not the
+/// NIC. Shared by `fig10_server` and the `repro_all` serving section so
+/// their rows stay comparable.
+pub const SERVING_RATE_PER_CONNECTION: f64 = 2_000.0;
+
+/// Total offered load cap across all connections of a serving sweep:
+/// beyond this the sweep is probing reader-population effects
+/// (visible-readers slots, revocation scan cost), not arrival rate, and
+/// pushing the rate higher would only degrade the open loop into a closed
+/// one on small hosts.
+pub const SERVING_TOTAL_RATE_CAP: f64 = 16_000.0;
+
+/// The offered rate for a serving sweep at `connections`: per-connection
+/// rate, capped at the sweep-wide total.
+pub fn serving_sweep_rate(connections: usize) -> f64 {
+    (SERVING_RATE_PER_CONNECTION * connections as f64).min(SERVING_TOTAL_RATE_CAP)
+}
+
 /// The p50/p95/p99 cells of one load-generator report, matching
 /// [`LATENCY_COLUMNS`].
 pub fn latency_cells(report: &server::LoadReport) -> [String; 3] {
@@ -410,13 +430,20 @@ pub fn latency_cells(report: &server::LoadReport) -> [String; 3] {
 /// Runs the open-loop load generator against a serving address,
 /// terminating the process with a diagnostic when no connection could be
 /// established (a dead or unreachable server is a harness failure, not a
-/// data point).
+/// data point). A run that fell below 95% of its target arrival rate is
+/// still a data point, but the degradation warning goes to stderr so the
+/// row is never mistaken for a clean open-loop measurement.
 pub fn loadgen_or_exit(
     addr: std::net::SocketAddr,
     config: &server::LoadConfig,
 ) -> server::LoadReport {
     match server::loadgen::run(addr, config) {
-        Ok(report) => report,
+        Ok(report) => {
+            if let Some(warning) = report.degradation_warning() {
+                eprintln!("{warning}");
+            }
+            report
+        }
         Err(e) => {
             eprintln!("load generator failed against {addr}: {e}");
             std::process::exit(2);
@@ -515,6 +542,11 @@ mod tests {
         let report = server::LoadReport {
             operations: 1,
             errors: 0,
+            scheduled: 1,
+            abandoned: 0,
+            connect_failures: 0,
+            target_rate: 1.0,
+            target_duration: Duration::from_secs(1),
             elapsed: Duration::from_secs(1),
             latencies,
         };

@@ -6,9 +6,18 @@
 //! serving half:
 //!
 //! * [`protocol`] — a tiny length-prefixed binary wire protocol carrying
-//!   `Get`/`Put`/`Merge`/`Delete`/`Scan`/`Ping` over TCP.
-//! * [`server`] — `bravod` itself: a std-only threaded TCP server over a
-//!   [`kvstore::Db`] whose GetLock is built from a `--lock SPEC` string.
+//!   `Get`/`Put`/`Merge`/`Delete`/`Scan`/`Ping` over TCP, decodable both
+//!   blockingly ([`protocol::read_frame`]) and incrementally
+//!   ([`protocol::FrameDecoder`], a resumable state machine over partial
+//!   reads).
+//! * [`server`] — `bravod` itself: a std-only TCP server over a
+//!   [`kvstore::Db`] whose GetLock is built from a `--lock SPEC` string,
+//!   with two interchangeable [`server::Backend`]s: thread-per-connection
+//!   (`--backend threads`, the default) and an event-driven reactor
+//!   (`--backend mux`) that multiplexes nonblocking sockets over a fixed
+//!   worker pool so connection counts can exceed host threads.
+//! * [`mux`] / [`sys`] — the reactor backend and its readiness layer (raw
+//!   `epoll` on Linux, a portable round-robin scan elsewhere).
 //! * [`client`] — a blocking protocol client.
 //! * [`loadgen`] — an **open-loop** load generator (`bravod bench`): N
 //!   connections at a target arrival rate with configurable read ratio and
@@ -24,10 +33,12 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod mux;
 pub mod protocol;
 pub mod server;
+pub mod sys;
 
 pub use client::Client;
 pub use loadgen::{LatencyHistogram, LoadConfig, LoadReport};
-pub use protocol::{Request, Response, WireError, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
-pub use server::{ServeError, Server, ServerConfig};
+pub use protocol::{FrameDecoder, Request, Response, WireError, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
+pub use server::{Backend, BackendKind, ServeError, Server, ServerConfig, ShutdownStats};

@@ -74,6 +74,24 @@ pub struct LoadReport {
     /// Operations that failed (I/O or protocol errors; a failing
     /// connection stops issuing and reports what it got through).
     pub errors: u64,
+    /// Operations the open-loop schedule made due during the run:
+    /// `operations + errors + abandoned`. The honest denominator for the
+    /// offered load.
+    pub scheduled: u64,
+    /// Scheduled operations that were never issued because their
+    /// connection died first (connect failure or mid-run I/O error). A
+    /// closed-loop harness silently drops these; an open loop must count
+    /// them or its "offered load" is a lie.
+    pub abandoned: u64,
+    /// Connections that never got a socket at all. Not an arrival (nothing
+    /// was put on the wire), so counted apart from `errors`; each one's
+    /// whole schedule shows up in `abandoned`.
+    pub connect_failures: u64,
+    /// The configured target arrival rate, operations per second.
+    pub target_rate: f64,
+    /// The configured measurement window ([`LoadConfig::duration`]); the
+    /// span the schedule was laid out over, even if the run died early.
+    pub target_duration: Duration,
     /// Wall-clock time from first scheduled operation to last completion.
     pub elapsed: Duration,
     /// Completion latencies, measured from the *scheduled* start.
@@ -98,6 +116,58 @@ impl LoadReport {
         } else {
             self.operations as f64 / self.elapsed.as_secs_f64()
         }
+    }
+
+    /// Operations actually put on the wire (completions plus mid-run
+    /// errors; connect failures issued nothing).
+    pub fn issued(&self) -> u64 {
+        self.operations + self.errors
+    }
+
+    /// The *achieved arrival rate*: operations issued per second over the
+    /// run. When the generator keeps up this tracks [`Self::target_rate`];
+    /// it drops below on either degradation mode — falling behind (late
+    /// operations issued back-to-back stretch `elapsed` past the window,
+    /// i.e. the open loop silently degrades toward a closed one) or dying
+    /// early (abandoned operations shrink `issued` while the denominator
+    /// stays the configured window, so a truncated run cannot masquerade
+    /// as an on-rate one).
+    pub fn achieved_rate(&self) -> f64 {
+        let span = self.elapsed.max(self.target_duration);
+        if span.is_zero() {
+            0.0
+        } else {
+            self.issued() as f64 / span.as_secs_f64()
+        }
+    }
+
+    /// `achieved_rate / target_rate` in `[0, 1]`-ish (can exceed 1 by
+    /// rounding); 1.0 when no target was set.
+    pub fn rate_fraction(&self) -> f64 {
+        if self.target_rate <= 0.0 {
+            1.0
+        } else {
+            self.achieved_rate() / self.target_rate
+        }
+    }
+
+    /// The degradation warning smoke scripts grep for: `Some` when the
+    /// achieved arrival rate fell below 95% of target, i.e. when this
+    /// "open-loop" run partially degenerated into a closed loop and its
+    /// latency percentiles undercount queueing delay.
+    pub fn degradation_warning(&self) -> Option<String> {
+        if self.rate_fraction() >= 0.95 {
+            return None;
+        }
+        Some(format!(
+            "warning: open loop degraded: achieved {:.0} of {:.0} target ops/s ({:.1}%), \
+             {} of {} scheduled ops abandoned — latency percentiles undercount queueing",
+            self.achieved_rate(),
+            self.target_rate,
+            self.rate_fraction() * 100.0,
+            self.abandoned,
+            self.scheduled,
+        ))
     }
 
     /// The p50/p95/p99 cells of this report, matching [`LATENCY_COLUMNS`].
@@ -258,7 +328,7 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
     let connections = config.connections.max(1);
     let interval = Duration::from_secs_f64(connections as f64 / config.rate.max(1.0));
     let start = Instant::now();
-    let outcomes: Vec<(u64, u64, LatencyHistogram)> = std::thread::scope(|s| {
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..connections)
             .map(|conn| {
                 let config = config.clone();
@@ -278,25 +348,56 @@ pub fn run(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
     let mut report = LoadReport {
         operations: 0,
         errors: 0,
+        scheduled: 0,
+        abandoned: 0,
+        connect_failures: 0,
+        target_rate: config.rate,
+        target_duration: config.duration,
         elapsed: start.elapsed(),
         latencies: LatencyHistogram::new(),
     };
     let mut connected = false;
-    for (operations, errors, histogram) in &outcomes {
-        // A connection that never got a socket reports errors with zero
-        // operations and an empty histogram.
-        connected |= *operations > 0 || histogram.count() > 0;
-        report.operations += operations;
-        report.errors += errors;
-        report.latencies.merge(histogram);
+    for outcome in &outcomes {
+        connected |= !outcome.connect_failed;
+        report.operations += outcome.operations;
+        report.errors += outcome.errors;
+        report.abandoned += outcome.abandoned;
+        report.connect_failures += u64::from(outcome.connect_failed);
+        report.latencies.merge(&outcome.latencies);
     }
-    if !connected && report.errors > 0 {
+    report.scheduled = report.operations + report.errors + report.abandoned;
+    if !connected && report.connect_failures > 0 {
         return Err(io::Error::new(
             io::ErrorKind::ConnectionRefused,
             format!("no load-generator connection reached {addr}"),
         ));
     }
     Ok(report)
+}
+
+/// One connection's contribution to the merged [`LoadReport`].
+struct ConnOutcome {
+    operations: u64,
+    errors: u64,
+    /// Scheduled-but-never-issued operations (see [`LoadReport::abandoned`]).
+    abandoned: u64,
+    /// Whether this connection never got a socket at all.
+    connect_failed: bool,
+    latencies: LatencyHistogram,
+}
+
+/// Counts the arrivals at `first + k·interval` for `k ≥ from` that fall
+/// before `deadline` — the operations a dead connection abandons. Uses the
+/// same `Instant` arithmetic as the issue loop so the two never disagree
+/// about what was due.
+fn due_from(first: Instant, interval: Duration, deadline: Instant, from: u32) -> u64 {
+    let mut due = 0;
+    let mut k = from;
+    while first + interval * k < deadline {
+        due += 1;
+        k += 1;
+    }
+    due
 }
 
 /// One connection's open loop: issue operations at the scheduled instants
@@ -307,18 +408,27 @@ fn connection_loop(
     conn: u64,
     first: Instant,
     interval: Duration,
-) -> (u64, u64, LatencyHistogram) {
-    let mut histogram = LatencyHistogram::new();
+) -> ConnOutcome {
+    let deadline = first + config.duration;
+    let mut outcome = ConnOutcome {
+        operations: 0,
+        errors: 0,
+        abandoned: 0,
+        connect_failed: false,
+        latencies: LatencyHistogram::new(),
+    };
     let mut client = match Client::connect(addr) {
         Ok(client) => client,
-        // Could not even connect: report one error and no samples.
-        Err(_) => return (0, 1, histogram),
+        Err(_) => {
+            // Could not even connect: no samples, no issued arrivals, and
+            // the whole schedule abandoned rather than silently vanished.
+            outcome.connect_failed = true;
+            outcome.abandoned = due_from(first, interval, deadline, 0);
+            return outcome;
+        }
     };
     let mut rng = SmallRng::seed_from_u64(config.seed ^ (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
     let scan_limit = config.scan_limit.clamp(1, MAX_SCAN_LIMIT);
-    let deadline = first + config.duration;
-    let mut operations = 0u64;
-    let mut errors = 0u64;
     for k in 0u32.. {
         let scheduled = first + interval * k;
         if scheduled >= deadline {
@@ -329,20 +439,25 @@ fn connection_loop(
             std::thread::sleep(scheduled - now);
         }
         let key = skewed_key(&mut rng, config.keys, config.skew);
-        let outcome = issue(&mut client, &mut rng, config, key, scan_limit);
-        match outcome {
+        let outcome_k = issue(&mut client, &mut rng, config, key, scan_limit);
+        match outcome_k {
             Ok(()) => {
-                histogram.record(Instant::now().saturating_duration_since(scheduled));
-                operations += 1;
+                outcome
+                    .latencies
+                    .record(Instant::now().saturating_duration_since(scheduled));
+                outcome.operations += 1;
             }
             Err(_) => {
-                errors += 1;
-                // The stream may be desynchronized; stop this connection.
+                // The stream may be desynchronized; stop this connection,
+                // but record what the schedule still owed — those arrivals
+                // were offered load, not noise.
+                outcome.errors += 1;
+                outcome.abandoned = due_from(first, interval, deadline, k + 1);
                 break;
             }
         }
     }
-    (operations, errors, histogram)
+    outcome
 }
 
 /// Issues one operation drawn from the configured mix.
@@ -449,6 +564,102 @@ mod tests {
             head_skewed > head_uniform * 2,
             "skew had no effect: {head_skewed} vs {head_uniform}"
         );
+    }
+
+    #[test]
+    fn due_from_counts_exactly_the_arrivals_the_loop_would_issue() {
+        let first = Instant::now();
+        let interval = Duration::from_millis(10);
+        let deadline = first + Duration::from_millis(95);
+        // Arrivals at 0,10,…,90 ms: ten in total.
+        assert_eq!(due_from(first, interval, deadline, 0), 10);
+        // After issuing the first four (k = 0..3), six remain.
+        assert_eq!(due_from(first, interval, deadline, 4), 6);
+        // From past the deadline, nothing remains.
+        assert_eq!(due_from(first, interval, deadline, 10), 0);
+        // An exact-boundary arrival (at 100ms for a 100ms window) is not
+        // due, matching the issue loop's `scheduled >= deadline` break.
+        let deadline = first + Duration::from_millis(100);
+        assert_eq!(due_from(first, interval, deadline, 0), 10);
+    }
+
+    fn report_with_rates(issued: u64, abandoned: u64, target: f64) -> LoadReport {
+        LoadReport {
+            operations: issued,
+            errors: 0,
+            scheduled: issued + abandoned,
+            abandoned,
+            connect_failures: 0,
+            target_rate: target,
+            target_duration: Duration::from_secs(1),
+            elapsed: Duration::from_secs(1),
+            latencies: LatencyHistogram::new(),
+        }
+    }
+
+    #[test]
+    fn degradation_warning_fires_below_95_percent_of_target() {
+        // 100% of target: clean.
+        assert_eq!(
+            report_with_rates(1000, 0, 1000.0).degradation_warning(),
+            None
+        );
+        // 96%: still within tolerance.
+        assert!(report_with_rates(960, 40, 1000.0)
+            .degradation_warning()
+            .is_none());
+        // 80%: the open loop degraded; the warning names the shortfall and
+        // the abandoned count, and carries the greppable marker.
+        let warning = report_with_rates(800, 200, 1000.0)
+            .degradation_warning()
+            .expect("80% of target must warn");
+        assert!(warning.contains("open loop degraded"), "{warning}");
+        assert!(warning.contains("200 of 1000 scheduled"), "{warning}");
+        // No target (rate 0) never warns.
+        assert!(report_with_rates(0, 0, 0.0).degradation_warning().is_none());
+    }
+
+    #[test]
+    fn achieved_rate_counts_errors_as_issued_arrivals() {
+        let mut report = report_with_rates(900, 0, 1000.0);
+        report.errors = 60;
+        report.scheduled = 1000;
+        report.abandoned = 40;
+        assert_eq!(report.issued(), 960);
+        assert!((report.achieved_rate() - 960.0).abs() < 1e-9);
+        assert!(report.degradation_warning().is_none());
+    }
+
+    #[test]
+    fn a_truncated_run_cannot_masquerade_as_on_rate() {
+        // The server died 200ms into a 1s window: 200 of 1000 ops issued,
+        // each perfectly on schedule. Per second of *elapsed* time that
+        // looks like full rate; against the configured window it is 20%.
+        let mut report = report_with_rates(200, 800, 1000.0);
+        report.elapsed = Duration::from_millis(200);
+        assert!((report.achieved_rate() - 200.0).abs() < 1e-9);
+        assert!(report.rate_fraction() < 0.95);
+        assert!(report.degradation_warning().is_some());
+    }
+
+    #[test]
+    fn run_reports_connect_failures_without_phantom_arrivals() {
+        // A port with no listener: every connection refuses, nothing is
+        // issued, and run() surfaces it as an error rather than an
+        // all-abandoned report.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+            // Listener dropped here; the port refuses connections.
+        };
+        let config = LoadConfig {
+            connections: 2,
+            rate: 1_000.0,
+            duration: Duration::from_millis(50),
+            ..LoadConfig::quick()
+        };
+        let err = run(addr, &config).expect_err("no listener must be an error");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
     }
 
     #[test]

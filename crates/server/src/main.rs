@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bravod serve [--addr 127.0.0.1:4629] [--lock SPEC] [--keys N]
+//!              [--backend threads|mux] [--workers N]
 //!              [--port-file PATH] [--verbose]
 //! bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
 //!              [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
@@ -9,22 +10,27 @@
 //! ```
 //!
 //! `serve` opens a [`kvstore::Db`] with the given lock spec and serves the
-//! wire protocol until killed. With `--addr 127.0.0.1:0` the kernel picks
-//! an ephemeral port; `--port-file` writes the bound port there so scripts
-//! (CI's `server-smoke` step) can find it.
+//! wire protocol until killed. `--backend threads` (the default) runs one
+//! handler thread per connection; `--backend mux` multiplexes nonblocking
+//! sockets over `--workers` event loops (default: host parallelism, capped
+//! at 8) so connection counts can exceed host threads. With
+//! `--addr 127.0.0.1:0` the kernel picks an ephemeral port; `--port-file`
+//! writes the bound port there so scripts (CI's `server-smoke` step) can
+//! find it.
 //!
 //! `bench` drives the open-loop load generator against a running server
-//! and prints one result row (throughput plus p50/p95/p99 latency); with
-//! `--csv PATH` the row is also appended as CSV. Exits nonzero when the
-//! run completed zero operations, so smoke tests fail loudly on a dead
-//! server.
+//! and prints one result row (throughput, achieved-vs-target arrival rate,
+//! p50/p95/p99 latency); with `--csv PATH` the row is also appended as
+//! CSV. Exits nonzero when the run completed zero operations, so smoke
+//! tests fail loudly on a dead server; warns on stderr when the achieved
+//! arrival rate fell below 95% of target (the open loop degraded).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use bravo::spec::LockSpec;
 use server::loadgen::{self, LoadConfig, LATENCY_COLUMNS};
-use server::{Server, ServerConfig};
+use server::{BackendKind, Server, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,12 +55,16 @@ const USAGE: &str = "\
 bravod: the BRAVO reproduction's RPC server and open-loop load generator
 
   bravod serve [--addr 127.0.0.1:4629] [--lock SPEC] [--keys N]
+               [--backend threads|mux] [--workers N]
                [--port-file PATH] [--verbose]
   bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
                [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
                [--duration-ms MS] [--seed S] [--label TEXT] [--csv PATH]
 
 SPEC follows the lock-spec grammar, e.g. BRAVO-BA?table=numa:2x1024.
+--backend threads (default) serves one thread per connection; --backend mux
+multiplexes nonblocking sockets over --workers event loops, so connections
+can outnumber host threads.
 ";
 
 /// Pulls the value of `--flag VALUE` / `--flag=VALUE` out of `args`,
@@ -98,11 +108,16 @@ fn serve(args: &[String]) {
     let spec: LockSpec = flag_value(args, "--lock").unwrap_or_else(|| LockSpec::new("BRAVO-BA"));
     let keys: u64 = flag_value(args, "--keys").unwrap_or(10_000);
     let port_file: Option<String> = flag_value(args, "--port-file");
+    let backend: BackendKind = flag_value(args, "--backend").unwrap_or_default();
     let config = ServerConfig {
         spec: spec.clone(),
         prepopulate: keys,
         verbose: has_flag(args, "--verbose"),
+        backend,
+        mux_workers: flag_value(args, "--workers").unwrap_or(0),
+        mux_scan_poller: false,
     };
+    let workers = config.resolved_mux_workers();
     let server = match Server::bind(addr.as_str(), config) {
         Ok(server) => server,
         Err(e) => {
@@ -111,7 +126,14 @@ fn serve(args: &[String]) {
         }
     };
     let bound = server.local_addr();
-    println!("bravod: serving {spec} on {bound} ({keys} keys)");
+    match backend {
+        BackendKind::Threads => {
+            println!("bravod: serving {spec} on {bound} ({keys} keys, threads backend)")
+        }
+        BackendKind::Mux => println!(
+            "bravod: serving {spec} on {bound} ({keys} keys, mux backend, {workers} workers)"
+        ),
+    }
     if let Some(path) = port_file {
         // Written atomically-enough for scripts: the whole port in one call.
         if let Err(e) = std::fs::write(&path, format!("{}\n", bound.port())) {
@@ -184,10 +206,12 @@ fn bench(args: &[String]) {
         "label",
         "connections",
         "rate_target",
+        "rate_achieved",
         "read_ratio",
         "duration_ms",
         "ops",
         "errors",
+        "abandoned",
         "ops_per_sec",
         p50_col,
         p95_col,
@@ -198,10 +222,12 @@ fn bench(args: &[String]) {
         label,
         config.connections.to_string(),
         format!("{:.0}", config.rate),
+        format!("{:.0}", report.achieved_rate()),
         format!("{}", config.read_ratio),
         config.duration.as_millis().to_string(),
         report.operations.to_string(),
         report.errors.to_string(),
+        report.abandoned.to_string(),
         format!("{:.0}", report.throughput()),
         p50,
         p95,
@@ -215,6 +241,9 @@ fn bench(args: &[String]) {
             std::process::exit(1);
         }
         println!("# row appended to {path}");
+    }
+    if let Some(warning) = report.degradation_warning() {
+        eprintln!("bravod bench: {warning}");
     }
     if report.operations == 0 {
         eprintln!("bravod bench: completed zero operations against {addr}");

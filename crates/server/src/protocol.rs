@@ -417,6 +417,87 @@ pub fn read_frame<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<bool> {
     Ok(true)
 }
 
+/// An incremental frame decoder: the nonblocking twin of [`read_frame`].
+///
+/// The blocking reader can park in `read_exact` until a frame completes; a
+/// multiplexed connection cannot — it sees whatever bytes the socket had
+/// ready, possibly a torn header or a sliver of a body, and must resume
+/// exactly where it left off on the next readiness event. This type is that
+/// resumable state machine: feed it raw bytes with [`FrameDecoder::advance`]
+/// and it hands back complete frame bodies, one at a time, byte-for-byte
+/// identical to what [`read_frame`] would have produced from the same
+/// stream.
+///
+/// The length prefix is validated the instant its fourth byte arrives —
+/// *before* any body byte is buffered — so a hostile prefix cannot force an
+/// allocation, exactly as in the blocking path. A decoder that has reported
+/// an error is poisoned: every subsequent call reports the same error (the
+/// stream is unsynchronized and the connection must be dropped).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    header: [u8; 4],
+    header_filled: usize,
+    /// `Some(len)` once the header has been read and validated.
+    body_len: Option<usize>,
+    body: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes bytes from the front of `input` — at most through the end
+    /// of the current frame — and returns how many bytes were consumed plus
+    /// the completed frame body, if those bytes finished one. Call it in a
+    /// loop over the unconsumed remainder to drain a multi-frame read.
+    pub fn advance(&mut self, input: &[u8]) -> Result<(usize, Option<&[u8]>), WireError> {
+        let mut used = 0;
+        let len = match self.body_len {
+            Some(len) => len,
+            None => {
+                let need = self.header.len() - self.header_filled;
+                let take = need.min(input.len());
+                self.header[self.header_filled..self.header_filled + take]
+                    .copy_from_slice(&input[..take]);
+                self.header_filled += take;
+                used += take;
+                if self.header_filled < self.header.len() {
+                    return Ok((used, None));
+                }
+                let len = u32::from_le_bytes(self.header) as usize;
+                if len > MAX_FRAME_LEN {
+                    // Leave `header_filled` saturated and `body_len` unset:
+                    // the next call re-validates the same header and fails
+                    // again, so the error is sticky.
+                    return Err(WireError::Oversized { len });
+                }
+                self.body_len = Some(len);
+                self.body.clear();
+                len
+            }
+        };
+        let take = (len - self.body.len()).min(input.len() - used);
+        self.body.extend_from_slice(&input[used..used + take]);
+        used += take;
+        if self.body.len() == len {
+            self.body_len = None;
+            self.header_filled = 0;
+            Ok((used, Some(&self.body)))
+        } else {
+            Ok((used, None))
+        }
+    }
+
+    /// Whether the decoder sits inside a frame: an EOF now would be a torn
+    /// frame (the incremental analogue of [`read_frame`]'s mid-frame
+    /// `UnexpectedEof`), not a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.body_len.is_some()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +604,104 @@ mod tests {
         wire.extend_from_slice(&[0; 3]);
         let err = read_frame(&mut io::Cursor::new(wire), &mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Drains `wire` through a [`FrameDecoder`] in chunks of `chunk` bytes,
+    /// collecting completed frame bodies.
+    fn decode_in_chunks(wire: &[u8], chunk: usize) -> Vec<Vec<u8>> {
+        let mut decoder = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for piece in wire.chunks(chunk.max(1)) {
+            let mut rest = piece;
+            while !rest.is_empty() {
+                let (used, frame) = decoder.advance(rest).expect("valid wire bytes");
+                if let Some(body) = frame {
+                    frames.push(body.to_vec());
+                }
+                rest = &rest[used..];
+            }
+        }
+        assert!(!decoder.mid_frame(), "wire ended mid frame");
+        frames
+    }
+
+    #[test]
+    fn incremental_decoder_yields_the_same_frames_at_every_chunk_size() {
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        for request in [
+            Request::Get { key: 1 },
+            Request::Put {
+                key: 2,
+                value: [9; 4],
+            },
+            Request::Ping,
+            Request::Scan { start: 0, limit: 7 },
+        ] {
+            body.clear();
+            request.encode(&mut body);
+            write_frame(&mut wire, &body).unwrap();
+        }
+        // Reference: the blocking reader over the same bytes.
+        let mut cursor = io::Cursor::new(wire.clone());
+        let mut blocking = Vec::new();
+        let mut buf = Vec::new();
+        while read_frame(&mut cursor, &mut buf).unwrap() {
+            blocking.push(buf.clone());
+        }
+        for chunk in 1..=wire.len() {
+            assert_eq!(
+                decode_in_chunks(&wire, chunk),
+                blocking,
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_handles_empty_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[]).unwrap();
+        write_frame(&mut wire, &[]).unwrap();
+        assert_eq!(decode_in_chunks(&wire, 1), vec![Vec::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_hostile_prefixes_on_the_fourth_byte() {
+        let header = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        let mut decoder = FrameDecoder::new();
+        // Byte-at-a-time: no error (and no frame) until the length prefix
+        // is complete, then an Oversized error with no body allocation.
+        for &byte in &header[..3] {
+            let (used, frame) = decoder.advance(&[byte]).unwrap();
+            assert_eq!((used, frame), (1, None));
+            assert!(decoder.mid_frame());
+        }
+        let err = decoder.advance(&header[3..]).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            }
+        );
+        // The error is sticky: the stream is unsynchronized for good.
+        assert!(decoder.advance(&[0]).is_err());
+    }
+
+    #[test]
+    fn incremental_decoder_consumes_at_most_one_frame_per_call() {
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        Request::Ping.encode(&mut body);
+        write_frame(&mut wire, &body).unwrap();
+        write_frame(&mut wire, &body).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let (used, frame) = decoder.advance(&wire).unwrap();
+        assert_eq!(used, 4 + body.len(), "stopped at the frame boundary");
+        assert_eq!(frame, Some(body.as_slice()));
+        let (used2, frame2) = decoder.advance(&wire[used..]).unwrap();
+        assert_eq!(used2, 4 + body.len());
+        assert_eq!(frame2, Some(body.as_slice()));
     }
 
     #[test]

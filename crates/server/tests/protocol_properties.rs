@@ -1,9 +1,14 @@
 //! Property tests over the `bravod` wire protocol: encode/decode
-//! round-trips and rejection of truncated, trailing and oversized frames.
+//! round-trips, rejection of truncated, trailing and oversized frames, and
+//! byte-for-byte agreement between the blocking frame reader and the
+//! incremental [`FrameDecoder`] the multiplexed backend resumes over
+//! partial reads.
 
 use proptest::prelude::*;
 
-use server::protocol::{read_frame, Request, Response, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
+use server::protocol::{
+    read_frame, write_frame, FrameDecoder, Request, Response, MAX_FRAME_LEN, MAX_SCAN_LIMIT,
+};
 
 type Value = [u64; 4];
 
@@ -105,5 +110,98 @@ proptest! {
         let err = read_frame(&mut cursor, &mut buf).unwrap_err();
         prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         prop_assert!(buf.capacity() == 0, "body buffer was grown for a rejected frame");
+    }
+
+    /// The incremental decoder agrees with the blocking reader byte for
+    /// byte, regardless of how the wire bytes are chunked: frames split at
+    /// *every* byte boundary yield the same bodies in the same order.
+    #[test]
+    fn incremental_decoder_agrees_with_blocking_reader_at_every_split(
+        requests in proptest::collection::vec(request_strategy(), 1..4)
+    ) {
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        for request in &requests {
+            body.clear();
+            request.encode(&mut body);
+            write_frame(&mut wire, &body).unwrap();
+        }
+        // Reference: the blocking reader over the whole stream.
+        let mut blocking = Vec::new();
+        let mut cursor = std::io::Cursor::new(wire.clone());
+        let mut buf = Vec::new();
+        while read_frame(&mut cursor, &mut buf).unwrap() {
+            blocking.push(buf.clone());
+        }
+        prop_assert_eq!(blocking.len(), requests.len());
+        // Split the wire at every byte boundary: [..cut] then [cut..].
+        for cut in 0..=wire.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            for mut piece in [&wire[..cut], &wire[cut..]] {
+                while !piece.is_empty() {
+                    let (used, frame) = decoder.advance(piece).expect("valid wire");
+                    if let Some(frame_body) = frame {
+                        frames.push(frame_body.to_vec());
+                    }
+                    piece = &piece[used..];
+                }
+            }
+            prop_assert!(!decoder.mid_frame(), "decoder mid-frame after cut {}", cut);
+            prop_assert_eq!(&frames, &blocking, "split at byte {} disagreed", cut);
+        }
+    }
+
+    /// Chunking the wire into arbitrary small pieces (the shape nonblocking
+    /// reads actually produce) never changes what the decoder yields.
+    #[test]
+    fn incremental_decoder_is_chunking_invariant(
+        requests in proptest::collection::vec(request_strategy(), 1..6),
+        chunk in 1usize..48
+    ) {
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        for request in &requests {
+            body.clear();
+            request.encode(&mut body);
+            write_frame(&mut wire, &body).unwrap();
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for mut piece in wire.chunks(chunk) {
+            while !piece.is_empty() {
+                let (used, frame) = decoder.advance(piece).expect("valid wire");
+                if let Some(frame_body) = frame {
+                    decoded.push(Request::decode(frame_body).expect("valid frame body"));
+                }
+                piece = &piece[used..];
+            }
+        }
+        prop_assert!(!decoder.mid_frame());
+        prop_assert_eq!(&decoded, &requests);
+    }
+
+    /// A hostile length prefix is rejected by the incremental decoder the
+    /// instant its fourth byte arrives — before any body byte exists, no
+    /// matter how the prefix dribbles in — and the error is sticky.
+    #[test]
+    fn incremental_decoder_rejects_hostile_partial_prefixes(
+        excess in 1usize..1 << 20,
+        split in 0usize..4
+    ) {
+        let announced = MAX_FRAME_LEN + excess;
+        let header = (announced as u32).to_le_bytes();
+        let mut decoder = FrameDecoder::new();
+        // First part of the torn header: consumed without error or frame.
+        let (used, frame) = decoder.advance(&header[..split]).unwrap();
+        prop_assert_eq!((used, frame.map(<[u8]>::len)), (split, None));
+        if split > 0 {
+            prop_assert!(decoder.mid_frame());
+        }
+        // The rest completes the prefix: immediate rejection.
+        let err = decoder.advance(&header[split..]).unwrap_err();
+        prop_assert_eq!(err, server::protocol::WireError::Oversized { len: announced });
+        // Sticky: the connection is unsynchronized for good.
+        prop_assert!(decoder.advance(&[0u8]).is_err());
     }
 }

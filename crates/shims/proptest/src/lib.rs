@@ -100,7 +100,9 @@ macro_rules! prop_assert {
     };
 }
 
-/// Fails the current case unless the two expressions are equal.
+/// Fails the current case unless the two expressions are equal. Like
+/// upstream proptest (and `assert_eq!`), an optional trailing format
+/// message is appended to the mismatch report.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -115,9 +117,23 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
 }
 
-/// Fails the current case if the two expressions are equal.
+/// Fails the current case if the two expressions are equal. Like upstream
+/// proptest, an optional trailing format message is appended to the report.
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
@@ -129,6 +145,18 @@ macro_rules! prop_assert_ne {
             stringify!($left),
             stringify!($right),
             left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}\n {}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            ::std::format!($($fmt)+)
         );
     }};
 }
