@@ -32,6 +32,7 @@ use bench::{
     banner, fast_read_cell, fmt_f64, header, latency_cells, loadgen_or_exit, row,
     serving_sweep_rate, HarnessArgs, RunMode,
 };
+use bravo::wait::WaitMode;
 use rwlocks::LockKind;
 use server::loadgen::LoadConfig;
 use server::{BackendKind, Server, ServerConfig};
@@ -75,7 +76,20 @@ fn main() {
         mode,
     );
 
-    let specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    let mut specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    if args.locks.is_empty() {
+        // The default sweep repeats the pair with parking waiters: under the
+        // mux backend's high-connection rows (256 quick, 1024 full) the
+        // handler pool is oversubscribed, which is exactly where wait=park
+        // should shed spin cycles — the parked_waits column shows it.
+        specs.push(LockKind::Ba.spec().with_wait(WaitMode::Park));
+        specs.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
+        );
+    }
     header(&[
         "backend",
         "connections",
@@ -89,6 +103,8 @@ fn main() {
         "p95_us",
         "p99_us",
         "fast_read_pct",
+        "wait_mode",
+        "parked_waits",
     ]);
     for backend in BackendKind::all() {
         for spec in &specs {
@@ -103,8 +119,10 @@ fn main() {
             let addr = server.local_addr();
             for connections in connection_series(mode, backend) {
                 let before = server.db().memtable().lock_stats();
+                let global_before = bravo::stats::snapshot();
                 let report = loadgen_or_exit(addr, &sweep_config(mode, connections));
                 let delta = server.db().memtable().lock_stats().since(&before);
+                let global_delta = bravo::stats::snapshot().since(&global_before);
                 let [p50, p95, p99] = latency_cells(&report);
                 row(&[
                     backend.to_string(),
@@ -119,6 +137,8 @@ fn main() {
                     p95,
                     p99,
                     fast_read_cell(&delta),
+                    spec.wait().to_string(),
+                    global_delta.parked_waits.to_string(),
                 ]);
             }
             server.shutdown();

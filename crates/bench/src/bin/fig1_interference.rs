@@ -20,6 +20,7 @@
 
 use bench::{banner, fmt_f64, header, row, HarnessArgs};
 use bravo::stats::format_shard_counts;
+use bravo::wait::WaitMode;
 use rwlocks::LockKind;
 use workloads::interference::{interference_run_spec, paper_lock_pool_series, InterferenceResult};
 
@@ -32,7 +33,18 @@ fn main() {
         mode,
     );
 
-    let bases = args.lock_specs(&[LockKind::BravoBa]);
+    let mut bases = args.lock_specs(&[LockKind::BravoBa]);
+    if args.locks.is_empty() {
+        // The default sweep also exercises the parking wait strategy and the
+        // adaptive bias controller, so the CSV shows their cost (or lack of
+        // it) next to the spinning baseline.
+        bases.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
+        );
+    }
     let threads = match mode {
         bench::RunMode::Quick => 8,
         bench::RunMode::Standard => 16,
@@ -52,9 +64,16 @@ fn main() {
         "xlock_collisions",
         "collisions_per_shard",
         "scan_slots_per_revoke",
+        "wait_mode",
+        "adapt_flips",
+        "parked_waits",
     ]);
     for base in &bases {
         for &locks in &pools {
+            // Process-global counters bracket the whole cell (all
+            // repetitions): parking and adaptive flips are recorded by the
+            // wait/policy layers, not the per-lock sinks the pool aggregates.
+            let before = bravo::stats::snapshot();
             let mut runs: Vec<InterferenceResult> = (0..mode.repetitions())
                 .map(|_| {
                     interference_run_spec(base, locks, threads, mode.interval()).unwrap_or_else(
@@ -65,6 +84,7 @@ fn main() {
                     )
                 })
                 .collect();
+            let delta = bravo::stats::snapshot().since(&before);
             runs.sort_by(|a, b| a.fraction().total_cmp(&b.fraction()));
             let result = runs[runs.len() / 2];
             row(&[
@@ -76,6 +96,9 @@ fn main() {
                 result.shared_collisions.to_string(),
                 format_shard_counts(&result.shard_collisions, result.shards),
                 fmt_f64(result.scan_slots_per_revocation()),
+                base.wait().to_string(),
+                delta.adapt_flips.to_string(),
+                delta.parked_waits.to_string(),
             ]);
         }
     }

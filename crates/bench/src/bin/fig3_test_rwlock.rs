@@ -15,6 +15,7 @@
 //! the paper set, e.g. `--lock "BRAVO-BA?n=99" --lock BRAVO-2D-BA`.
 
 use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs};
+use bravo::wait::WaitMode;
 use rwlocks::LockKind;
 use workloads::harness::median_of;
 use workloads::test_rwlock::{test_rwlock, TestRwlockConfig};
@@ -28,22 +29,40 @@ fn main() {
         mode,
     );
 
-    let specs = args.lock_specs(LockKind::paper_set());
+    let mut specs = args.lock_specs(LockKind::paper_set());
+    if args.locks.is_empty() {
+        // The default sweep includes one parking + adaptive composite so
+        // the CSV carries policy flips and parked-wait counts next to the
+        // spinning paper set.
+        specs.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
+        );
+    }
     header(&[
         "readers",
         "lock",
         "iterations",
         "ops_per_msec",
         "fast_read_pct",
+        "wait_mode",
+        "adapt_flips",
+        "parked_waits",
     ]);
     for threads in mode.thread_series() {
         for spec in &specs {
             // One lock per data point: bias state and per-lock statistics
-            // are scoped to this (threads, spec) cell.
+            // are scoped to this (threads, spec) cell. Parked waits are
+            // recorded by the process-global wait layer, so bracket the
+            // cell with global snapshots.
             let lock = build_or_exit(spec);
+            let before = bravo::stats::snapshot();
             let result = median_of(mode.repetitions(), || {
                 test_rwlock(&lock, TestRwlockConfig::paper(threads, mode.interval())).operations
             });
+            let delta = bravo::stats::snapshot().since(&before);
             let per_msec = result as f64 / mode.interval().as_millis().max(1) as f64;
             row(&[
                 threads.to_string(),
@@ -51,6 +70,9 @@ fn main() {
                 result.to_string(),
                 fmt_f64(per_msec),
                 fast_read_cell(&lock.snapshot()),
+                spec.wait().to_string(),
+                lock.snapshot().adapt_flips.to_string(),
+                delta.parked_waits.to_string(),
             ]);
         }
     }

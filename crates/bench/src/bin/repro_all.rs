@@ -21,6 +21,7 @@
 //! turning a paper-scale run into figures.
 
 use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs, ResultsDir};
+use bravo::wait::WaitMode;
 use kernelsim::locktorture::{self, LockTortureConfig};
 use kernelsim::will_it_scale::{self, WillItScaleBenchmark};
 use kvstore::{run_hash_table_bench, run_readwhilewriting};
@@ -143,12 +144,48 @@ fn main() {
         );
     }
 
+    // Parking coverage: every catalog kind must build and make progress
+    // with `wait=park` (BRAVO kinds additionally run the adaptive bias
+    // controller), under 2x-core oversubscription so waits actually park
+    // rather than winning the spin grace period.
+    let cpus = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let park_threads = (cpus * 2).clamp(4, 32);
+    for &kind in LockKind::all() {
+        let mut spec = kind.spec().with_wait(WaitMode::Park);
+        if kind.is_bravo() {
+            spec = spec.with_adapt(true);
+        }
+        let lock = build_or_exit(&spec);
+        let t = test_rwlock(
+            &lock,
+            TestRwlockConfig::paper(park_threads, mode.interval()),
+        );
+        emit(
+            results,
+            "wait_park_catalog",
+            spec.to_string(),
+            t.operations.to_string(),
+            fast_read_cell(&lock.snapshot()),
+        );
+    }
+
     // Figure 10 (serving traffic): an in-process bravod on loopback, driven
     // by the open-loop load generator, one representative connection count
     // per backend — a thread-per-connection count for `threads`, a
     // connections-beyond-threads count for `mux`; per-lock fast-read
     // attribution via the GetLock's sink.
-    let server_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    let mut server_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
+    if args.locks.is_empty() {
+        // One parking + adaptive composite so the summary pass also covers
+        // parked handler threads under the mux backend's oversubscription.
+        server_specs.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
+        );
+    }
+    let mut serving_json = Vec::new();
     for backend in server::BackendKind::all() {
         let connections = match backend {
             server::BackendKind::Threads => threads.min(4),
@@ -176,6 +213,13 @@ fn main() {
                 fmt_f64(report.throughput()),
                 fast_read_cell(&delta),
             );
+            serving_json.push(format!(
+                "{{\"spec\": \"{spec}\", \"backend\": \"{backend}\", \
+                 \"connections\": {connections}, \"ops_per_sec\": {:.1}, \
+                 \"fast_read_pct\": \"{}\"}}",
+                report.throughput(),
+                fast_read_cell(&delta),
+            ));
             server.shutdown();
         }
     }
@@ -233,7 +277,7 @@ fn main() {
     // BRAVO statistics over the whole pass (process-global aggregate; the
     // per-lock rows above carry each lock's own fast-read fraction).
     let delta = bravo::stats::snapshot().since(&before);
-    let stats: [(&str, String); 9] = [
+    let stats: [(&str, String); 11] = [
         ("fast_read_fraction", fmt_f64(delta.fast_read_fraction())),
         ("total_reads", delta.total_reads().to_string()),
         ("fast_reads", delta.fast_reads.to_string()),
@@ -246,6 +290,8 @@ fn main() {
         ("writes", delta.writes.to_string()),
         ("revocations", delta.revocations.to_string()),
         ("revocation_fraction", fmt_f64(delta.revocation_fraction())),
+        ("parked_waits", delta.parked_waits.to_string()),
+        ("adapt_flips", delta.adapt_flips.to_string()),
     ];
     println!();
     println!("# BRAVO statistics over this pass");
@@ -260,7 +306,26 @@ fn main() {
         }
     }
     if let Some(results) = results {
+        // Machine-readable summary for CI trend tracking: headline lock
+        // behaviour (fast-read fraction, parking and adaptive activity) plus
+        // the serving rows, which carry the mux-backend throughput.
+        let json = format!(
+            "{{\n  \"fast_read_fraction\": {},\n  \"total_reads\": {},\n  \
+             \"revocations\": {},\n  \"parked_waits\": {},\n  \
+             \"adapt_flips\": {},\n  \"serving\": [\n    {}\n  ]\n}}\n",
+            fmt_f64(delta.fast_read_fraction()),
+            delta.total_reads(),
+            delta.revocations,
+            delta.parked_waits,
+            delta.adapt_flips,
+            serving_json.join(",\n    "),
+        );
+        let json_path = results.path().join("BENCH_locks.json");
+        if let Err(e) = std::fs::write(&json_path, json) {
+            eprintln!("warning: could not write {}: {e}", json_path.display());
+        }
         println!();
         println!("# CSV rows collected under {}", results.path().display());
+        println!("# machine-readable summary in {}", json_path.display());
     }
 }

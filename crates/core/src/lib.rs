@@ -71,6 +71,8 @@
 //! * [`spec`] — the declarative construction API: [`LockSpec`] (which lock,
 //!   configured how, instrumented where — with a compact string form) and
 //!   [`LockHandle`] (the harness-facing built lock).
+//! * [`wait`] — parking waiter queues and the [`WaitStrategy`] that lets
+//!   every lock dispatch between spinning and parking (`wait=spin|park`).
 //! * [`clock`] — the monotonic nanosecond clock BRAVO's policy relies on.
 
 #![deny(missing_docs)]
@@ -89,11 +91,12 @@ pub mod spec;
 pub mod stats;
 pub mod twod;
 pub mod vrt;
+pub mod wait;
 
 pub use compat::ReentrantBravo;
 pub use ext::{BravoDualProbe, BravoMutex, BravoNonBlockingRevoke};
 pub use lock::{BravoLock, ReadToken};
-pub use policy::{BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
+pub use policy::{AdaptiveBias, BiasPolicy, PolicyFlip, DEFAULT_INHIBIT_MULTIPLIER};
 pub use raw::{DefaultRwLock, RawRwLock, RawTryRwLock, TryLockError};
 pub use rwlock::{BravoReadGuard, BravoRwLock, BravoWriteGuard};
 pub use spec::{LockHandle, LockSpec, SpecError, SpecParseError, StatsMode, TableSpec};
@@ -103,3 +106,4 @@ pub use vrt::{
     NumaTable, ReaderTable, Revocation, SectoredTable, TableHandle, VisibleReadersTable,
     DEFAULT_TABLE_SIZE, MAX_TRACKED_SHARDS,
 };
+pub use wait::{WaitMode, WaitQueue, WaitStrategy};

@@ -10,12 +10,14 @@
 //! acquisition to release.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::clock::now_ns;
-use crate::policy::BiasPolicy;
+use crate::policy::{AdaptiveBias, BiasPolicy};
 use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
 use crate::stats::{SlowReadReason, StatsSink};
 use crate::vrt::TableHandle;
+use crate::wait::{WaitMode, WaitStrategy};
 
 /// Proof that read permission is held on a [`BravoLock`], and how it was
 /// obtained.
@@ -65,6 +67,8 @@ pub struct BravoLock<L = DefaultRwLock> {
     table: TableHandle,
     policy: BiasPolicy,
     stats: StatsSink,
+    wait: WaitStrategy,
+    adapt: Option<Arc<AdaptiveBias>>,
 }
 
 impl<L: RawRwLock> Default for BravoLock<L> {
@@ -109,12 +113,40 @@ impl<L: RawRwLock> BravoLock<L> {
             table,
             policy,
             stats,
+            wait: WaitStrategy::spin(),
+            adapt: None,
         }
+    }
+
+    /// Sets how this lock's *revocation* waits behave (its own only wait
+    /// site; readers' waits live in the underlying lock, which the catalog
+    /// constructs with the same mode). In park mode, fast-path readers also
+    /// notify the lock address as they clear their slots.
+    pub fn with_wait_mode(mut self, mode: WaitMode) -> Self {
+        self.wait = WaitStrategy::new(mode);
+        self
+    }
+
+    /// Attaches an adaptive bias gate (the `adapt=on` spec knob): bias may
+    /// only be (re-)enabled while the gate allows it.
+    pub fn with_adaptive(mut self, adapt: Arc<AdaptiveBias>) -> Self {
+        self.adapt = Some(adapt);
+        self
     }
 
     /// The statistics sink this lock records into.
     pub fn stats(&self) -> &StatsSink {
         &self.stats
+    }
+
+    /// The wait mode this lock's revocation scans use.
+    pub fn wait_mode(&self) -> WaitMode {
+        self.wait.mode()
+    }
+
+    /// The adaptive bias gate, when one is attached.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveBias>> {
+        self.adapt.as_ref()
     }
 
     /// Creates a BRAVO lock with a given policy over the global table.
@@ -175,7 +207,11 @@ impl<L: RawRwLock> BravoLock<L> {
                 }
                 // A writer revoked bias between our publication and the
                 // re-check; undo the publication and take the slow path.
+                // The racing revoker may already have seen our slot and
+                // parked on it, so the clear needs the same wakeup as a
+                // fast-path release (no-op in spin mode).
                 table.clear(slot, addr);
+                self.wait.notify_all(addr);
                 return self.slow_read(SlowReadReason::Raced);
             }
             // Slot occupied: a collision with another (lock, thread) pair.
@@ -187,17 +223,28 @@ impl<L: RawRwLock> BravoLock<L> {
 
     fn slow_read(&self, reason: SlowReadReason) -> ReadToken {
         self.underlying.lock_shared();
+        self.tick_adaptive();
         self.maybe_enable_bias();
         self.stats.record_slow_read(reason);
         ReadToken { slot: None }
     }
 
-    /// Re-enables bias if the policy allows. Must only be called while the
-    /// caller holds read permission on the underlying lock: that is what
-    /// makes the store race-free against writers (they hold the underlying
-    /// lock exclusively while revoking).
+    /// Offers the adaptive gate (if any) a chance to close its epoch.
+    /// Called from slow paths only, never from the read fast path.
+    #[inline]
+    fn tick_adaptive(&self) {
+        if let Some(adapt) = &self.adapt {
+            adapt.tick(now_ns(), &self.stats);
+        }
+    }
+
+    /// Re-enables bias if the policy (and the adaptive gate, when attached)
+    /// allows. Must only be called while the caller holds read permission on
+    /// the underlying lock: that is what makes the store race-free against
+    /// writers (they hold the underlying lock exclusively while revoking).
     fn maybe_enable_bias(&self) {
         if !self.rbias.load(Ordering::Relaxed)
+            && self.adapt.as_ref().map_or(true, |a| a.allows_bias())
             && self
                 .policy
                 .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
@@ -214,7 +261,13 @@ impl<L: RawRwLock> BravoLock<L> {
     /// [`try_read_lock`]: BravoLock::try_read_lock
     pub fn read_unlock(&self, token: ReadToken) {
         match token.slot {
-            Some(slot) => self.table.table().clear(slot, self.addr()),
+            Some(slot) => {
+                let addr = self.addr();
+                self.table.table().clear(slot, addr);
+                // A parked revoking writer waits keyed on the lock address;
+                // wake it now that our slot is clear (no-op when spinning).
+                self.wait.notify_all(addr);
+            }
             None => self.underlying.unlock_shared(),
         }
     }
@@ -228,13 +281,14 @@ impl<L: RawRwLock> BravoLock<L> {
 
     /// Revocation: runs with the underlying lock held exclusively.
     fn revoke_if_biased(&self) {
+        self.tick_adaptive();
         if self.rbias.load(Ordering::Relaxed) {
             // Clearing RBias must be ordered before the table scan
             // (store-load); the SeqCst store pairs with the fast-path
             // reader's SeqCst publish + re-check.
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let rev = self.table.table().revoke(self.addr());
+            let rev = self.table.table().revoke_with(self.addr(), self.wait);
             let now = now_ns();
             // Primum non nocere: inhibit re-enabling bias long enough to
             // amortize this revocation's cost down to the configured bound.
@@ -274,7 +328,10 @@ impl<L: RawTryRwLock> BravoLock<L> {
                     self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return Some(ReadToken { slot: Some(slot) });
                 }
+                // Backed out after losing the race with a revoker that may
+                // be parked on our slot; wake it (no-op in spin mode).
                 table.clear(slot, addr);
+                self.wait.notify_all(addr);
             }
         }
         if self.underlying.try_lock_shared().is_ok() {
@@ -515,6 +572,75 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(value.load(Ordering::Relaxed), 2 * 2_000);
+    }
+
+    #[test]
+    fn adaptive_gate_defers_bias_until_reads_dominate() {
+        let adapt = Arc::new(crate::policy::AdaptiveBias::with_epoch(1));
+        let l = BravoLock::<DefaultRwLock>::with_instrumented(
+            DefaultRwLock::new(),
+            TableHandle::private(64),
+            BiasPolicy::paper_default(),
+            StatsSink::per_lock(),
+        )
+        .with_adaptive(Arc::clone(&adapt));
+        // With the gate still closed the first reads stay slow and do NOT
+        // enable bias (an un-gated lock enables it on the first slow read).
+        let t = l.read_lock();
+        assert!(!t.is_fast());
+        l.read_unlock(t);
+        assert!(!l.is_reader_biased(), "closed gate must block bias");
+        // A read-dominated stream opens the gate within an epoch or two
+        // (epoch = 1 ns here, so every slow read gets to evaluate).
+        for _ in 0..100 {
+            let t = l.read_lock();
+            l.read_unlock(t);
+        }
+        assert!(adapt.allows_bias(), "read-only workload must open the gate");
+        assert!(adapt.flips() >= 1);
+        assert!(l.is_reader_biased());
+        let t = l.read_lock();
+        assert!(t.is_fast(), "open gate restores the fast path");
+        l.read_unlock(t);
+        assert!(l.stats().snapshot().adapt_flips >= 1);
+        assert_eq!(l.adaptive().unwrap().flips(), adapt.flips());
+    }
+
+    #[test]
+    fn park_mode_writer_waits_for_fast_reader() {
+        let l = Arc::new(
+            BravoLock::with_instrumented(
+                DefaultRwLock::with_wait(WaitMode::Park),
+                TableHandle::private(64),
+                BiasPolicy::paper_default(),
+                StatsSink::per_lock(),
+            )
+            .with_wait_mode(WaitMode::Park),
+        );
+        assert_eq!(l.wait_mode(), WaitMode::Park);
+        // Prime the bias, then hold a fast read while a writer revokes: the
+        // parked revocation must be woken by the reader's departure.
+        l.read_unlock(l.read_lock());
+        let t = l.read_lock();
+        assert!(t.is_fast());
+        let l2 = Arc::clone(&l);
+        let entered = Arc::new(AtomicU64::new(0));
+        let entered2 = Arc::clone(&entered);
+        let writer = std::thread::spawn(move || {
+            l2.write_lock();
+            entered2.store(now_ns(), Ordering::SeqCst);
+            l2.write_unlock();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(
+            entered.load(Ordering::SeqCst),
+            0,
+            "writer entered while fast reader held"
+        );
+        let released_at = now_ns();
+        l.read_unlock(t);
+        writer.join().unwrap();
+        assert!(entered.load(Ordering::SeqCst) >= released_at);
     }
 
     #[test]

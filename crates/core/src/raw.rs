@@ -3,7 +3,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::clock::Backoff;
+use crate::wait::{WaitMode, WaitStrategy};
 
 /// Why a non-blocking acquisition did not grant permission.
 ///
@@ -54,6 +54,21 @@ pub trait RawRwLock: Send + Sync {
     fn new() -> Self
     where
         Self: Sized;
+
+    /// Creates a new, unlocked lock that waits in the given mode (the
+    /// `wait=spin|park` spec knob).
+    ///
+    /// The default ignores the mode and returns [`new`](RawRwLock::new):
+    /// correct for locks whose waiting is already blocking (a
+    /// condvar-based lock) or delegated elsewhere. Spinning locks override
+    /// this to route their wait loops through a [`WaitStrategy`].
+    fn with_wait(mode: WaitMode) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = mode;
+        Self::new()
+    }
 
     /// Acquires shared (read) permission, blocking until it is granted.
     fn lock_shared(&self);
@@ -117,6 +132,15 @@ pub trait RawTryRwLock: RawRwLock {
 pub struct DefaultRwLock {
     /// Top bit: writer active. Next bit: writer pending. Low bits: reader count.
     state: AtomicUsize,
+    wait: WaitStrategy,
+}
+
+impl DefaultRwLock {
+    /// Wait-queue key: readers and writers of this lock share one bucket.
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
 }
 
 const WRITER: usize = 1 << (usize::BITS - 1);
@@ -126,20 +150,24 @@ const READER_MASK: usize = WRITER_PENDING - 1;
 
 impl RawRwLock for DefaultRwLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             state: AtomicUsize::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
     fn lock_shared(&self) {
-        let mut backoff = Backoff::new();
         loop {
             if self.try_lock_shared().is_ok() {
                 return;
             }
-            while self.state.load(Ordering::Relaxed) & (WRITER | WRITER_PENDING) != 0 {
-                backoff.snooze();
-            }
+            self.wait.wait_until(self.key(), || {
+                self.state.load(Ordering::Relaxed) & (WRITER | WRITER_PENDING) == 0
+            });
         }
     }
 
@@ -149,12 +177,16 @@ impl RawRwLock for DefaultRwLock {
             prev & READER_MASK != 0,
             "unlock_shared without a shared holder"
         );
+        // The departure of the last reader is what a draining writer waits
+        // for (it holds WRITER_PENDING throughout its drain).
+        if prev & READER_MASK == READER && prev & WRITER_PENDING != 0 {
+            self.wait.notify_all(self.key());
+        }
     }
 
     fn lock_exclusive(&self) {
         // Announce intent so readers stop streaming in, then wait for the
         // reader count to drain and grab the writer bit.
-        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | WRITER_PENDING) == 0 {
@@ -171,7 +203,9 @@ impl RawRwLock for DefaultRwLock {
                     break;
                 }
             } else {
-                backoff.snooze();
+                self.wait.wait_until(self.key(), || {
+                    self.state.load(Ordering::Relaxed) & (WRITER | WRITER_PENDING) == 0
+                });
             }
         }
         loop {
@@ -190,7 +224,9 @@ impl RawRwLock for DefaultRwLock {
                     return;
                 }
             } else {
-                backoff.snooze();
+                self.wait.wait_until(self.key(), || {
+                    self.state.load(Ordering::Relaxed) & READER_MASK == 0
+                });
             }
         }
     }
@@ -201,6 +237,9 @@ impl RawRwLock for DefaultRwLock {
             prev & WRITER != 0,
             "unlock_exclusive without the exclusive holder"
         );
+        // Wakes both readers and phase-one writers waiting for the word to
+        // clear.
+        self.wait.notify_all(self.key());
     }
 
     fn name() -> &'static str {
@@ -319,6 +358,29 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn park_mode_round_trips_and_excludes() {
+        let lock = Arc::new(DefaultRwLock::with_wait(WaitMode::Park));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        lock.lock_exclusive();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock_exclusive();
+                        lock.lock_shared();
+                        lock.unlock_shared();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
     }
 
     #[test]

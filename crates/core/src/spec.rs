@@ -27,6 +27,8 @@
 //! | `bias` | `disabled`, `bernoulli:<inverse_p>`, `inhibit:<n>` | the other [`BiasPolicy`] forms (`inhibit:<n>` is the long form of `n=<n>`) |
 //! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>`, `numa:<nodes>x<slots>`, bare `numa` | the [`TableSpec`] (bare `numa` auto-sizes from the machine topology, see [`TableSpec::numa_auto`]) |
 //! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
+//! | `wait` | `spin`, `park` | the [`WaitMode`] contended waiters use (parking queues instead of spinning) |
+//! | `adapt` | `on`, `off` | whether an [`AdaptiveBias`] controller gates bias on the sampled read ratio (BRAVO composites only) |
 //!
 //! A spec is resolved into a live lock by the catalog (`rwlocks::catalog`),
 //! which returns a [`LockHandle`]: the harness-facing object carrying the
@@ -38,9 +40,10 @@
 use std::str::FromStr;
 use std::sync::Arc;
 
-use crate::policy::{BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
+use crate::policy::{AdaptiveBias, BiasPolicy, DEFAULT_INHIBIT_MULTIPLIER};
 use crate::raw::{RawRwLock, RawTryRwLock, TryLockError};
 use crate::stats::{Snapshot, StatsSink};
+use crate::wait::WaitMode;
 
 /// Layout of the visible readers table a BRAVO composite publishes into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -166,6 +169,8 @@ pub struct LockSpec {
     bias: BiasPolicy,
     table: TableSpec,
     stats: StatsMode,
+    wait: WaitMode,
+    adapt: bool,
 }
 
 impl LockSpec {
@@ -180,6 +185,8 @@ impl LockSpec {
             bias: BiasPolicy::paper_default(),
             table: TableSpec::Global,
             stats: StatsMode::PerLock,
+            wait: WaitMode::Spin,
+            adapt: false,
         }
     }
 
@@ -201,6 +208,18 @@ impl LockSpec {
         self
     }
 
+    /// Replaces the wait mode contended waiters use.
+    pub fn with_wait(mut self, wait: WaitMode) -> Self {
+        self.wait = wait;
+        self
+    }
+
+    /// Enables or disables the adaptive bias controller.
+    pub fn with_adapt(mut self, adapt: bool) -> Self {
+        self.adapt = adapt;
+        self
+    }
+
     /// The algorithm name.
     pub fn kind(&self) -> &str {
         &self.kind
@@ -219,6 +238,16 @@ impl LockSpec {
     /// The statistics mode.
     pub fn stats(&self) -> StatsMode {
         self.stats
+    }
+
+    /// The wait mode contended waiters use.
+    pub fn wait(&self) -> WaitMode {
+        self.wait
+    }
+
+    /// Whether the adaptive bias controller is enabled.
+    pub fn adapt(&self) -> bool {
+        self.adapt
     }
 
     /// Mints the [`StatsSink`] this spec prescribes. Each call produces an
@@ -259,6 +288,12 @@ impl std::fmt::Display for LockSpec {
         }
         if self.stats != StatsMode::PerLock {
             param(f, format!("stats={}", self.stats))?;
+        }
+        if self.wait != WaitMode::Spin {
+            param(f, format!("wait={}", self.wait))?;
+        }
+        if self.adapt {
+            param(f, "adapt=on".to_string())?;
         }
         Ok(())
     }
@@ -337,9 +372,25 @@ impl FromStr for LockSpec {
                         }
                     };
                 }
+                "wait" => {
+                    spec.wait = value.trim().parse::<WaitMode>().map_err(|_| {
+                        SpecParseError::new(format!("wait must be 'spin' or 'park', got '{value}'"))
+                    })?;
+                }
+                "adapt" => {
+                    spec.adapt = match value.trim() {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(SpecParseError::new(format!(
+                                "adapt must be 'on' or 'off', got '{other}'"
+                            )))
+                        }
+                    };
+                }
                 other => {
                     return Err(SpecParseError::new(format!(
-                        "unknown parameter '{other}' (expected n, bias, table or stats)"
+                        "unknown parameter '{other}' (expected n, bias, table, stats, wait or adapt)"
                     )));
                 }
             }
@@ -453,6 +504,12 @@ pub enum SpecError {
         /// The algorithm the spec named.
         kind: String,
     },
+    /// The spec enables adaptive bias (`adapt=on`) but the algorithm is not
+    /// a BRAVO composite, so there is no bias to adapt.
+    UnsupportedAdapt {
+        /// The algorithm the spec named.
+        kind: String,
+    },
 }
 
 impl std::fmt::Display for SpecError {
@@ -477,6 +534,12 @@ impl std::fmt::Display for SpecError {
                     "lock kind '{kind}' is not a BRAVO composite; a bias policy has no effect on it"
                 )
             }
+            SpecError::UnsupportedAdapt { kind } => {
+                write!(
+                    f,
+                    "lock kind '{kind}' is not a BRAVO composite; adapt=on has no bias to adapt"
+                )
+            }
         }
     }
 }
@@ -498,6 +561,7 @@ pub struct LockHandle {
     blocking: Arc<dyn RawRwLock>,
     non_blocking: Option<Arc<dyn RawTryRwLock>>,
     stats: StatsSink,
+    adapt: Option<Arc<AdaptiveBias>>,
 }
 
 impl LockHandle {
@@ -514,6 +578,7 @@ impl LockHandle {
             blocking: lock.clone(),
             non_blocking: Some(lock),
             stats,
+            adapt: None,
         }
     }
 
@@ -530,7 +595,20 @@ impl LockHandle {
             blocking: lock,
             non_blocking: None,
             stats,
+            adapt: None,
         }
+    }
+
+    /// Attaches the adaptive bias controller shared with the built lock, so
+    /// harnesses can read its flip log and count after a run.
+    pub fn with_adaptive(mut self, adapt: Arc<AdaptiveBias>) -> Self {
+        self.adapt = Some(adapt);
+        self
+    }
+
+    /// The adaptive bias controller, when the spec said `adapt=on`.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveBias>> {
+        self.adapt.as_ref()
     }
 
     /// The spec this lock was built from.
@@ -671,10 +749,17 @@ mod tests {
                 slots: 1024,
             }),
             LockSpec::new("BRAVO-BA").with_stats(StatsMode::Global),
+            LockSpec::new("BA").with_wait(WaitMode::Park),
+            LockSpec::new("BRAVO-BA").with_adapt(true),
+            LockSpec::new("BRAVO-BA")
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
             LockSpec::new("BRAVO-BA")
                 .with_bias(BiasPolicy::InhibitUntil { n: 3 })
                 .with_table(TableSpec::Private { slots: 64 })
-                .with_stats(StatsMode::Global),
+                .with_stats(StatsMode::Global)
+                .with_wait(WaitMode::Park)
+                .with_adapt(true),
         ];
         for spec in specs {
             let text = spec.to_string();
@@ -701,6 +786,9 @@ mod tests {
             "BA?table=numa:axb",
             "BA?bias=sometimes",
             "BA?stats=maybe",
+            "BA?wait=swim",
+            "BA?wait=",
+            "BA?adapt=maybe",
             "B A?n=9",
         ] {
             assert!(
@@ -776,8 +864,21 @@ mod tests {
 
     #[test]
     fn explicit_defaults_parse_to_the_default_spec() {
-        let spec: LockSpec = "BA?n=9&table=global&stats=per-lock".parse().unwrap();
+        let spec: LockSpec = "BA?n=9&table=global&stats=per-lock&wait=spin&adapt=off"
+            .parse()
+            .unwrap();
         assert_eq!(spec, LockSpec::new("BA"));
+    }
+
+    #[test]
+    fn wait_and_adapt_knobs_parse_and_print() {
+        let spec: LockSpec = "BRAVO-BA?wait=park&adapt=on".parse().unwrap();
+        assert_eq!(spec.wait(), WaitMode::Park);
+        assert!(spec.adapt());
+        assert_eq!(spec.to_string(), "BRAVO-BA?wait=park&adapt=on");
+        let spin: LockSpec = "BA?wait=park".parse().unwrap();
+        assert_eq!(spin.to_string(), "BA?wait=park");
+        assert!(!spin.adapt());
     }
 
     #[test]

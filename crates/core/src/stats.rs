@@ -32,6 +32,8 @@ struct ThreadCounters {
     revocation_wait_conflicts: AtomicU64,
     revocation_scan_slots: AtomicU64,
     bias_enabled: AtomicU64,
+    parked_waits: AtomicU64,
+    adapt_flips: AtomicU64,
     shard_publishes: [AtomicU64; MAX_TRACKED_SHARDS],
     shard_collisions: [AtomicU64; MAX_TRACKED_SHARDS],
     shard_conflicts: [AtomicU64; MAX_TRACKED_SHARDS],
@@ -75,6 +77,16 @@ impl ThreadCounters {
     }
 
     #[inline]
+    fn add_parked_wait(&self) {
+        self.parked_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_adapt_flip(&self) {
+        self.adapt_flips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     fn add_shard_publish(&self, shard: usize) {
         self.shard_publishes[tracked_shard(shard)].fetch_add(1, Ordering::Relaxed);
     }
@@ -103,6 +115,8 @@ impl ThreadCounters {
         out.revocation_wait_conflicts += self.revocation_wait_conflicts.load(Ordering::Relaxed);
         out.revocation_scan_slots += self.revocation_scan_slots.load(Ordering::Relaxed);
         out.bias_enabled += self.bias_enabled.load(Ordering::Relaxed);
+        out.parked_waits += self.parked_waits.load(Ordering::Relaxed);
+        out.adapt_flips += self.adapt_flips.load(Ordering::Relaxed);
         for shard in 0..MAX_TRACKED_SHARDS {
             out.shard_publishes[shard] += self.shard_publishes[shard].load(Ordering::Relaxed);
             out.shard_collisions[shard] += self.shard_collisions[shard].load(Ordering::Relaxed);
@@ -144,6 +158,12 @@ pub struct Snapshot {
     pub revocation_scan_slots: u64,
     /// Times a slow-path reader re-enabled bias.
     pub bias_enabled: u64,
+    /// Wait episodes that actually parked the thread (a `wait=park` lock
+    /// whose spin grace period expired). Zero under `wait=spin`.
+    pub parked_waits: u64,
+    /// Adaptive-bias policy flips (enable or disable decisions taken by an
+    /// `adapt=on` lock's epoch sampler).
+    pub adapt_flips: u64,
     /// Fast-path publications per tracked table shard (occupancy pressure;
     /// flat tables attribute everything to shard 0, shards beyond
     /// [`MAX_TRACKED_SHARDS`] fold into the last bucket).
@@ -214,6 +234,8 @@ impl Snapshot {
                 - earlier.revocation_wait_conflicts,
             revocation_scan_slots: self.revocation_scan_slots - earlier.revocation_scan_slots,
             bias_enabled: self.bias_enabled - earlier.bias_enabled,
+            parked_waits: self.parked_waits - earlier.parked_waits,
+            adapt_flips: self.adapt_flips - earlier.adapt_flips,
             shard_publishes: array_sub(&self.shard_publishes, &earlier.shard_publishes),
             shard_collisions: array_sub(&self.shard_collisions, &earlier.shard_collisions),
             shard_conflicts: array_sub(&self.shard_conflicts, &earlier.shard_conflicts),
@@ -234,6 +256,8 @@ impl Snapshot {
                 + other.revocation_wait_conflicts,
             revocation_scan_slots: self.revocation_scan_slots + other.revocation_scan_slots,
             bias_enabled: self.bias_enabled + other.bias_enabled,
+            parked_waits: self.parked_waits + other.parked_waits,
+            adapt_flips: self.adapt_flips + other.adapt_flips,
             shard_publishes: array_add(&self.shard_publishes, &other.shard_publishes),
             shard_collisions: array_add(&self.shard_collisions, &other.shard_collisions),
             shard_conflicts: array_add(&self.shard_conflicts, &other.shard_conflicts),
@@ -326,6 +350,20 @@ pub fn record_revocation_scan(slots: usize) {
 #[inline]
 pub fn record_bias_enabled() {
     with_local(|c| c.add_bias_enabled());
+}
+
+/// Records one wait episode that parked the calling thread (recorded by the
+/// [`crate::wait`] queues; raw locks have no per-lock sink, so parks are
+/// process-global only).
+#[inline]
+pub fn record_parked_wait() {
+    with_local(|c| c.add_parked_wait());
+}
+
+/// Records one adaptive-bias policy flip.
+#[inline]
+pub fn record_adapt_flip() {
+    with_local(|c| c.add_adapt_flip());
 }
 
 /// Records a fast-path publication into a table shard.
@@ -495,6 +533,15 @@ impl StatsSink {
         record_bias_enabled();
         if let StatsSink::PerLock(stats) = self {
             stats.stripe().add_bias_enabled();
+        }
+    }
+
+    /// Records one adaptive-bias policy flip.
+    #[inline]
+    pub fn record_adapt_flip(&self) {
+        record_adapt_flip();
+        if let StatsSink::PerLock(stats) = self {
+            stats.stripe().add_adapt_flip();
         }
     }
 

@@ -15,12 +15,14 @@
 //! *default* layout.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::clock::now_ns;
-use crate::policy::BiasPolicy;
+use crate::policy::{AdaptiveBias, BiasPolicy};
 use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
 use crate::stats::{SlowReadReason, StatsSink};
 use crate::vrt::TableHandle;
+use crate::wait::{WaitMode, WaitStrategy};
 
 /// The BRAVO-2D lock: identical admission semantics to [`crate::BravoLock`],
 /// but fast readers publish into the sectored table by default and writers
@@ -32,6 +34,8 @@ pub struct Bravo2dLock<L = DefaultRwLock> {
     table: TableHandle,
     policy: BiasPolicy,
     stats: StatsSink,
+    wait: WaitStrategy,
+    adapt: Option<Arc<AdaptiveBias>>,
 }
 
 impl<L: RawRwLock> Default for Bravo2dLock<L> {
@@ -79,6 +83,41 @@ impl<L: RawRwLock> Bravo2dLock<L> {
             table,
             policy,
             stats,
+            wait: WaitStrategy::spin(),
+            adapt: None,
+        }
+    }
+
+    /// Sets the wait strategy used for revocation waits and park-mode
+    /// wakeups on the fast-reader departure path. The underlying lock's
+    /// own wait mode is fixed at its construction; pair this with
+    /// [`RawRwLock::with_wait`] on the underlying lock.
+    pub fn with_wait_mode(mut self, mode: WaitMode) -> Self {
+        self.wait = WaitStrategy::new(mode);
+        self
+    }
+
+    /// Attaches an adaptive bias controller: bias is only (re-)enabled
+    /// while the controller's sampled read ratio allows it.
+    pub fn with_adaptive(mut self, adapt: Arc<AdaptiveBias>) -> Self {
+        self.adapt = Some(adapt);
+        self
+    }
+
+    /// The wait mode this lock's revocation waits use.
+    pub fn wait_mode(&self) -> WaitMode {
+        self.wait.mode()
+    }
+
+    /// The adaptive bias controller, if one is attached.
+    pub fn adaptive(&self) -> Option<&Arc<AdaptiveBias>> {
+        self.adapt.as_ref()
+    }
+
+    #[inline]
+    fn tick_adaptive(&self) {
+        if let Some(adapt) = &self.adapt {
+            adapt.tick(now_ns(), &self.stats);
         }
     }
 
@@ -108,7 +147,11 @@ impl<L: RawRwLock> Bravo2dLock<L> {
                     self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return token(Some(slot));
                 }
+                // The revoker that cleared rbias may already be parked on
+                // our freshly published slot; the back-out clear needs the
+                // same wakeup as a fast-path release (no-op in spin mode).
                 table.clear(slot, addr);
+                self.wait.notify_all(addr);
                 return self.slow_read(SlowReadReason::Raced);
             }
             self.stats.record_shard_collision(table.shard_of_slot(slot));
@@ -119,6 +162,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
 
     fn slow_read(&self, reason: SlowReadReason) -> crate::lock::ReadToken {
         self.underlying.lock_shared();
+        self.tick_adaptive();
         self.maybe_enable_bias();
         self.stats.record_slow_read(reason);
         token(None)
@@ -129,6 +173,7 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     /// [`crate::BravoLock`]'s equivalent).
     fn maybe_enable_bias(&self) {
         if !self.rbias.load(Ordering::Relaxed)
+            && self.adapt.as_ref().map_or(true, |a| a.allows_bias())
             && self
                 .policy
                 .should_enable(now_ns(), self.inhibit_until.load(Ordering::Relaxed))
@@ -141,7 +186,13 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     /// Releases read permission.
     pub fn read_unlock(&self, token: crate::lock::ReadToken) {
         match token.slot() {
-            Some(slot) => self.table.table().clear(slot, self.addr()),
+            Some(slot) => {
+                let addr = self.addr();
+                self.table.table().clear(slot, addr);
+                // A parked revoker waits keyed on the lock address; wake it
+                // so the column scan re-checks (no-op in spin mode).
+                self.wait.notify_all(addr);
+            }
             None => self.underlying.unlock_shared(),
         }
     }
@@ -149,10 +200,11 @@ impl<L: RawRwLock> Bravo2dLock<L> {
     /// Acquires write permission, revoking reader bias (column scan) if set.
     pub fn write_lock(&self) {
         self.underlying.lock_exclusive();
+        self.tick_adaptive();
         if self.rbias.load(Ordering::Relaxed) {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
-            let rev = self.table.table().revoke(self.addr());
+            let rev = self.table.table().revoke_with(self.addr(), self.wait);
             let now = now_ns();
             self.inhibit_until.store(
                 self.policy.inhibit_until_after_revocation(start, now),
@@ -186,10 +238,14 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
                     self.stats.record_fast_read_in(table.shard_of_slot(slot));
                     return Some(token(Some(slot)));
                 }
+                // Backed out after losing the race with a revoker that may
+                // be parked on our slot; wake it (no-op in spin mode).
                 table.clear(slot, addr);
+                self.wait.notify_all(addr);
             }
         }
         if self.underlying.try_lock_shared().is_ok() {
+            self.tick_adaptive();
             self.maybe_enable_bias();
             self.stats.record_slow_read(SlowReadReason::BiasDisabled);
             Some(token(None))
@@ -219,11 +275,15 @@ impl<L: RawTryRwLock> Bravo2dLock<L> {
         if self.underlying.try_lock_exclusive().is_err() {
             return false;
         }
+        self.tick_adaptive();
         if self.rbias.load(Ordering::Relaxed) {
             self.rbias.store(false, Ordering::SeqCst);
             let start = now_ns();
             let deadline = start.saturating_add(budget.as_nanos().min(u128::from(u64::MAX)) as u64);
-            let outcome = self.table.table().revoke_until(self.addr(), deadline);
+            let outcome = self
+                .table
+                .table()
+                .revoke_until_with(self.addr(), deadline, self.wait);
             let now = now_ns();
             // Charge the inhibit window for the time actually spent, so a
             // timed-out revocation still counts against re-enabling bias

@@ -30,8 +30,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use topology::CachePadded;
 
-use crate::clock::{now_ns, Backoff};
 use crate::hash::{mix64, slot_index};
+use crate::wait::WaitStrategy;
 
 /// Number of slots in the process-global flat table (the paper's choice).
 pub const DEFAULT_TABLE_SIZE: usize = 4096;
@@ -127,7 +127,14 @@ pub trait ReaderTable: Send + Sync {
     /// The writer's revocation scan: waits until no slot this lock's
     /// readers can occupy holds `lock_addr`.
     fn revoke(&self, lock_addr: usize) -> Revocation {
-        self.revoke_until(lock_addr, u64::MAX)
+        self.revoke_with(lock_addr, WaitStrategy::spin())
+    }
+
+    /// Like [`revoke`](ReaderTable::revoke), with the waits between polls
+    /// dispatched through `wait` (a parking revoker is woken by the lock's
+    /// fast-path readers notifying `lock_addr` as they clear their slots).
+    fn revoke_with(&self, lock_addr: usize, wait: WaitStrategy) -> Revocation {
+        self.revoke_until_with(lock_addr, u64::MAX, wait)
             .expect("unbounded revocation scan cannot time out")
     }
 
@@ -135,7 +142,19 @@ pub trait ReaderTable: Send + Sync {
     /// up once the monotonic clock passes `deadline_ns`, returning `None`.
     /// On timeout some fast readers may still be published; the caller must
     /// not assume write permission is safe.
-    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation>;
+    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+        self.revoke_until_with(lock_addr, deadline_ns, WaitStrategy::spin())
+    }
+
+    /// Bounded revocation with a wait strategy: the one required revocation
+    /// entry point the layouts implement; the other `revoke*` methods are
+    /// provided shims over it.
+    fn revoke_until_with(
+        &self,
+        lock_addr: usize,
+        deadline_ns: u64,
+        wait: WaitStrategy,
+    ) -> Option<Revocation>;
 
     /// Number of currently occupied slots (racy snapshot, for tests and
     /// occupancy experiments).
@@ -151,22 +170,27 @@ pub trait ReaderTable: Send + Sync {
 /// this drain then re-polls the whole set each round, so a revoking writer
 /// is never head-of-line blocked on the first occupied slot while readers
 /// later in the scan order have long departed. Returns `false` on deadline.
+///
+/// The wait between polls is `wait`-dispatched: spinning (the historical
+/// behaviour) or parking keyed on `lock_addr` — a parked revoker is woken
+/// by the lock's fast-path `read_unlock`, which notifies the lock address
+/// after clearing its slot.
 fn drain_pending(
     slots: &[AtomicUsize],
     pending: &mut Vec<usize>,
     lock_addr: usize,
     deadline_ns: u64,
+    wait: WaitStrategy,
 ) -> bool {
-    let mut backoff = Backoff::new();
-    loop {
+    let mut ready = || {
         pending.retain(|&i| slots[i].load(Ordering::SeqCst) == lock_addr);
-        if pending.is_empty() {
-            return true;
-        }
-        if deadline_ns != u64::MAX && now_ns() >= deadline_ns {
-            return false;
-        }
-        backoff.snooze();
+        pending.is_empty()
+    };
+    if deadline_ns == u64::MAX {
+        wait.wait_until(lock_addr, &mut ready);
+        true
+    } else {
+        wait.wait_until_deadline(lock_addr, &mut ready, deadline_ns)
     }
 }
 
@@ -241,7 +265,13 @@ impl VisibleReadersTable {
     pub fn wait_for_readers(&self, lock_addr: usize) -> usize {
         let mut pending = self.collect_conflicts(0..self.slots.len(), lock_addr);
         let conflicts = pending.len();
-        drain_pending(&self.slots, &mut pending, lock_addr, u64::MAX);
+        drain_pending(
+            &self.slots,
+            &mut pending,
+            lock_addr,
+            u64::MAX,
+            WaitStrategy::spin(),
+        );
         conflicts
     }
 
@@ -250,7 +280,13 @@ impl VisibleReadersTable {
     pub fn wait_for_readers_in(&self, range: std::ops::Range<usize>, lock_addr: usize) -> usize {
         let mut pending = self.collect_conflicts(range, lock_addr);
         let conflicts = pending.len();
-        drain_pending(&self.slots, &mut pending, lock_addr, u64::MAX);
+        drain_pending(
+            &self.slots,
+            &mut pending,
+            lock_addr,
+            u64::MAX,
+            WaitStrategy::spin(),
+        );
         conflicts
     }
 
@@ -317,7 +353,12 @@ impl ReaderTable for VisibleReadersTable {
         VisibleReadersTable::peek(self, slot)
     }
 
-    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+    fn revoke_until_with(
+        &self,
+        lock_addr: usize,
+        deadline_ns: u64,
+        wait: WaitStrategy,
+    ) -> Option<Revocation> {
         let mut pending = self.collect_conflicts(0..self.slots.len(), lock_addr);
         let mut rev = Revocation {
             conflicts: pending.len() as u64,
@@ -325,7 +366,7 @@ impl ReaderTable for VisibleReadersTable {
             ..Revocation::default()
         };
         rev.conflicts_per_shard[0] = rev.conflicts;
-        if drain_pending(&self.slots, &mut pending, lock_addr, deadline_ns) {
+        if drain_pending(&self.slots, &mut pending, lock_addr, deadline_ns, wait) {
             Some(rev)
         } else {
             None
@@ -463,7 +504,12 @@ impl ReaderTable for SectoredTable {
         self.storage.peek(slot)
     }
 
-    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+    fn revoke_until_with(
+        &self,
+        lock_addr: usize,
+        deadline_ns: u64,
+        wait: WaitStrategy,
+    ) -> Option<Revocation> {
         // Column scan, two-pass: collect the occupied slots of the lock's
         // column first, then re-poll only those.
         let column = self.column_for(lock_addr);
@@ -479,7 +525,13 @@ impl ReaderTable for SectoredTable {
         for &slot in &pending {
             rev.conflicts_per_shard[tracked_shard(self.shard_of_slot(slot))] += 1;
         }
-        if drain_pending(&self.storage.slots, &mut pending, lock_addr, deadline_ns) {
+        if drain_pending(
+            &self.storage.slots,
+            &mut pending,
+            lock_addr,
+            deadline_ns,
+            wait,
+        ) {
             Some(rev)
         } else {
             None
@@ -655,7 +707,12 @@ impl ReaderTable for NumaTable {
         self.shards[shard].slots[offset].load(Ordering::SeqCst)
     }
 
-    fn revoke_until(&self, lock_addr: usize, deadline_ns: u64) -> Option<Revocation> {
+    fn revoke_until_with(
+        &self,
+        lock_addr: usize,
+        deadline_ns: u64,
+        wait: WaitStrategy,
+    ) -> Option<Revocation> {
         let mut rev = Revocation::default();
         for (index, shard) in self.shards.iter().enumerate() {
             if shard.occupancy.load(Ordering::SeqCst) == 0 {
@@ -669,7 +726,7 @@ impl ReaderTable for NumaTable {
                 .collect();
             rev.conflicts += pending.len() as u64;
             rev.conflicts_per_shard[tracked_shard(index)] += pending.len() as u64;
-            if !drain_pending(&shard.slots, &mut pending, lock_addr, deadline_ns) {
+            if !drain_pending(&shard.slots, &mut pending, lock_addr, deadline_ns, wait) {
                 return None;
             }
         }
@@ -829,6 +886,7 @@ impl std::fmt::Debug for TableHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::now_ns;
 
     #[test]
     fn sizes_round_up_to_powers_of_two() {
@@ -1053,6 +1111,26 @@ mod tests {
         t.clear(slot, addr);
         let rev = t.revoke(addr);
         assert_eq!(rev.conflicts, 0);
+    }
+
+    #[test]
+    fn parked_revocation_is_woken_by_slot_clear() {
+        let t = Arc::new(VisibleReadersTable::new(64));
+        let addr = 0x5000;
+        let slot = t.slot_for(addr, 0);
+        assert!(t.try_publish(slot, addr));
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                VisibleReadersTable::clear(&t, slot, addr);
+                // What BravoLock::read_unlock does in park mode after
+                // clearing its slot.
+                WaitStrategy::park().notify_all(addr);
+            });
+            let rev = ReaderTable::revoke_with(&*t, addr, WaitStrategy::park());
+            assert_eq!(rev.conflicts, 1);
+        });
+        assert_eq!(ReaderTable::count_for(&*t, addr), 0);
     }
 
     #[test]

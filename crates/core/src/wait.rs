@@ -1,0 +1,594 @@
+//! Parking waiter queues: the blocking alternative to spinning.
+//!
+//! Every lock in the catalog originally waited by spinning (with the
+//! yield-escalating [`Backoff`]). That is the right call when the host has
+//! spare cores, but under oversubscription — more runnable threads than
+//! logical CPUs, exactly the regime the `fig10_server` sweep provokes —
+//! spinning readers steal the quanta the lock holder needs to finish its
+//! critical section. This module provides the alternative the ROADMAP calls
+//! for: a [`WaitQueue`] of parked threads over [`std::thread::park`] /
+//! `unpark`, and a [`WaitStrategy`] that lets every spin site in the repo
+//! dispatch between the two behaviours from one `wait=spin|park` knob in the
+//! lock spec grammar.
+//!
+//! # Protocol
+//!
+//! The queue implements the classic "check, register, re-check" handshake so
+//! a wakeup can never be lost between the waiter's last look at the
+//! condition and its park:
+//!
+//! 1. The waiter spins a short grace period first (uncontended waits stay in
+//!    the µs range and never pay a context switch).
+//! 2. It then pushes a node (key + [`Thread`] handle + wake flag) onto the
+//!    queue, increments the `registered` count, executes a `SeqCst` fence,
+//!    and **re-checks the condition**. Only if the condition is still false
+//!    does it park.
+//! 3. The waker changes the lock state first, executes a `SeqCst` fence, and
+//!    reads `registered`. If it sees zero it is done — the fence pair
+//!    guarantees that a concurrently-registering waiter's re-check sees the
+//!    new state. Otherwise it takes the queue mutex, marks matching nodes
+//!    woken, and unparks them.
+//!
+//! The two fences form a Dekker-style store/load pattern: either the waker
+//! observes the registration (and unparks), or the waiter's re-check
+//! observes the state change (and never parks). Spurious unparks are
+//! harmless because every park sits in a re-check loop.
+//!
+//! Waiters are keyed by an address (normally the lock's address; MCS queue
+//! nodes use the node address) and hashed over a small global array of
+//! queues, the same bucket-table shape `parking_lot` and the Linux futex
+//! hash use, so a parked-capable lock costs one byte of configuration rather
+//! than an embedded queue.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::Thread;
+use std::time::Duration;
+
+use crate::clock::{now_ns, Backoff};
+use crate::hash::mix64;
+use crate::stats;
+
+/// How a lock waits when it cannot make progress.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum WaitMode {
+    /// Spin with the yield-escalating [`Backoff`] (the original behaviour).
+    #[default]
+    Spin,
+    /// Spin briefly, then park the thread until a releaser wakes it.
+    Park,
+}
+
+impl WaitMode {
+    /// The spec-grammar token for this mode (`spin` / `park`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WaitMode::Spin => "spin",
+            WaitMode::Park => "park",
+        }
+    }
+}
+
+impl std::fmt::Display for WaitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for WaitMode {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "spin" => Ok(WaitMode::Spin),
+            "park" => Ok(WaitMode::Park),
+            _ => Err(()),
+        }
+    }
+}
+
+/// One registered waiter: who to unpark, what it waits on, and whether a
+/// waker has already claimed it.
+struct WaitNode {
+    key: usize,
+    thread: Thread,
+    woken: AtomicBool,
+}
+
+/// A FIFO queue of parked threads.
+///
+/// Multiple keys share one queue (buckets are hashed), so wake operations
+/// filter by key. FIFO order is preserved per key: [`WaitQueue::wake_one`]
+/// always releases the longest-waiting matching thread.
+pub struct WaitQueue {
+    /// Number of nodes currently in `waiters`. Maintained with `SeqCst`
+    /// RMWs so wakers can skip the mutex when nobody waits (see the module
+    /// docs for the fence pairing).
+    registered: AtomicUsize,
+    waiters: Mutex<VecDeque<Arc<WaitNode>>>,
+}
+
+/// How many [`Backoff`] steps a waiter spins before its first registration.
+/// `Backoff` starts yielding after 64 snoozes, so this covers a short pure
+/// spin phase plus a few yields before the thread commits to parking.
+const SPIN_GRACE: u32 = 96;
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            registered: AtomicUsize::new(0),
+            waiters: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Number of threads currently registered (racy; for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.registered.load(Ordering::SeqCst)
+    }
+
+    /// Whether no thread is currently registered (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<WaitNode>>> {
+        self.waiters.lock().expect("wait queue poisoned")
+    }
+
+    /// Registers the current thread under `key`. Returns the node; the
+    /// caller must re-check its condition before parking.
+    fn register(&self, key: usize) -> Arc<WaitNode> {
+        let node = Arc::new(WaitNode {
+            key,
+            thread: std::thread::current(),
+            woken: AtomicBool::new(false),
+        });
+        self.queue().push_back(Arc::clone(&node));
+        self.registered.fetch_add(1, Ordering::SeqCst);
+        node
+    }
+
+    /// Removes `node` from the queue if a waker has not already claimed it.
+    fn deregister(&self, node: &Arc<WaitNode>) {
+        let mut queue = self.queue();
+        if let Some(pos) = queue.iter().position(|n| Arc::ptr_eq(n, node)) {
+            queue.remove(pos);
+            self.registered.fetch_sub(1, Ordering::SeqCst);
+        }
+        // If the node is gone a waker already dequeued it and will (or did)
+        // unpark us; the banked token at worst ends one future park early,
+        // and every park in this module sits in a re-check loop.
+    }
+
+    /// Blocks the current thread until `ready()` returns true. Wakers that
+    /// make the condition true must call [`WaitQueue::wake_all`] (or
+    /// [`WaitQueue::wake_one`]) with the same `key` after changing state.
+    pub fn wait_until(&self, key: usize, mut ready: impl FnMut() -> bool) {
+        let mut backoff = Backoff::new();
+        for _ in 0..SPIN_GRACE {
+            if ready() {
+                return;
+            }
+            backoff.snooze();
+        }
+        loop {
+            let node = self.register(key);
+            fence(Ordering::SeqCst);
+            if ready() {
+                self.deregister(&node);
+                return;
+            }
+            stats::record_parked_wait();
+            while !node.woken.load(Ordering::Acquire) {
+                std::thread::park();
+                if !node.woken.load(Ordering::Acquire) && ready() {
+                    // Spurious wakeup, but the condition holds now.
+                    self.deregister(&node);
+                    return;
+                }
+            }
+            if ready() {
+                return;
+            }
+            // Woken but the condition is false again (another waiter won the
+            // race); re-register and go back to sleep.
+        }
+    }
+
+    /// Like [`WaitQueue::wait_until`], but gives up at `deadline_ns` (on the
+    /// [`now_ns`] clock). Returns `true` if the condition was observed true,
+    /// `false` on timeout.
+    pub fn wait_until_deadline(
+        &self,
+        key: usize,
+        mut ready: impl FnMut() -> bool,
+        deadline_ns: u64,
+    ) -> bool {
+        let mut backoff = Backoff::new();
+        for _ in 0..SPIN_GRACE {
+            if ready() {
+                return true;
+            }
+            if now_ns() >= deadline_ns {
+                return ready();
+            }
+            backoff.snooze();
+        }
+        loop {
+            let node = self.register(key);
+            fence(Ordering::SeqCst);
+            if ready() {
+                self.deregister(&node);
+                return true;
+            }
+            let now = now_ns();
+            if now >= deadline_ns {
+                self.deregister(&node);
+                return ready();
+            }
+            stats::record_parked_wait();
+            while !node.woken.load(Ordering::Acquire) {
+                let now = now_ns();
+                if now >= deadline_ns {
+                    self.deregister(&node);
+                    return ready();
+                }
+                std::thread::park_timeout(Duration::from_nanos(deadline_ns - now));
+                if !node.woken.load(Ordering::Acquire) && ready() {
+                    self.deregister(&node);
+                    return true;
+                }
+            }
+            if ready() {
+                return true;
+            }
+            if now_ns() >= deadline_ns {
+                return false;
+            }
+        }
+    }
+
+    /// Wakes every waiter registered under `key`. Returns how many were
+    /// unparked. Call *after* making the awaited condition true.
+    pub fn wake_all(&self, key: usize) -> usize {
+        fence(Ordering::SeqCst);
+        if self.registered.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let mut woken = Vec::new();
+        {
+            let mut queue = self.queue();
+            let mut i = 0;
+            while i < queue.len() {
+                if queue[i].key == key {
+                    let node = queue.remove(i).expect("index in bounds");
+                    self.registered.fetch_sub(1, Ordering::SeqCst);
+                    node.woken.store(true, Ordering::Release);
+                    woken.push(node);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for node in &woken {
+            node.thread.unpark();
+        }
+        woken.len()
+    }
+
+    /// Wakes the longest-waiting waiter registered under `key` (FIFO).
+    /// Returns whether a waiter was unparked.
+    pub fn wake_one(&self, key: usize) -> bool {
+        fence(Ordering::SeqCst);
+        if self.registered.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let node = {
+            let mut queue = self.queue();
+            let pos = queue.iter().position(|n| n.key == key);
+            match pos {
+                Some(pos) => {
+                    let node = queue.remove(pos).expect("index in bounds");
+                    self.registered.fetch_sub(1, Ordering::SeqCst);
+                    node.woken.store(true, Ordering::Release);
+                    node
+                }
+                None => return false,
+            }
+        };
+        node.thread.unpark();
+        true
+    }
+}
+
+impl Default for WaitQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaitQueue")
+            .field("registered", &self.len())
+            .finish()
+    }
+}
+
+/// Number of global wait-queue buckets addresses hash over. Collisions are
+/// benign (a wake scans a few extra nodes); 64 buckets keep unrelated locks
+/// from serializing on one queue mutex.
+const WAIT_BUCKETS: usize = 64;
+
+static BUCKETS: OnceLock<Box<[WaitQueue]>> = OnceLock::new();
+
+/// The global wait-queue bucket for an address key.
+fn bucket_for(key: usize) -> &'static WaitQueue {
+    let buckets = BUCKETS.get_or_init(|| (0..WAIT_BUCKETS).map(|_| WaitQueue::new()).collect());
+    &buckets[(mix64(key as u64) as usize) & (WAIT_BUCKETS - 1)]
+}
+
+/// A one-byte dispatcher between spinning and parking, resolved once from
+/// the lock spec's `wait=` knob and stored inside each lock.
+///
+/// In [`WaitMode::Spin`] every wait is the original [`Backoff`] loop and
+/// every notification is a no-op, so spin-configured locks keep their old
+/// behaviour (and cost) exactly. In [`WaitMode::Park`] waits go through the
+/// global [`WaitQueue`] buckets and releases publish wakeups keyed by the
+/// lock's address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaitStrategy {
+    mode: WaitMode,
+}
+
+impl WaitStrategy {
+    /// A strategy for the given mode.
+    pub const fn new(mode: WaitMode) -> Self {
+        Self { mode }
+    }
+
+    /// The always-spin strategy (the historical behaviour).
+    pub const fn spin() -> Self {
+        Self::new(WaitMode::Spin)
+    }
+
+    /// The spin-then-park strategy.
+    pub const fn park() -> Self {
+        Self::new(WaitMode::Park)
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> WaitMode {
+        self.mode
+    }
+
+    /// Waits until `ready()` is true: by spinning, or by parking under
+    /// `key` after the spin grace period.
+    #[inline]
+    pub fn wait_until(&self, key: usize, mut ready: impl FnMut() -> bool) {
+        match self.mode {
+            WaitMode::Spin => {
+                let mut backoff = Backoff::new();
+                while !ready() {
+                    backoff.snooze();
+                }
+            }
+            WaitMode::Park => bucket_for(key).wait_until(key, ready),
+        }
+    }
+
+    /// Bounded wait: gives up at `deadline_ns` on the [`now_ns`] clock.
+    /// Returns whether the condition was observed true.
+    #[inline]
+    pub fn wait_until_deadline(
+        &self,
+        key: usize,
+        mut ready: impl FnMut() -> bool,
+        deadline_ns: u64,
+    ) -> bool {
+        match self.mode {
+            WaitMode::Spin => {
+                let mut backoff = Backoff::new();
+                loop {
+                    if ready() {
+                        return true;
+                    }
+                    if now_ns() >= deadline_ns {
+                        return ready();
+                    }
+                    backoff.snooze();
+                }
+            }
+            WaitMode::Park => bucket_for(key).wait_until_deadline(key, ready, deadline_ns),
+        }
+    }
+
+    /// Publishes a wakeup to every thread parked under `key`. No-op when
+    /// spinning; call it *after* the state change that makes waiters ready.
+    #[inline]
+    pub fn notify_all(&self, key: usize) {
+        if self.mode == WaitMode::Park {
+            bucket_for(key).wake_all(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn wait_mode_round_trips_through_strings() {
+        for mode in [WaitMode::Spin, WaitMode::Park] {
+            assert_eq!(mode.as_str().parse::<WaitMode>(), Ok(mode));
+        }
+        assert!("busy".parse::<WaitMode>().is_err());
+        assert_eq!(WaitMode::default(), WaitMode::Spin);
+    }
+
+    #[test]
+    fn ready_condition_returns_without_parking() {
+        let q = WaitQueue::new();
+        q.wait_until(1, || true);
+        assert!(q.is_empty());
+        assert!(q.wait_until_deadline(1, || true, now_ns() + 1_000_000));
+    }
+
+    #[test]
+    fn deadline_expires_when_never_ready() {
+        let q = WaitQueue::new();
+        let deadline = now_ns() + 5_000_000; // 5 ms
+        assert!(!q.wait_until_deadline(7, || false, deadline));
+        assert!(now_ns() >= deadline);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wake_all_releases_every_matching_waiter() {
+        let q = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let released = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let flag = Arc::clone(&flag);
+                let released = Arc::clone(&released);
+                s.spawn(move || {
+                    q.wait_until(42, || flag.load(Ordering::SeqCst));
+                    released.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Wait for all four to actually park (registration is visible
+            // via len()), then release them with one wake.
+            let mut backoff = Backoff::new();
+            while q.len() < 4 {
+                backoff.snooze();
+            }
+            flag.store(true, Ordering::SeqCst);
+            q.wake_all(42);
+        });
+        assert_eq!(released.load(Ordering::SeqCst), 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wake_one_is_fifo_per_key() {
+        let q = Arc::new(WaitQueue::new());
+        let turn = Arc::new(AtomicU64::new(0));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        std::thread::scope(|s| {
+            for i in 0..3u64 {
+                let waiter_q = Arc::clone(&q);
+                let turn = Arc::clone(&turn);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    waiter_q.wait_until(9, || turn.load(Ordering::SeqCst) > i);
+                    order.lock().unwrap().push(i);
+                });
+                // Stagger registrations so queue order is deterministic.
+                let mut backoff = Backoff::new();
+                while q.len() < (i + 1) as usize {
+                    backoff.snooze();
+                }
+            }
+            for next in 0..3u64 {
+                turn.store(next + 1, Ordering::SeqCst);
+                assert!(q.wake_one(9), "waiter {next} should be parked");
+                let mut backoff = Backoff::new();
+                while order.lock().unwrap().len() < (next + 1) as usize {
+                    backoff.snooze();
+                }
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wakes_filter_by_key() {
+        let q = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let waiter = {
+                let q = Arc::clone(&q);
+                let flag = Arc::clone(&flag);
+                s.spawn(move || q.wait_until(5, || flag.load(Ordering::SeqCst)))
+            };
+            let mut backoff = Backoff::new();
+            while q.is_empty() {
+                backoff.snooze();
+            }
+            // A wake for a different key must not release the waiter.
+            assert_eq!(q.wake_all(6), 0);
+            assert!(!q.is_empty());
+            flag.store(true, Ordering::SeqCst);
+            assert_eq!(q.wake_all(5), 1);
+            waiter.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn park_strategy_survives_a_contended_handoff_storm() {
+        // No lost wakeups under churn: many waiters, many wakes, all on the
+        // same key, must all terminate.
+        let strategy = WaitStrategy::park();
+        let counter = Arc::new(AtomicU64::new(0));
+        let key = Arc::as_ptr(&counter) as usize;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let target = round * 8 + t + 1;
+                        strategy.wait_until(key, || counter.load(Ordering::SeqCst) >= target - 1);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        strategy.notify_all(key);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 200);
+    }
+
+    #[test]
+    fn spin_strategy_never_registers() {
+        let strategy = WaitStrategy::spin();
+        let n = AtomicU64::new(0);
+        strategy.wait_until(99, || n.fetch_add(1, Ordering::Relaxed) > 3);
+        assert!(strategy.wait_until_deadline(99, || true, now_ns()));
+        strategy.notify_all(99); // no-op
+        assert_eq!(strategy.mode(), WaitMode::Spin);
+    }
+
+    #[test]
+    fn parked_waits_are_counted() {
+        // A waiter that registers but sees the flag set during its re-check
+        // returns without recording a park, so retry a few episodes until
+        // one genuinely parks (in practice the first one does).
+        for _ in 0..20 {
+            let before = crate::stats::snapshot();
+            let q = Arc::new(WaitQueue::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|s| {
+                let q2 = Arc::clone(&q);
+                let flag2 = Arc::clone(&flag);
+                let waiter = s.spawn(move || q2.wait_until(11, || flag2.load(Ordering::SeqCst)));
+                let mut backoff = Backoff::new();
+                while q.is_empty() {
+                    backoff.snooze();
+                }
+                // Give the waiter time to pass its re-check and park.
+                std::thread::sleep(Duration::from_millis(10));
+                flag.store(true, Ordering::SeqCst);
+                q.wake_all(11);
+                waiter.join().unwrap();
+            });
+            if crate::stats::snapshot().since(&before).parked_waits >= 1 {
+                return;
+            }
+        }
+        panic!("no parked wait was recorded in 20 episodes");
+    }
+}

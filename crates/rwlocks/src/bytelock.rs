@@ -12,7 +12,7 @@
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// Number of favored reader slots (one cache line worth of bytes, as in the
@@ -31,9 +31,15 @@ pub struct ByteLock {
     /// Writer presence flag (also gates new readers, giving writers
     /// preference so they cannot starve behind the byte array).
     writer: AtomicU64,
+    wait: WaitStrategy,
 }
 
 impl ByteLock {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
     fn slot_of_current_thread() -> Option<usize> {
         let id = topology::current_thread_id().as_usize();
         // The first FAVORED_SLOTS registered threads are "favored"; later
@@ -85,22 +91,25 @@ impl ByteLock {
 
 impl RawRwLock for ByteLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             slots: std::array::from_fn(|_| AtomicU8::new(0)),
             overflow_readers: AtomicU64::new(0),
             writer: AtomicU64::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
     fn lock_shared(&self) {
-        let mut backoff = Backoff::new();
         loop {
             if self.acquire_shared_fast() {
                 return;
             }
-            while self.writer.load(Ordering::Relaxed) != 0 {
-                backoff.snooze();
-            }
+            self.wait
+                .wait_until(self.key(), || self.writer.load(Ordering::Relaxed) == 0);
         }
     }
 
@@ -116,28 +125,33 @@ impl RawRwLock for ByteLock {
                 debug_assert_ne!(prev, 0, "unlock_shared with no overflow readers");
             }
         }
+        // Last-departure detection would have to re-scan the whole byte
+        // array racily, so wake the draining writer on every departure.
+        self.wait.notify_all(self.key());
     }
 
     fn lock_exclusive(&self) {
         // Claim the writer flag (one writer at a time), then wait for every
         // reader indicator — favored bytes and the overflow counter — to
         // drain.
-        let mut backoff = Backoff::new();
-        while self
-            .writer
-            .compare_exchange_weak(0, 1, Ordering::SeqCst, Ordering::Relaxed)
-            .is_err()
-        {
-            backoff.snooze();
+        loop {
+            if self
+                .writer
+                .compare_exchange_weak(0, 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+            self.wait
+                .wait_until(self.key(), || self.writer.load(Ordering::Relaxed) == 0);
         }
-        while self.readers_visible() {
-            backoff.snooze();
-        }
+        self.wait.wait_until(self.key(), || !self.readers_visible());
     }
 
     fn unlock_exclusive(&self) {
         debug_assert_eq!(self.writer.load(Ordering::Relaxed), 1);
         self.writer.store(0, Ordering::Release);
+        self.wait.notify_all(self.key());
     }
 
     fn name() -> &'static str {

@@ -21,7 +21,8 @@ use bravo::spec::{LockHandle, LockSpec, SpecError, TableSpec};
 use bravo::stats::StatsSink;
 use bravo::vrt::TableHandle;
 use bravo::{
-    BiasPolicy, Bravo2dLock, BravoLock, RawRwLock, RawTryRwLock, ReentrantBravo, TryLockError,
+    AdaptiveBias, BiasPolicy, Bravo2dLock, BravoLock, RawRwLock, RawTryRwLock, ReentrantBravo,
+    TryLockError,
 };
 
 use crate::cohort::CohortRwLock;
@@ -298,24 +299,42 @@ fn reject_bravo_params(spec: &LockSpec) -> Result<(), SpecError> {
             table: spec.table(),
         });
     }
+    // `wait=` applies to every lock; `adapt=` only gates reader bias, which
+    // plain locks do not have.
+    if spec.adapt() {
+        return Err(SpecError::UnsupportedAdapt {
+            kind: spec.kind().to_string(),
+        });
+    }
     Ok(())
+}
+
+/// Mints the adaptive-bias controller an `adapt=on` spec prescribes.
+fn make_adaptive(spec: &LockSpec) -> Option<Arc<AdaptiveBias>> {
+    spec.adapt().then(|| Arc::new(AdaptiveBias::new()))
 }
 
 fn bravo_flat<L: RawTryRwLock + 'static>(
     spec: &LockSpec,
     sink: StatsSink,
 ) -> Result<LockHandle, SpecError> {
-    let lock = ReentrantBravo::from_lock(BravoLock::with_instrumented(
-        L::new(),
+    let adapt = make_adaptive(spec);
+    let mut inner = BravoLock::with_instrumented(
+        L::with_wait(spec.wait()),
         resolve_table(spec, false),
         spec.bias(),
         sink.clone(),
-    ));
-    Ok(LockHandle::from_try_lock(
-        spec.clone(),
-        Arc::new(lock),
-        sink,
-    ))
+    )
+    .with_wait_mode(spec.wait());
+    if let Some(adapt) = &adapt {
+        inner = inner.with_adaptive(Arc::clone(adapt));
+    }
+    let lock = ReentrantBravo::from_lock(inner);
+    let mut handle = LockHandle::from_try_lock(spec.clone(), Arc::new(lock), sink);
+    if let Some(adapt) = adapt {
+        handle = handle.with_adaptive(adapt);
+    }
+    Ok(handle)
 }
 
 fn plain<L: RawTryRwLock + 'static>(spec: &LockSpec) -> Result<LockHandle, SpecError> {
@@ -327,7 +346,7 @@ fn plain<L: RawTryRwLock + 'static>(spec: &LockSpec) -> Result<LockHandle, SpecE
     // lock's, mislabelling harness output.
     Ok(LockHandle::from_try_lock(
         spec.clone(),
-        Arc::new(L::new()),
+        Arc::new(L::with_wait(spec.wait())),
         StatsSink::per_lock(),
     ))
 }
@@ -364,17 +383,23 @@ pub fn build_lock(spec: &LockSpec) -> Result<LockHandle, SpecError> {
         LockKind::BravoCounter => bravo_flat::<CounterRwLock>(spec, spec.make_sink()),
         LockKind::Bravo2dBa => {
             let sink = spec.make_sink();
-            let lock = ReentrantBravo2d::from_lock(Bravo2dLock::with_instrumented(
-                PhaseFairQueueLock::new(),
+            let adapt = make_adaptive(spec);
+            let mut inner = Bravo2dLock::with_instrumented(
+                PhaseFairQueueLock::with_wait(spec.wait()),
                 resolve_table(spec, true),
                 spec.bias(),
                 sink.clone(),
-            ));
-            Ok(LockHandle::from_try_lock(
-                spec.clone(),
-                Arc::new(lock),
-                sink,
-            ))
+            )
+            .with_wait_mode(spec.wait());
+            if let Some(adapt) = &adapt {
+                inner = inner.with_adaptive(Arc::clone(adapt));
+            }
+            let lock = ReentrantBravo2d::from_lock(inner);
+            let mut handle = LockHandle::from_try_lock(spec.clone(), Arc::new(lock), sink);
+            if let Some(adapt) = adapt {
+                handle = handle.with_adaptive(adapt);
+            }
+            Ok(handle)
         }
     }
 }
@@ -383,6 +408,7 @@ pub fn build_lock(spec: &LockSpec) -> Result<LockHandle, SpecError> {
 mod tests {
     use super::*;
     use bravo::spec::StatsMode;
+    use bravo::wait::WaitMode;
 
     #[test]
     fn every_kind_round_trips_through_parse() {
@@ -488,6 +514,41 @@ mod tests {
             build_lock(&"Cohort-RW?table=numa:2x64".parse().unwrap()),
             Err(SpecError::UnsupportedTable { .. })
         ));
+        // Adaptive bias on a non-BRAVO kind (there is no bias to adapt).
+        assert!(matches!(
+            build_lock(&"BA?adapt=on".parse().unwrap()),
+            Err(SpecError::UnsupportedAdapt { .. })
+        ));
+        // `wait=park` by contrast applies to every kind.
+        assert!(build_lock(&"BA?wait=park".parse().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn every_kind_builds_and_locks_with_park_waiters() {
+        for &kind in LockKind::all() {
+            let spec = kind.spec().with_wait(WaitMode::Park);
+            let lock = build_lock(&spec).unwrap_or_else(|e| panic!("{kind}?wait=park failed: {e}"));
+            assert!(lock.label().contains("wait=park"), "{kind} label");
+            lock.lock_shared();
+            lock.unlock_shared();
+            lock.lock_exclusive();
+            lock.unlock_exclusive();
+            lock.lock_shared();
+            lock.unlock_shared();
+        }
+    }
+
+    #[test]
+    fn adaptive_specs_expose_the_controller_and_open_the_gate() {
+        let spec: LockSpec = "BRAVO-BA?adapt=on".parse().unwrap();
+        let lock = build_lock(&spec).unwrap();
+        let adapt = lock.adaptive().expect("adapt=on must attach a controller");
+        // The controller starts closed; a plain-spec build has none.
+        assert!(!adapt.allows_bias());
+        assert!(LockKind::BravoBa.build().adaptive().is_none());
+        // 2D composites get one too.
+        let spec2d: LockSpec = "BRAVO-2D-BA?adapt=on".parse().unwrap();
+        assert!(build_lock(&spec2d).unwrap().adaptive().is_some());
     }
 
     #[test]

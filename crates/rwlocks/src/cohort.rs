@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 use topology::CachePadded;
 
@@ -43,6 +43,7 @@ pub struct CohortRwLock {
     writer_barrier: CachePadded<AtomicBool>,
     /// Serializes writers NUMA-friendlily.
     writer_lock: CohortMutex,
+    wait: WaitStrategy,
 }
 
 impl CohortRwLock {
@@ -54,13 +55,25 @@ impl CohortRwLock {
     /// Creates a cohort lock with an explicit number of reader-indicator
     /// nodes (tests and footprint accounting).
     pub fn with_nodes(nodes: usize) -> Self {
+        Self::with_nodes_and_wait(nodes, WaitMode::Spin)
+    }
+
+    /// Creates a cohort lock with an explicit node count whose waiters
+    /// (readers behind the barrier, the writer's drain, the cohort mutex)
+    /// use the given wait mode.
+    pub fn with_nodes_and_wait(nodes: usize, mode: WaitMode) -> Self {
         let nodes = nodes.max(1);
         Self {
             indicators: (0..nodes)
                 .map(|_| CachePadded::new(NodeIndicator::default()))
                 .collect(),
             writer_barrier: CachePadded::new(AtomicBool::new(false)),
-            writer_lock: CohortMutex::with_nodes(nodes, CohortMutex::DEFAULT_MAX_HANDOFFS),
+            writer_lock: CohortMutex::with_nodes_and_wait(
+                nodes,
+                CohortMutex::DEFAULT_MAX_HANDOFFS,
+                mode,
+            ),
+            wait: WaitStrategy::new(mode),
         }
     }
 
@@ -69,16 +82,18 @@ impl CohortRwLock {
         self.indicators.len()
     }
 
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
     fn my_indicator(&self) -> &NodeIndicator {
         &self.indicators[topology::current_node() % self.indicators.len()]
     }
 
     fn wait_for_all_readers(&self) {
         for node in self.indicators.iter() {
-            let mut backoff = Backoff::new();
-            while !node.is_empty() {
-                backoff.snooze();
-            }
+            self.wait.wait_until(self.key(), || node.is_empty());
         }
     }
 }
@@ -86,6 +101,10 @@ impl CohortRwLock {
 impl RawRwLock for CohortRwLock {
     fn new() -> Self {
         Self::for_machine()
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
+        Self::with_nodes_and_wait(topology::numa_nodes(), mode)
     }
 
     fn lock_shared(&self) {
@@ -99,16 +118,21 @@ impl RawRwLock for CohortRwLock {
                 return;
             }
             // Writer preference: withdraw and wait for the writer to finish.
+            // The withdrawal is a departure the draining writer may be
+            // parked on, so it must notify too.
             indicator.egress.fetch_add(1, Ordering::SeqCst);
-            let mut backoff = Backoff::new();
-            while self.writer_barrier.load(Ordering::Relaxed) {
-                backoff.snooze();
-            }
+            self.wait.notify_all(self.key());
+            self.wait
+                .wait_until(self.key(), || !self.writer_barrier.load(Ordering::Relaxed));
         }
     }
 
     fn unlock_shared(&self) {
         self.my_indicator().egress.fetch_add(1, Ordering::Release);
+        // The draining writer polls every node's indicator; per-node
+        // last-departure detection would race with withdrawals, so wake it
+        // on each egress (no-op without parked waiters).
+        self.wait.notify_all(self.key());
     }
 
     fn lock_exclusive(&self) {
@@ -119,6 +143,7 @@ impl RawRwLock for CohortRwLock {
 
     fn unlock_exclusive(&self) {
         self.writer_barrier.store(false, Ordering::SeqCst);
+        self.wait.notify_all(self.key());
         self.writer_lock.unlock();
     }
 

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// A compact reader-writer lock with a single central reader counter.
@@ -24,6 +24,7 @@ use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 /// ```
 pub struct CounterRwLock {
     state: AtomicU64,
+    wait: WaitStrategy,
 }
 
 const WRITER: u64 = 1 << 63;
@@ -31,15 +32,26 @@ const PENDING: u64 = 1 << 62;
 const READER: u64 = 1;
 const READERS: u64 = PENDING - 1;
 
+impl CounterRwLock {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+}
+
 impl RawRwLock for CounterRwLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             state: AtomicU64::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
     fn lock_shared(&self) {
-        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | PENDING) == 0 {
@@ -51,7 +63,9 @@ impl RawRwLock for CounterRwLock {
                     return;
                 }
             } else {
-                backoff.snooze();
+                self.wait.wait_until(self.key(), || {
+                    self.state.load(Ordering::Relaxed) & (WRITER | PENDING) == 0
+                });
             }
         }
     }
@@ -63,11 +77,15 @@ impl RawRwLock for CounterRwLock {
             0,
             "unlock_shared on a CounterRwLock with no readers"
         );
+        // The departure of the last reader is what a pending writer's
+        // phase-2 drain waits on.
+        if prev & READERS == READER && prev & PENDING != 0 {
+            self.wait.notify_all(self.key());
+        }
     }
 
     fn lock_exclusive(&self) {
         // Phase 1: claim the pending bit (only one writer may own it).
-        let mut backoff = Backoff::new();
         loop {
             let cur = self.state.load(Ordering::Relaxed);
             if cur & (WRITER | PENDING) == 0 {
@@ -79,7 +97,9 @@ impl RawRwLock for CounterRwLock {
                     break;
                 }
             } else {
-                backoff.snooze();
+                self.wait.wait_until(self.key(), || {
+                    self.state.load(Ordering::Relaxed) & (WRITER | PENDING) == 0
+                });
             }
         }
         // Phase 2: wait for readers to drain, then convert pending → active.
@@ -99,7 +119,9 @@ impl RawRwLock for CounterRwLock {
                     return;
                 }
             } else {
-                backoff.snooze();
+                self.wait.wait_until(self.key(), || {
+                    self.state.load(Ordering::Relaxed) & READERS == 0
+                });
             }
         }
     }
@@ -111,6 +133,7 @@ impl RawRwLock for CounterRwLock {
             0,
             "unlock_exclusive on a CounterRwLock with no writer"
         );
+        self.wait.notify_all(self.key());
     }
 
     fn name() -> &'static str {
@@ -202,7 +225,32 @@ mod tests {
     }
 
     #[test]
-    fn footprint_is_one_word() {
-        assert_eq!(std::mem::size_of::<CounterRwLock>(), 8);
+    fn footprint_is_two_words() {
+        // One state word plus the (padded) wait-strategy byte.
+        assert_eq!(std::mem::size_of::<CounterRwLock>(), 16);
+    }
+
+    #[test]
+    fn park_mode_writers_exclude_each_other() {
+        let l = std::sync::Arc::new(CounterRwLock::with_wait(WaitMode::Park));
+        let counter = std::sync::Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = std::sync::Arc::clone(&l);
+                let counter = std::sync::Arc::clone(&counter);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        l.lock_exclusive();
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        l.unlock_exclusive();
+                        l.lock_shared();
+                        let _ = counter.load(Ordering::Relaxed);
+                        l.unlock_shared();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4_000);
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 use crate::mutex::{RawMutex, TicketMutex};
@@ -27,13 +27,26 @@ use crate::mutex::{RawMutex, TicketMutex};
 pub struct FairRwLock {
     entry: TicketMutex,
     active_readers: AtomicU64,
+    wait: WaitStrategy,
+}
+
+impl FairRwLock {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
 }
 
 impl RawRwLock for FairRwLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
-            entry: TicketMutex::new(),
+            entry: TicketMutex::with_wait(mode),
             active_readers: AtomicU64::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
@@ -46,14 +59,18 @@ impl RawRwLock for FairRwLock {
     fn unlock_shared(&self) {
         let prev = self.active_readers.fetch_sub(1, Ordering::Release);
         debug_assert_ne!(prev, 0, "unlock_shared with no active readers");
+        // The writer holds the entry lock while draining, so no new readers
+        // can register: the last departure is the event it waits on.
+        if prev == 1 {
+            self.wait.notify_all(self.key());
+        }
     }
 
     fn lock_exclusive(&self) {
         self.entry.lock();
-        let mut backoff = Backoff::new();
-        while self.active_readers.load(Ordering::Acquire) != 0 {
-            backoff.snooze();
-        }
+        self.wait.wait_until(self.key(), || {
+            self.active_readers.load(Ordering::Acquire) == 0
+        });
     }
 
     fn unlock_exclusive(&self) {

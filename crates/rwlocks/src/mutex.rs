@@ -5,7 +5,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use topology::CachePadded;
 
 /// A raw mutual-exclusion lock.
@@ -17,6 +17,17 @@ pub trait RawMutex: Send + Sync {
     fn new() -> Self
     where
         Self: Sized;
+
+    /// Creates a new, unlocked mutex whose contended waiters use the given
+    /// wait mode. The default ignores the mode (correct for mutexes that
+    /// never spin); spinning mutexes override it.
+    fn with_wait(mode: WaitMode) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = mode;
+        Self::new()
+    }
 
     /// Acquires the lock, blocking until it is available.
     fn lock(&self);
@@ -37,22 +48,33 @@ pub trait RawMutex: Send + Sync {
 pub struct TicketMutex {
     next: AtomicU64,
     grant: AtomicU64,
+    wait: WaitStrategy,
+}
+
+impl TicketMutex {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
 }
 
 impl RawMutex for TicketMutex {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             next: AtomicU64::new(0),
             grant: AtomicU64::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
     fn lock(&self) {
         let ticket = self.next.fetch_add(1, Ordering::Relaxed);
-        let mut backoff = Backoff::new();
-        while self.grant.load(Ordering::Acquire) != ticket {
-            backoff.snooze();
-        }
+        self.wait
+            .wait_until(self.key(), || self.grant.load(Ordering::Acquire) == ticket);
     }
 
     fn try_lock(&self) -> bool {
@@ -70,6 +92,9 @@ impl RawMutex for TicketMutex {
             "unlock of an unheld TicketMutex"
         );
         self.grant.store(g + 1, Ordering::Release);
+        // All waiters park on the mutex address; only the holder of the
+        // next ticket proceeds, the rest re-park (no-op in spin mode).
+        self.wait.notify_all(self.key());
     }
 }
 
@@ -96,6 +121,7 @@ struct McsNode {
 /// acquisition), so the public interface needs no lock-site cooperation.
 pub struct McsMutex {
     tail: AtomicPtr<McsNode>,
+    wait: WaitStrategy,
 }
 
 thread_local! {
@@ -136,8 +162,13 @@ thread_local! {
 
 impl RawMutex for McsMutex {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             tail: AtomicPtr::new(ptr::null_mut()),
+            wait: WaitStrategy::new(mode),
         }
     }
 
@@ -155,10 +186,13 @@ impl RawMutex for McsMutex {
             // MCS protocol guarantees it stays valid until it hands over to us.
             unsafe {
                 (*prev).next.store(node, Ordering::Release);
-                let mut backoff = Backoff::new();
-                while (*node).locked.load(Ordering::Acquire) {
-                    backoff.snooze();
-                }
+                // The predecessor may be parked waiting for its successor
+                // link (see `unlock`); its park key is its own node address.
+                self.wait.notify_all(prev as usize);
+                // Local waiting, MCS-style: this thread's park key is its
+                // own queue node, so a handoff wakes exactly one waiter.
+                self.wait
+                    .wait_until(node as usize, || !(*node).locked.load(Ordering::Acquire));
             }
         }
         MCS_HELD.with(|cell| {
@@ -217,17 +251,16 @@ impl RawMutex for McsMutex {
                     release_node(node);
                     return;
                 }
-                // A successor is in the middle of linking itself; wait for it.
-                let mut backoff = Backoff::new();
-                loop {
-                    next = (*node).next.load(Ordering::Acquire);
-                    if !next.is_null() {
-                        break;
-                    }
-                    backoff.snooze();
-                }
+                // A successor is in the middle of linking itself; wait for
+                // it (parked on our own node address — the successor
+                // notifies it right after storing the link).
+                self.wait.wait_until(node as usize, || {
+                    !(*node).next.load(Ordering::Acquire).is_null()
+                });
+                next = (*node).next.load(Ordering::Acquire);
             }
             (*next).locked.store(false, Ordering::Release);
+            self.wait.notify_all(next as usize);
         }
         release_node(node);
     }
@@ -284,13 +317,19 @@ impl CohortMutex {
     /// Creates a cohort mutex with an explicit node count and hand-off
     /// budget.
     pub fn with_nodes(nodes: usize, max_handoffs: u64) -> Self {
+        Self::with_nodes_and_wait(nodes, max_handoffs, WaitMode::Spin)
+    }
+
+    /// Creates a cohort mutex whose constituent ticket locks use the given
+    /// wait mode.
+    pub fn with_nodes_and_wait(nodes: usize, max_handoffs: u64, mode: WaitMode) -> Self {
         let nodes = nodes.max(1);
         Self {
-            global: TicketMutex::new(),
+            global: TicketMutex::with_wait(mode),
             nodes: (0..nodes)
                 .map(|_| {
                     CachePadded::new(NodeLock {
-                        lock: TicketMutex::new(),
+                        lock: TicketMutex::with_wait(mode),
                         global_owned: AtomicBool::new(false),
                         handoffs: AtomicU64::new(0),
                     })
@@ -313,6 +352,10 @@ impl CohortMutex {
 impl RawMutex for CohortMutex {
     fn new() -> Self {
         Self::for_machine()
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
+        Self::with_nodes_and_wait(topology::numa_nodes(), Self::DEFAULT_MAX_HANDOFFS, mode)
     }
 
     fn lock(&self) {
@@ -408,6 +451,21 @@ mod tests {
     #[test]
     fn cohort_mutex_provides_exclusion() {
         exclusion_torture(|| CohortMutex::with_nodes(2, 4));
+    }
+
+    #[test]
+    fn ticket_mutex_park_mode_provides_exclusion() {
+        exclusion_torture(|| TicketMutex::with_wait(WaitMode::Park));
+    }
+
+    #[test]
+    fn mcs_mutex_park_mode_provides_exclusion() {
+        exclusion_torture(|| McsMutex::with_wait(WaitMode::Park));
+    }
+
+    #[test]
+    fn cohort_mutex_park_mode_provides_exclusion() {
+        exclusion_torture(|| CohortMutex::with_nodes_and_wait(2, 4, WaitMode::Park));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The Per-CPU ("big-reader" / brlock-style) reader-writer lock.
 
+use bravo::wait::WaitMode;
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 use topology::CachePadded;
 
@@ -30,9 +31,16 @@ impl<R: RawRwLock> PerCpuRwLock<R> {
 
     /// Creates a per-CPU lock with an explicit number of sub-locks.
     pub fn with_cpus(cpus: usize) -> Self {
+        Self::with_cpus_and_wait(cpus, WaitMode::Spin)
+    }
+
+    /// Creates a per-CPU lock whose sub-locks use the given wait mode.
+    pub fn with_cpus_and_wait(cpus: usize, mode: WaitMode) -> Self {
         let cpus = cpus.max(1);
         Self {
-            sublocks: (0..cpus).map(|_| CachePadded::new(R::new())).collect(),
+            sublocks: (0..cpus)
+                .map(|_| CachePadded::new(R::with_wait(mode)))
+                .collect(),
         }
     }
 
@@ -49,6 +57,10 @@ impl<R: RawRwLock> PerCpuRwLock<R> {
 impl<R: RawRwLock> RawRwLock for PerCpuRwLock<R> {
     fn new() -> Self {
         Self::for_machine()
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
+        Self::with_cpus_and_wait(topology::logical_cpus(), mode)
     }
 
     fn lock_shared(&self) {

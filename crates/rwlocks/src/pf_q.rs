@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 use crate::mutex::{McsMutex, RawMutex};
@@ -36,6 +36,7 @@ pub struct PhaseFairQueueLock {
     wcount: AtomicU64,
     /// Queue serializing writers (local spinning).
     wqueue: McsMutex,
+    wait: WaitStrategy,
 }
 
 const RINC: u64 = 0x100;
@@ -45,11 +46,16 @@ const WBITS: u64 = PRES | PHID;
 
 impl RawRwLock for PhaseFairQueueLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             rin: AtomicU64::new(0),
             rout: AtomicU64::new(0),
             wcount: AtomicU64::new(0),
-            wqueue: McsMutex::new(),
+            wqueue: McsMutex::with_wait(mode),
+            wait: WaitStrategy::new(mode),
         }
     }
 
@@ -57,15 +63,17 @@ impl RawRwLock for PhaseFairQueueLock {
         let w = self.rin.fetch_add(RINC, Ordering::Acquire) & WBITS;
         if w != 0 {
             // A writer is present or waiting: wait for the phase to change.
-            let mut backoff = Backoff::new();
-            while self.rin.load(Ordering::Acquire) & WBITS == w {
-                backoff.snooze();
-            }
+            self.wait
+                .wait_until(self.key(), || self.rin.load(Ordering::Acquire) & WBITS != w);
         }
     }
 
     fn unlock_shared(&self) {
         self.rout.fetch_add(RINC, Ordering::Release);
+        // A draining writer waits on the egress count; waking on every
+        // departure is the simple lost-wakeup-free choice (last-departure
+        // detection would need extra synchronization with the announce).
+        self.wait.notify_all(self.key());
     }
 
     fn lock_exclusive(&self) {
@@ -78,6 +86,7 @@ impl RawRwLock for PhaseFairQueueLock {
         self.wcount.fetch_add(1, Ordering::Relaxed);
         // Open the next reader phase, then let the next queued writer in.
         self.rin.fetch_and(!WBITS, Ordering::Release);
+        self.wait.notify_all(self.key());
         self.wqueue.unlock();
     }
 
@@ -116,6 +125,11 @@ impl RawTryRwLock for PhaseFairQueueLock {
 }
 
 impl PhaseFairQueueLock {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
+
     /// With the writer queue held: announce writer presence to readers and
     /// wait for the readers that arrived before the announcement to drain.
     fn block_readers_and_wait(&self) {
@@ -123,10 +137,9 @@ impl PhaseFairQueueLock {
         let w = PRES | phase;
         let rticket = self.rin.fetch_add(w, Ordering::Acquire);
         let target = rticket & !WBITS;
-        let mut backoff = Backoff::new();
-        while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            backoff.snooze();
-        }
+        self.wait.wait_until(self.key(), || {
+            self.rout.load(Ordering::Acquire) & !WBITS == target
+        });
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bravo::clock::Backoff;
+use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};
 
 /// The Brandenburg–Anderson *phase-fair ticket* reader-writer lock.
@@ -28,6 +28,14 @@ pub struct PhaseFairTicketLock {
     win: AtomicU64,
     /// Writer grant counter.
     wout: AtomicU64,
+    wait: WaitStrategy,
+}
+
+impl PhaseFairTicketLock {
+    #[inline]
+    fn key(&self) -> usize {
+        self as *const Self as usize
+    }
 }
 
 /// Increment applied by each reader, leaving the low byte for writer flags.
@@ -41,11 +49,16 @@ const WBITS: u64 = PRES | PHID;
 
 impl RawRwLock for PhaseFairTicketLock {
     fn new() -> Self {
+        Self::with_wait(WaitMode::Spin)
+    }
+
+    fn with_wait(mode: WaitMode) -> Self {
         Self {
             rin: AtomicU64::new(0),
             rout: AtomicU64::new(0),
             win: AtomicU64::new(0),
             wout: AtomicU64::new(0),
+            wait: WaitStrategy::new(mode),
         }
     }
 
@@ -54,33 +67,31 @@ impl RawRwLock for PhaseFairTicketLock {
         // If a writer is present, wait until the writer bits change (either
         // the writer leaves or the phase advances past it).
         if w != 0 {
-            let mut backoff = Backoff::new();
-            while self.rin.load(Ordering::Acquire) & WBITS == w {
-                backoff.snooze();
-            }
+            self.wait
+                .wait_until(self.key(), || self.rin.load(Ordering::Acquire) & WBITS != w);
         }
     }
 
     fn unlock_shared(&self) {
         self.rout.fetch_add(RINC, Ordering::Release);
+        // A draining writer waits on the egress count; wake on every
+        // departure (no-op in spin mode or with no parked waiters).
+        self.wait.notify_all(self.key());
     }
 
     fn lock_exclusive(&self) {
         // Writer-writer mutual exclusion via tickets.
         let ticket = self.win.fetch_add(1, Ordering::Acquire);
-        let mut backoff = Backoff::new();
-        while self.wout.load(Ordering::Acquire) != ticket {
-            backoff.snooze();
-        }
+        self.wait
+            .wait_until(self.key(), || self.wout.load(Ordering::Acquire) == ticket);
         // Announce presence to readers and snapshot the reader ingress count.
         let w = PRES | (ticket & PHID);
         let rticket = self.rin.fetch_add(w, Ordering::Acquire);
         // Wait for all readers that arrived before the announcement to leave.
         let target = rticket & !WBITS;
-        let mut backoff = Backoff::new();
-        while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            backoff.snooze();
-        }
+        self.wait.wait_until(self.key(), || {
+            self.rout.load(Ordering::Acquire) & !WBITS == target
+        });
     }
 
     fn unlock_exclusive(&self) {
@@ -88,6 +99,7 @@ impl RawRwLock for PhaseFairTicketLock {
         // grant the next writer ticket.
         self.rin.fetch_and(!WBITS, Ordering::Release);
         self.wout.fetch_add(1, Ordering::Release);
+        self.wait.notify_all(self.key());
     }
 
     fn name() -> &'static str {
@@ -145,10 +157,9 @@ impl RawTryRwLock for PhaseFairTicketLock {
         // wait for the (bounded, already-admitted) readers to drain. This
         // keeps try_lock linearizable at the cost of a short wait, mirroring
         // the "writer claims then waits" structure of the blocking path.
-        let mut backoff = Backoff::new();
-        while self.rout.load(Ordering::Acquire) & !WBITS != target {
-            backoff.snooze();
-        }
+        self.wait.wait_until(self.key(), || {
+            self.rout.load(Ordering::Acquire) & !WBITS == target
+        });
         Ok(())
     }
 }
@@ -231,9 +242,9 @@ mod tests {
     }
 
     #[test]
-    fn footprint_is_four_words() {
+    fn footprint_is_four_words_plus_wait_strategy() {
         // The paper: "PF-T is slightly more compact having just 4 integer
-        // fields".
-        assert_eq!(std::mem::size_of::<PhaseFairTicketLock>(), 32);
+        // fields". The wait-strategy byte pads to one more word.
+        assert_eq!(std::mem::size_of::<PhaseFairTicketLock>(), 40);
     }
 }

@@ -1,0 +1,75 @@
+//! Single-threaded throughput floor for the uncontended read path.
+//!
+//! Regression pin for the single-reader fix: an uncontended reader of
+//! `Per-CPU` or `BA` once collapsed to ~8 ops/msec because the reader
+//! admission path degraded into a wait loop even with no writer present.
+//! The floor here is two orders of magnitude above that collapse and an
+//! order of magnitude below healthy debug-build throughput, so it only
+//! trips on a real regression — in particular, on the parking wait path
+//! accidentally parking (or even just registering) when the lock is free.
+
+use std::time::{Duration, Instant};
+
+use bravo_repro::bravo::wait::WaitMode;
+use bravo_repro::rwlocks::{build_lock, LockKind};
+
+const WINDOW: Duration = Duration::from_millis(100);
+const FLOOR_OPS_PER_MSEC: f64 = 80.0;
+
+fn single_reader_ops_per_msec(kind: LockKind, wait: WaitMode) -> f64 {
+    let spec = kind.spec().with_wait(wait);
+    let lock = build_lock(&spec).unwrap_or_else(|e| panic!("build {spec}: {e}"));
+    // Warm up thread registration and any lazily allocated wait buckets.
+    for _ in 0..100 {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+    let start = Instant::now();
+    let mut ops = 0u64;
+    while start.elapsed() < WINDOW {
+        for _ in 0..64 {
+            lock.lock_shared();
+            lock.unlock_shared();
+        }
+        ops += 64;
+    }
+    ops as f64 / start.elapsed().as_millis().max(1) as f64
+}
+
+#[test]
+fn uncontended_single_reader_stays_fast() {
+    for kind in [LockKind::PerCpu, LockKind::Ba] {
+        for wait in [WaitMode::Spin, WaitMode::Park] {
+            let rate = single_reader_ops_per_msec(kind, wait);
+            assert!(
+                rate >= FLOOR_OPS_PER_MSEC,
+                "{} with wait={}: {rate:.1} ops/msec under the {FLOOR_OPS_PER_MSEC} floor \
+                 (single-reader collapse regression?)",
+                kind.name(),
+                wait,
+            );
+        }
+    }
+}
+
+#[test]
+fn parking_never_engages_without_contention() {
+    // Stronger than the floor: with one thread and no writer, the parking
+    // path must never get past the fast-path check, so the global
+    // parked-wait counter must not move at all.
+    let before = bravo_repro::bravo::stats::snapshot();
+    let lock = build_lock(&LockKind::Ba.spec().with_wait(WaitMode::Park)).expect("build BA");
+    for _ in 0..10_000 {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+    let own_parks = bravo_repro::bravo::stats::snapshot()
+        .since(&before)
+        .parked_waits;
+    // The counter is process-global, but every test in this binary is an
+    // uncontended single-threaded loop, so nothing here may ever park.
+    assert_eq!(
+        own_parks, 0,
+        "uncontended single reader appears to be parking"
+    );
+}

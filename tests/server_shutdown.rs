@@ -20,8 +20,8 @@ const ACTIVE_CONNECTIONS: usize = 4;
 /// handlers park in a read) plus `ACTIVE_CONNECTIONS` clients hammering the
 /// store from background threads, then shuts the server down mid-traffic.
 /// Shutdown must return promptly and account for every connection.
-fn shutdown_under_load(backend: BackendKind) {
-    let mut config = ServerConfig::new("BRAVO-BA".parse().expect("valid spec"));
+fn shutdown_under_load(backend: BackendKind, spec: &str) {
+    let mut config = ServerConfig::new(spec.parse().expect("valid spec"));
     config.prepopulate = 64;
     config.backend = backend;
     let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
@@ -142,12 +142,26 @@ fn shutdown_under_load(backend: BackendKind) {
 
 #[test]
 fn threaded_shutdown_joins_every_handler_under_load() {
-    shutdown_under_load(BackendKind::Threads);
+    shutdown_under_load(BackendKind::Threads, "BRAVO-BA");
 }
 
 #[test]
 fn mux_shutdown_tears_down_every_connection_under_load() {
-    shutdown_under_load(BackendKind::Mux);
+    shutdown_under_load(BackendKind::Mux, "BRAVO-BA");
+}
+
+// With `wait=park`, a handler blocked on the GetLock is parked in the
+// kernel rather than spinning; shutdown must still wake and join every
+// such handler (a leaked parked thread would hang the join below).
+
+#[test]
+fn threaded_shutdown_joins_every_handler_with_parking_locks() {
+    shutdown_under_load(BackendKind::Threads, "BRAVO-BA?wait=park&adapt=on");
+}
+
+#[test]
+fn mux_shutdown_tears_down_every_connection_with_parking_locks() {
+    shutdown_under_load(BackendKind::Mux, "BRAVO-BA?wait=park&adapt=on");
 }
 
 /// A second shutdown path: dropping the server (no explicit `shutdown()`)
