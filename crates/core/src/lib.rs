@@ -89,6 +89,7 @@ pub mod raw;
 pub mod rwlock;
 pub mod spec;
 pub mod stats;
+pub mod sync;
 pub mod twod;
 pub mod vrt;
 pub mod wait;

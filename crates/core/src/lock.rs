@@ -9,8 +9,9 @@
 //! this raw form directly, exactly as the Linux patch threads the slot from
 //! acquisition to release.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::clock::now_ns;
 use crate::policy::{AdaptiveBias, BiasPolicy};
@@ -18,6 +19,39 @@ use crate::raw::{DefaultRwLock, RawRwLock, RawTryRwLock};
 use crate::stats::{SlowReadReason, StatsSink};
 use crate::vrt::TableHandle;
 use crate::wait::{WaitMode, WaitStrategy};
+
+/// Fault injection for the model checker's self-test.
+///
+/// `schedcheck`'s value rests on actually finding the bugs this codebase has
+/// already had. This module can re-introduce the missing-wakeup bug fixed in
+/// the parking-waiter PR: a fast-path reader that publishes its table slot,
+/// loses the race with a revoking writer, and backs out *without* waking the
+/// writer that may already be parked on that slot. The checker must drive
+/// the deadlock (writer parked forever, reader gone) within its schedule
+/// budget — see `tests/schedcheck_mutation.rs`.
+///
+/// Compiled only under the `schedcheck` feature, so release builds carry no
+/// trace of it. Enabled programmatically via [`mutation::set_lost_wakeup`]
+/// or by setting the `BRAVO_MUTATE_LOST_WAKEUP` environment variable.
+#[cfg(feature = "schedcheck")]
+pub mod mutation {
+    use crate::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static LOST_WAKEUP: AtomicBool = AtomicBool::new(false);
+    static ENV: OnceLock<bool> = OnceLock::new();
+
+    /// Enables or disables the lost-wakeup mutation process-wide.
+    pub fn set_lost_wakeup(enabled: bool) {
+        LOST_WAKEUP.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the back-out path should skip its wakeup.
+    pub(crate) fn lost_wakeup() -> bool {
+        LOST_WAKEUP.load(Ordering::SeqCst)
+            || *ENV.get_or_init(|| std::env::var_os("BRAVO_MUTATE_LOST_WAKEUP").is_some())
+    }
+}
 
 /// Proof that read permission is held on a [`BravoLock`], and how it was
 /// obtained.
@@ -211,6 +245,12 @@ impl<L: RawRwLock> BravoLock<L> {
                 // parked on it, so the clear needs the same wakeup as a
                 // fast-path release (no-op in spin mode).
                 table.clear(slot, addr);
+                #[cfg(feature = "schedcheck")]
+                if mutation::lost_wakeup() {
+                    // Seeded bug: back out silently. The parked revoker
+                    // never learns the slot emptied.
+                    return self.slow_read(SlowReadReason::Raced);
+                }
                 self.wait.notify_all(addr);
                 return self.slow_read(SlowReadReason::Raced);
             }
@@ -331,7 +371,13 @@ impl<L: RawTryRwLock> BravoLock<L> {
                 // Backed out after losing the race with a revoker that may
                 // be parked on our slot; wake it (no-op in spin mode).
                 table.clear(slot, addr);
-                self.wait.notify_all(addr);
+                #[cfg(feature = "schedcheck")]
+                let mutated = mutation::lost_wakeup();
+                #[cfg(not(feature = "schedcheck"))]
+                let mutated = false;
+                if !mutated {
+                    self.wait.notify_all(addr);
+                }
             }
         }
         if self.underlying.try_lock_shared().is_ok() {
@@ -369,7 +415,7 @@ impl<L: RawRwLock> std::fmt::Debug for BravoLock<L> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     type Bravo = BravoLock<DefaultRwLock>;

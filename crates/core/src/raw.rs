@@ -1,7 +1,7 @@
 //! The interface BRAVO expects from an underlying reader-writer lock, plus a
 //! minimal default implementation.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::wait::{WaitMode, WaitStrategy};
 
@@ -295,7 +295,7 @@ impl std::fmt::Debug for DefaultRwLock {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
     use std::sync::Arc;
 
     #[test]

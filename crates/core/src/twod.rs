@@ -14,8 +14,9 @@
 //! `BRAVO-2D-BA?table=numa:2x1024` is valid); the kind only selects the
 //! *default* layout.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::clock::now_ns;
 use crate::policy::{AdaptiveBias, BiasPolicy};
@@ -365,7 +366,7 @@ mod tests {
         let held = l.read_lock();
         assert!(held.is_fast());
         let l2 = std::sync::Arc::clone(&l);
-        let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let done = std::sync::Arc::new(crate::sync::atomic::AtomicBool::new(false));
         let done2 = std::sync::Arc::clone(&done);
         let writer = std::thread::spawn(move || {
             l2.write_lock();
@@ -442,7 +443,7 @@ mod tests {
     #[test]
     fn exclusion_under_mixed_load() {
         let l = std::sync::Arc::new(Lock2d::new());
-        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = std::sync::Arc::new(crate::sync::atomic::AtomicU64::new(0));
         std::thread::scope(|s| {
             for i in 0..4 {
                 let l = std::sync::Arc::clone(&l);

@@ -25,8 +25,10 @@
 //! table (the flat global, the sectored global, or a per-geometry shared
 //! NUMA table) or to a table owned by the lock instance.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::Mutex;
 
 use topology::CachePadded;
 

@@ -41,14 +41,15 @@
 //! than an embedded queue.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::thread::Thread;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use crate::clock::{now_ns, Backoff};
 use crate::hash::mix64;
 use crate::stats;
+use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::thread::{self, Thread};
+use crate::sync::{Mutex, MutexGuard};
 
 /// How a lock waits when it cannot make progress.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
@@ -114,6 +115,19 @@ pub struct WaitQueue {
 /// spin phase plus a few yields before the thread commits to parking.
 const SPIN_GRACE: u32 = 96;
 
+/// The effective spin grace. Under the model checker, bounded spins are
+/// pure schedule noise (each `ready()` poll is a yield point), so managed
+/// threads commit to parking almost immediately — this keeps explored
+/// schedules short without changing the protocol.
+#[inline]
+fn spin_grace() -> u32 {
+    #[cfg(feature = "schedcheck")]
+    if schedcheck::is_managed() {
+        return 2;
+    }
+    SPIN_GRACE
+}
+
 impl WaitQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
@@ -133,7 +147,7 @@ impl WaitQueue {
         self.len() == 0
     }
 
-    fn queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Arc<WaitNode>>> {
+    fn queue(&self) -> MutexGuard<'_, VecDeque<Arc<WaitNode>>> {
         self.waiters.lock().expect("wait queue poisoned")
     }
 
@@ -142,10 +156,22 @@ impl WaitQueue {
     fn register(&self, key: usize) -> Arc<WaitNode> {
         let node = Arc::new(WaitNode {
             key,
-            thread: std::thread::current(),
+            thread: thread::current(),
             woken: AtomicBool::new(false),
         });
-        self.queue().push_back(Arc::clone(&node));
+        {
+            let mut queue = self.queue();
+            // Invariant: one live entry per thread. A thread re-registers
+            // only after its previous node was dequeued (by a waker) or
+            // deregistered (by itself), so a duplicate here means a node
+            // leaked — the shape of bug that turns into a phantom wakeup
+            // eating a real one.
+            debug_assert!(
+                !queue.iter().any(|n| n.thread.id() == node.thread.id()),
+                "duplicate wait-queue registration for one thread"
+            );
+            queue.push_back(Arc::clone(&node));
+        }
         self.registered.fetch_add(1, Ordering::SeqCst);
         node
     }
@@ -167,7 +193,7 @@ impl WaitQueue {
     /// [`WaitQueue::wake_one`]) with the same `key` after changing state.
     pub fn wait_until(&self, key: usize, mut ready: impl FnMut() -> bool) {
         let mut backoff = Backoff::new();
-        for _ in 0..SPIN_GRACE {
+        for _ in 0..spin_grace() {
             if ready() {
                 return;
             }
@@ -182,7 +208,7 @@ impl WaitQueue {
             }
             stats::record_parked_wait();
             while !node.woken.load(Ordering::Acquire) {
-                std::thread::park();
+                thread::park();
                 if !node.woken.load(Ordering::Acquire) && ready() {
                     // Spurious wakeup, but the condition holds now.
                     self.deregister(&node);
@@ -207,7 +233,7 @@ impl WaitQueue {
         deadline_ns: u64,
     ) -> bool {
         let mut backoff = Backoff::new();
-        for _ in 0..SPIN_GRACE {
+        for _ in 0..spin_grace() {
             if ready() {
                 return true;
             }
@@ -235,7 +261,7 @@ impl WaitQueue {
                     self.deregister(&node);
                     return ready();
                 }
-                std::thread::park_timeout(Duration::from_nanos(deadline_ns - now));
+                thread::park_timeout(Duration::from_nanos(deadline_ns - now));
                 if !node.woken.load(Ordering::Acquire) && ready() {
                     self.deregister(&node);
                     return true;
@@ -273,6 +299,13 @@ impl WaitQueue {
             }
         }
         for node in &woken {
+            // Invariant: the wake flag must be published before the unpark,
+            // or the waiter's `woken` re-check loop can absorb the token and
+            // park again forever.
+            debug_assert!(
+                node.woken.load(Ordering::Acquire),
+                "unpark without wake flag set"
+            );
             node.thread.unpark();
         }
         woken.len()
@@ -298,6 +331,10 @@ impl WaitQueue {
                 None => return false,
             }
         };
+        debug_assert!(
+            node.woken.load(Ordering::Acquire),
+            "unpark without wake flag set"
+        );
         node.thread.unpark();
         true
     }
@@ -418,7 +455,7 @@ impl WaitStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::sync::atomic::AtomicU64;
 
     #[test]
     fn wait_mode_round_trips_through_strings() {
@@ -590,5 +627,101 @@ mod tests {
             }
         }
         panic!("no parked wait was recorded in 20 episodes");
+    }
+
+    #[test]
+    fn deadline_already_past_returns_immediately() {
+        // A deadline at-or-before "now" must not register, must not park,
+        // and must report the condition's value at that instant.
+        let q = WaitQueue::new();
+        assert!(!q.wait_until_deadline(3, || false, 0));
+        assert!(q.is_empty());
+        assert!(!q.wait_until_deadline(3, || false, now_ns().saturating_sub(1)));
+        assert!(q.is_empty());
+        // If the condition is already true the expired deadline is moot.
+        assert!(q.wait_until_deadline(3, || true, 0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wake_racing_timeout_leaves_queue_consistent() {
+        // A wake that lands around the waiter's deadline must never corrupt
+        // the queue: whichever side wins, `true` is returned only with the
+        // condition actually true, the queue ends empty, and the next round
+        // still works (no node leaked, no wakeup eaten).
+        let q = Arc::new(WaitQueue::new());
+        let mut wake_won = 0u32;
+        for round in 0..50u64 {
+            let flag = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|s| {
+                let waiter = {
+                    let q = Arc::clone(&q);
+                    let flag = Arc::clone(&flag);
+                    s.spawn(move || {
+                        // Sub-millisecond deadline so timeout genuinely races
+                        // the main thread's wake on loaded hosts.
+                        let deadline = now_ns() + 200_000 + (round % 7) * 50_000;
+                        let won =
+                            q.wait_until_deadline(13, || flag.load(Ordering::SeqCst), deadline);
+                        (won, flag.load(Ordering::SeqCst))
+                    })
+                };
+                flag.store(true, Ordering::SeqCst);
+                q.wake_all(13);
+                let (won, flag_at_return) = waiter.join().unwrap();
+                if won {
+                    wake_won += 1;
+                    assert!(flag_at_return, "returned true with the condition false");
+                }
+                // `false` is legitimate only when the deadline beat the
+                // store; either way nothing may linger in the queue.
+            });
+            assert!(q.is_empty(), "round {round} leaked a waiter node");
+        }
+        // The store happens within microseconds of spawn, so the wake side
+        // must win at least once across 50 rounds.
+        assert!(wake_won > 0, "wake never beat the timeout in 50 rounds");
+    }
+
+    #[test]
+    fn stale_wake_token_does_not_break_later_waits() {
+        // deregister() races a waker: the waker may dequeue the node and
+        // bank an unpark token after the waiter already timed out. The next
+        // wait on the same thread must still obey its own condition.
+        let q = Arc::new(WaitQueue::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let q2 = Arc::clone(&q);
+            let flag2 = Arc::clone(&flag);
+            let waiter = s.spawn(move || {
+                // Phase 1: time out (condition never true), possibly
+                // collecting a stale unpark token from the main thread.
+                let timed_out = !q2.wait_until_deadline(21, || false, now_ns() + 2_000_000);
+                // Phase 2: a real wait that must not terminate early off the
+                // banked token alone.
+                q2.wait_until(21, || flag2.load(Ordering::SeqCst));
+                (timed_out, flag2.load(Ordering::SeqCst))
+            });
+            // Fire wakes at the (probably parked, possibly timing-out)
+            // waiter without making it ready: these tokens are stale.
+            for _ in 0..10 {
+                q.wake_all(21);
+                std::thread::sleep(Duration::from_micros(300));
+            }
+            // Now make phase 2 genuinely ready and wake.
+            flag.store(true, Ordering::SeqCst);
+            let mut backoff = Backoff::new();
+            loop {
+                q.wake_all(21);
+                if waiter.is_finished() {
+                    break;
+                }
+                backoff.snooze();
+            }
+            let (timed_out, saw_flag) = waiter.join().unwrap();
+            assert!(timed_out, "phase 1 condition was never true");
+            assert!(saw_flag, "phase 2 returned before its condition held");
+        });
+        assert!(q.is_empty());
     }
 }

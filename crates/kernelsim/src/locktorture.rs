@@ -89,7 +89,7 @@ fn hold_for(hold: Duration) {
     }
     let start = Instant::now();
     while start.elapsed() < hold {
-        std::hint::spin_loop();
+        bravo::clock::cpu_relax();
     }
 }
 

@@ -10,7 +10,7 @@
 //! still write to one line. It is included here as a baseline that sits
 //! between the centralized counter and the distributed-indicator locks.
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use bravo::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};

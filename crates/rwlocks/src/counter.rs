@@ -1,6 +1,6 @@
 //! The classic centralized-counter reader-writer lock.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use bravo::sync::atomic::{AtomicU64, Ordering};
 
 use bravo::wait::{WaitMode, WaitStrategy};
 use bravo::{RawRwLock, RawTryRwLock, TryLockError};

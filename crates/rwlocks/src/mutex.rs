@@ -1,9 +1,9 @@
 //! Mutual-exclusion building blocks: ticket lock, MCS lock and the
 //! NUMA-aware cohort mutex used by the Cohort-RW reader-writer lock.
 
+use bravo::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 
 use bravo::wait::{WaitMode, WaitStrategy};
 use topology::CachePadded;
@@ -415,7 +415,7 @@ impl Default for CohortMutex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use bravo::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     fn exclusion_torture<M: RawMutex + 'static>(make: impl Fn() -> M) {

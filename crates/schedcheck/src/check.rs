@@ -1,0 +1,347 @@
+//! The checker: explores many schedules of a test body and reports the
+//! first failing one with a replayable seed token.
+//!
+//! A *seed token* encodes everything needed to reproduce a schedule:
+//! `rw:<hex>` (random walk), `pct<depth>:<hex>` (PCT), or
+//! `trace:<c0.c1...>` (an explicit branching-choice trace, used by
+//! exhaustive exploration). [`run`] honours the `SCHEDCHECK_SEED`
+//! environment variable: when set, only that one schedule is executed —
+//! paste the token a failure printed and the same interleaving replays.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, FailureKind, RunOutcome, Scheduler};
+use crate::strategy::{Strategy, StrategyKind};
+
+/// Environment variable holding a seed token to replay.
+pub const SEED_ENV: &str = "SCHEDCHECK_SEED";
+
+/// Checker configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Exploration strategy.
+    pub strategy: StrategyKind,
+    /// Base seed; schedule `i` uses `seed + i`.
+    pub seed: u64,
+    /// Maximum schedules to explore.
+    pub schedules: usize,
+    /// Per-schedule yield-point budget; exceeding it fails the schedule
+    /// (livelock detector).
+    pub max_steps: u64,
+    /// When set, run exactly this token (overrides everything else except
+    /// `max_steps`).
+    replay: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            strategy: StrategyKind::RandomWalk,
+            seed: 1,
+            schedules: 256,
+            max_steps: 20_000,
+            replay: None,
+        }
+    }
+}
+
+impl Config {
+    /// Random-walk exploration from `seed`.
+    pub fn random_walk(seed: u64) -> Self {
+        Self {
+            strategy: StrategyKind::RandomWalk,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// PCT priority schedules of the given bug `depth`, from `seed`.
+    pub fn pct(seed: u64, depth: u32) -> Self {
+        Self {
+            strategy: StrategyKind::Pct { depth },
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Bounded exhaustive DFS over branching choices.
+    pub fn exhaustive() -> Self {
+        Self {
+            strategy: StrategyKind::Exhaustive,
+            ..Self::default()
+        }
+    }
+
+    /// Replay a single schedule from a seed token (as printed by a
+    /// failure, e.g. `rw:2a` or `pct3:1f` or `trace:0.1.1`).
+    pub fn replay(token: &str) -> Self {
+        Self {
+            replay: Some(token.to_string()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the schedule budget.
+    pub fn with_schedules(mut self, schedules: usize) -> Self {
+        self.schedules = schedules;
+        self
+    }
+
+    /// Sets the per-schedule step budget.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// Replay token: rerun with `SCHEDCHECK_SEED=<token>` (or
+    /// [`Config::replay`]) to reproduce this interleaving.
+    pub seed_token: String,
+    /// Yield-point count when the failure was detected.
+    pub step: u64,
+    /// Human-readable description (includes a per-thread state dump).
+    pub detail: String,
+    /// The schedule itself: chosen thread id per hand-off. Two runs of the
+    /// same token produce identical traces.
+    pub trace: Vec<u32>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "schedcheck failure: {} at step {}\n  {}\n  replay with {}={}",
+            self.kind, self.step, self.detail, SEED_ENV, self.seed_token
+        )
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// A completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Exhaustive mode only: the whole choice tree was explored before the
+    /// schedule budget ran out.
+    pub complete: bool,
+}
+
+fn seed_token(kind: StrategyKind, seed: u64) -> String {
+    match kind {
+        StrategyKind::RandomWalk => format!("rw:{seed:x}"),
+        StrategyKind::Pct { depth } => format!("pct{depth}:{seed:x}"),
+        StrategyKind::Exhaustive => unreachable!("exhaustive failures use trace tokens"),
+    }
+}
+
+fn trace_token(choices: &[u32]) -> String {
+    let body: Vec<String> = choices.iter().map(|c| c.to_string()).collect();
+    format!("trace:{}", body.join("."))
+}
+
+fn parse_token(token: &str) -> Result<Strategy, String> {
+    let (kind, rest) = token
+        .split_once(':')
+        .ok_or_else(|| format!("malformed seed token '{token}' (expected kind:payload)"))?;
+    if kind == "trace" {
+        let choices = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split('.')
+                .map(|c| c.parse::<u32>())
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("bad trace token '{token}': {e}"))?
+        };
+        return Ok(Strategy::replay(choices));
+    }
+    let seed = u64::from_str_radix(rest, 16).map_err(|e| format!("bad seed in '{token}': {e}"))?;
+    if kind == "rw" {
+        Ok(Strategy::new(StrategyKind::RandomWalk, seed))
+    } else if let Some(depth) = kind.strip_prefix("pct") {
+        let depth = depth
+            .parse::<u32>()
+            .map_err(|e| format!("bad pct depth in '{token}': {e}"))?;
+        Ok(Strategy::new(StrategyKind::Pct { depth }, seed))
+    } else {
+        Err(format!("unknown seed token kind '{kind}'"))
+    }
+}
+
+type Body = Arc<dyn Fn() + Send + Sync + 'static>;
+
+fn run_one(strategy: Strategy, max_steps: u64, body: Body) -> RunOutcome {
+    let sched = Scheduler::new(strategy, max_steps);
+    let sched2 = Arc::clone(&sched);
+    let root = std::thread::Builder::new()
+        .name("schedcheck-root".to_string())
+        .spawn(move || rt::run_thread(sched2, 0, move || body()))
+        .expect("spawn schedcheck root thread");
+    sched
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(root);
+    rt::finish(sched)
+}
+
+fn mk_failure(rec: crate::rt::FailureRecord, token: String) -> Failure {
+    Failure {
+        kind: rec.kind,
+        seed_token: token,
+        step: rec.step,
+        detail: rec.detail,
+        trace: rec.trace,
+    }
+}
+
+/// Explores schedules of `body` under `config`. Returns the first failure
+/// (deadlock, lost wakeup, livelock, or panic — e.g. a violated assertion in
+/// the body), or a [`Report`] if every explored schedule passed.
+///
+/// The body runs once per schedule on a fresh managed root thread; build
+/// all shared state inside it and spawn sibling threads with [`spawn`].
+pub fn run<F>(config: &Config, body: F) -> Result<Report, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Body = Arc::new(body);
+    let replay_token = config
+        .replay
+        .clone()
+        .or_else(|| std::env::var(SEED_ENV).ok().filter(|s| !s.is_empty()));
+    if let Some(token) = replay_token {
+        let strategy = parse_token(&token).unwrap_or_else(|e| panic!("schedcheck: {e}"));
+        let out = run_one(strategy, config.max_steps, body);
+        return match out.failure {
+            Some(rec) => Err(mk_failure(rec, token)),
+            None => Ok(Report {
+                schedules: 1,
+                complete: false,
+            }),
+        };
+    }
+    match config.strategy {
+        StrategyKind::RandomWalk | StrategyKind::Pct { .. } => {
+            for i in 0..config.schedules {
+                let seed = config.seed.wrapping_add(i as u64);
+                let strategy = Strategy::new(config.strategy, seed);
+                let out = run_one(strategy, config.max_steps, Arc::clone(&body));
+                if let Some(rec) = out.failure {
+                    return Err(mk_failure(rec, seed_token(config.strategy, seed)));
+                }
+            }
+            Ok(Report {
+                schedules: config.schedules,
+                complete: false,
+            })
+        }
+        StrategyKind::Exhaustive => {
+            let mut prefix: Vec<u32> = Vec::new();
+            let mut count = 0usize;
+            let mut complete = false;
+            while count < config.schedules {
+                let strategy = Strategy::exhaustive_with_prefix(prefix.clone());
+                let out = run_one(strategy, config.max_steps, Arc::clone(&body));
+                count += 1;
+                if let Some(rec) = out.failure {
+                    let choices: Vec<u32> = out.recorded.iter().map(|&(_, c)| c).collect();
+                    return Err(mk_failure(rec, trace_token(&choices)));
+                }
+                // Advance the DFS frontier: bump the deepest decision that
+                // still has an unexplored sibling.
+                let mut next: Option<Vec<u32>> = None;
+                for k in (0..out.recorded.len()).rev() {
+                    let (n, c) = out.recorded[k];
+                    if c + 1 < n {
+                        let mut p: Vec<u32> = out.recorded[..k].iter().map(|&(_, c)| c).collect();
+                        p.push(c + 1);
+                        next = Some(p);
+                        break;
+                    }
+                }
+                match next {
+                    Some(p) => prefix = p,
+                    None => {
+                        complete = true;
+                        break;
+                    }
+                }
+            }
+            Ok(Report {
+                schedules: count,
+                complete,
+            })
+        }
+    }
+}
+
+/// Like [`run`], but panics with the full failure message (including the
+/// `SCHEDCHECK_SEED` replay line) on the first failing schedule.
+pub fn check<F>(config: &Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match run(config, body) {
+        Ok(report) => report,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// A handle to a thread started with [`spawn`].
+pub struct JoinHandle<T> {
+    inner: HandleRepr<T>,
+}
+
+enum HandleRepr<T> {
+    Os(std::thread::JoinHandle<T>),
+    Managed {
+        sched: Arc<Scheduler>,
+        id: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its result. Panics if the thread
+    /// panicked (inside a checker the whole schedule already failed).
+    pub fn join(self) -> T {
+        match self.inner {
+            HandleRepr::Os(h) => h.join().expect("spawned thread panicked"),
+            HandleRepr::Managed { sched, id, slot } => {
+                rt::join_managed(&sched, id);
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("managed thread finished without a result (it panicked)")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a checker schedule the thread joins the managed
+/// world (scheduled at yield points like every other thread); outside one it
+/// is a plain `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match rt::ctx() {
+        Some((sched, _)) => {
+            let (id, slot) = rt::spawn_managed(&sched, f);
+            JoinHandle {
+                inner: HandleRepr::Managed { sched, id, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: HandleRepr::Os(std::thread::spawn(f)),
+        },
+    }
+}

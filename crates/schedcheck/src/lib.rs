@@ -1,0 +1,66 @@
+//! `schedcheck`: a deterministic concurrency model checker for the lock
+//! catalog, in the spirit of loom and shuttle, vendored std-only so it
+//! builds offline (the same philosophy as `crates/shims/`).
+//!
+//! # How it works
+//!
+//! A checker schedule runs the test body on real OS threads, but
+//! *serialized*: exactly one thread is runnable at a time, and every
+//! instrumented operation — an atomic access through [`sync::atomic`], a
+//! park/unpark through [`sync::thread`], a contended [`sync::Mutex`] — is a
+//! yield point where a seeded strategy picks the next thread. Because
+//! shared state only changes at yield points, the seed fully determines the
+//! interleaving: any failure prints a `SCHEDCHECK_SEED` token that replays
+//! it byte-for-byte (same hand-off trace, same failure).
+//!
+//! The lock catalog routes its atomics and parking through the
+//! `bravo::sync` facade, which re-exports `std` in normal builds and these
+//! shims under the `schedcheck` feature — so the checker drives the *real*
+//! lock code, not a model of it.
+//!
+//! # What it detects
+//!
+//! * **Global deadlock / lost wakeups** — no runnable thread, no pending
+//!   timeout, unfinished threads remain. Because blocking is virtualized,
+//!   this is a proof that no waker exists, not a timeout heuristic.
+//! * **Livelock** — a schedule exceeding its step budget.
+//! * **Assertion failures** — any panic in the body (e.g. an exclusion
+//!   violation observed by instrumented atomics) fails the schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use schedcheck::{check, spawn, Config};
+//! use schedcheck::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! check(&Config::random_walk(7).with_schedules(64), || {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! # Strategies
+//!
+//! [`Config::random_walk`] picks uniformly among runnable threads;
+//! [`Config::pct`] runs PCT priority schedules (find bugs needing one
+//! thread descheduled across a long window, like a reader stalled between
+//! its table publish and its bias re-check); [`Config::exhaustive`]
+//! enumerates every branching choice for small scenarios. All of them
+//! replay through [`Config::replay`] / the `SCHEDCHECK_SEED` env var.
+
+pub mod lint;
+pub mod rng;
+pub mod sync;
+
+mod check;
+mod rt;
+mod strategy;
+
+pub use check::{check, run, spawn, Config, Failure, JoinHandle, Report, SEED_ENV};
+pub use rt::{is_managed, FailureKind};
+pub use strategy::StrategyKind;

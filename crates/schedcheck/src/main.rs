@@ -1,0 +1,56 @@
+//! The `schedcheck` command-line tool.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! schedcheck lint [REPO_ROOT]
+//! ```
+//!
+//! walks `crates/*/src` under the repo root (default: the current
+//! directory) and exits nonzero if any lock-discipline violation is found.
+//! CI runs it as a hard gate; see the lint module docs for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: schedcheck lint [REPO_ROOT]");
+    eprintln!();
+    eprintln!("  lint    scan crates/*/src for lock-discipline violations");
+    eprintln!("          (bare thread::park, raw spin loops, std atomics in");
+    eprintln!("          facade-migrated modules); exit 1 if any are found");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if args.len() > 2 {
+                return usage();
+            }
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("."));
+            match schedcheck::lint::lint_tree(&root) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("schedcheck lint: clean ({})", root.display());
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("schedcheck lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("schedcheck lint: cannot scan {}: {e}", root.display());
+                    ExitCode::from(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,558 @@
+//! The serialized-thread scheduler runtime.
+//!
+//! The checker runs N *real* OS threads but admits exactly one at a time:
+//! every thread waits on one global condvar for `active == my_id`, and every
+//! instrumented operation (atomic access, park/unpark, contended-mutex
+//! retry) is a *yield point* where the running thread hands the token back
+//! and a [`Strategy`] picks the next runnable thread. Because the program
+//! under test only changes shared state at instrumented operations, the
+//! sequence of strategy choices fully determines the interleaving — which is
+//! what makes a failing schedule replayable from its seed alone.
+//!
+//! Blocking is virtualized: `park` marks the thread `Parked` (woken only by
+//! `unpark`), `park_timeout` marks it `TimedPark` (additionally released
+//! when *nothing else* can run — virtual timeouts fire only when the world
+//! would otherwise idle), and `join` marks it `Join(target)`. When no thread
+//! is runnable, no timeout is pending, and unfinished threads remain, the
+//! world is in **global deadlock** — every parked thread can prove no waker
+//! exists — and the run is failed with a per-thread state dump.
+//!
+//! Teardown after a failure unwinds every managed thread with a private
+//! [`SchedAbort`] panic payload raised at its next yield point (via
+//! `resume_unwind`, so the panic hook stays silent); each thread's wrapper
+//! catches it and marks itself finished.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::strategy::Strategy;
+
+/// Per-schedule cap on *contended-spin* retries (instrumented-mutex
+/// `try_lock` loops). These do not count against the step budget — a spinner
+/// may legitimately wait out another checker running in a parallel test that
+/// shares a global wait-queue bucket — but a hard cap keeps a genuine
+/// livelock from hanging the test binary.
+const MAX_CONTENDED_SPINS: u64 = 5_000_000;
+
+/// Panic payload used to unwind managed threads during teardown. Not a
+/// failure: each thread's wrapper catches it and finishes quietly.
+pub(crate) struct SchedAbort;
+
+/// What a schedule failure was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread, no pending virtual timeout, unfinished threads
+    /// remain: every blocked thread provably has no waker (covers both
+    /// classic deadlock and lost wakeups).
+    Deadlock,
+    /// The schedule exceeded its step budget — a livelock, or a budget set
+    /// too low for the scenario.
+    StepBudget,
+    /// A managed thread panicked (e.g. an exclusion assertion fired).
+    Panic,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Deadlock => "global deadlock",
+            FailureKind::StepBudget => "step budget exceeded",
+            FailureKind::Panic => "thread panic",
+        })
+    }
+}
+
+/// A failure recorded by the runtime, before the checker attaches the
+/// replay token.
+#[derive(Debug, Clone)]
+pub(crate) struct FailureRecord {
+    pub kind: FailureKind,
+    pub step: u64,
+    pub detail: String,
+    pub trace: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    Parked,
+    TimedPark,
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    /// A banked unpark token (`unpark` on a thread that is not parked).
+    token: bool,
+    /// Set when the last resume came from a virtual timeout rather than an
+    /// unpark.
+    timeout_fired: bool,
+}
+
+impl ThreadRec {
+    fn new() -> Self {
+        Self {
+            status: Status::Runnable,
+            token: false,
+            timeout_fired: false,
+        }
+    }
+}
+
+struct SchedState {
+    threads: Vec<ThreadRec>,
+    active: Option<usize>,
+    strategy: Strategy,
+    steps: u64,
+    max_steps: u64,
+    contended_spins: u64,
+    /// Chosen thread id per hand-off, for byte-for-byte replay comparison.
+    trace: Vec<u32>,
+    failure: Option<FailureRecord>,
+    abort: bool,
+}
+
+/// One schedule's world: the serialized scheduler shared by its threads.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// OS handles of every managed thread (including the root), joined by
+    /// the checker after the schedule ends.
+    pub(crate) handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// What a finished schedule left behind.
+pub(crate) struct RunOutcome {
+    pub failure: Option<FailureRecord>,
+    /// `(n_candidates, chosen)` per branching decision (exhaustive/replay
+    /// strategies only).
+    pub recorded: Vec<(u32, u32)>,
+}
+
+struct Ctx {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current thread's scheduler and managed id, if it is a managed thread.
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().as_ref().map(|x| (Arc::clone(&x.sched), x.id)))
+}
+
+/// Whether the current thread is managed by a running checker. Lock code may
+/// consult this to shrink spin-grace constants so bounded spins do not
+/// dominate explored schedules.
+pub fn is_managed() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn abort_unwind() -> ! {
+    // resume_unwind skips the panic hook: teardown is not a failure and
+    // must not spam stderr once per schedule.
+    std::panic::resume_unwind(Box::new(SchedAbort))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Scheduler {
+    /// A world with the root thread (id 0) registered and scheduled.
+    pub(crate) fn new(mut strategy: Strategy, max_steps: u64) -> Arc<Self> {
+        strategy.on_register(0);
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                threads: vec![ThreadRec::new()],
+                active: Some(0),
+                strategy,
+                steps: 0,
+                max_steps,
+                contended_spins: 0,
+                trace: Vec::new(),
+                failure: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        // The state mutex is never poisoned on purpose (no panic is raised
+        // while it is held), but absorb poison defensively.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records the first failure and begins teardown.
+    fn fail_locked(&self, st: &mut SchedState, kind: FailureKind, detail: String) {
+        if st.failure.is_none() {
+            st.failure = Some(FailureRecord {
+                kind,
+                step: st.steps,
+                detail,
+                trace: st.trace.clone(),
+            });
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn dump_threads(st: &SchedState) -> String {
+        let mut out = String::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            if !out.is_empty() {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("t{i}="));
+            out.push_str(&match t.status {
+                Status::Runnable => "runnable".to_string(),
+                Status::Blocked(Block::Parked) => "parked".to_string(),
+                Status::Blocked(Block::TimedPark) => "parked(timed)".to_string(),
+                Status::Blocked(Block::Join(j)) => format!("join(t{j})"),
+                Status::Finished => "finished".to_string(),
+            });
+        }
+        out
+    }
+
+    /// Picks and publishes the next active thread. With nothing runnable:
+    /// fires a virtual timeout if one is pending, ends the schedule if all
+    /// threads finished, or declares global deadlock.
+    fn hand_off(&self, st: &mut SchedState, yielder: Option<usize>) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let chosen = if !runnable.is_empty() {
+            runnable[st.strategy.choose(&runnable, yielder)]
+        } else {
+            let timed: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked(Block::TimedPark))
+                .map(|(i, _)| i)
+                .collect();
+            if !timed.is_empty() {
+                let t = timed[st.strategy.choose(&timed, yielder)];
+                st.threads[t].status = Status::Runnable;
+                st.threads[t].timeout_fired = true;
+                t
+            } else if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.active = None;
+                self.cv.notify_all();
+                return;
+            } else {
+                let parked: Vec<usize> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                    .map(|(i, _)| i)
+                    .collect();
+                let detail = format!(
+                    "no runnable thread and no pending timeout; blocked thread(s) {parked:?} \
+                     can never be woken (deadlock or lost wakeup). states: {}",
+                    Self::dump_threads(st)
+                );
+                self.fail_locked(st, FailureKind::Deadlock, detail);
+                return;
+            }
+        };
+        st.trace.push(chosen as u32);
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Blocks on the condvar until this thread is active (or unwinds on
+    /// abort). Consumes the guard.
+    fn wait_turn(&self, mut st: MutexGuard<'_, SchedState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.active == Some(me) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn check_budget(&self, st: &mut SchedState) {
+        if st.steps > st.max_steps {
+            let detail = format!(
+                "schedule exceeded its {}-step budget (livelock, or budget too small). states: {}",
+                st.max_steps,
+                Self::dump_threads(st)
+            );
+            self.fail_locked(st, FailureKind::StepBudget, detail);
+        }
+    }
+
+    fn do_yield(&self, me: usize, contended: bool) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        if contended {
+            st.contended_spins += 1;
+            if st.contended_spins > MAX_CONTENDED_SPINS {
+                self.fail_locked(
+                    &mut st,
+                    FailureKind::StepBudget,
+                    "contended-spin retry cap exceeded (mutex livelock?)".to_string(),
+                );
+            } else {
+                // Demote the spinner so priority schedules cannot starve
+                // whichever thread holds the contended resource.
+                st.strategy.demote(me);
+            }
+        } else {
+            st.steps += 1;
+            self.check_budget(&mut st);
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        self.hand_off(&mut st, Some(me));
+        self.wait_turn(st, me);
+    }
+
+    /// Virtual park. Returns whether the resume came from a virtual timeout
+    /// (only possible for `timed` parks).
+    fn do_park(&self, me: usize, timed: bool) -> bool {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        self.check_budget(&mut st);
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        if st.threads[me].token {
+            // A banked unpark: consume it and treat the park as a yield.
+            st.threads[me].token = false;
+            self.hand_off(&mut st, Some(me));
+        } else {
+            st.threads[me].status = Status::Blocked(if timed {
+                Block::TimedPark
+            } else {
+                Block::Parked
+            });
+            self.hand_off(&mut st, Some(me));
+        }
+        self.wait_turn(st, me);
+        let mut st = self.lock_state();
+        let fired = st.threads[me].timeout_fired;
+        st.threads[me].timeout_fired = false;
+        fired
+    }
+}
+
+/// A yield point: the currently running managed thread offers the scheduler
+/// a chance to switch. No-op on unmanaged threads.
+pub(crate) fn yield_point() {
+    if let Some((sched, id)) = ctx() {
+        sched.do_yield(id, false);
+    }
+}
+
+/// A contended-spin yield (instrumented-mutex retry): demotes the spinner
+/// under priority schedules and does not count against the step budget.
+pub(crate) fn yield_contended() {
+    match ctx() {
+        Some((sched, id)) => sched.do_yield(id, true),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Virtual `thread::park` for the current managed thread.
+pub(crate) fn park() {
+    if let Some((sched, id)) = ctx() {
+        sched.do_park(id, false);
+    } else {
+        std::thread::park();
+    }
+}
+
+/// Virtual `thread::park_timeout`. The duration is not modeled: a virtual
+/// timeout fires only when nothing else can run. If one does fire, a short
+/// *real* sleep lets real-time deadlines (which the code under test
+/// re-checks itself) make progress instead of burning scheduler steps.
+pub(crate) fn park_timeout(dur: Duration) {
+    if let Some((sched, id)) = ctx() {
+        if sched.do_park(id, true) {
+            std::thread::sleep(dur.min(Duration::from_millis(1)));
+        }
+    } else {
+        std::thread::park_timeout(dur);
+    }
+}
+
+/// Virtual `Thread::unpark` on a managed thread, callable from any thread.
+pub(crate) fn unpark(sched: &Arc<Scheduler>, tid: usize) {
+    let mut st = sched.lock_state();
+    match st.threads[tid].status {
+        Status::Blocked(Block::Parked) | Status::Blocked(Block::TimedPark) => {
+            st.threads[tid].status = Status::Runnable;
+            st.threads[tid].timeout_fired = false;
+        }
+        Status::Finished => {}
+        _ => st.threads[tid].token = true,
+    }
+}
+
+/// Spawns a managed thread in `sched`'s world. Returns its id and result
+/// slot; the OS handle is stashed on the scheduler for end-of-run joining.
+pub(crate) fn spawn_managed<T, F>(sched: &Arc<Scheduler>, f: F) -> (usize, Arc<Mutex<Option<T>>>)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let id = {
+        let mut st = sched.lock_state();
+        let id = st.threads.len();
+        st.threads.push(ThreadRec::new());
+        st.strategy.on_register(id);
+        id
+    };
+    let slot = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let sched2 = Arc::clone(sched);
+    let handle = std::thread::Builder::new()
+        .name(format!("schedcheck-{id}"))
+        .stack_size(512 * 1024)
+        .spawn(move || {
+            run_thread(sched2, id, move || {
+                let v = f();
+                *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            })
+        })
+        .expect("spawn managed thread");
+    sched
+        .handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+    (id, slot)
+}
+
+/// Body of every managed OS thread: installs the TLS context, waits for its
+/// first turn, runs `body`, and hands the world off on the way out. User
+/// panics become schedule failures; [`SchedAbort`] unwinds are quiet.
+pub(crate) fn run_thread(sched: Arc<Scheduler>, id: usize, body: impl FnOnce()) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::clone(&sched),
+            id,
+        })
+    });
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let st = sched.lock_state();
+        sched.wait_turn(st, id);
+        body();
+    }));
+    let mut st = sched.lock_state();
+    st.threads[id].status = Status::Finished;
+    for i in 0..st.threads.len() {
+        if st.threads[i].status == Status::Blocked(Block::Join(id)) {
+            st.threads[i].status = Status::Runnable;
+        }
+    }
+    if let Err(payload) = result {
+        if payload.downcast_ref::<SchedAbort>().is_none() {
+            let detail = format!(
+                "managed thread {id} panicked: {}",
+                panic_message(payload.as_ref())
+            );
+            sched.fail_locked(&mut st, FailureKind::Panic, detail);
+        }
+    }
+    if st.abort {
+        sched.cv.notify_all();
+    } else {
+        sched.hand_off(&mut st, None);
+    }
+    drop(st);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Blocks the calling managed thread until managed thread `target` (in the
+/// same world) finishes. Unmanaged callers spin in real time.
+pub(crate) fn join_managed(sched: &Arc<Scheduler>, target: usize) {
+    match ctx() {
+        Some((my_sched, me)) if Arc::ptr_eq(&my_sched, sched) => {
+            let mut st = sched.lock_state();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.threads[target].status != Status::Finished {
+                st.threads[me].status = Status::Blocked(Block::Join(target));
+                sched.hand_off(&mut st, Some(me));
+                sched.wait_turn(st, me);
+            }
+        }
+        _ => loop {
+            let st = sched.lock_state();
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            drop(st);
+            std::thread::yield_now();
+        },
+    }
+}
+
+/// Joins every managed OS thread and extracts the schedule's outcome. Call
+/// only after the root body has returned (or the world aborted).
+pub(crate) fn finish(sched: Arc<Scheduler>) -> RunOutcome {
+    loop {
+        let handle = sched
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        match handle {
+            // Managed wrappers catch everything, so join errors are
+            // impossible in practice; ignore them defensively.
+            Some(h) => drop(h.join()),
+            None => break,
+        }
+    }
+    // `Thread` handles (e.g. retained by a wait-queue node a torn-down
+    // world leaked) may still hold `Arc<Scheduler>` strong refs, so extract
+    // the outcome under the lock rather than unwrapping the Arc.
+    let mut st = sched.lock_state();
+    RunOutcome {
+        failure: st.failure.take(),
+        recorded: st.strategy.recorded().to_vec(),
+    }
+}

@@ -1,0 +1,249 @@
+//! Schedule strategies: how the scheduler picks the next thread at each
+//! yield point.
+//!
+//! Three exploration modes plus deterministic replay:
+//!
+//! * **Random walk** — uniform choice among runnable threads. Cheap,
+//!   surprisingly effective for shallow races.
+//! * **PCT** (probabilistic concurrency testing, Burckhardt et al.) —
+//!   threads get random priorities and the highest-priority runnable thread
+//!   always runs; at `depth - 1` random *change points* the running thread
+//!   is demoted below everyone. PCT finds bugs that need one thread to be
+//!   descheduled across a long window (e.g. a reader stalled between its
+//!   table publish and its bias re-check while a whole revocation scan
+//!   runs), which a random walk essentially never produces.
+//! * **Exhaustive** — depth-first enumeration of every branching choice, for
+//!   small thread counts and short schedules.
+//! * **Replay** — consume a recorded choice trace verbatim.
+
+use crate::rng::SplitMix64;
+
+/// How many decisions a PCT schedule expects; change points are sampled
+/// uniformly below this horizon.
+const PCT_HORIZON: u64 = 512;
+
+/// User-facing strategy selector (lives in [`crate::Config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Uniform random choice among runnable threads.
+    RandomWalk,
+    /// PCT priority schedules with `depth` (number of ordering constraints
+    /// the bug needs; `depth - 1` priority change points per schedule).
+    Pct {
+        /// The PCT bug depth `d`; schedules use `d - 1` change points.
+        depth: u32,
+    },
+    /// Bounded exhaustive DFS over all branching choices.
+    Exhaustive,
+}
+
+/// A strategy instance driving one schedule.
+#[derive(Debug)]
+pub(crate) enum Strategy {
+    RandomWalk {
+        rng: SplitMix64,
+    },
+    Pct {
+        rng: SplitMix64,
+        /// Priority per thread id; higher runs first. Demotions go below
+        /// zero via `low_water`, initial priorities are positive randoms.
+        prios: Vec<i64>,
+        low_water: i64,
+        /// Branching-decision indices at which the active thread is demoted.
+        change_at: Vec<u64>,
+        decisions: u64,
+    },
+    Exhaustive {
+        /// Choices forced for this schedule (from the DFS frontier); beyond
+        /// it the strategy picks the first candidate.
+        prefix: Vec<u32>,
+        cursor: usize,
+        /// `(n_candidates, chosen)` per branching decision, recorded so the
+        /// explorer can advance the frontier (and so failures can replay).
+        recorded: Vec<(u32, u32)>,
+    },
+    Replay {
+        choices: Vec<u32>,
+        cursor: usize,
+        /// Re-recorded trace, so replays can be compared byte-for-byte.
+        recorded: Vec<(u32, u32)>,
+    },
+}
+
+impl Strategy {
+    pub(crate) fn new(kind: StrategyKind, seed: u64) -> Self {
+        match kind {
+            StrategyKind::RandomWalk => Strategy::RandomWalk {
+                rng: SplitMix64::new(seed),
+            },
+            StrategyKind::Pct { depth } => {
+                let mut rng = SplitMix64::new(seed);
+                let change_at = (0..depth.saturating_sub(1))
+                    .map(|_| rng.next_u64() % PCT_HORIZON)
+                    .collect();
+                Strategy::Pct {
+                    rng,
+                    prios: Vec::new(),
+                    low_water: 0,
+                    change_at,
+                    decisions: 0,
+                }
+            }
+            StrategyKind::Exhaustive => Strategy::Exhaustive {
+                prefix: Vec::new(),
+                cursor: 0,
+                recorded: Vec::new(),
+            },
+        }
+    }
+
+    pub(crate) fn exhaustive_with_prefix(prefix: Vec<u32>) -> Self {
+        Strategy::Exhaustive {
+            prefix,
+            cursor: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    pub(crate) fn replay(choices: Vec<u32>) -> Self {
+        Strategy::Replay {
+            choices,
+            cursor: 0,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// A new thread `tid` registered; extend per-thread state.
+    pub(crate) fn on_register(&mut self, tid: usize) {
+        if let Strategy::Pct { rng, prios, .. } = self {
+            debug_assert_eq!(prios.len(), tid);
+            prios.push((rng.next_u64() >> 1) as i64);
+        }
+    }
+
+    /// Picks the index of the next thread among `candidates` (sorted thread
+    /// ids, nonempty). `yielder` is the thread giving up the CPU (PCT change
+    /// points demote it).
+    pub(crate) fn choose(&mut self, candidates: &[usize], yielder: Option<usize>) -> usize {
+        debug_assert!(!candidates.is_empty());
+        if candidates.len() == 1 {
+            return 0;
+        }
+        match self {
+            Strategy::RandomWalk { rng } => rng.next_below(candidates.len()),
+            Strategy::Pct {
+                prios,
+                low_water,
+                change_at,
+                decisions,
+                ..
+            } => {
+                if let Some(y) = yielder {
+                    if change_at.contains(decisions) {
+                        *low_water -= 1;
+                        prios[y] = *low_water;
+                    }
+                }
+                *decisions += 1;
+                candidates
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &tid)| prios[tid])
+                    .map(|(i, _)| i)
+                    .expect("candidates nonempty")
+            }
+            Strategy::Exhaustive {
+                prefix,
+                cursor,
+                recorded,
+            } => {
+                let want = prefix.get(*cursor).copied().unwrap_or(0) as usize;
+                // A prefix index out of range means the program under test
+                // branched differently than on the recording run
+                // (nondeterminism); clamping keeps the walk well-defined.
+                let idx = want.min(candidates.len() - 1);
+                recorded.push((candidates.len() as u32, idx as u32));
+                *cursor += 1;
+                idx
+            }
+            Strategy::Replay {
+                choices,
+                cursor,
+                recorded,
+            } => {
+                let want = choices.get(*cursor).copied().unwrap_or(0) as usize;
+                let idx = want.min(candidates.len() - 1);
+                recorded.push((candidates.len() as u32, idx as u32));
+                *cursor += 1;
+                idx
+            }
+        }
+    }
+
+    /// A contended-spin retry by `tid` (e.g. an instrumented mutex that
+    /// failed `try_lock`): demote it so priority schedules cannot starve the
+    /// holder forever.
+    pub(crate) fn demote(&mut self, tid: usize) {
+        if let Strategy::Pct {
+            prios, low_water, ..
+        } = self
+        {
+            *low_water -= 1;
+            prios[tid] = *low_water;
+        }
+    }
+
+    /// The recorded `(n_candidates, chosen)` trace, for exhaustive frontier
+    /// advancement and replay comparison.
+    pub(crate) fn recorded(&self) -> &[(u32, u32)] {
+        match self {
+            Strategy::Exhaustive { recorded, .. } | Strategy::Replay { recorded, .. } => recorded,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_walk_is_deterministic_per_seed() {
+        let mut a = Strategy::new(StrategyKind::RandomWalk, 9);
+        let mut b = Strategy::new(StrategyKind::RandomWalk, 9);
+        for _ in 0..50 {
+            assert_eq!(a.choose(&[0, 1, 2], Some(0)), b.choose(&[0, 1, 2], Some(0)));
+        }
+    }
+
+    #[test]
+    fn pct_runs_highest_priority_until_demoted() {
+        let mut s = Strategy::new(StrategyKind::Pct { depth: 1 }, 3);
+        s.on_register(0);
+        s.on_register(1);
+        // With no change points (depth 1) the same thread wins every time.
+        let first = s.choose(&[0, 1], Some(0));
+        for _ in 0..20 {
+            assert_eq!(s.choose(&[0, 1], Some(0)), first);
+        }
+        // Demoting the winner flips the choice.
+        s.demote([0, 1][first]);
+        assert_ne!(s.choose(&[0, 1], Some(0)), first);
+    }
+
+    #[test]
+    fn exhaustive_records_and_follows_prefix() {
+        let mut s = Strategy::exhaustive_with_prefix(vec![1]);
+        assert_eq!(s.choose(&[0, 1], None), 1);
+        assert_eq!(s.choose(&[0, 1, 2], None), 0); // beyond prefix: first
+        assert_eq!(s.recorded(), &[(2, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn replay_consumes_choices_in_order() {
+        let mut s = Strategy::replay(vec![1, 2, 7]);
+        assert_eq!(s.choose(&[0, 1], None), 1);
+        assert_eq!(s.choose(&[0, 1, 2], None), 2);
+        assert_eq!(s.choose(&[0, 1], None), 1); // 7 clamped into range
+    }
+}

@@ -1,0 +1,487 @@
+//! Instrumented drop-in replacements for the `std::sync` surface the lock
+//! catalog uses.
+//!
+//! Each type wraps its `std` counterpart and inserts a scheduler yield point
+//! before the real operation, so the checker can deschedule a thread between
+//! any two shared-memory accesses. On unmanaged threads (no checker active)
+//! every yield point is a no-op and the wrappers behave exactly like `std`.
+//!
+//! Memory-model caveat: the serialized scheduler explores *sequentially
+//! consistent* interleavings only — weak-memory reorderings are out of scope
+//! (that is what the TSan CI job is for). Orderings are passed through to
+//! the real atomics untouched.
+
+use std::sync::PoisonError;
+
+/// Instrumented atomics: same API subset as `std::sync::atomic`, with a
+/// yield point before every operation.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+
+    /// An instrumented memory fence: a yield point plus the real fence.
+    pub fn fence(order: Ordering) {
+        rt::yield_point();
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! instrumented_atomic_common {
+        ($name:ident, $std:ty, $val:ty) => {
+            impl $name {
+                /// An instrumented atomic with the given initial value.
+                pub const fn new(v: $val) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// See the `std` counterpart.
+                pub fn load(&self, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.load(order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn store(&self, val: $val, order: Ordering) {
+                    rt::yield_point();
+                    self.inner.store(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn swap(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.swap(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    rt::yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// See the `std` counterpart.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    rt::yield_point();
+                    self.inner
+                        .compare_exchange_weak(current, new, success, failure)
+                }
+
+                /// Mutable access never races; no yield point.
+                pub fn get_mut(&mut self) -> &mut $val {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic; no yield point.
+                pub fn into_inner(self) -> $val {
+                    self.inner.into_inner()
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    self.inner.fmt(f)
+                }
+            }
+
+            impl From<$val> for $name {
+                fn from(v: $val) -> Self {
+                    Self::new(v)
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_atomic_int {
+        ($name:ident, $std:ty, $val:ty, $doc:expr) => {
+            #[doc = $doc]
+            pub struct $name {
+                inner: $std,
+            }
+
+            instrumented_atomic_common!($name, $std, $val);
+
+            impl $name {
+                /// See the `std` counterpart.
+                pub fn fetch_add(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_add(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_sub(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_sub(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_and(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_and(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_or(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_or(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_xor(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_xor(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_max(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_max(val, order)
+                }
+
+                /// See the `std` counterpart.
+                pub fn fetch_min(&self, val: $val, order: Ordering) -> $val {
+                    rt::yield_point();
+                    self.inner.fetch_min(val, order)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$val>::default())
+                }
+            }
+        };
+    }
+
+    instrumented_atomic_int!(
+        AtomicU8,
+        std::sync::atomic::AtomicU8,
+        u8,
+        "Instrumented `AtomicU8`."
+    );
+    instrumented_atomic_int!(
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32,
+        "Instrumented `AtomicU32`."
+    );
+    instrumented_atomic_int!(
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        "Instrumented `AtomicU64`."
+    );
+    instrumented_atomic_int!(
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        "Instrumented `AtomicUsize`."
+    );
+    instrumented_atomic_int!(
+        AtomicIsize,
+        std::sync::atomic::AtomicIsize,
+        isize,
+        "Instrumented `AtomicIsize`."
+    );
+
+    /// Instrumented `AtomicBool`.
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    instrumented_atomic_common!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    impl AtomicBool {
+        /// See the `std` counterpart.
+        pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.fetch_and(val, order)
+        }
+
+        /// See the `std` counterpart.
+        pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+            rt::yield_point();
+            self.inner.fetch_or(val, order)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    /// Instrumented `AtomicPtr<T>`.
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// An instrumented atomic pointer.
+        pub const fn new(p: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// See the `std` counterpart.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            rt::yield_point();
+            self.inner.load(order)
+        }
+
+        /// See the `std` counterpart.
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            rt::yield_point();
+            self.inner.store(p, order)
+        }
+
+        /// See the `std` counterpart.
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            rt::yield_point();
+            self.inner.swap(p, order)
+        }
+
+        /// See the `std` counterpart.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::yield_point();
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        /// See the `std` counterpart.
+        pub fn compare_exchange_weak(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            rt::yield_point();
+            self.inner
+                .compare_exchange_weak(current, new, success, failure)
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+}
+
+/// An instrumented mutex.
+///
+/// Managed threads never block the OS thread on the inner mutex (that would
+/// wedge the serialized world: the holder cannot run without the token the
+/// blocked thread holds). Instead they loop `try_lock` with a
+/// *contended-spin* yield, which demotes the spinner under priority
+/// schedules so the holder always gets scheduled. Poisoning is absorbed:
+/// during teardown the checker unwinds threads at yield points, possibly
+/// while a guard is live, and that must not wedge unrelated schedules
+/// sharing a global queue bucket.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`], deref-compatible with `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T: ?Sized + 'a> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// An instrumented mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex; no yield point.
+    pub fn into_inner(self) -> Result<T, PoisonError<T>> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex. The `Result` mirrors `std`'s signature, but this
+    /// lock never reports poison (see the type docs); it always returns
+    /// `Ok`.
+    #[allow(clippy::result_large_err)]
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        if !crate::rt::is_managed() {
+            return Ok(match self.inner.lock() {
+                Ok(g) => MutexGuard { inner: g },
+                Err(poisoned) => MutexGuard {
+                    inner: poisoned.into_inner(),
+                },
+            });
+        }
+        crate::rt::yield_point();
+        loop {
+            match self.inner.try_lock() {
+                Ok(g) => return Ok(MutexGuard { inner: g }),
+                Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                    return Ok(MutexGuard {
+                        inner: poisoned.into_inner(),
+                    })
+                }
+                Err(std::sync::TryLockError::WouldBlock) => crate::rt::yield_contended(),
+            }
+        }
+    }
+
+    /// Mutable access never races; no yield point.
+    pub fn get_mut(&mut self) -> Result<&mut T, PoisonError<&mut T>> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// Instrumented `std::thread` subset: park/unpark virtualized through the
+/// scheduler for managed threads, passthrough otherwise.
+pub mod thread {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use crate::rt;
+
+    /// A handle to a thread, unparkable from anywhere.
+    #[derive(Clone)]
+    pub struct Thread {
+        repr: Repr,
+    }
+
+    #[derive(Clone)]
+    enum Repr {
+        Os(std::thread::Thread),
+        Managed {
+            sched: Arc<rt::Scheduler>,
+            id: usize,
+        },
+    }
+
+    /// A comparable thread identity (used e.g. by wait-queue invariants).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct ThreadId(IdRepr);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum IdRepr {
+        Os(std::thread::ThreadId),
+        Managed(usize, usize),
+    }
+
+    impl Thread {
+        /// Wakes the thread from a park (or banks a token).
+        pub fn unpark(&self) {
+            match &self.repr {
+                Repr::Os(t) => t.unpark(),
+                Repr::Managed { sched, id } => rt::unpark(sched, *id),
+            }
+        }
+
+        /// This thread's identity.
+        pub fn id(&self) -> ThreadId {
+            match &self.repr {
+                Repr::Os(t) => ThreadId(IdRepr::Os(t.id())),
+                Repr::Managed { sched, id } => {
+                    ThreadId(IdRepr::Managed(Arc::as_ptr(sched) as usize, *id))
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Thread {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match &self.repr {
+                Repr::Os(t) => t.fmt(f),
+                Repr::Managed { id, .. } => write!(f, "Thread(managed {id})"),
+            }
+        }
+    }
+
+    /// A handle to the current thread.
+    pub fn current() -> Thread {
+        match rt::ctx() {
+            Some((sched, id)) => Thread {
+                repr: Repr::Managed { sched, id },
+            },
+            None => Thread {
+                repr: Repr::Os(std::thread::current()),
+            },
+        }
+    }
+
+    /// Parks the current thread (virtually, when managed).
+    pub fn park() {
+        rt::park();
+    }
+
+    /// Parks the current thread with a timeout (virtual timeouts fire only
+    /// when nothing else can run; see [`crate`] docs).
+    pub fn park_timeout(dur: Duration) {
+        rt::park_timeout(dur);
+    }
+
+    /// Yields: a scheduler yield point when managed, `std` yield otherwise.
+    pub fn yield_now() {
+        match rt::ctx() {
+            Some(_) => crate::rt::yield_point(),
+            None => std::thread::yield_now(),
+        }
+    }
+}

@@ -53,18 +53,13 @@ pub fn alternator(lock: &LockHandle, threads: usize, duration: Duration) -> Thro
                     // ring is larger than the number of hardware threads the
                     // waiter yields periodically so the sibling that owns the
                     // token can actually run.
-                    let mut spins = 0u32;
+                    let mut backoff = bravo::clock::Backoff::new();
                     while my_turn.load(Ordering::Acquire) < expected {
                         if stop.load(Ordering::Relaxed) {
                             total.fetch_add(steps, Ordering::Relaxed);
                             return;
                         }
-                        spins += 1;
-                        if spins % 64 == 0 {
-                            std::thread::yield_now();
-                        } else {
-                            std::hint::spin_loop();
-                        }
+                        backoff.snooze();
                     }
                     // Acquire and immediately release read permission.
                     lock.lock_shared();

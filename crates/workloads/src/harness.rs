@@ -147,7 +147,7 @@ mod tests {
             let mut ops = 0;
             while !stop.load(Ordering::Relaxed) {
                 ops += 1;
-                std::hint::spin_loop();
+                bravo::clock::cpu_relax();
             }
             ops
         });

@@ -15,7 +15,7 @@
 //! wakeup in the lock under test or a starvation so complete it amounts to
 //! one.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,6 +38,20 @@ fn torture_threads() -> usize {
     (cpus * 2).max(4)
 }
 
+/// Where a torture cell currently is, so a watchdog dump states whether the
+/// hang is inside the measurement window or in the shutdown joins (a join
+/// hang means a worker is stuck inside the lock and never saw `stop`).
+const PHASE_RUNNING: u8 = 0;
+const PHASE_JOINING: u8 = 1;
+
+fn phase_name(phase: u8) -> &'static str {
+    match phase {
+        PHASE_RUNNING => "running (measurement window)",
+        PHASE_JOINING => "joining workers after stop",
+        _ => "unknown",
+    }
+}
+
 /// Tortures one catalog spec: every worker alternates read and write
 /// critical sections, checking mutual exclusion from inside each, and
 /// bumps its progress counter per iteration.
@@ -54,6 +68,7 @@ fn torture(kind: LockKind, wait: WaitMode) {
 
     let stop = Arc::new(AtomicBool::new(false));
     let done = Arc::new(AtomicBool::new(false));
+    let phase = Arc::new(AtomicU8::new(PHASE_RUNNING));
     let progress: Arc<Vec<AtomicU64>> = Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
     // Exclusion checker: incremented under the write lock, must never be
     // seen nonzero by a reader or at a second writer's entry.
@@ -61,26 +76,38 @@ fn torture(kind: LockKind, wait: WaitMode) {
 
     let watchdog = {
         let done = Arc::clone(&done);
+        let phase = Arc::clone(&phase);
         let progress = Arc::clone(&progress);
         let label = label.clone();
         std::thread::spawn(move || {
             let deadline = Instant::now() + WATCHDOG_LIMIT;
+            // Last-poll snapshot, so the dump separates workers that are
+            // merely slow from workers that have fully stopped advancing.
+            let mut last: Vec<u64> = vec![0; progress.len()];
             while !done.load(Ordering::Acquire) {
                 if Instant::now() >= deadline {
                     eprintln!(
-                        "lock_torture watchdog fired: '{label}' made no full pass \
-                         within {WATCHDOG_LIMIT:?}; per-worker progress:"
+                        "lock_torture watchdog fired: kind={kind:?} wait={wait} \
+                         (spec '{label}') overstayed {WATCHDOG_LIMIT:?} \
+                         while {}; per-worker progress:",
+                        phase_name(phase.load(Ordering::Acquire)),
                     );
                     for (i, counter) in progress.iter().enumerate() {
+                        let now = counter.load(Ordering::Relaxed);
+                        let delta = now - last[i];
                         eprintln!(
-                            "  worker {i}: {} iterations",
-                            counter.load(Ordering::Relaxed)
+                            "  worker {i}: {now} iterations ({delta} in the last \
+                             {WATCHDOG_POLL:?}{})",
+                            if delta == 0 { " — STALLED" } else { "" }
                         );
                     }
                     // Abort instead of panicking: the test thread is stuck
                     // inside the lock under test, so a panic here would
                     // leave the binary hanging anyway.
                     std::process::abort();
+                }
+                for (i, counter) in progress.iter().enumerate() {
+                    last[i] = counter.load(Ordering::Relaxed);
                 }
                 std::thread::sleep(WATCHDOG_POLL);
             }
@@ -119,6 +146,7 @@ fn torture(kind: LockKind, wait: WaitMode) {
 
     std::thread::sleep(TORTURE_WINDOW);
     stop.store(true, Ordering::Relaxed);
+    phase.store(PHASE_JOINING, Ordering::Release);
     for worker in workers {
         worker
             .join()

@@ -1,0 +1,119 @@
+//! The model checker's self-test: re-introduce a real, already-fixed bug
+//! and prove schedcheck finds it.
+//!
+//! The parking-waiter PR fixed a missing wakeup on BRAVO's fast-path
+//! back-out: a reader that published its visible-readers-table slot, lost
+//! the race with a revoking writer, and cleared the slot *without* waking
+//! the writer parked on it. `bravo::lock::mutation` re-introduces exactly
+//! that bug behind the `schedcheck` feature. This test asserts the checker
+//! (a) passes the clean scenario, (b) drives the seeded bug to its deadlock
+//! within a bounded schedule budget, and (c) prints a seed token that
+//! replays the failing interleaving byte-for-byte.
+//!
+//! Runs single-threaded by construction: the mutation flag is process-wide,
+//! so this file holds exactly one `#[test]`.
+#![cfg(feature = "schedcheck")]
+
+use std::sync::Arc;
+
+use bravo::lock::mutation;
+use bravo::{BiasPolicy, BravoLock, DefaultRwLock, RawRwLock, TableHandle, WaitMode};
+use schedcheck::{Config, FailureKind};
+
+/// The revocation handshake, built so the lost-wakeup mutation turns into a
+/// *global* deadlock the checker can prove:
+///
+/// * single-slot private table — slot choice (and with it the schedule
+///   shape) cannot depend on address-space layout, keeping replays exact;
+/// * the reader uses `try_read_lock`, so after backing out against the
+///   writer (which holds the underlying lock) it exits instead of blocking —
+///   leaving the parked writer alone with provably no waker.
+fn revocation_scenario() {
+    let lock = Arc::new(
+        BravoLock::<DefaultRwLock>::with_parts(
+            DefaultRwLock::with_wait(WaitMode::Park),
+            TableHandle::private(1),
+            BiasPolicy::paper_default(),
+        )
+        .with_wait_mode(WaitMode::Park),
+    );
+    // Prime reader bias from the root so the spawned reader takes the fast
+    // path (publish slot, re-check rbias).
+    lock.read_unlock(lock.read_lock());
+
+    let reader = {
+        let lock = Arc::clone(&lock);
+        schedcheck::spawn(move || {
+            if let Some(token) = lock.try_read_lock() {
+                lock.read_unlock(token);
+            }
+        })
+    };
+    let writer = {
+        let lock = Arc::clone(&lock);
+        schedcheck::spawn(move || {
+            lock.write_lock();
+            lock.write_unlock();
+        })
+    };
+    reader.join();
+    writer.join();
+}
+
+#[test]
+fn checker_finds_reintroduced_lost_wakeup() {
+    // Clean first: the fixed protocol must survive the same exploration
+    // budget the mutation hunt gets per seed batch.
+    mutation::set_lost_wakeup(false);
+    let report = schedcheck::run(
+        &Config::pct(0xB0A7, 3).with_schedules(300),
+        revocation_scenario,
+    )
+    .unwrap_or_else(|f| panic!("clean revocation scenario failed: {f}"));
+    assert_eq!(report.schedules, 300);
+
+    // Re-introduce the bug. The interleaving needs the reader suspended
+    // from its publish CAS until the writer has scanned the table and
+    // parked — a long descheduling window only priority-based (PCT)
+    // exploration finds in reasonable budgets.
+    mutation::set_lost_wakeup(true);
+    let failure = schedcheck::run(
+        &Config::pct(0xB0A7, 3).with_schedules(3_000),
+        revocation_scenario,
+    )
+    .expect_err("the seeded lost wakeup must deadlock some schedule");
+    mutation::set_lost_wakeup(false);
+    assert_eq!(failure.kind, FailureKind::Deadlock, "failure: {failure}");
+    assert!(
+        failure.seed_token.starts_with("pct3:"),
+        "unexpected seed token {}",
+        failure.seed_token
+    );
+    assert!(
+        failure.detail.contains("parked"),
+        "deadlock dump should show the parked writer: {}",
+        failure.detail
+    );
+
+    // The printed token replays the identical interleaving: same failure
+    // kind, same step count, same hand-off trace, twice over.
+    mutation::set_lost_wakeup(true);
+    let replay1 = schedcheck::run(&Config::replay(&failure.seed_token), revocation_scenario)
+        .expect_err("replay must reproduce the deadlock");
+    let replay2 = schedcheck::run(&Config::replay(&failure.seed_token), revocation_scenario)
+        .expect_err("replay must reproduce the deadlock");
+    mutation::set_lost_wakeup(false);
+    assert_eq!(replay1.kind, FailureKind::Deadlock);
+    assert_eq!(
+        replay1.trace, failure.trace,
+        "replay diverged from original"
+    );
+    assert_eq!(replay1.trace, replay2.trace, "two replays diverged");
+    assert_eq!(replay1.step, failure.step);
+
+    // And with the mutation off, the very interleaving that deadlocked is
+    // harmless — the wakeup is the whole difference.
+    let report = schedcheck::run(&Config::replay(&failure.seed_token), revocation_scenario)
+        .unwrap_or_else(|f| panic!("fixed code failed the bug's own schedule: {f}"));
+    assert_eq!(report.schedules, 1);
+}
