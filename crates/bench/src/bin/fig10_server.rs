@@ -24,7 +24,11 @@
 //! node-local publication exactly as in fig1.
 //!
 //! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
-//! the default `BA` vs `BRAVO-BA` pair.
+//! the default `BA` vs `BRAVO-BA` pair (plus their parking variants and a
+//! `BRAVO-BA?shards=8` sharded store, so the default sweep covers
+//! `{shards} × {backend} × {connections}`). The `shards` column reports
+//! the spec's store partition count; per-shard lock counters are merged,
+//! so `fast_read_pct` attribution survives sharding.
 
 use std::time::Duration;
 
@@ -89,10 +93,15 @@ fn main() {
                 .with_wait(WaitMode::Park)
                 .with_adapt(true),
         );
+        // And the sharded store: eight key-hashed GetLocks instead of one,
+        // so the high-connection rows show what spreading the readers (and
+        // above all the writers) across shards buys on top of BRAVO.
+        specs.push(LockKind::BravoBa.spec().with_shards(8));
     }
     header(&[
         "backend",
         "connections",
+        "shards",
         "lock",
         "ops",
         "errors",
@@ -118,15 +127,16 @@ fn main() {
             };
             let addr = server.local_addr();
             for connections in connection_series(mode, backend) {
-                let before = server.db().memtable().lock_stats();
+                let before = server.db().lock_stats();
                 let global_before = bravo::stats::snapshot();
                 let report = loadgen_or_exit(addr, &sweep_config(mode, connections));
-                let delta = server.db().memtable().lock_stats().since(&before);
+                let delta = server.db().lock_stats().since(&before);
                 let global_delta = bravo::stats::snapshot().since(&global_before);
                 let [p50, p95, p99] = latency_cells(&report);
                 row(&[
                     backend.to_string(),
                     connections.to_string(),
+                    spec.shards().to_string(),
                     spec.to_string(),
                     report.operations.to_string(),
                     report.errors.to_string(),

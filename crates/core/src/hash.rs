@@ -40,6 +40,32 @@ pub fn slot_index(lock_addr: usize, thread_id: usize, table_size: usize) -> usiz
     (h as usize) & (table_size - 1)
 }
 
+/// Mixes a kvstore key for shard/stripe selection.
+///
+/// This is the **single** key-hash function shared by everything that
+/// partitions the key space — the sharded `kvstore::Db` router and the
+/// `HashCache` stripe hasher both call it — so routing and striping can
+/// never silently diverge. Sequential keys (the load generators draw keys
+/// `0..n`) are dispersed by the full `mix64` finalizer, not their low bits.
+#[inline]
+pub fn key_hash(key: u64) -> u64 {
+    mix64(key)
+}
+
+/// Maps a kvstore key to one of `shards` key-hashed shards.
+///
+/// Shard counts need not be powers of two (the `shards=N` spec knob accepts
+/// any N ≥ 1), so this reduces the mixed key modulo `shards` rather than
+/// masking. With zero or one shard every key maps to shard 0.
+#[inline]
+pub fn key_shard(key: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        0
+    } else {
+        (key_hash(key) % shards as u64) as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +111,35 @@ mod tests {
             "only {} distinct slots for 64 threads",
             slots.len()
         );
+    }
+
+    #[test]
+    fn key_shard_is_in_range_total_and_balanced() {
+        for shards in [1usize, 2, 3, 8, 16] {
+            let mut counts = vec![0usize; shards];
+            for key in 0..8_192u64 {
+                let shard = key_shard(key, shards);
+                assert!(shard < shards);
+                counts[shard] += 1;
+            }
+            // Sequential keys must spread: no shard may see more than twice
+            // its fair share (mix64 disperses far better than this bound).
+            let fair = 8_192 / shards;
+            assert!(
+                counts.iter().all(|&c| c < fair * 2),
+                "unbalanced shard counts for {shards} shards: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_shard_is_deterministic_and_built_on_key_hash() {
+        for key in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(key_shard(key, 8), (key_hash(key) % 8) as usize);
+            assert_eq!(key_shard(key, 8), key_shard(key, 8));
+            assert_eq!(key_shard(key, 1), 0);
+            assert_eq!(key_shard(key, 0), 0);
+        }
     }
 
     #[test]

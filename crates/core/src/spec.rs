@@ -29,6 +29,7 @@
 //! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
 //! | `wait` | `spin`, `park` | the [`WaitMode`] contended waiters use (parking queues instead of spinning) |
 //! | `adapt` | `on`, `off` | whether an [`AdaptiveBias`] controller gates bias on the sampled read ratio (BRAVO composites only) |
+//! | `shards` | integer ≥ 1 | how many key-hashed data shards a spec-driven store (e.g. `kvstore::Db`) partitions itself into, each shard guarded by its own lock built from this spec; `1` (the default) keeps the single-lock layout |
 //!
 //! A spec is resolved into a live lock by the catalog (`rwlocks::catalog`),
 //! which returns a [`LockHandle`]: the harness-facing object carrying the
@@ -171,6 +172,7 @@ pub struct LockSpec {
     stats: StatsMode,
     wait: WaitMode,
     adapt: bool,
+    shards: usize,
 }
 
 impl LockSpec {
@@ -187,6 +189,7 @@ impl LockSpec {
             stats: StatsMode::PerLock,
             wait: WaitMode::Spin,
             adapt: false,
+            shards: 1,
         }
     }
 
@@ -220,6 +223,15 @@ impl LockSpec {
         self
     }
 
+    /// Replaces the data-shard count a spec-driven store partitions itself
+    /// into (each shard gets its own lock built from this spec). Panics on
+    /// zero: a store needs at least one shard to put the data somewhere.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a spec needs at least one data shard");
+        self.shards = shards;
+        self
+    }
+
     /// The algorithm name.
     pub fn kind(&self) -> &str {
         &self.kind
@@ -248,6 +260,16 @@ impl LockSpec {
     /// Whether the adaptive bias controller is enabled.
     pub fn adapt(&self) -> bool {
         self.adapt
+    }
+
+    /// How many key-hashed data shards a spec-driven store partitions
+    /// itself into (1 — the default — means the single-lock layout). This
+    /// knob configures the *store around* the lock, not the lock itself:
+    /// the catalog builds one independent lock per shard from the same
+    /// spec. Distinct from [`TableSpec::shards`], which counts a reader
+    /// *table*'s revocation-scan shards.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Mints the [`StatsSink`] this spec prescribes. Each call produces an
@@ -294,6 +316,9 @@ impl std::fmt::Display for LockSpec {
         }
         if self.adapt {
             param(f, "adapt=on".to_string())?;
+        }
+        if self.shards != 1 {
+            param(f, format!("shards={}", self.shards))?;
         }
         Ok(())
     }
@@ -388,9 +413,19 @@ impl FromStr for LockSpec {
                         }
                     };
                 }
+                "shards" => {
+                    let shards = value.trim().parse::<usize>().map_err(|_| {
+                        SpecParseError::new(format!("shards must be an integer, got '{value}'"))
+                    })?;
+                    if shards == 0 {
+                        return Err(SpecParseError::new("shards must be at least 1"));
+                    }
+                    spec.shards = shards;
+                }
                 other => {
                     return Err(SpecParseError::new(format!(
-                        "unknown parameter '{other}' (expected n, bias, table, stats, wait or adapt)"
+                        "unknown parameter '{other}' (expected n, bias, table, stats, wait, \
+                         adapt or shards)"
                     )));
                 }
             }
@@ -754,12 +789,15 @@ mod tests {
             LockSpec::new("BRAVO-BA")
                 .with_wait(WaitMode::Park)
                 .with_adapt(true),
+            LockSpec::new("BRAVO-BA").with_shards(8),
+            LockSpec::new("BA").with_wait(WaitMode::Park).with_shards(4),
             LockSpec::new("BRAVO-BA")
                 .with_bias(BiasPolicy::InhibitUntil { n: 3 })
                 .with_table(TableSpec::Private { slots: 64 })
                 .with_stats(StatsMode::Global)
                 .with_wait(WaitMode::Park)
-                .with_adapt(true),
+                .with_adapt(true)
+                .with_shards(16),
         ];
         for spec in specs {
             let text = spec.to_string();
@@ -789,6 +827,9 @@ mod tests {
             "BA?wait=swim",
             "BA?wait=",
             "BA?adapt=maybe",
+            "BA?shards=0",
+            "BA?shards=x",
+            "BA?shards=",
             "B A?n=9",
         ] {
             assert!(
@@ -864,10 +905,24 @@ mod tests {
 
     #[test]
     fn explicit_defaults_parse_to_the_default_spec() {
-        let spec: LockSpec = "BA?n=9&table=global&stats=per-lock&wait=spin&adapt=off"
+        let spec: LockSpec = "BA?n=9&table=global&stats=per-lock&wait=spin&adapt=off&shards=1"
             .parse()
             .unwrap();
         assert_eq!(spec, LockSpec::new("BA"));
+    }
+
+    #[test]
+    fn shards_knob_parses_prints_and_defaults() {
+        let spec: LockSpec = "BRAVO-BA?shards=8".parse().unwrap();
+        assert_eq!(spec.shards(), 8);
+        assert_eq!(spec.to_string(), "BRAVO-BA?shards=8");
+        // The default is a single shard and prints nothing.
+        assert_eq!(LockSpec::new("BRAVO-BA").shards(), 1);
+        assert_eq!(LockSpec::new("BRAVO-BA").to_string(), "BRAVO-BA");
+        // Composes with the other knobs in Display order.
+        let spec: LockSpec = "BRAVO-BA?wait=park&adapt=on&shards=4".parse().unwrap();
+        assert_eq!(spec.shards(), 4);
+        assert_eq!(spec.to_string(), "BRAVO-BA?wait=park&adapt=on&shards=4");
     }
 
     #[test]

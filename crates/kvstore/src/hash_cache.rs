@@ -17,13 +17,53 @@ pub struct CacheEntry {
     pub size: u32,
 }
 
+/// The cache's key-hash: a [`std::hash::BuildHasher`] driving the bucket
+/// striping with [`bravo::hash::key_hash`] — the **same** function the
+/// sharded [`crate::Db`] routes keys with (via [`bravo::hash::key_shard`]).
+/// The hash is exported from one place (`bravo::hash`) precisely so cache
+/// striping and shard routing cannot silently diverge.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeyHashBuilder;
+
+impl std::hash::BuildHasher for KeyHashBuilder {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher(0)
+    }
+}
+
+/// Streaming adapter over [`bravo::hash::key_hash`]. Cache keys are `u64`,
+/// so `write_u64` is the only hot path; the byte fallback folds 8-byte
+/// chunks through the same mix so composite keys stay well-dispersed.
+#[derive(Debug)]
+pub struct KeyHasher(u64);
+
+impl std::hash::Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = bravo::hash::key_hash(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        self.0 = bravo::hash::key_hash(self.0 ^ key);
+    }
+}
+
 /// A central hash table protected by a single reader-writer lock — the
 /// structure `hash_table_bench` measures (`std::unordered_map` plus a
 /// reader-writer lock in RocksDB's persistent cache).
 pub struct HashCache {
     lock: LockHandle,
-    /// Key → entry map. Guarded by `lock`.
-    map: UnsafeCell<HashMap<u64, CacheEntry>>,
+    /// Key → entry map, bucketed by [`KeyHashBuilder`]. Guarded by `lock`.
+    map: UnsafeCell<HashMap<u64, CacheEntry, KeyHashBuilder>>,
 }
 
 // SAFETY: `map` is only read under shared permission and only mutated under
@@ -38,7 +78,7 @@ impl HashCache {
     pub fn new(spec: impl Into<LockSpec>) -> Result<Self, SpecError> {
         Ok(Self {
             lock: build_lock(&spec.into())?,
-            map: UnsafeCell::new(HashMap::new()),
+            map: UnsafeCell::new(HashMap::with_hasher(KeyHashBuilder)),
         })
     }
 
@@ -168,6 +208,25 @@ mod tests {
         );
         assert_eq!(c.erase(1).unwrap().offset, 4096);
         assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn key_hasher_agrees_with_the_shard_router_hash() {
+        use std::hash::{BuildHasher, Hasher};
+        // One u64 write must land on exactly bravo::hash::key_hash — the
+        // same function Db's shard router reduces — so the two can never
+        // disagree about a key's dispersion.
+        for key in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+            let mut hasher = KeyHashBuilder.build_hasher();
+            hasher.write_u64(key);
+            assert_eq!(hasher.finish(), bravo::hash::key_hash(key));
+        }
+        // The byte path folds through the same mix and stays deterministic.
+        let mut a = KeyHashBuilder.build_hasher();
+        let mut b = KeyHashBuilder.build_hasher();
+        a.write(&7u64.to_le_bytes());
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

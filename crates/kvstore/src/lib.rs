@@ -12,8 +12,10 @@
 //! * [`hash_cache`] — the persistent cache's hash table: a hash map behind
 //!   one reader-writer lock, exercised by `hash_table_bench` with one
 //!   inserter thread, one eraser thread and `T` reader threads.
-//! * [`db`] — a small `Get`/`Put`/`Delete` façade over the memtable used by
-//!   the runnable examples.
+//! * [`db`] — a `Get`/`Put`/`Delete` façade over `shards=N` key-hashed
+//!   memtables (one by default), used by the `bravod` server and the
+//!   runnable examples; batched forms (`multi_get`, `write_batch`) amortize
+//!   lock acquisitions per wire frame.
 //!
 //! Every structure takes its lock as a [`rwlocks::LockKind`], so the
 //! benchmark harness can sweep the same lock set the paper plots.
@@ -27,8 +29,8 @@ pub mod memtable;
 pub mod workloads;
 
 pub use db::Db;
-pub use hash_cache::HashCache;
-pub use memtable::MemTable;
+pub use hash_cache::{HashCache, KeyHashBuilder, KeyHasher};
+pub use memtable::{BatchOp, MemTable};
 pub use workloads::{
     run_hash_table_bench, run_readwhilewriting, HashTableBenchResult, ReadWhileWritingResult,
 };

@@ -3,15 +3,54 @@
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use bravo::spec::{LockHandle, LockSpec, SpecError};
 use bravo::stats::Snapshot;
+use bravo::sync::atomic::{AtomicU64, Ordering};
 use rwlocks::build_lock;
 
 /// A fixed-size value, standing in for RocksDB's small in-place-updatable
 /// values.
 pub type Value = [u64; 4];
+
+/// One write in a batch: the serializable subset of the write API
+/// (`WriteBatch` frames carry these over the wire).
+///
+/// Unlike [`MemTable::update_in_place`], whose merge takes an arbitrary
+/// closure, a batched merge carries a concrete delta with fixed semantics —
+/// per-word wrapping add — because the op has to round-trip through bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Insert or overwrite `key` with `value`.
+    Put {
+        /// The key to store under.
+        key: u64,
+        /// The full value to store.
+        value: Value,
+    },
+    /// Add `delta` to the stored value word-by-word (wrapping), creating
+    /// the value as zeroes first if absent.
+    Merge {
+        /// The key to update.
+        key: u64,
+        /// Per-word wrapping-add delta.
+        delta: Value,
+    },
+    /// Remove `key` if present.
+    Delete {
+        /// The key to remove.
+        key: u64,
+    },
+}
+
+impl BatchOp {
+    /// The key this op touches (what shard routing dispatches on).
+    pub fn key(&self) -> u64 {
+        match *self {
+            BatchOp::Put { key, .. } | BatchOp::Merge { key, .. } | BatchOp::Delete { key } => key,
+        }
+    }
+}
 
 /// The in-memory table: a pre-sized hash map of keys to in-place-updatable
 /// values, with reads and in-place writes mediated by the **GetLock** — the
@@ -139,6 +178,89 @@ impl MemTable {
         entries
     }
 
+    /// Reads many keys under **one** shared GetLock acquisition, returning
+    /// the values in input order. This is the lock-amortization primitive
+    /// behind the wire protocol's `MultiGet`: N point reads cost one
+    /// fast-path read instead of N.
+    pub fn get_batch(&self, keys: &[u64]) -> Vec<Option<Value>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let mut values = vec![None; keys.len()];
+        self.get_batch_into(keys.iter().copied().enumerate(), &mut values);
+        values
+    }
+
+    /// Looks up each `(slot, key)` request under **one** shared GetLock
+    /// acquisition, storing the answer at `out[slot]`. The allocation-free
+    /// core of [`MemTable::get_batch`]; the sharded `Db` uses it to scatter
+    /// one `MultiGet` frame's answers straight into the caller's output
+    /// without per-shard scratch vectors.
+    pub fn get_batch_into(
+        &self,
+        requests: impl Iterator<Item = (usize, u64)>,
+        out: &mut [Option<Value>],
+    ) {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        self.get_lock.lock_shared();
+        // SAFETY: the GetLock is held shared; writers hold it exclusively.
+        unsafe {
+            let data = &*self.data.get();
+            for (slot, key) in requests {
+                let value = data.get(&key).copied();
+                match value {
+                    Some(_) => hits += 1,
+                    None => misses += 1,
+                }
+                out[slot] = value;
+            }
+        }
+        self.get_lock.unlock_shared();
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Applies a batch of writes in order under **one** exclusive GetLock
+    /// acquisition (the `WriteBatch` counterpart of [`MemTable::get_batch`]).
+    pub fn apply_batch(&self, ops: &[BatchOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        self.apply_batch_from(ops.iter().copied());
+    }
+
+    /// Applies every op the iterator yields, in order, under **one**
+    /// exclusive GetLock acquisition. The iterator is consumed *inside* the
+    /// critical section, so callers must hand over ready-made ops (the
+    /// sharded `Db` feeds each shard its slice of a `WriteBatch` without
+    /// building per-shard vectors). Must not be called with a known-empty
+    /// iterator — use [`MemTable::apply_batch`] when emptiness is possible.
+    pub fn apply_batch_from(&self, ops: impl Iterator<Item = BatchOp>) {
+        self.get_lock.lock_exclusive();
+        // SAFETY: the GetLock is held exclusively.
+        unsafe {
+            let data = &mut *self.data.get();
+            for op in ops {
+                match op {
+                    BatchOp::Put { key, value } => {
+                        data.insert(key, value);
+                    }
+                    BatchOp::Merge { key, delta } => {
+                        let entry = data.entry(key).or_insert([0; 4]);
+                        for (word, d) in entry.iter_mut().zip(delta) {
+                            *word = word.wrapping_add(d);
+                        }
+                    }
+                    BatchOp::Delete { key } => {
+                        data.remove(&key);
+                    }
+                }
+            }
+        }
+        self.get_lock.unlock_exclusive();
+    }
+
     /// Removes `key`, returning the previous value if any.
     pub fn delete(&self, key: u64) -> Option<Value> {
         self.get_lock.lock_exclusive();
@@ -254,6 +376,58 @@ mod tests {
                 }
             });
         }
+    }
+
+    #[test]
+    fn get_batch_returns_values_in_input_order_and_counts_hits() {
+        let t = MemTable::prepopulated(LockKind::BravoBa, 8).unwrap();
+        let before = t.lock_stats();
+        let values = t.get_batch(&[3, 100, 0, 3]);
+        assert_eq!(values.len(), 4);
+        assert_eq!(values[0].unwrap()[0], 3);
+        assert_eq!(values[1], None);
+        assert_eq!(values[2].unwrap()[0], 0);
+        assert_eq!(values[3], values[0]);
+        assert_eq!(t.hit_miss(), (3, 1));
+        // One batch, one lock acquisition: the whole point.
+        let delta = t.lock_stats().since(&before);
+        assert_eq!(delta.total_reads(), 1, "get_batch took more than one read");
+        assert!(t.get_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn apply_batch_applies_in_order_under_one_write_acquisition() {
+        let t = MemTable::new(LockKind::BravoBa).unwrap();
+        let before = t.lock_stats();
+        t.apply_batch(&[
+            BatchOp::Put {
+                key: 1,
+                value: [10, 0, 0, 0],
+            },
+            BatchOp::Merge {
+                key: 1,
+                delta: [5, u64::MAX, 0, 0],
+            },
+            BatchOp::Put {
+                key: 2,
+                value: [2; 4],
+            },
+            BatchOp::Delete { key: 2 },
+            BatchOp::Merge {
+                key: 3,
+                delta: [7, 0, 0, 0],
+            },
+        ]);
+        // Merge is a wrapping per-word add over the put value...
+        assert_eq!(t.get(1), Some([15, u64::MAX, 0, 0]));
+        // ...delete lands after the put in the same batch...
+        assert_eq!(t.get(2), None);
+        // ...and a merge on an absent key starts from zeroes.
+        assert_eq!(t.get(3), Some([7, 0, 0, 0]));
+        let delta = t.lock_stats().since(&before);
+        assert_eq!(delta.writes, 1, "apply_batch took more than one write");
+        t.apply_batch(&[]); // empty batches are free
+        assert_eq!(t.lock_stats().since(&before).writes, 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use kvstore::memtable::Value;
+use kvstore::BatchOp;
 
 use crate::protocol::{read_frame, write_frame, Request, Response};
 
@@ -94,6 +95,24 @@ impl Client {
         match self.call(&Request::Scan { start, limit })? {
             Response::Entries(entries) => Ok(entries),
             other => Err(unexpected("Scan", &other)),
+        }
+    }
+
+    /// Batched point reads: one frame, one lock acquisition per touched
+    /// shard server-side. Answers line up with `keys` by position.
+    pub fn multi_get(&mut self, keys: Vec<u64>) -> io::Result<Vec<Option<Value>>> {
+        match self.call(&Request::MultiGet { keys })? {
+            Response::Values(values) => Ok(values),
+            other => Err(unexpected("MultiGet", &other)),
+        }
+    }
+
+    /// Batched writes: one frame, applied in order, one lock acquisition per
+    /// touched shard server-side. Returns the number of ops applied.
+    pub fn write_batch(&mut self, ops: Vec<BatchOp>) -> io::Result<u32> {
+        match self.call(&Request::WriteBatch { ops })? {
+            Response::Batched(applied) => Ok(applied),
+            other => Err(unexpected("WriteBatch", &other)),
         }
     }
 

@@ -6,7 +6,9 @@
 //! serving half:
 //!
 //! * [`protocol`] — a tiny length-prefixed binary wire protocol carrying
-//!   `Get`/`Put`/`Merge`/`Delete`/`Scan`/`Ping` over TCP, decodable both
+//!   `Get`/`Put`/`Merge`/`Delete`/`Scan`/`Ping` — plus the batched
+//!   `MultiGet`/`WriteBatch` frames that amortize one shard-lock
+//!   acquisition over many keys — over TCP, decodable both
 //!   blockingly ([`protocol::read_frame`]) and incrementally
 //!   ([`protocol::FrameDecoder`], a resumable state machine over partial
 //!   reads).
@@ -40,5 +42,7 @@ pub mod sys;
 
 pub use client::Client;
 pub use loadgen::{LatencyHistogram, LoadConfig, LoadReport};
-pub use protocol::{FrameDecoder, Request, Response, WireError, MAX_FRAME_LEN, MAX_SCAN_LIMIT};
+pub use protocol::{
+    FrameDecoder, Request, Response, WireError, MAX_BATCH_OPS, MAX_FRAME_LEN, MAX_SCAN_LIMIT,
+};
 pub use server::{Backend, BackendKind, ServeError, Server, ServerConfig, ShutdownStats};

@@ -13,6 +13,9 @@
 //! (`skew` = the Zipf θ; 0 selects uniform), and the operation mix is
 //! `read_ratio` reads — a slice of which are `Scan`s, the long reader
 //! sections — with the remainder split evenly across `Put`/`Merge`/`Delete`.
+//! With [`LoadConfig::batch`] > 1 each scheduled arrival becomes one
+//! `MultiGet`/`WriteBatch` frame of that many point operations, amortizing
+//! one server-side shard-lock acquisition over the whole frame.
 
 use std::io;
 use std::net::SocketAddr;
@@ -21,8 +24,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use kvstore::BatchOp;
+
 use crate::client::Client;
-use crate::protocol::MAX_SCAN_LIMIT;
+use crate::protocol::{MAX_BATCH_OPS, MAX_SCAN_LIMIT};
 
 /// One open-loop run: connection count, offered load and mix.
 #[derive(Debug, Clone)]
@@ -46,6 +51,15 @@ pub struct LoadConfig {
     pub duration: Duration,
     /// RNG seed (each connection derives its own stream from it).
     pub seed: u64,
+    /// Operations per wire frame. `1` (the default) issues the classic
+    /// one-op-per-frame mix above; `K > 1` packs each scheduled arrival
+    /// into a single `MultiGet` (with probability `read_ratio`) or
+    /// `WriteBatch` frame of `K` point operations — scans are skipped in
+    /// batched mode — so the server takes one shard-lock acquisition per
+    /// frame instead of per key. [`Self::rate`] remains the target
+    /// *operation* rate: frames arrive every `connections·batch/rate`
+    /// seconds and each counts as `batch` operations in the report.
+    pub batch: usize,
 }
 
 impl LoadConfig {
@@ -62,6 +76,7 @@ impl LoadConfig {
             skew: 0.6,
             duration: Duration::from_millis(500),
             seed: 0x5eed,
+            batch: 1,
         }
     }
 }
@@ -326,7 +341,9 @@ fn skewed_key(rng: &mut SmallRng, keys: u64, skew: f64) -> u64 {
 /// established; individual connection errors are counted in the report.
 pub fn run(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
     let connections = config.connections.max(1);
-    let interval = Duration::from_secs_f64(connections as f64 / config.rate.max(1.0));
+    let batch = effective_batch(config);
+    // `rate` is the *operation* rate; each frame carries `batch` of them.
+    let interval = Duration::from_secs_f64((connections * batch) as f64 / config.rate.max(1.0));
     let start = Instant::now();
     let outcomes: Vec<ConnOutcome> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..connections)
@@ -386,6 +403,11 @@ struct ConnOutcome {
     latencies: LatencyHistogram,
 }
 
+/// The clamped operations-per-frame a run will actually use.
+fn effective_batch(config: &LoadConfig) -> usize {
+    config.batch.clamp(1, MAX_BATCH_OPS as usize)
+}
+
 /// Counts the arrivals at `first + k·interval` for `k ≥ from` that fall
 /// before `deadline` — the operations a dead connection abandons. Uses the
 /// same `Instant` arithmetic as the issue loop so the two never disagree
@@ -410,6 +432,10 @@ fn connection_loop(
     interval: Duration,
 ) -> ConnOutcome {
     let deadline = first + config.duration;
+    // Every arrival carries `batch` operations, so each frame counts that
+    // many in the operations/errors/abandoned ledger and the
+    // `scheduled = operations + errors + abandoned` invariant survives.
+    let batch = effective_batch(config) as u64;
     let mut outcome = ConnOutcome {
         operations: 0,
         errors: 0,
@@ -423,7 +449,7 @@ fn connection_loop(
             // Could not even connect: no samples, no issued arrivals, and
             // the whole schedule abandoned rather than silently vanished.
             outcome.connect_failed = true;
-            outcome.abandoned = due_from(first, interval, deadline, 0);
+            outcome.abandoned = due_from(first, interval, deadline, 0) * batch;
             return outcome;
         }
     };
@@ -438,21 +464,27 @@ fn connection_loop(
         if scheduled > now {
             std::thread::sleep(scheduled - now);
         }
-        let key = skewed_key(&mut rng, config.keys, config.skew);
-        let outcome_k = issue(&mut client, &mut rng, config, key, scan_limit);
+        let outcome_k = if batch > 1 {
+            issue_batch(&mut client, &mut rng, config, batch as usize)
+        } else {
+            let key = skewed_key(&mut rng, config.keys, config.skew);
+            issue(&mut client, &mut rng, config, key, scan_limit)
+        };
         match outcome_k {
             Ok(()) => {
+                // One latency sample per frame, however many ops it packs:
+                // the frame is the unit the wire (and the lock) sees.
                 outcome
                     .latencies
                     .record(Instant::now().saturating_duration_since(scheduled));
-                outcome.operations += 1;
+                outcome.operations += batch;
             }
             Err(_) => {
                 // The stream may be desynchronized; stop this connection,
                 // but record what the schedule still owed — those arrivals
                 // were offered load, not noise.
-                outcome.errors += 1;
-                outcome.abandoned = due_from(first, interval, deadline, k + 1);
+                outcome.errors += batch;
+                outcome.abandoned = due_from(first, interval, deadline, k + 1) * batch;
                 break;
             }
         }
@@ -481,6 +513,44 @@ fn issue(
                 client.delete(key)?;
             }
         }
+    }
+    Ok(())
+}
+
+/// Issues one batched frame: `MultiGet` with probability `read_ratio`,
+/// otherwise a `WriteBatch` whose ops are drawn from the same
+/// `Put`/`Merge`/`Delete` split as the single-op path. Scans are skipped
+/// in batched mode — batches carry point operations only.
+fn issue_batch(
+    client: &mut Client,
+    rng: &mut SmallRng,
+    config: &LoadConfig,
+    batch: usize,
+) -> io::Result<()> {
+    let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    if draw < config.read_ratio {
+        let keys = (0..batch)
+            .map(|_| skewed_key(rng, config.keys, config.skew))
+            .collect();
+        client.multi_get(keys)?;
+    } else {
+        let ops = (0..batch)
+            .map(|_| {
+                let key = skewed_key(rng, config.keys, config.skew);
+                match rng.gen_range(0u32..3) {
+                    0 => BatchOp::Put {
+                        key,
+                        value: [key, !key, 0, 0],
+                    },
+                    1 => BatchOp::Merge {
+                        key,
+                        delta: [1, 1, 1, 1],
+                    },
+                    _ => BatchOp::Delete { key },
+                }
+            })
+            .collect();
+        client.write_batch(ops)?;
     }
     Ok(())
 }
@@ -669,5 +739,18 @@ mod tests {
         assert!(c.read_ratio > 0.5 && c.read_ratio <= 1.0);
         assert!(c.scan_ratio <= c.read_ratio);
         assert!(c.duration <= Duration::from_secs(2));
+        assert_eq!(c.batch, 1, "single-op frames are the default");
+    }
+
+    #[test]
+    fn effective_batch_clamps_to_the_protocol_cap() {
+        let mut c = LoadConfig::quick();
+        assert_eq!(effective_batch(&c), 1);
+        c.batch = 0;
+        assert_eq!(effective_batch(&c), 1, "batch 0 means one op per frame");
+        c.batch = 16;
+        assert_eq!(effective_batch(&c), 16);
+        c.batch = usize::MAX;
+        assert_eq!(effective_batch(&c), MAX_BATCH_OPS as usize);
     }
 }

@@ -6,7 +6,8 @@
 //!              [--port-file PATH] [--verbose]
 //! bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
 //!              [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
-//!              [--duration-ms MS] [--seed S] [--label TEXT] [--csv PATH]
+//!              [--duration-ms MS] [--seed S] [--batch K] [--label TEXT]
+//!              [--csv PATH]
 //! ```
 //!
 //! `serve` opens a [`kvstore::Db`] with the given lock spec and serves the
@@ -24,6 +25,9 @@
 //! CSV. Exits nonzero when the run completed zero operations, so smoke
 //! tests fail loudly on a dead server; warns on stderr when the achieved
 //! arrival rate fell below 95% of target (the open loop degraded).
+//! `--batch K` with K > 1 packs each scheduled arrival into one
+//! `MultiGet`/`WriteBatch` frame of K point operations; `--rate` remains
+//! the target *operation* rate.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
@@ -59,12 +63,14 @@ bravod: the BRAVO reproduction's RPC server and open-loop load generator
                [--port-file PATH] [--verbose]
   bravod bench --addr HOST:PORT [--quick] [--connections N] [--rate OPS]
                [--read-ratio F] [--scan-ratio F] [--skew THETA] [--keys N]
-               [--duration-ms MS] [--seed S] [--label TEXT] [--csv PATH]
+               [--duration-ms MS] [--seed S] [--batch K] [--label TEXT]
+               [--csv PATH]
 
-SPEC follows the lock-spec grammar, e.g. BRAVO-BA?table=numa:2x1024.
+SPEC follows the lock-spec grammar, e.g. BRAVO-BA?shards=8&table=numa:2x1024.
 --backend threads (default) serves one thread per connection; --backend mux
 multiplexes nonblocking sockets over --workers event loops, so connections
-can outnumber host threads.
+can outnumber host threads. --batch K > 1 packs each arrival into one
+MultiGet/WriteBatch frame of K point operations (--rate stays the op rate).
 ";
 
 /// Pulls the value of `--flag VALUE` / `--flag=VALUE` out of `args`,
@@ -191,6 +197,9 @@ fn bench(args: &[String]) {
     if let Some(seed) = flag_value(args, "--seed") {
         config.seed = seed;
     }
+    if let Some(batch) = flag_value(args, "--batch") {
+        config.batch = batch;
+    }
     let label: String = flag_value(args, "--label").unwrap_or_else(|| addr_text.clone());
     let csv: Option<String> = flag_value(args, "--csv");
 
@@ -209,6 +218,7 @@ fn bench(args: &[String]) {
         "rate_target",
         "rate_achieved",
         "read_ratio",
+        "batch",
         "duration_ms",
         "ops",
         "errors",
@@ -225,6 +235,7 @@ fn bench(args: &[String]) {
         format!("{:.0}", config.rate),
         format!("{:.0}", report.achieved_rate()),
         format!("{}", config.read_ratio),
+        config.batch.max(1).to_string(),
         config.duration.as_millis().to_string(),
         report.operations.to_string(),
         report.errors.to_string(),

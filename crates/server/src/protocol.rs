@@ -14,10 +14,16 @@
 //! holds the memtable's GetLock shared while it collects and sorts the
 //! range, which is exactly the service-shaped read BRAVO's revocation cost
 //! model cares about.
+//!
+//! Two batched operations amortize lock traffic: `MultiGet` answers up to
+//! [`MAX_BATCH_OPS`] point reads and `WriteBatch` applies up to
+//! [`MAX_BATCH_OPS`] writes per frame, so the server acquires each shard's
+//! GetLock once per *frame* instead of once per key (see
+//! [`kvstore::Db::multi_get`] / [`kvstore::Db::write_batch`]).
 
 use std::io::{self, Read, Write};
 
-use kvstore::memtable::Value;
+use kvstore::memtable::{BatchOp, Value};
 
 /// Hard cap on a frame body, bytes. Large enough for a full
 /// [`MAX_SCAN_LIMIT`]-entry scan response, small enough that a corrupt or
@@ -27,6 +33,12 @@ pub const MAX_FRAME_LEN: usize = 64 * 1024;
 /// Largest entry count a `Scan` request may ask for; chosen so the worst-
 /// case response (`tag + count + entries × 40 bytes`) fits [`MAX_FRAME_LEN`].
 pub const MAX_SCAN_LIMIT: u32 = 1024;
+
+/// Largest op count a `MultiGet` or `WriteBatch` frame may carry; chosen so
+/// the worst-case frame in either direction — a `WriteBatch` of puts
+/// (`tag + count + ops × 41 bytes`) or a fully-hit `Values` response
+/// (`tag + count + entries × 33 bytes`) — fits [`MAX_FRAME_LEN`].
+pub const MAX_BATCH_OPS: u32 = 1024;
 
 /// Bytes occupied by one encoded [`Value`] (`[u64; 4]`).
 const VALUE_BYTES: usize = 32;
@@ -66,6 +78,18 @@ pub enum Request {
         /// Entry cap; at most [`MAX_SCAN_LIMIT`].
         limit: u32,
     },
+    /// Batched point reads: up to [`MAX_BATCH_OPS`] keys answered in one
+    /// frame (and one GetLock acquisition per touched shard).
+    MultiGet {
+        /// Keys to read, answered in this order.
+        keys: Vec<u64>,
+    },
+    /// Batched writes: up to [`MAX_BATCH_OPS`] put/merge/delete ops applied
+    /// in order (per shard, under one exclusive GetLock acquisition each).
+    WriteBatch {
+        /// The ops, in application order.
+        ops: Vec<BatchOp>,
+    },
     /// Liveness probe.
     Ping,
 }
@@ -92,6 +116,16 @@ pub enum Response {
         /// The scanned key/value pairs.
         Vec<(u64, Value)>,
     ),
+    /// `MultiGet` result: one slot per requested key, in request order.
+    Values(
+        /// `Some(value)` per hit, `None` per miss.
+        Vec<Option<Value>>,
+    ),
+    /// `WriteBatch` acknowledgement; carries the number of ops applied.
+    Batched(
+        /// Ops applied (the batch length — batches apply entirely).
+        u32,
+    ),
     /// `Ping` acknowledgement.
     Pong,
     /// The server rejected the request (decode error, bad parameter).
@@ -116,7 +150,8 @@ pub enum WireError {
         /// The announced body length.
         len: usize,
     },
-    /// The leading tag byte names no message.
+    /// The leading tag byte names no message (or a `WriteBatch` op tag
+    /// names no op).
     UnknownTag(
         /// The offending tag.
         u8,
@@ -124,6 +159,12 @@ pub enum WireError {
     /// A `Scan` asked for more than [`MAX_SCAN_LIMIT`] entries.
     ScanLimit(
         /// The requested limit.
+        u32,
+    ),
+    /// A `MultiGet`/`WriteBatch`/`Values` frame carried more than
+    /// [`MAX_BATCH_OPS`] entries.
+    BatchLimit(
+        /// The announced entry count.
         u32,
     ),
     /// An `Err` response payload was not valid UTF-8.
@@ -146,6 +187,9 @@ impl std::fmt::Display for WireError {
             WireError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
             WireError::ScanLimit(limit) => {
                 write!(f, "scan limit {limit} exceeds the cap of {MAX_SCAN_LIMIT}")
+            }
+            WireError::BatchLimit(count) => {
+                write!(f, "batch of {count} ops exceeds the cap of {MAX_BATCH_OPS}")
             }
             WireError::BadUtf8 => f.write_str("error payload is not valid UTF-8"),
         }
@@ -228,6 +272,13 @@ impl Request {
     const DELETE: u8 = 0x04;
     const SCAN: u8 = 0x05;
     const PING: u8 = 0x06;
+    const MULTI_GET: u8 = 0x07;
+    const WRITE_BATCH: u8 = 0x08;
+
+    // Per-op tags inside a WriteBatch body, mirroring the request tags.
+    const OP_PUT: u8 = 0x01;
+    const OP_MERGE: u8 = 0x02;
+    const OP_DELETE: u8 = 0x03;
 
     /// Appends this request's frame body to `buf` (the frame header is
     /// written by [`write_frame`]).
@@ -256,6 +307,35 @@ impl Request {
                 buf.extend_from_slice(&start.to_le_bytes());
                 buf.extend_from_slice(&limit.to_le_bytes());
             }
+            Request::MultiGet { keys } => {
+                buf.push(Self::MULTI_GET);
+                buf.extend_from_slice(&(keys.len() as u32).to_le_bytes());
+                for key in keys {
+                    buf.extend_from_slice(&key.to_le_bytes());
+                }
+            }
+            Request::WriteBatch { ops } => {
+                buf.push(Self::WRITE_BATCH);
+                buf.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+                for op in ops {
+                    match op {
+                        BatchOp::Put { key, value } => {
+                            buf.push(Self::OP_PUT);
+                            buf.extend_from_slice(&key.to_le_bytes());
+                            put_value(buf, value);
+                        }
+                        BatchOp::Merge { key, delta } => {
+                            buf.push(Self::OP_MERGE);
+                            buf.extend_from_slice(&key.to_le_bytes());
+                            put_value(buf, delta);
+                        }
+                        BatchOp::Delete { key } => {
+                            buf.push(Self::OP_DELETE);
+                            buf.extend_from_slice(&key.to_le_bytes());
+                        }
+                    }
+                }
+            }
             Request::Ping => buf.push(Self::PING),
         }
     }
@@ -283,6 +363,39 @@ impl Request {
                 }
                 Request::Scan { start, limit }
             }
+            Self::MULTI_GET => {
+                let count = c.u32()?;
+                if count > MAX_BATCH_OPS {
+                    return Err(WireError::BatchLimit(count));
+                }
+                let mut keys = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    keys.push(c.u64()?);
+                }
+                Request::MultiGet { keys }
+            }
+            Self::WRITE_BATCH => {
+                let count = c.u32()?;
+                if count > MAX_BATCH_OPS {
+                    return Err(WireError::BatchLimit(count));
+                }
+                let mut ops = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    ops.push(match c.u8()? {
+                        Self::OP_PUT => BatchOp::Put {
+                            key: c.u64()?,
+                            value: c.value()?,
+                        },
+                        Self::OP_MERGE => BatchOp::Merge {
+                            key: c.u64()?,
+                            delta: c.value()?,
+                        },
+                        Self::OP_DELETE => BatchOp::Delete { key: c.u64()? },
+                        tag => return Err(WireError::UnknownTag(tag)),
+                    });
+                }
+                Request::WriteBatch { ops }
+            }
             Self::PING => Request::Ping,
             tag => return Err(WireError::UnknownTag(tag)),
         };
@@ -299,6 +412,8 @@ impl Response {
     const ENTRIES: u8 = 0x85;
     const PONG: u8 = 0x86;
     const ERR: u8 = 0x87;
+    const VALUES: u8 = 0x88;
+    const BATCHED: u8 = 0x89;
 
     /// Appends this response's frame body to `buf`.
     pub fn encode(&self, buf: &mut Vec<u8>) {
@@ -320,6 +435,23 @@ impl Response {
                     buf.extend_from_slice(&key.to_le_bytes());
                     put_value(buf, value);
                 }
+            }
+            Response::Values(values) => {
+                buf.push(Self::VALUES);
+                buf.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for value in values {
+                    match value {
+                        Some(value) => {
+                            buf.push(1);
+                            put_value(buf, value);
+                        }
+                        None => buf.push(0),
+                    }
+                }
+            }
+            Response::Batched(applied) => {
+                buf.push(Self::BATCHED);
+                buf.extend_from_slice(&applied.to_le_bytes());
             }
             Response::Pong => buf.push(Self::PONG),
             Response::Err(message) => {
@@ -350,6 +482,21 @@ impl Response {
                 }
                 Response::Entries(entries)
             }
+            Self::VALUES => {
+                let count = c.u32()?;
+                if count > MAX_BATCH_OPS {
+                    return Err(WireError::BatchLimit(count));
+                }
+                let mut values = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    values.push(match c.u8()? {
+                        0 => None,
+                        _ => Some(c.value()?),
+                    });
+                }
+                Response::Values(values)
+            }
+            Self::BATCHED => Response::Batched(c.u32()?),
             Self::PONG => Response::Pong,
             Self::ERR => {
                 let len = c.u32()? as usize;
@@ -531,6 +678,24 @@ mod tests {
             limit: MAX_SCAN_LIMIT,
         });
         round_trip_request(Request::Ping);
+        round_trip_request(Request::MultiGet { keys: Vec::new() });
+        round_trip_request(Request::MultiGet {
+            keys: vec![0, 7, 7, u64::MAX],
+        });
+        round_trip_request(Request::WriteBatch { ops: Vec::new() });
+        round_trip_request(Request::WriteBatch {
+            ops: vec![
+                BatchOp::Put {
+                    key: 1,
+                    value: [1, 2, 3, 4],
+                },
+                BatchOp::Merge {
+                    key: 2,
+                    delta: [u64::MAX; 4],
+                },
+                BatchOp::Delete { key: 3 },
+            ],
+        });
         round_trip_response(Response::Ok);
         round_trip_response(Response::Value([5; 4]));
         round_trip_response(Response::NotFound);
@@ -539,6 +704,98 @@ mod tests {
         round_trip_response(Response::Entries(vec![(1, [1; 4]), (2, [2; 4])]));
         round_trip_response(Response::Pong);
         round_trip_response(Response::Err("no".to_string()));
+        round_trip_response(Response::Values(Vec::new()));
+        round_trip_response(Response::Values(vec![Some([7; 4]), None, Some([0; 4])]));
+        round_trip_response(Response::Batched(0));
+        round_trip_response(Response::Batched(MAX_BATCH_OPS));
+    }
+
+    #[test]
+    fn batch_frames_are_capped_and_truncation_safe() {
+        // One over the cap, in both directions.
+        let mut buf = vec![Request::MULTI_GET];
+        buf.extend_from_slice(&(MAX_BATCH_OPS + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::BatchLimit(MAX_BATCH_OPS + 1))
+        );
+        let mut buf = vec![Request::WRITE_BATCH];
+        buf.extend_from_slice(&(MAX_BATCH_OPS + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::BatchLimit(MAX_BATCH_OPS + 1))
+        );
+        let mut buf = vec![Response::VALUES];
+        buf.extend_from_slice(&(MAX_BATCH_OPS + 1).to_le_bytes());
+        assert_eq!(
+            Response::decode(&buf),
+            Err(WireError::BatchLimit(MAX_BATCH_OPS + 1))
+        );
+        // An unknown per-op tag is rejected.
+        let mut buf = vec![Request::WRITE_BATCH];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0xee);
+        assert_eq!(Request::decode(&buf), Err(WireError::UnknownTag(0xee)));
+        // No strict prefix of a batched frame decodes.
+        let mut buf = Vec::new();
+        Request::WriteBatch {
+            ops: vec![
+                BatchOp::Put {
+                    key: 1,
+                    value: [9; 4],
+                },
+                BatchOp::Delete { key: 2 },
+            ],
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Request::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut buf = Vec::new();
+        Response::Values(vec![Some([1; 4]), None]).encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Response::decode(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_batch_frames_fit_under_the_frame_cap() {
+        // The cap invariant MAX_BATCH_OPS is chosen for: the biggest frame
+        // either direction can produce still satisfies write_frame.
+        let mut buf = Vec::new();
+        Request::WriteBatch {
+            ops: vec![
+                BatchOp::Put {
+                    key: u64::MAX,
+                    value: [u64::MAX; 4],
+                };
+                MAX_BATCH_OPS as usize
+            ],
+        }
+        .encode(&mut buf);
+        assert!(
+            buf.len() <= MAX_FRAME_LEN,
+            "WriteBatch: {} bytes",
+            buf.len()
+        );
+        write_frame(&mut Vec::new(), &buf).unwrap();
+        let mut buf = Vec::new();
+        Response::Values(vec![Some([u64::MAX; 4]); MAX_BATCH_OPS as usize]).encode(&mut buf);
+        assert!(buf.len() <= MAX_FRAME_LEN, "Values: {} bytes", buf.len());
+        write_frame(&mut Vec::new(), &buf).unwrap();
+        let mut buf = Vec::new();
+        Request::MultiGet {
+            keys: vec![u64::MAX; MAX_BATCH_OPS as usize],
+        }
+        .encode(&mut buf);
+        assert!(buf.len() <= MAX_FRAME_LEN, "MultiGet: {} bytes", buf.len());
+        write_frame(&mut Vec::new(), &buf).unwrap();
     }
 
     #[test]

@@ -258,7 +258,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.local_addr())
-            .field("lock", &self.db.memtable().lock_label())
+            .field("lock", &self.db.lock_label())
             .field("connections", &self.connections_accepted())
             .finish_non_exhaustive()
     }
@@ -431,11 +431,7 @@ fn handle_connection(
     // `LockHandle::labeled`); all clones feed the one shared per-lock sink,
     // so this buys distinguishable labels, not per-connection counters.
     // Only built when logging actually happens.
-    let conn_lock = verbose.then(|| {
-        db.memtable()
-            .lock()
-            .labeled(format!("{}@conn{id}", db.memtable().lock_label()))
-    });
+    let conn_lock = verbose.then(|| db.lock().labeled(format!("{}@conn{id}", db.lock_label())));
     if let Some(conn_lock) = &conn_lock {
         eprintln!("bravod: connection {id} open ({})", conn_lock.label());
     }
@@ -559,6 +555,10 @@ pub(crate) fn apply(db: &Db, request: Request) -> Response {
         }
         Request::Delete { key } => Response::Deleted(db.delete(key)),
         Request::Scan { start, limit } => Response::Entries(db.scan(start, limit as usize)),
+        // The batched ops are where sharding pays on the serving path: one
+        // GetLock acquisition per touched shard per *frame*, not per key.
+        Request::MultiGet { keys } => Response::Values(db.multi_get(&keys)),
+        Request::WriteBatch { ops } => Response::Batched(db.write_batch(&ops) as u32),
         Request::Ping => Response::Pong,
     }
 }
@@ -622,6 +622,57 @@ mod tests {
                 assert_eq!(
                     entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
                     vec![2, 3, 4]
+                );
+            }
+            other => panic!("scan returned {other:?}"),
+        }
+        assert_eq!(
+            apply(&db, Request::MultiGet { keys: vec![3, 99] }),
+            Response::Values(vec![Some([3, 3 ^ 0xff, 0, 0]), None])
+        );
+        assert_eq!(
+            apply(
+                &db,
+                Request::WriteBatch {
+                    ops: vec![
+                        kvstore::BatchOp::Put {
+                            key: 50,
+                            value: [5; 4]
+                        },
+                        kvstore::BatchOp::Merge {
+                            key: 50,
+                            delta: [1; 4]
+                        },
+                        kvstore::BatchOp::Delete { key: 3 },
+                    ]
+                }
+            ),
+            Response::Batched(3)
+        );
+        assert_eq!(
+            apply(&db, Request::Get { key: 50 }),
+            Response::Value([6; 4])
+        );
+        assert_eq!(apply(&db, Request::Get { key: 3 }), Response::NotFound);
+    }
+
+    #[test]
+    fn apply_routes_identically_on_a_sharded_db() {
+        let db = Db::open_prepopulated(LockKind::BravoBa.spec().with_shards(4), 8).unwrap();
+        assert_eq!(
+            apply(
+                &db,
+                Request::MultiGet {
+                    keys: vec![0, 7, 99]
+                }
+            ),
+            Response::Values(vec![Some([0, 0xff, 0, 0]), Some([7, 7 ^ 0xff, 0, 0]), None])
+        );
+        match apply(&db, Request::Scan { start: 0, limit: 8 }) {
+            Response::Entries(entries) => {
+                assert_eq!(
+                    entries.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+                    (0..8).collect::<Vec<_>>()
                 );
             }
             other => panic!("scan returned {other:?}"),

@@ -4,6 +4,7 @@
 //! incremental [`FrameDecoder`] the multiplexed backend resumes over
 //! partial reads.
 
+use kvstore::BatchOp;
 use proptest::prelude::*;
 
 use server::protocol::{
@@ -16,37 +17,52 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| [a, b, c, d])
 }
 
+fn batch_op_strategy() -> impl Strategy<Value = BatchOp> {
+    (0u8..3, any::<u64>(), value_strategy()).prop_map(|(tag, key, value)| match tag {
+        0 => BatchOp::Put { key, value },
+        1 => BatchOp::Merge { key, delta: value },
+        _ => BatchOp::Delete { key },
+    })
+}
+
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0u8..6,
+        0u8..8,
         any::<u64>(),
         value_strategy(),
         0u32..MAX_SCAN_LIMIT + 1,
+        proptest::collection::vec(any::<u64>(), 0..20),
+        proptest::collection::vec(batch_op_strategy(), 0..20),
     )
-        .prop_map(|(op, key, value, limit)| match op {
+        .prop_map(|(op, key, value, limit, keys, ops)| match op {
             0 => Request::Get { key },
             1 => Request::Put { key, value },
             2 => Request::Merge { key, delta: value },
             3 => Request::Delete { key },
             4 => Request::Scan { start: key, limit },
+            5 => Request::MultiGet { keys },
+            6 => Request::WriteBatch { ops },
             _ => Request::Ping,
         })
 }
 
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..9,
         value_strategy(),
         any::<bool>(),
         proptest::collection::vec((any::<u64>(), value_strategy()), 0..20),
+        proptest::collection::vec(proptest::option::of(value_strategy()), 0..20),
     )
-        .prop_map(|(tag, value, flag, entries)| match tag {
+        .prop_map(|(tag, value, flag, entries, values)| match tag {
             0 => Response::Ok,
             1 => Response::Value(value),
             2 => Response::NotFound,
             3 => Response::Deleted(flag),
             4 => Response::Entries(entries),
             5 => Response::Pong,
+            6 => Response::Values(values),
+            7 => Response::Batched(value[0] as u32),
             _ => Response::Err(format!("error {}", value[0] % 1000)),
         })
 }

@@ -5,7 +5,7 @@
 //! implements the API subset the workspace's property tests use: the
 //! [`proptest!`] test macro, the `prop_assert*` family, [`prop_assume!`],
 //! [`prop_oneof!`], [`strategy::any`], [`Strategy::prop_map`], ranges and
-//! tuples as strategies, and [`collection::vec`].
+//! tuples as strategies, [`collection::vec`], and [`option::of`].
 //!
 //! Semantics versus the real crate:
 //!
@@ -26,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 

@@ -1,0 +1,28 @@
+//! Strategies for `Option` values (shim of `proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Returns a strategy generating `Some` from the inner strategy about
+/// three quarters of the time and `None` otherwise, mirroring the real
+/// crate's default `Some` weight.
+pub fn of<S: Strategy>(strategy: S) -> OptionStrategy<S> {
+    OptionStrategy { inner: strategy }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64() & 3 == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

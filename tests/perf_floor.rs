@@ -52,6 +52,47 @@ fn uncontended_single_reader_stays_fast() {
     }
 }
 
+/// Sharding must be free for uncontended point reads: routing through
+/// eight key-hashed shards is one hash and one index, so a `shards=8` db
+/// must clear the same per-msec floor as the flat layout — and, like any
+/// uncontended reader, without a single parked wait.
+#[test]
+fn sharded_uncontended_point_reads_stay_fast() {
+    use bravo_repro::kvstore::Db;
+
+    let parks_before = bravo_repro::bravo::stats::snapshot();
+    for shards in [1usize, 8] {
+        let spec = LockKind::Ba
+            .spec()
+            .with_wait(WaitMode::Park)
+            .with_shards(shards);
+        let db = Db::open_prepopulated(spec.clone(), 1_024)
+            .unwrap_or_else(|e| panic!("open {spec}: {e}"));
+        // Warm-up (thread registration, shard hash paths).
+        for key in 0..100u64 {
+            db.get(key);
+        }
+        let start = Instant::now();
+        let mut ops = 0u64;
+        while start.elapsed() < WINDOW {
+            for key in 0..64u64 {
+                assert!(db.get((ops + key) % 1_024).is_some());
+            }
+            ops += 64;
+        }
+        let rate = ops as f64 / start.elapsed().as_millis().max(1) as f64;
+        assert!(
+            rate >= FLOOR_OPS_PER_MSEC,
+            "{spec}: {rate:.1} ops/msec under the {FLOOR_OPS_PER_MSEC} floor \
+             (shard routing made uncontended reads expensive?)"
+        );
+    }
+    let parks = bravo_repro::bravo::stats::snapshot()
+        .since(&parks_before)
+        .parked_waits;
+    assert_eq!(parks, 0, "uncontended sharded reads appear to be parking");
+}
+
 #[test]
 fn parking_never_engages_without_contention() {
     // Stronger than the floor: with one thread and no writer, the parking

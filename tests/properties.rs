@@ -196,14 +196,18 @@ fn arbitrary_spec_strategy() -> impl Strategy<Value = LockSpec> {
         (0u8..1).prop_map(|_| WaitMode::Park),
     ];
     let adapt = any::<bool>();
-    (kind, bias, table, stats, wait, adapt).prop_map(|(kind, bias, table, stats, wait, adapt)| {
-        LockSpec::new(kind)
-            .with_bias(bias)
-            .with_table(table)
-            .with_stats(stats)
-            .with_wait(wait)
-            .with_adapt(adapt)
-    })
+    let shards = 1usize..64;
+    (kind, bias, table, stats, wait, adapt, shards).prop_map(
+        |(kind, bias, table, stats, wait, adapt, shards)| {
+            LockSpec::new(kind)
+                .with_bias(bias)
+                .with_table(table)
+                .with_stats(stats)
+                .with_wait(wait)
+                .with_adapt(adapt)
+                .with_shards(shards)
+        },
+    )
 }
 
 proptest! {

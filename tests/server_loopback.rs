@@ -86,7 +86,7 @@ fn concurrent_connections_run_a_mixed_workload() {
         assert_eq!(total_ops.load(Ordering::Relaxed), 800);
         assert_eq!(server.connections_accepted(), 4);
         // The server's GetLock recorded traffic through its per-lock sink.
-        let stats = server.db().memtable().lock_stats();
+        let stats = server.db().lock_stats();
         assert!(
             stats.total_reads() > 0,
             "no reads attributed to the GetLock: {stats:?}"
@@ -94,6 +94,139 @@ fn concurrent_connections_run_a_mixed_workload() {
         assert!(stats.writes > 0, "no writes attributed to the GetLock");
         server.shutdown();
     }
+}
+
+/// Batched frames round-trip over a real socket on every serving flavour,
+/// against a sharded store: one `MultiGet`/`WriteBatch` frame touches
+/// several shards and still answers in input order.
+#[test]
+fn batched_frames_round_trip_on_every_backend() {
+    use kvstore::BatchOp;
+
+    for (backend, scan) in flavours() {
+        let server = quick_server("BRAVO-BA?shards=4", 32, backend, scan);
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // MultiGet answers line up with the requested keys by position.
+        let values = client.multi_get(vec![3, 999, 7, 0]).unwrap();
+        assert_eq!(values.len(), 4);
+        assert_eq!(values[0].unwrap()[0], 3);
+        assert_eq!(values[1], None);
+        assert_eq!(values[2].unwrap()[0], 7);
+        assert_eq!(values[3].unwrap()[0], 0);
+        // WriteBatch applies in order across shards: put, merge over it,
+        // delete a prepopulated key.
+        let applied = client
+            .write_batch(vec![
+                BatchOp::Put {
+                    key: 100,
+                    value: [5, 5, 5, 5],
+                },
+                BatchOp::Merge {
+                    key: 100,
+                    delta: [1, 2, 3, 4],
+                },
+                BatchOp::Delete { key: 3 },
+            ])
+            .unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(client.get(100).unwrap(), Some([6, 7, 8, 9]));
+        assert_eq!(client.get(3).unwrap(), None);
+        server.shutdown();
+    }
+}
+
+/// A batched frame delivered one byte at a time still decodes: the mux
+/// backend's incremental decoder (and the threaded backend's blocking
+/// reader) reassemble partial reads before answering.
+#[test]
+fn batched_frames_survive_partial_delivery_on_every_backend() {
+    use std::io::Write as _;
+
+    use bravo_repro::server::protocol::{read_frame, write_frame, Request, Response};
+    use kvstore::BatchOp;
+
+    for (backend, scan) in flavours() {
+        let server = quick_server("BRAVO-BA?shards=4", 16, backend, scan);
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut wire = Vec::new();
+        let mut body = Vec::new();
+        Request::WriteBatch {
+            ops: vec![
+                BatchOp::Put {
+                    key: 40,
+                    value: [4; 4],
+                },
+                BatchOp::Put {
+                    key: 41,
+                    value: [5; 4],
+                },
+            ],
+        }
+        .encode(&mut body);
+        write_frame(&mut wire, &body).unwrap();
+        body.clear();
+        Request::MultiGet {
+            keys: vec![40, 41, 99],
+        }
+        .encode(&mut body);
+        write_frame(&mut wire, &body).unwrap();
+        // Dribble the two frames out a few bytes at a time so every
+        // header and body crosses a read boundary.
+        for chunk in wire.chunks(3) {
+            stream.write_all(chunk).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        assert!(read_frame(&mut reader, &mut body).unwrap(), "eof at batch");
+        assert_eq!(Response::decode(&body).unwrap(), Response::Batched(2));
+        assert!(
+            read_frame(&mut reader, &mut body).unwrap(),
+            "eof at multiget"
+        );
+        assert_eq!(
+            Response::decode(&body).unwrap(),
+            Response::Values(vec![Some([4; 4]), Some([5; 4]), None])
+        );
+        server.shutdown();
+    }
+}
+
+/// The batched load generator keeps the open-loop ledger honest: every
+/// frame counts `batch` operations and the
+/// `scheduled = operations + errors + abandoned` invariant holds, with one
+/// latency sample per frame.
+#[test]
+fn batched_load_generator_counts_operations_not_frames() {
+    let server = quick_server("BRAVO-BA?shards=4", 256, BackendKind::Mux, false);
+    let batch = 4;
+    let config = LoadConfig {
+        connections: 2,
+        rate: 4_000.0,
+        duration: Duration::from_millis(200),
+        keys: 256,
+        batch,
+        ..LoadConfig::quick()
+    };
+    let report = loadgen::run(server.local_addr(), &config).unwrap();
+    assert!(report.operations > 0, "no operations completed");
+    assert_eq!(report.errors, 0, "load generator hit errors: {report:?}");
+    assert_eq!(
+        report.operations % batch as u64,
+        0,
+        "operations must come in whole frames: {report:?}"
+    );
+    assert_eq!(
+        report.latencies.count() * batch as u64,
+        report.operations,
+        "one latency sample per frame: {report:?}"
+    );
+    assert_eq!(report.scheduled, report.operations);
+    server.shutdown();
 }
 
 #[test]
