@@ -17,17 +17,24 @@
 //! * each serving row present in the baseline must still exist and its
 //!   `ops_per_sec` may drop at most `--max-serving-drop` percent.
 //!
+//! Every baseline row is accounted for in the printed report — matched
+//! rows with their delta, disappeared rows explicitly as removed — and the
+//! final summary line carries the compared/added/removed counts, so lost
+//! coverage is visible even in a passing run.
+//!
 //! Exit status: `0` within thresholds, `1` when any regression tripped,
 //! `2` on usage/IO/parse errors. CI runs it warn-only against
 //! `ci/BENCH_locks.baseline.json` (quick-mode numbers are too noisy to
 //! hard-gate, but the diff in the log pins *when* a trend started); a
 //! paper-scale baseline can be gated for real.
 //!
-//! The parser is a deliberately tiny JSON subset reader (objects, arrays,
-//! strings without escapes, numbers) — exactly the shape `repro_all`
-//! writes — so the harness stays free of serialization dependencies.
+//! The parsing and diffing live in [`report::summary`] — the generated
+//! `RESULTS.md` renders the same comparison as its perf-trajectory table;
+//! this binary is the thin CLI over it.
 
 use std::process::ExitCode;
+
+use report::summary::{diff, parse_summary, Summary, Thresholds};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,9 +46,11 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     };
+    let defaults = Thresholds::default();
     let thresholds = Thresholds {
-        fast_read_drop_points: flag(&args, "--max-fast-read-drop").unwrap_or(10.0),
-        serving_drop_pct: flag(&args, "--max-serving-drop").unwrap_or(30.0),
+        fast_read_drop_points: flag(&args, "--max-fast-read-drop")
+            .unwrap_or(defaults.fast_read_drop_points),
+        serving_drop_pct: flag(&args, "--max-serving-drop").unwrap_or(defaults.serving_drop_pct),
     };
     let baseline = match load(baseline_path) {
         Ok(summary) => summary,
@@ -62,9 +71,13 @@ fn main() -> ExitCode {
         println!("{line}");
     }
     if report.regressions.is_empty() {
-        println!("bench_diff: within thresholds ({thresholds})");
+        println!(
+            "bench_diff: {}; within thresholds ({thresholds})",
+            report.counts()
+        );
         ExitCode::SUCCESS
     } else {
+        println!("bench_diff: {}", report.counts());
         for regression in &report.regressions {
             eprintln!("bench_diff: REGRESSION: {regression}");
         }
@@ -93,408 +106,7 @@ fn flag(args: &[String], name: &str) -> Option<f64> {
     None
 }
 
-/// Allowed drops before a diff counts as a regression.
-struct Thresholds {
-    /// Max headline `fast_read_fraction` drop, in percentage points.
-    fast_read_drop_points: f64,
-    /// Max per-row `ops_per_sec` drop, as a percentage of the baseline.
-    serving_drop_pct: f64,
-}
-
-impl std::fmt::Display for Thresholds {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "fast-read drop ≤ {:.1} points, serving drop ≤ {:.1}%",
-            self.fast_read_drop_points, self.serving_drop_pct
-        )
-    }
-}
-
-/// One parsed `BENCH_locks.json`.
-struct Summary {
-    fast_read_fraction: f64,
-    serving: Vec<ServingRow>,
-}
-
-/// One serving measurement, keyed by everything but the result columns.
-#[derive(Debug, PartialEq)]
-struct ServingRow {
-    spec: String,
-    backend: String,
-    connections: f64,
-    /// Store partition count; rows from summaries predating the sharded
-    /// store (no `"shards"` field) default to 1.
-    shards: f64,
-    /// Ops per wire frame; missing field defaults to 1 likewise.
-    batch: f64,
-    ops_per_sec: f64,
-}
-
-impl ServingRow {
-    fn key(&self) -> String {
-        format!(
-            "{} @{} x{} shards={} batch={}",
-            self.spec, self.backend, self.connections, self.shards, self.batch
-        )
-    }
-}
-
-struct DiffReport {
-    lines: Vec<String>,
-    regressions: Vec<String>,
-}
-
 fn load(path: &str) -> Result<Summary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     parse_summary(&text)
-}
-
-fn parse_summary(text: &str) -> Result<Summary, String> {
-    let json = Json::parse(text)?;
-    let fast_read_fraction = json
-        .get("fast_read_fraction")
-        .and_then(Json::as_number)
-        .ok_or("missing fast_read_fraction")?;
-    let mut serving = Vec::new();
-    for row in json
-        .get("serving")
-        .and_then(Json::as_array)
-        .ok_or("missing serving array")?
-    {
-        let field = |name: &str| {
-            row.get(name)
-                .and_then(Json::as_number)
-                .ok_or_else(|| format!("serving row missing {name}"))
-        };
-        serving.push(ServingRow {
-            spec: row
-                .get("spec")
-                .and_then(Json::as_string)
-                .ok_or("serving row missing spec")?
-                .to_string(),
-            backend: row
-                .get("backend")
-                .and_then(Json::as_string)
-                .ok_or("serving row missing backend")?
-                .to_string(),
-            connections: field("connections")?,
-            shards: field("shards").unwrap_or(1.0),
-            batch: field("batch").unwrap_or(1.0),
-            ops_per_sec: field("ops_per_sec")?,
-        });
-    }
-    Ok(Summary {
-        fast_read_fraction,
-        serving,
-    })
-}
-
-fn diff(baseline: &Summary, current: &Summary, thresholds: &Thresholds) -> DiffReport {
-    let mut report = DiffReport {
-        lines: Vec::new(),
-        regressions: Vec::new(),
-    };
-    let drop_points = (baseline.fast_read_fraction - current.fast_read_fraction) * 100.0;
-    report.lines.push(format!(
-        "fast_read_fraction: {:.4} -> {:.4} ({:+.2} points)",
-        baseline.fast_read_fraction, current.fast_read_fraction, -drop_points
-    ));
-    if drop_points > thresholds.fast_read_drop_points {
-        report.regressions.push(format!(
-            "fast_read_fraction dropped {drop_points:.2} points \
-             (limit {:.1})",
-            thresholds.fast_read_drop_points
-        ));
-    }
-    for base_row in &baseline.serving {
-        let key = base_row.key();
-        let Some(cur_row) = current.serving.iter().find(|r| r.key() == key) else {
-            report
-                .regressions
-                .push(format!("serving row disappeared: {key}"));
-            continue;
-        };
-        let change_pct = if base_row.ops_per_sec > 0.0 {
-            (cur_row.ops_per_sec - base_row.ops_per_sec) / base_row.ops_per_sec * 100.0
-        } else {
-            0.0
-        };
-        report.lines.push(format!(
-            "{key}: {:.0} -> {:.0} ops/s ({change_pct:+.1}%)",
-            base_row.ops_per_sec, cur_row.ops_per_sec
-        ));
-        if -change_pct > thresholds.serving_drop_pct {
-            report.regressions.push(format!(
-                "{key}: ops_per_sec dropped {:.1}% (limit {:.1}%)",
-                -change_pct, thresholds.serving_drop_pct
-            ));
-        }
-    }
-    for cur_row in &current.serving {
-        if !baseline.serving.iter().any(|r| r.key() == cur_row.key()) {
-            report
-                .lines
-                .push(format!("new serving row (no baseline): {}", cur_row.key()));
-        }
-    }
-    report
-}
-
-/// The JSON subset `BENCH_locks.json` uses: objects, arrays, escape-free
-/// strings, and numbers.
-#[derive(Debug)]
-enum Json {
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = Self::parse_value(bytes, &mut pos)?;
-        skip_whitespace(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing bytes at offset {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        skip_whitespace(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'{') => {
-                *pos += 1;
-                let mut fields = Vec::new();
-                loop {
-                    skip_whitespace(bytes, pos);
-                    if bytes.get(*pos) == Some(&b'}') {
-                        *pos += 1;
-                        return Ok(Json::Object(fields));
-                    }
-                    let Json::String(name) = Self::parse_value(bytes, pos)? else {
-                        return Err(format!("non-string object key at offset {pos}"));
-                    };
-                    skip_whitespace(bytes, pos);
-                    if bytes.get(*pos) != Some(&b':') {
-                        return Err(format!("expected ':' at offset {pos}"));
-                    }
-                    *pos += 1;
-                    fields.push((name, Self::parse_value(bytes, pos)?));
-                    skip_whitespace(bytes, pos);
-                    if bytes.get(*pos) == Some(&b',') {
-                        *pos += 1;
-                    }
-                }
-            }
-            Some(b'[') => {
-                *pos += 1;
-                let mut items = Vec::new();
-                loop {
-                    skip_whitespace(bytes, pos);
-                    if bytes.get(*pos) == Some(&b']') {
-                        *pos += 1;
-                        return Ok(Json::Array(items));
-                    }
-                    items.push(Self::parse_value(bytes, pos)?);
-                    skip_whitespace(bytes, pos);
-                    if bytes.get(*pos) == Some(&b',') {
-                        *pos += 1;
-                    }
-                }
-            }
-            Some(b'"') => {
-                *pos += 1;
-                let start = *pos;
-                while let Some(&b) = bytes.get(*pos) {
-                    if b == b'\\' {
-                        return Err(format!("string escapes unsupported (offset {pos})"));
-                    }
-                    if b == b'"' {
-                        let text =
-                            std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-                        *pos += 1;
-                        return Ok(Json::String(text.to_string()));
-                    }
-                    *pos += 1;
-                }
-                Err("unterminated string".to_string())
-            }
-            Some(&b) if b == b'-' || b.is_ascii_digit() => {
-                let start = *pos;
-                while bytes.get(*pos).is_some_and(|&b| {
-                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
-                }) {
-                    *pos += 1;
-                }
-                std::str::from_utf8(&bytes[start..*pos])
-                    .ok()
-                    .and_then(|text| text.parse().ok())
-                    .map(Json::Number)
-                    .ok_or_else(|| format!("bad number at offset {start}"))
-            }
-            _ => Err(format!("unexpected byte at offset {pos}")),
-        }
-    }
-
-    fn get(&self, name: &str) -> Option<&Json> {
-        match self {
-            Json::Object(fields) => fields
-                .iter()
-                .find_map(|(key, value)| (key == name).then_some(value)),
-            _ => None,
-        }
-    }
-
-    fn as_number(&self) -> Option<f64> {
-        match self {
-            Json::Number(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_string(&self) -> Option<&str> {
-        match self {
-            Json::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_array(&self) -> Option<&[Json]> {
-        match self {
-            Json::Array(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
-    while bytes.get(*pos).is_some_and(|b| b.is_ascii_whitespace()) {
-        *pos += 1;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const SAMPLE: &str = r#"{
-  "fast_read_fraction": 0.95,
-  "total_reads": 123456,
-  "revocations": 7,
-  "parked_waits": 0,
-  "adapt_flips": 2,
-  "serving": [
-    {"spec": "BRAVO-BA", "backend": "mux", "connections": 128, "shards": 1, "batch": 1, "ops_per_sec": 15000.0, "fast_read_pct": "97.3"},
-    {"spec": "BRAVO-BA?shards=8", "backend": "mux", "connections": 256, "shards": 8, "batch": 16, "ops_per_sec": 90000.5, "fast_read_pct": "99.0"}
-  ]
-}
-"#;
-
-    fn sample() -> Summary {
-        parse_summary(SAMPLE).expect("sample parses")
-    }
-
-    #[test]
-    fn parses_the_repro_all_summary_shape() {
-        let summary = sample();
-        assert_eq!(summary.fast_read_fraction, 0.95);
-        assert_eq!(summary.serving.len(), 2);
-        assert_eq!(summary.serving[0].spec, "BRAVO-BA");
-        assert_eq!(summary.serving[1].shards, 8.0);
-        assert_eq!(summary.serving[1].batch, 16.0);
-        assert_eq!(summary.serving[1].ops_per_sec, 90000.5);
-    }
-
-    #[test]
-    fn rows_without_shard_fields_default_to_the_flat_store() {
-        // A pre-sharding summary: no "shards"/"batch" fields in the row.
-        let old = r#"{"fast_read_fraction": 0.9, "serving": [
-            {"spec": "BA", "backend": "threads", "connections": 4, "ops_per_sec": 100.0}
-        ]}"#;
-        let summary = parse_summary(old).expect("old shape parses");
-        assert_eq!(summary.serving[0].shards, 1.0);
-        assert_eq!(summary.serving[0].batch, 1.0);
-    }
-
-    #[test]
-    fn identical_summaries_pass() {
-        let thresholds = Thresholds {
-            fast_read_drop_points: 10.0,
-            serving_drop_pct: 30.0,
-        };
-        let report = diff(&sample(), &sample(), &thresholds);
-        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
-    }
-
-    #[test]
-    fn fast_read_and_serving_drops_trip_their_thresholds() {
-        let thresholds = Thresholds {
-            fast_read_drop_points: 10.0,
-            serving_drop_pct: 30.0,
-        };
-        let mut current = sample();
-        current.fast_read_fraction = 0.80; // −15 points: over the limit.
-        current.serving[1].ops_per_sec = 10_000.0; // −89%: over the limit.
-        current.serving[0].ops_per_sec = 14_000.0; // −6.7%: fine.
-        let report = diff(&sample(), &current, &thresholds);
-        assert_eq!(report.regressions.len(), 2, "{:?}", report.regressions);
-        assert!(report.regressions[0].contains("fast_read_fraction"));
-        assert!(report.regressions[1].contains("shards=8"));
-    }
-
-    #[test]
-    fn a_disappeared_serving_row_is_a_regression_and_a_new_row_is_not() {
-        let thresholds = Thresholds {
-            fast_read_drop_points: 10.0,
-            serving_drop_pct: 30.0,
-        };
-        let mut current = sample();
-        let dropped = current.serving.remove(0);
-        current.serving.push(ServingRow {
-            spec: "BA".into(),
-            connections: 512.0,
-            ..dropped
-        });
-        let report = diff(&sample(), &current, &thresholds);
-        assert_eq!(report.regressions.len(), 1, "{:?}", report.regressions);
-        assert!(report.regressions[0].contains("disappeared"));
-        assert!(report
-            .lines
-            .iter()
-            .any(|line| line.contains("new serving row")));
-    }
-
-    #[test]
-    fn improvements_never_trip() {
-        let thresholds = Thresholds {
-            fast_read_drop_points: 0.5,
-            serving_drop_pct: 1.0,
-        };
-        let mut current = sample();
-        current.fast_read_fraction = 0.99;
-        for row in &mut current.serving {
-            row.ops_per_sec *= 3.0;
-        }
-        let report = diff(&sample(), &current, &thresholds);
-        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
-    }
-
-    #[test]
-    fn malformed_input_is_an_error_not_a_panic() {
-        for bad in [
-            "",
-            "{",
-            "[1, 2",
-            r#"{"fast_read_fraction": "not a number", "serving": []}"#,
-            r#"{"serving": []}"#,
-            r#"{"fast_read_fraction": 0.5}"#,
-            "{} trailing",
-        ] {
-            assert!(parse_summary(bad).is_err(), "accepted: {bad:?}");
-        }
-    }
 }

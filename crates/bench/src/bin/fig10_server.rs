@@ -28,7 +28,10 @@
 //! `BRAVO-BA?shards=8` sharded store, so the default sweep covers
 //! `{shards} × {backend} × {connections}`). The `shards` column reports
 //! the spec's store partition count; per-shard lock counters are merged,
-//! so `fast_read_pct` attribution survives sharding.
+//! so `fast_read_pct` attribution survives sharding. With `--out DIR`,
+//! `--report` renders the collected CSVs into the per-backend throughput
+//! and latency-band figures plus a generated `RESULTS.md` (see
+//! `docs/benchmarks.md`).
 
 use std::time::Duration;
 
@@ -154,4 +157,7 @@ fn main() {
             server.shutdown();
         }
     }
+    // `--report`: render the collected CSV into the latency/throughput
+    // figures + RESULTS.md (requires `--out`, which tees the rows).
+    args.run_report();
 }

@@ -1,0 +1,104 @@
+//! Renders a results directory into the paper-layout figures and a
+//! generated `RESULTS.md` perf report.
+//!
+//! ```text
+//! report --results DIR
+//!        [--baseline BENCH_locks.json]   trajectory table vs a committed baseline
+//!        [--md PATH]                     report path (default RESULTS.md)
+//!        [--figs DIR]                    figure directory (default <results>/figs)
+//! ```
+//!
+//! Walks `--results` (the directory `repro_all --out` or
+//! `fig10_server --out` wrote), renders every applicable figure as SVG
+//! into the figure directory, and writes a Markdown report embedding the
+//! figures, the `bench_diff`-style trajectory table against `--baseline`,
+//! the headline BRAVO statistics, and an input inventory. Output is
+//! deterministic: rerunning over the same inputs is byte-identical.
+//!
+//! Exit status: `0` on success, `1` when zero figures could be rendered
+//! (an empty or unrecognizable results directory — CI smoke jobs treat
+//! this as failure), `2` on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use report::ReportConfig;
+
+fn main() -> ExitCode {
+    let mut results: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut md: Option<PathBuf> = None;
+    let mut figs: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Option<PathBuf> {
+            if arg == name {
+                match args.next() {
+                    Some(value) => Some(PathBuf::from(value)),
+                    None => {
+                        eprintln!("report: {name} requires a path argument");
+                        std::process::exit(2);
+                    }
+                }
+            } else {
+                arg.strip_prefix(&format!("{name}=")).map(PathBuf::from)
+            }
+        };
+        if let Some(path) = take("--results") {
+            results = Some(path);
+        } else if let Some(path) = take("--baseline") {
+            baseline = Some(path);
+        } else if let Some(path) = take("--md") {
+            md = Some(path);
+        } else if let Some(path) = take("--figs") {
+            figs = Some(path);
+        } else {
+            eprintln!("report: unknown argument '{arg}'");
+            return usage();
+        }
+    }
+    let Some(results) = results else {
+        return usage();
+    };
+    if !results.is_dir() {
+        eprintln!("report: {} is not a directory", results.display());
+        return ExitCode::from(2);
+    }
+    let mut config = ReportConfig::for_results_dir(&results);
+    config.baseline = baseline;
+    if let Some(md) = md {
+        config.md_path = md;
+    }
+    if let Some(figs) = figs {
+        config.figs_dir = figs;
+    }
+    match report::generate(&config) {
+        Ok(outcome) => {
+            for name in &outcome.figures {
+                println!("{}", config.figs_dir.join(format!("{name}.svg")).display());
+            }
+            println!("{}", outcome.md_path.display());
+            if outcome.figures.is_empty() {
+                eprintln!(
+                    "report: rendered zero figures from {} — nothing renderable there",
+                    results.display()
+                );
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("report: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: report --results DIR [--baseline BENCH_locks.json] \
+         [--md PATH] [--figs DIR]"
+    );
+    ExitCode::from(2)
+}

@@ -17,8 +17,12 @@
 //! Pass `--out results/` to additionally collect each experiment's rows as
 //! a CSV file (`results/fig2_alternator.csv`, …) with the spec-string
 //! labels and `fast_read_pct` columns preserved, plus the end-of-run BRAVO
-//! statistics in `results/bravo_stats.csv` — the collection step for
-//! turning a paper-scale run into figures.
+//! statistics in `results/bravo_stats.csv` and the machine-readable
+//! summary in `results/BENCH_locks.json` — the collection step for
+//! turning a paper-scale run into figures. Add `--report` to render the
+//! collected directory into paper-layout SVGs (`results/figs/`) and a
+//! generated `RESULTS.md` as soon as the sweep finishes (the same pipeline
+//! as the standalone `report` binary; see `docs/benchmarks.md`).
 
 use bench::{banner, build_or_exit, fast_read_cell, fmt_f64, header, row, HarnessArgs, ResultsDir};
 use bravo::wait::WaitMode;
@@ -383,4 +387,6 @@ fn main() {
         println!("# CSV rows collected under {}", results.path().display());
         println!("# machine-readable summary in {}", json_path.display());
     }
+    // `--report`: render the collected directory into figures + RESULTS.md.
+    args.run_report();
 }

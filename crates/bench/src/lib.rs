@@ -118,7 +118,10 @@ impl std::fmt::Display for RunMode {
 /// paper-default lock set. Spec strings follow the grammar documented in
 /// [`bravo::spec`]. `--out DIR` (or `--out=DIR`) asks the binary to
 /// additionally write its rows as CSV files into `DIR` (see [`ResultsDir`]);
-/// `repro_all` uses it to collect one CSV per experiment.
+/// `repro_all` uses it to collect one CSV per experiment. `--report`
+/// (requires `--out`) additionally renders the collected results into
+/// `DIR/figs/*.svg` and a generated `RESULTS.md` when the sweep finishes —
+/// the same pipeline the standalone `report` binary runs.
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Interval/thread-count preset.
@@ -128,6 +131,8 @@ pub struct HarnessArgs {
     pub locks: Vec<LockSpec>,
     /// Results directory selected with `--out`; `None` means stdout only.
     pub out: Option<std::path::PathBuf>,
+    /// Whether `--report` asked for figures + `RESULTS.md` after the run.
+    pub report: bool,
 }
 
 impl HarnessArgs {
@@ -138,9 +143,13 @@ impl HarnessArgs {
         let mode = RunMode::from_args();
         let mut locks = Vec::new();
         let mut out = None;
+        let mut report = false;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
-            if arg == "--out" {
+            if arg == "--report" {
+                report = true;
+                continue;
+            } else if arg == "--out" {
                 match args.next() {
                     Some(dir) => out = Some(std::path::PathBuf::from(dir)),
                     None => {
@@ -174,7 +183,50 @@ impl HarnessArgs {
                 }
             }
         }
-        Self { mode, locks, out }
+        if report && out.is_none() {
+            eprintln!("--report requires --out DIR (there is nothing to render otherwise)");
+            std::process::exit(2);
+        }
+        Self {
+            mode,
+            locks,
+            out,
+            report,
+        }
+    }
+
+    /// Honours `--report`: renders the `--out` directory's collected
+    /// results into `<out>/figs/*.svg` plus a generated `RESULTS.md`, the
+    /// same pipeline as `cargo run -p bench --bin report`. Call after the
+    /// sweep has written its rows; a no-op when `--report` was not passed.
+    /// The committed CI baseline (`ci/BENCH_locks.baseline.json`) is used
+    /// for the trajectory table when it exists in the working directory.
+    pub fn run_report(&self) {
+        if !self.report {
+            return;
+        }
+        let Some(out) = &self.out else {
+            return; // from_args rejects --report without --out
+        };
+        let mut config = report::ReportConfig::for_results_dir(out);
+        let baseline = std::path::Path::new("ci/BENCH_locks.baseline.json");
+        if baseline.is_file() {
+            config.baseline = Some(baseline.to_path_buf());
+        }
+        match report::generate(&config) {
+            Ok(outcome) => {
+                println!(
+                    "# rendered {} figure(s) under {}; report in {}",
+                    outcome.figures.len(),
+                    config.figs_dir.display(),
+                    outcome.md_path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("report generation failed: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Opens the `--out` results directory if one was selected, terminating
@@ -563,6 +615,7 @@ mod tests {
             mode: RunMode::Quick,
             locks: Vec::new(),
             out: None,
+            report: false,
         };
         let specs = args.lock_specs(LockKind::paper_set());
         assert_eq!(specs.len(), LockKind::paper_set().len());
@@ -572,6 +625,7 @@ mod tests {
             mode: RunMode::Quick,
             locks: vec!["BRAVO-BA?n=99".parse().unwrap()],
             out: None,
+            report: false,
         };
         let specs = args.lock_specs(LockKind::paper_set());
         assert_eq!(specs.len(), 1);
@@ -584,6 +638,7 @@ mod tests {
             mode: RunMode::Quick,
             locks: vec!["stock".parse().unwrap(), "BRAVO".parse().unwrap()],
             out: None,
+            report: false,
         };
         let variants = args.kernel_variants(KernelVariant::all());
         assert_eq!(variants, vec![KernelVariant::Stock, KernelVariant::Bravo]);

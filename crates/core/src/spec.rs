@@ -164,6 +164,29 @@ impl std::fmt::Display for StatsMode {
 /// parse the compact string form (see the [module docs](self)); `Display`
 /// emits the same form back (omitting parameters at their defaults), so
 /// specs round-trip and double as result-table labels.
+///
+/// ```
+/// use bravo::spec::{LockSpec, TableSpec};
+///
+/// let spec: LockSpec = "BRAVO-BA?n=99&table=numa:2x1024&wait=park"
+///     .parse()
+///     .unwrap();
+/// assert_eq!(spec.kind(), "BRAVO-BA");
+/// assert_eq!(spec.table(), TableSpec::Numa { nodes: 2, slots: 1024 });
+///
+/// // Display omits defaults, so any result-table label round-trips.
+/// assert_eq!(spec.to_string(), "BRAVO-BA?n=99&table=numa:2x1024&wait=park");
+/// assert_eq!(spec.to_string().parse::<LockSpec>().unwrap(), spec);
+///
+/// // Explicitly-spelled defaults collapse back to the bare kind...
+/// let plain: LockSpec = "BA?n=9&stats=per-lock&shards=1".parse().unwrap();
+/// assert_eq!(plain, LockSpec::new("BA"));
+/// assert_eq!(plain.to_string(), "BA");
+///
+/// // ...and malformed specs are rejected, never silently ignored.
+/// assert!("BA?frobnicate=1".parse::<LockSpec>().is_err());
+/// assert!("BRAVO-BA?shards=0".parse::<LockSpec>().is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct LockSpec {
     kind: String,

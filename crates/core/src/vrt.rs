@@ -813,6 +813,27 @@ pub fn shared_numa_table(nodes: usize, slots_per_shard: usize) -> &'static NumaT
 /// table state); owned tables exist for the Figure 1 interference
 /// experiment, for BRAVO-2D private geometries, and for unit tests that
 /// need isolation.
+///
+/// ```
+/// use bravo::vrt::{ReaderTable, TableHandle, DEFAULT_TABLE_SIZE};
+///
+/// // Production default: every lock shares the process-global flat table.
+/// let shared = TableHandle::global();
+/// assert_eq!(shared.table().layout(), "flat");
+/// assert_eq!(shared.table().len(), DEFAULT_TABLE_SIZE);
+/// assert_eq!(shared.table().shards(), 1);
+///
+/// // Figure 1's comparator: a table owned by one lock, immune to
+/// // inter-lock interference. Sizes round up to a power of two.
+/// let private = TableHandle::private(1000);
+/// assert_eq!(private.table().len(), 1024);
+///
+/// // The sectored (BRAVO-2D) layout revokes by scanning one column, so a
+/// // 4-row geometry reports 4 revocation-scan shards.
+/// let sectored = TableHandle::sectored(4, 64);
+/// assert_eq!(sectored.table().layout(), "sectored");
+/// assert_eq!(sectored.table().shards(), 4);
+/// ```
 #[derive(Clone)]
 pub enum TableHandle {
     /// A process-shared table (the flat global, the sectored global, or a

@@ -1,0 +1,232 @@
+//! A small CSV reader tolerant of the schemas the harness emits.
+//!
+//! The writers are `bench::ResultsDir` (minimal quoting: cells containing a
+//! comma, quote or newline are quoted with internal quotes doubled) and
+//! `bravod bench --csv` (no quoting). The reader accepts both, plus the
+//! rough edges real results directories accumulate: comment lines starting
+//! with `#`, blank lines, rows with fewer or more cells than the header,
+//! and numeric cells carrying unit suffixes (`94.1%`, `0.123s`) or sentinel
+//! values (`-`, `NaN`) that must read as "no number" rather than poisoning
+//! a figure.
+
+/// One parsed CSV file: a header naming the columns and the data rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name (by convention the file stem, e.g. `fig10_server`).
+    pub name: String,
+    /// Column names from the header row; empty for an empty file.
+    pub columns: Vec<String>,
+    /// Data rows. Rows keep however many cells their line had; use
+    /// [`Table::cell`] for header-aligned access.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Parses `text` as CSV. Never fails: an empty (or all-comment) file
+    /// yields a table with no columns and no rows, and malformed quoting
+    /// degrades to taking the rest of the line verbatim.
+    pub fn parse(name: impl Into<String>, text: &str) -> Self {
+        let mut lines = text
+            .lines()
+            .map(|l| l.strip_suffix('\r').unwrap_or(l))
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+        let columns = lines.next().map(parse_line).unwrap_or_default();
+        let rows = lines.map(parse_line).collect();
+        Self {
+            name: name.into(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Index of the named column, if the header has it.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// Whether the header names every listed column (schema sniffing).
+    pub fn has_columns(&self, columns: &[&str]) -> bool {
+        columns.iter().all(|c| self.column_index(c).is_some())
+    }
+
+    /// The cell of `row` under the named column; `None` when the column is
+    /// missing from the header **or** the row is too short (tolerated, not
+    /// an error — the row simply lacks the value).
+    pub fn cell<'a>(&'a self, row: &'a [String], column: &str) -> Option<&'a str> {
+        let index = self.column_index(column)?;
+        row.get(index).map(String::as_str)
+    }
+
+    /// The cell under `column` parsed as a finite number; see
+    /// [`parse_number`] for the tolerated forms.
+    pub fn number(&self, row: &[String], column: &str) -> Option<f64> {
+        parse_number(self.cell(row, column)?)
+    }
+
+    /// True when the table has the exact `experiment,series,value,...`
+    /// shape `repro_all` writes for every experiment.
+    pub fn is_repro_summary(&self) -> bool {
+        self.has_columns(&["experiment", "series", "value"])
+    }
+}
+
+/// Parses one CSV line into cells, honouring the writer's minimal quoting
+/// (`"..."` with doubled internal quotes).
+pub fn parse_line(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let bytes = line.as_bytes();
+    let mut pos = 0;
+    loop {
+        let mut cell = String::new();
+        if bytes.get(pos) == Some(&b'"') {
+            pos += 1;
+            let mut closed = false;
+            while pos < bytes.len() {
+                if bytes[pos] == b'"' {
+                    if bytes.get(pos + 1) == Some(&b'"') {
+                        cell.push('"');
+                        pos += 2;
+                    } else {
+                        pos += 1;
+                        closed = true;
+                        break;
+                    }
+                } else {
+                    let ch_len = utf8_len(bytes[pos]);
+                    cell.push_str(&line[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+            if !closed {
+                // Unterminated quote: keep what we collected (degrade, don't
+                // fail — the writer never produces this, but a truncated file
+                // might).
+            }
+            // Skip anything up to the next comma (malformed trailing text).
+            while pos < bytes.len() && bytes[pos] != b',' {
+                pos += 1;
+            }
+        } else {
+            let start = pos;
+            while pos < bytes.len() && bytes[pos] != b',' {
+                pos += 1;
+            }
+            cell.push_str(&line[start..pos]);
+        }
+        cells.push(cell);
+        if pos >= bytes.len() {
+            break;
+        }
+        pos += 1; // the comma
+        if pos == bytes.len() {
+            cells.push(String::new()); // trailing comma means an empty cell
+            break;
+        }
+    }
+    cells
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// Parses a results cell as a finite number, tolerating the forms the
+/// harness writes: plain floats, percentage cells (`94.1%`), unit-suffixed
+/// durations (`0.123s`), and thousands-free integers. Sentinels (`-`,
+/// empty), `NaN`, and infinities yield `None` — a missing measurement must
+/// never become a plotted point.
+pub fn parse_number(cell: &str) -> Option<f64> {
+    let text = cell.trim();
+    if text.is_empty() || text == "-" {
+        return None;
+    }
+    let parsed = text.parse::<f64>().ok().or_else(|| {
+        // Longest numeric prefix: "94.1%" -> 94.1, "0.123s" -> 0.123.
+        let end = text
+            .find(|c: char| !c.is_ascii_digit() && !matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(text.len());
+        text[..end].parse::<f64>().ok()
+    })?;
+    parsed.is_finite().then_some(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_empty_file_is_an_empty_table_not_an_error() {
+        let table = Table::parse("empty", "");
+        assert!(table.columns.is_empty());
+        assert!(table.rows.is_empty());
+        let table = Table::parse("comments", "# only a banner\n\n# and a note\n");
+        assert!(table.columns.is_empty());
+        assert!(table.rows.is_empty());
+    }
+
+    #[test]
+    fn parses_the_repro_all_summary_shape() {
+        let text = "experiment,series,value,fast_read_pct\n\
+                    fig2_alternator,BRAVO-BA?n=9,83313,94.1%\n\
+                    fig2_alternator,BA,58110,-\n";
+        let table = Table::parse("fig2_alternator", text);
+        assert!(table.is_repro_summary());
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.cell(&table.rows[0], "series"), Some("BRAVO-BA?n=9"));
+        assert_eq!(table.number(&table.rows[0], "value"), Some(83313.0));
+        assert_eq!(table.number(&table.rows[0], "fast_read_pct"), Some(94.1));
+        assert_eq!(table.number(&table.rows[1], "fast_read_pct"), None);
+    }
+
+    #[test]
+    fn missing_columns_and_short_rows_read_as_absent() {
+        let text = "a,b,c\n1,2\n4,5,6,7\n";
+        let table = Table::parse("t", text);
+        // Row shorter than the header: the missing trailing cell is None.
+        assert_eq!(table.cell(&table.rows[0], "c"), None);
+        assert_eq!(table.number(&table.rows[0], "b"), Some(2.0));
+        // Row longer than the header: header-aligned access still works and
+        // the extra cell is simply unreachable by name.
+        assert_eq!(table.cell(&table.rows[1], "c"), Some("6"));
+        assert_eq!(table.rows[1].len(), 4);
+        // A column the header never had.
+        assert_eq!(table.cell(&table.rows[0], "zzz"), None);
+        assert!(!table.has_columns(&["a", "zzz"]));
+        assert!(table.has_columns(&["a", "c"]));
+    }
+
+    #[test]
+    fn nan_latencies_and_sentinels_never_become_points() {
+        for cell in ["NaN", "nan", "-", "", "inf", "-inf", "oops"] {
+            assert_eq!(parse_number(cell), None, "cell {cell:?}");
+        }
+        assert_eq!(parse_number("94.1%"), Some(94.1));
+        assert_eq!(parse_number("0.123s"), Some(0.123));
+        assert_eq!(parse_number("  1500 "), Some(1500.0));
+        assert_eq!(parse_number("-3.5"), Some(-3.5));
+        assert_eq!(parse_number("1e3"), Some(1000.0));
+    }
+
+    #[test]
+    fn quoted_cells_round_trip_the_writers_minimal_quoting() {
+        assert_eq!(parse_line("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(parse_line("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+        assert_eq!(parse_line("plain"), vec!["plain"]);
+        assert_eq!(parse_line("a,,c"), vec!["a", "", "c"]);
+        assert_eq!(parse_line("a,"), vec!["a", ""]);
+        // Unterminated quote degrades to the collected prefix.
+        assert_eq!(parse_line("\"unterminated"), vec!["unterminated"]);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let table = Table::parse("t", "a,b\r\n1,2\r\n");
+        assert_eq!(table.columns, vec!["a", "b"]);
+        assert_eq!(table.number(&table.rows[0], "b"), Some(2.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Results post-processing: turn `results/` into the paper's figures.
+//!
+//! `repro_all --out results/` and the single-figure binaries leave raw CSV
+//! files and a machine-readable `BENCH_locks.json` behind; this crate is the
+//! layer that renders them into the paper's figure layouts and a
+//! human-readable report, so perf regressions and wins are *seen* rather
+//! than rediscovered by re-reading columns. It is deliberately std-only —
+//! the report must run in the same offline container as the harness — and
+//! every renderer is deterministic: the same inputs produce byte-identical
+//! SVG and Markdown, so generated reports diff cleanly across runs.
+//!
+//! # Modules
+//!
+//! * [`csv`] — a small reader tolerant of the schemas the harness emits
+//!   (`repro_all`'s `experiment,series,value,fast_read_pct` summaries, the
+//!   rich per-binary tables like `fig10_server`'s, `bravo_stats.csv`):
+//!   quoted cells, missing/extra columns, unit-suffixed and `NaN` numbers.
+//! * [`svg`] — the chart renderer: multi-series line/scatter charts with
+//!   linear or logarithmic axes and p50/p95/p99-style bands, grouped
+//!   horizontal bars, legends and captions, all as standalone SVG.
+//! * [`summary`] — the `BENCH_locks.json` parser plus the cross-run diff
+//!   (`bench_diff` is a thin CLI over this module), including
+//!   added/removed serving-row accounting.
+//! * [`figures`] — the paper-layout figure builders: fast-read fraction vs
+//!   thread count per lock spec, serving throughput scaling per backend,
+//!   latency-vs-load curves with percentile bands, the shard weak-scaling
+//!   sweep, and generic per-experiment summaries.
+//! * [`markdown`] — assembles `RESULTS.md`: embedded figures, the
+//!   perf-trajectory table against a committed baseline, and the headline
+//!   lock statistics.
+//!
+//! # End to end
+//!
+//! The `report` binary in `crates/bench` wires it together:
+//!
+//! ```text
+//! cargo run -p bench --bin report -- --results results/ \
+//!     --baseline ci/BENCH_locks.baseline.json
+//! ```
+//!
+//! walks `results/`, renders `results/figs/*.svg`, and writes `RESULTS.md`
+//! embedding every figure plus the trajectory tables. `repro_all` and
+//! `fig10_server` accept `--report` to run the same pipeline on their own
+//! output directory as soon as the sweep finishes.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod figures;
+pub mod markdown;
+pub mod summary;
+pub mod svg;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything [`generate`] needs: where the raw results live, where the
+/// rendered artifacts go, and the optional baseline to diff against.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// Directory holding the harness output (`*.csv`, `BENCH_locks.json`).
+    pub results_dir: PathBuf,
+    /// Baseline `BENCH_locks.json` for the perf-trajectory table; `None`
+    /// skips the trajectory section.
+    pub baseline: Option<PathBuf>,
+    /// Where the generated Markdown report is written.
+    pub md_path: PathBuf,
+    /// Directory the figure SVGs are written into (created if absent).
+    pub figs_dir: PathBuf,
+}
+
+impl ReportConfig {
+    /// The conventional layout for a results directory `dir`: figures in
+    /// `dir/figs/`, report in `RESULTS.md` next to the current directory.
+    pub fn for_results_dir(dir: &Path) -> Self {
+        Self {
+            results_dir: dir.to_path_buf(),
+            baseline: None,
+            md_path: PathBuf::from("RESULTS.md"),
+            figs_dir: dir.join("figs"),
+        }
+    }
+}
+
+/// What [`generate`] produced, for end-of-run reporting.
+#[derive(Debug)]
+pub struct ReportOutcome {
+    /// File stems of the rendered figures, in report order.
+    pub figures: Vec<String>,
+    /// Path of the written Markdown report.
+    pub md_path: PathBuf,
+}
+
+/// Runs the whole pipeline: load `results_dir`, render every applicable
+/// figure into `figs_dir`, and write the Markdown report. Returns the
+/// figure list; rendering zero figures is not an error here (the CLI
+/// treats it as one so smoke jobs fail loudly).
+pub fn generate(config: &ReportConfig) -> io::Result<ReportOutcome> {
+    let results = figures::load_results(&config.results_dir)?;
+    let figs = figures::build_figures(&results);
+    std::fs::create_dir_all(&config.figs_dir)?;
+    // Clear stale figures so the directory reflects exactly this run, the
+    // same contract ResultsDir applies to its CSVs.
+    for entry in std::fs::read_dir(&config.figs_dir)? {
+        let path = entry?.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == "svg") {
+            std::fs::remove_file(path)?;
+        }
+    }
+    for fig in &figs {
+        std::fs::write(config.figs_dir.join(format!("{}.svg", fig.name)), &fig.svg)?;
+    }
+    let baseline = match &config.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let parsed = summary::parse_summary(&text).map_err(io::Error::other)?;
+            Some((path.clone(), parsed))
+        }
+        None => None,
+    };
+    let md = markdown::render(&markdown::ReportInputs {
+        results: &results,
+        figures: &figs,
+        figs_dir: &config.figs_dir,
+        md_path: &config.md_path,
+        baseline: baseline
+            .as_ref()
+            .map(|(path, summary)| (path.as_path(), summary)),
+    });
+    std::fs::write(&config.md_path, md)?;
+    Ok(ReportOutcome {
+        figures: figs.into_iter().map(|f| f.name).collect(),
+        md_path: config.md_path.clone(),
+    })
+}
+
+/// Computes a `/`-separated relative path from `from_dir` to `target`
+/// without touching the filesystem, so generated links stay stable across
+/// hosts. Falls back to `target` as written when the two share no prefix
+/// handling (e.g. one is absolute and the other relative).
+pub fn relative_path(from_dir: &Path, target: &Path) -> String {
+    use std::path::Component;
+    let norm = |p: &Path| -> Option<Vec<String>> {
+        let mut parts: Vec<String> = Vec::new();
+        for comp in p.components() {
+            match comp {
+                Component::CurDir => {}
+                Component::Normal(part) => parts.push(part.to_string_lossy().into_owned()),
+                Component::ParentDir => {
+                    parts.pop()?;
+                }
+                Component::RootDir | Component::Prefix(_) => parts.push(String::new()),
+            }
+        }
+        Some(parts)
+    };
+    let display = || target.display().to_string().replace('\\', "/");
+    if from_dir.is_absolute() != target.is_absolute() {
+        return display();
+    }
+    let (Some(from), Some(to)) = (norm(from_dir), norm(target)) else {
+        return display();
+    };
+    let shared = from.iter().zip(&to).take_while(|(a, b)| a == b).count();
+    let mut parts: Vec<String> = Vec::new();
+    for _ in shared..from.len() {
+        parts.push("..".to_string());
+    }
+    parts.extend(to[shared..].iter().cloned());
+    if parts.is_empty() {
+        ".".to_string()
+    } else {
+        parts.join("/")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_paths_walk_up_and_down() {
+        assert_eq!(
+            relative_path(Path::new("."), Path::new("results/figs/a.svg")),
+            "results/figs/a.svg"
+        );
+        assert_eq!(
+            relative_path(Path::new("results"), Path::new("results/figs/a.svg")),
+            "figs/a.svg"
+        );
+        assert_eq!(
+            relative_path(Path::new("results"), Path::new("docs/benchmarks.md")),
+            "../docs/benchmarks.md"
+        );
+        assert_eq!(relative_path(Path::new("a/b"), Path::new("a/b")), ".");
+        assert_eq!(
+            relative_path(
+                Path::new("/abs/results"),
+                Path::new("/abs/results/figs/x.svg")
+            ),
+            "figs/x.svg"
+        );
+        // Mixed absolute/relative cannot be related without the cwd; the
+        // target is returned as written.
+        assert_eq!(
+            relative_path(Path::new("/abs"), Path::new("rel/x.svg")),
+            "rel/x.svg"
+        );
+    }
+}

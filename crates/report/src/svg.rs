@@ -1,0 +1,828 @@
+//! Deterministic SVG chart renderer for the paper-layout figures.
+//!
+//! Two forms cover every figure the harness produces:
+//!
+//! * [`LineChart`] — multi-series lines with per-point markers, linear or
+//!   logarithmic axes, and optional shaded bands (used for the
+//!   p50–p99 latency envelopes).
+//! * [`BarChart`] — grouped horizontal bars, the right form for the long
+//!   spec-string labels the catalog sweeps produce.
+//!
+//! Rendering is pure string assembly over `std::fmt`: the same chart value
+//! always produces byte-identical SVG (fixed float formatting, no
+//! timestamps, no randomness), which is what makes golden-file tests and
+//! clean cross-run diffs of a generated report possible.
+//!
+//! The palette is the validated light-mode reference set (categorical hues
+//! assigned in fixed slot order, never cycled): series beyond the eighth
+//! are folded rather than given invented colors, identity is always carried
+//! by a legend and not by color alone, and text wears ink tones rather than
+//! series colors.
+
+use std::fmt::Write as _;
+
+/// Categorical series colors (validated reference palette, light surface,
+/// fixed slot order). More series than slots fold into [`MAX_SERIES`].
+pub const SERIES_COLORS: [&str; 8] = [
+    "#2a78d6", // blue
+    "#eb6834", // orange
+    "#1baf7a", // aqua
+    "#eda100", // yellow
+    "#e87ba4", // magenta
+    "#008300", // green
+    "#4a3aa7", // violet
+    "#e34948", // red
+];
+
+/// Hard cap on rendered series: the ninth series is never an invented hue.
+pub const MAX_SERIES: usize = 8;
+
+const SURFACE: &str = "#fcfcfb";
+const INK_PRIMARY: &str = "#0b0b0b";
+const INK_SECONDARY: &str = "#52514e";
+const INK_MUTED: &str = "#898781";
+const GRID: &str = "#e1e0d9";
+const AXIS: &str = "#c3c2b7";
+const FONT: &str = "system-ui,-apple-system,'Segoe UI',sans-serif";
+
+/// Axis scale for [`LineChart`] axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Linear with "nice" 1/2/5-stepped ticks.
+    #[default]
+    Linear,
+    /// Base-2 logarithmic (thread and connection sweeps double per step);
+    /// non-positive values are dropped.
+    Log2,
+    /// Base-10 logarithmic (latency spans decades); non-positive values
+    /// are dropped.
+    Log10,
+}
+
+/// One plotted series: a label, its points, and an optional shaded band
+/// (e.g. the p50–p99 envelope around a p95 line).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, rendered in the given order.
+    pub points: Vec<(f64, f64)>,
+    /// Optional `(x, low, high)` band rendered behind the line at low
+    /// opacity.
+    pub band: Vec<(f64, f64, f64)>,
+}
+
+/// A multi-series line/scatter chart.
+#[derive(Debug, Clone, Default)]
+pub struct LineChart {
+    /// Chart title (primary ink, top-left).
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label (rendered rotated along the axis).
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series, in fixed slot order (first gets palette slot 1).
+    pub series: Vec<Series>,
+    /// Caption under the chart (secondary ink, wrapped).
+    pub caption: String,
+}
+
+/// One group of a grouped horizontal bar chart: a category label plus one
+/// optional value per series (a `None` renders no bar).
+#[derive(Debug, Clone, Default)]
+pub struct BarGroup {
+    /// Category label (left of the group).
+    pub label: String,
+    /// One value per series; length may be shorter than the series list.
+    pub values: Vec<Option<f64>>,
+}
+
+/// A grouped horizontal bar chart (value axis horizontal, categories
+/// stacked vertically — the form that fits long spec-string labels).
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Value-axis label.
+    pub value_label: String,
+    /// Series labels (legend entries); a single series renders no legend.
+    pub series_labels: Vec<String>,
+    /// The bar groups, top to bottom.
+    pub groups: Vec<BarGroup>,
+    /// Caption under the chart.
+    pub caption: String,
+}
+
+/// Escapes a string for use in SVG text content and attribute values
+/// (spec strings carry `&` and `<`-free but the escape is cheap insurance).
+fn esc(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Fixed-precision coordinate formatting: two decimals, `-0.00` folded to
+/// `0.00`, so output never depends on float noise in the last bits.
+fn coord(v: f64) -> String {
+    let text = format!("{v:.2}");
+    if text == "-0.00" {
+        "0.00".to_string()
+    } else {
+        text
+    }
+}
+
+/// Human tick/value labels: `1.5M`, `16k`, `250`, `2.5`, `0.05`.
+pub fn fmt_value(v: f64) -> String {
+    let abs = v.abs();
+    let (scaled, suffix) = if abs >= 1e6 {
+        (v / 1e6, "M")
+    } else if abs >= 1e3 {
+        (v / 1e3, "k")
+    } else {
+        (v, "")
+    };
+    let text = if scaled.abs() >= 100.0 || scaled.fract().abs() < 1e-9 {
+        format!("{scaled:.0}")
+    } else if scaled.abs() >= 10.0 {
+        format!("{scaled:.1}")
+    } else {
+        format!("{scaled:.2}")
+    };
+    let text = if text.contains('.') {
+        text.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        text
+    };
+    let text = if text.is_empty() || text == "-" {
+        "0".to_string()
+    } else {
+        text
+    };
+    format!("{text}{suffix}")
+}
+
+/// Estimated rendered width of `text` at ~11px system sans; good enough
+/// for margin and legend layout without a font engine.
+fn text_width(text: &str, font_px: f64) -> f64 {
+    text.chars().count() as f64 * font_px * 0.60
+}
+
+fn wrap_caption(caption: &str, max_chars: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut current = String::new();
+    for word in caption.split_whitespace() {
+        if !current.is_empty() && current.chars().count() + 1 + word.chars().count() > max_chars {
+            lines.push(std::mem::take(&mut current));
+        }
+        if !current.is_empty() {
+            current.push(' ');
+        }
+        current.push_str(word);
+    }
+    if !current.is_empty() {
+        lines.push(current);
+    }
+    lines
+}
+
+/// Tick positions for a scale over `[min, max]` (both finite, `min < max`;
+/// log scales additionally require `min > 0`).
+fn ticks(scale: Scale, min: f64, max: f64) -> Vec<f64> {
+    match scale {
+        Scale::Linear => {
+            let span = max - min;
+            let raw_step = span / 5.0;
+            let mag = 10f64.powf(raw_step.abs().log10().floor());
+            let norm = raw_step / mag;
+            let step = mag
+                * if norm <= 1.0 {
+                    1.0
+                } else if norm <= 2.0 {
+                    2.0
+                } else if norm <= 2.5 {
+                    2.5
+                } else if norm <= 5.0 {
+                    5.0
+                } else {
+                    10.0
+                };
+            let mut v = (min / step).ceil() * step;
+            let mut out = Vec::new();
+            while v <= max + step * 1e-9 {
+                // Fold float noise at zero.
+                out.push(if v.abs() < step * 1e-9 { 0.0 } else { v });
+                v += step;
+            }
+            out
+        }
+        Scale::Log2 => log_ticks(min, max, 2.0),
+        Scale::Log10 => log_ticks(min, max, 10.0),
+    }
+}
+
+fn log_ticks(min: f64, max: f64, base: f64) -> Vec<f64> {
+    let lo = min.log(base).floor() as i32;
+    let hi = max.log(base).ceil() as i32;
+    let mut out: Vec<f64> = (lo..=hi)
+        .map(|e| base.powi(e))
+        .filter(|&v| v >= min * 0.999 && v <= max * 1.001)
+        .collect();
+    if out.len() > 8 {
+        // Too dense (wide decade range): keep every other tick.
+        out = out.into_iter().step_by(2).collect();
+    }
+    out
+}
+
+/// Maps `v` into `[0, 1]` under the scale.
+fn unit(scale: Scale, v: f64, min: f64, max: f64) -> f64 {
+    match scale {
+        Scale::Linear => (v - min) / (max - min),
+        Scale::Log2 | Scale::Log10 => (v.ln() - min.ln()) / (max.ln() - min.ln()),
+    }
+}
+
+struct Frame {
+    width: f64,
+    left: f64,
+    top: f64,
+    plot_w: f64,
+    plot_h: f64,
+}
+
+/// Opens the SVG document and paints surface + title; returns the running
+/// buffer.
+fn open_svg(frame: &Frame, total_h: f64, title: &str) -> String {
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 {w} {h}\" \
+         width=\"{w}\" height=\"{h}\" font-family=\"{FONT}\" role=\"img\" \
+         aria-label=\"{label}\">",
+        w = coord(frame.width),
+        h = coord(total_h),
+        label = esc(title),
+    );
+    let _ = write!(
+        svg,
+        "<rect width=\"{w}\" height=\"{h}\" fill=\"{SURFACE}\"/>\n\
+         <text x=\"16\" y=\"26\" font-size=\"15\" font-weight=\"600\" \
+         fill=\"{INK_PRIMARY}\">{title}</text>\n",
+        w = coord(frame.width),
+        h = coord(total_h),
+        title = esc(title),
+    );
+    svg
+}
+
+/// Renders the legend rows (swatch + label per series) starting at `y`;
+/// returns the y after the last row. No-op for a single series — the title
+/// names it.
+fn legend(svg: &mut String, frame: &Frame, labels: &[String], y: f64) -> f64 {
+    if labels.len() < 2 {
+        return y;
+    }
+    let mut x = frame.left;
+    let mut row_y = y;
+    for (i, label) in labels.iter().enumerate().take(MAX_SERIES) {
+        let w = 18.0 + text_width(label, 11.0) + 16.0;
+        if x + w > frame.left + frame.plot_w && x > frame.left {
+            x = frame.left;
+            row_y += 18.0;
+        }
+        let _ = write!(
+            svg,
+            "<rect x=\"{}\" y=\"{}\" width=\"12\" height=\"12\" rx=\"3\" fill=\"{}\"/>\n\
+             <text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"{INK_SECONDARY}\">{}</text>\n",
+            coord(x),
+            coord(row_y - 10.0),
+            SERIES_COLORS[i],
+            coord(x + 18.0),
+            coord(row_y),
+            esc(label),
+        );
+        x += w;
+    }
+    row_y + 18.0
+}
+
+fn caption_block(svg: &mut String, frame: &Frame, caption: &str, y: f64) -> f64 {
+    let mut line_y = y;
+    for line in wrap_caption(caption, 100) {
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"{INK_MUTED}\">{}</text>",
+            coord(frame.left),
+            coord(line_y),
+            esc(&line),
+        );
+        line_y += 15.0;
+    }
+    line_y
+}
+
+impl LineChart {
+    /// Renders the chart as a standalone SVG document. Series beyond
+    /// [`MAX_SERIES`] and points a log scale cannot place are dropped
+    /// (callers fold or facet before that matters).
+    pub fn render(&self) -> String {
+        let series: Vec<&Series> = self.series.iter().take(MAX_SERIES).collect();
+        let keep = |s: Scale, v: f64| s == Scale::Linear || v > 0.0;
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &series {
+            for &(x, y) in &s.points {
+                if keep(self.x_scale, x) && keep(self.y_scale, y) {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+            for &(x, lo, hi) in &s.band {
+                if keep(self.x_scale, x) && keep(self.y_scale, lo) && keep(self.y_scale, hi) {
+                    xs.push(x);
+                    ys.push(lo);
+                    ys.push(hi);
+                }
+            }
+        }
+        let (x_min, x_max) = padded_domain(self.x_scale, &xs);
+        let (y_min, y_max) = padded_domain(self.y_scale, &ys);
+
+        let frame = Frame {
+            width: 760.0,
+            left: 68.0,
+            top: 44.0,
+            plot_w: 760.0 - 68.0 - 20.0,
+            plot_h: 300.0,
+        };
+        let axis_bottom = frame.top + frame.plot_h;
+        let legend_top = axis_bottom + 56.0;
+        // Height accounting must be exact for a tight document: legend rows
+        // are computed by a dry run of the same layout.
+        let legend_rows = {
+            let labels: Vec<&String> = series.iter().map(|s| &s.label).collect();
+            if labels.len() < 2 {
+                0
+            } else {
+                let mut rows = 1;
+                let mut x = frame.left;
+                for label in labels.iter().take(MAX_SERIES) {
+                    let w = 18.0 + text_width(label, 11.0) + 16.0;
+                    if x + w > frame.left + frame.plot_w && x > frame.left {
+                        x = frame.left;
+                        rows += 1;
+                    }
+                    x += w;
+                }
+                rows
+            }
+        };
+        let caption_lines = wrap_caption(&self.caption, 100).len();
+        let total_h = legend_top + legend_rows as f64 * 18.0 + caption_lines as f64 * 15.0 + 10.0;
+
+        let mut svg = open_svg(&frame, total_h, &self.title);
+
+        // Grid + tick labels.
+        for tx in ticks(self.x_scale, x_min, x_max) {
+            let px = frame.left + unit(self.x_scale, tx, x_min, x_max) * frame.plot_w;
+            let _ = write!(
+                svg,
+                "<line x1=\"{x}\" y1=\"{y0}\" x2=\"{x}\" y2=\"{y1}\" stroke=\"{GRID}\" \
+                 stroke-width=\"1\"/>\n\
+                 <text x=\"{x}\" y=\"{ty}\" font-size=\"11\" fill=\"{INK_MUTED}\" \
+                 text-anchor=\"middle\">{label}</text>\n",
+                x = coord(px),
+                y0 = coord(frame.top),
+                y1 = coord(axis_bottom),
+                ty = coord(axis_bottom + 16.0),
+                label = fmt_value(tx),
+            );
+        }
+        for ty in ticks(self.y_scale, y_min, y_max) {
+            let py = axis_bottom - unit(self.y_scale, ty, y_min, y_max) * frame.plot_h;
+            let _ = write!(
+                svg,
+                "<line x1=\"{x0}\" y1=\"{y}\" x2=\"{x1}\" y2=\"{y}\" stroke=\"{GRID}\" \
+                 stroke-width=\"1\"/>\n\
+                 <text x=\"{tx}\" y=\"{tyy}\" font-size=\"11\" fill=\"{INK_MUTED}\" \
+                 text-anchor=\"end\">{label}</text>\n",
+                x0 = coord(frame.left),
+                x1 = coord(frame.left + frame.plot_w),
+                y = coord(py),
+                tx = coord(frame.left - 8.0),
+                tyy = coord(py + 4.0),
+                label = fmt_value(ty),
+            );
+        }
+        // Axes.
+        let _ = write!(
+            svg,
+            "<line x1=\"{x0}\" y1=\"{yb}\" x2=\"{x1}\" y2=\"{yb}\" stroke=\"{AXIS}\" \
+             stroke-width=\"1\"/>\n\
+             <line x1=\"{x0}\" y1=\"{yt}\" x2=\"{x0}\" y2=\"{yb}\" stroke=\"{AXIS}\" \
+             stroke-width=\"1\"/>\n",
+            x0 = coord(frame.left),
+            x1 = coord(frame.left + frame.plot_w),
+            yt = coord(frame.top),
+            yb = coord(axis_bottom),
+        );
+        // Axis labels.
+        let _ = write!(
+            svg,
+            "<text x=\"{xc}\" y=\"{xy}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\">{xl}</text>\n\
+             <text x=\"18\" y=\"{yc}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\" transform=\"rotate(-90 18 {yc})\">{yl}</text>\n",
+            xc = coord(frame.left + frame.plot_w / 2.0),
+            xy = coord(axis_bottom + 36.0),
+            xl = esc(&self.x_label),
+            yc = coord(frame.top + frame.plot_h / 2.0),
+            yl = esc(&self.y_label),
+        );
+
+        // Bands first (behind every line), then lines, then markers.
+        let px = |x: f64| frame.left + unit(self.x_scale, x, x_min, x_max) * frame.plot_w;
+        let py = |y: f64| axis_bottom - unit(self.y_scale, y, y_min, y_max) * frame.plot_h;
+        for (i, s) in series.iter().enumerate() {
+            let band: Vec<&(f64, f64, f64)> = s
+                .band
+                .iter()
+                .filter(|(x, lo, hi)| {
+                    keep(self.x_scale, *x) && keep(self.y_scale, *lo) && keep(self.y_scale, *hi)
+                })
+                .collect();
+            if band.len() >= 2 {
+                let mut d = String::new();
+                for (j, (x, _, hi)) in band.iter().enumerate() {
+                    let cmd = if j == 0 { 'M' } else { 'L' };
+                    let _ = write!(d, "{cmd}{},{} ", coord(px(*x)), coord(py(*hi)));
+                }
+                for (x, lo, _) in band.iter().rev() {
+                    let _ = write!(d, "L{},{} ", coord(px(*x)), coord(py(*lo)));
+                }
+                d.push('Z');
+                let _ = writeln!(
+                    svg,
+                    "<path d=\"{d}\" fill=\"{color}\" fill-opacity=\"0.15\" stroke=\"none\"/>",
+                    color = SERIES_COLORS[i],
+                );
+            }
+        }
+        for (i, s) in series.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .copied()
+                .filter(|&(x, y)| keep(self.x_scale, x) && keep(self.y_scale, y))
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            if pts.len() > 1 {
+                let mut d = String::new();
+                for (j, (x, y)) in pts.iter().enumerate() {
+                    let cmd = if j == 0 { 'M' } else { 'L' };
+                    let _ = write!(d, "{cmd}{},{} ", coord(px(*x)), coord(py(*y)));
+                }
+                let _ = writeln!(
+                    svg,
+                    "<path d=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\" \
+                     stroke-linejoin=\"round\" stroke-linecap=\"round\"/>",
+                    d.trim_end(),
+                    SERIES_COLORS[i],
+                );
+            }
+            if pts.len() <= 32 {
+                for (x, y) in &pts {
+                    let _ = writeln!(
+                        svg,
+                        "<circle cx=\"{}\" cy=\"{}\" r=\"3.5\" fill=\"{}\" \
+                         stroke=\"{SURFACE}\" stroke-width=\"2\"/>",
+                        coord(px(*x)),
+                        coord(py(*y)),
+                        SERIES_COLORS[i],
+                    );
+                }
+            }
+        }
+
+        let labels: Vec<String> = series.iter().map(|s| s.label.clone()).collect();
+        let after_legend = legend(&mut svg, &frame, &labels, legend_top);
+        caption_block(&mut svg, &frame, &self.caption, after_legend);
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// The plot domain for the collected values, padded so marks never sit on
+/// the frame; collapses gracefully for empty or single-valued data.
+fn padded_domain(scale: Scale, values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return match scale {
+            Scale::Linear => (0.0, 1.0),
+            _ => (1.0, 10.0),
+        };
+    }
+    match scale {
+        Scale::Linear => {
+            let (mut lo, mut hi) = (min.min(0.0), max);
+            if (hi - lo).abs() < f64::EPSILON {
+                hi = lo + 1.0;
+            }
+            let pad = (hi - lo) * 0.05;
+            // Keep a zero baseline at zero; pad only the top.
+            if lo < 0.0 {
+                lo -= pad;
+            }
+            (lo, hi + pad)
+        }
+        Scale::Log2 | Scale::Log10 => {
+            let (lo, mut hi) = (min, max);
+            if (hi / lo - 1.0).abs() < 1e-9 {
+                hi = lo * 2.0;
+            }
+            (lo * 0.9, hi * 1.1)
+        }
+    }
+}
+
+impl BarChart {
+    /// Renders the grouped horizontal bar chart as a standalone SVG
+    /// document. Series beyond [`MAX_SERIES`] are dropped (callers fold
+    /// first); a group's missing values render no bar.
+    pub fn render(&self) -> String {
+        let n_series = self.series_labels.len().clamp(1, MAX_SERIES);
+        let bar_h = 14.0;
+        let bar_gap = 2.0;
+        let group_h = n_series as f64 * bar_h + (n_series - 1) as f64 * bar_gap;
+        let stride = group_h + 12.0;
+
+        let label_w = self
+            .groups
+            .iter()
+            .map(|g| text_width(&g.label, 11.0))
+            .fold(60.0_f64, f64::max)
+            .clamp(60.0, 280.0);
+        let frame = Frame {
+            width: 760.0,
+            left: label_w + 24.0,
+            top: 44.0,
+            plot_w: 760.0 - (label_w + 24.0) - 70.0,
+            plot_h: self.groups.len() as f64 * stride + 8.0,
+        };
+        let axis_bottom = frame.top + frame.plot_h;
+        let legend_top = axis_bottom + 52.0;
+        let legend_rows = if n_series < 2 {
+            0
+        } else {
+            let mut rows = 1;
+            let mut x = frame.left;
+            for label in self.series_labels.iter().take(MAX_SERIES) {
+                let w = 18.0 + text_width(label, 11.0) + 16.0;
+                if x + w > frame.left + frame.plot_w && x > frame.left {
+                    x = frame.left;
+                    rows += 1;
+                }
+                x += w;
+            }
+            rows
+        };
+        let caption_lines = wrap_caption(&self.caption, 100).len();
+        let total_h = legend_top + legend_rows as f64 * 18.0 + caption_lines as f64 * 15.0 + 10.0;
+
+        let max_value = self
+            .groups
+            .iter()
+            .flat_map(|g| g.values.iter().flatten())
+            .fold(0.0_f64, |m, &v| m.max(v))
+            .max(f64::EPSILON);
+        let domain = max_value * 1.05;
+        let px = |v: f64| frame.left + (v / domain) * frame.plot_w;
+
+        let mut svg = open_svg(&frame, total_h, &self.title);
+
+        // Vertical grid + value ticks.
+        for tv in ticks(Scale::Linear, 0.0, domain) {
+            let _ = write!(
+                svg,
+                "<line x1=\"{x}\" y1=\"{y0}\" x2=\"{x}\" y2=\"{y1}\" stroke=\"{GRID}\" \
+                 stroke-width=\"1\"/>\n\
+                 <text x=\"{x}\" y=\"{ty}\" font-size=\"11\" fill=\"{INK_MUTED}\" \
+                 text-anchor=\"middle\">{label}</text>\n",
+                x = coord(px(tv)),
+                y0 = coord(frame.top),
+                y1 = coord(axis_bottom),
+                ty = coord(axis_bottom + 16.0),
+                label = fmt_value(tv),
+            );
+        }
+        // Baseline (the zero axis) and value-axis label.
+        let _ = write!(
+            svg,
+            "<line x1=\"{x}\" y1=\"{y0}\" x2=\"{x}\" y2=\"{y1}\" stroke=\"{AXIS}\" \
+             stroke-width=\"1\"/>\n\
+             <text x=\"{xc}\" y=\"{ty}\" font-size=\"11.5\" fill=\"{INK_SECONDARY}\" \
+             text-anchor=\"middle\">{label}</text>\n",
+            x = coord(frame.left),
+            y0 = coord(frame.top),
+            y1 = coord(axis_bottom),
+            xc = coord(frame.left + frame.plot_w / 2.0),
+            ty = coord(axis_bottom + 34.0),
+            label = esc(&self.value_label),
+        );
+
+        let total_bars: usize = self.groups.iter().map(|g| g.values.len()).sum();
+        for (gi, group) in self.groups.iter().enumerate() {
+            let gy = frame.top + 6.0 + gi as f64 * stride;
+            let _ = writeln!(
+                svg,
+                "<text x=\"{x}\" y=\"{y}\" font-size=\"11\" fill=\"{INK_SECONDARY}\" \
+                 text-anchor=\"end\">{label}</text>",
+                x = coord(frame.left - 10.0),
+                y = coord(gy + group_h / 2.0 + 4.0),
+                label = esc(&group.label),
+            );
+            for (si, value) in group.values.iter().enumerate().take(n_series) {
+                let Some(v) = value else { continue };
+                let y = gy + si as f64 * (bar_h + bar_gap);
+                let x1 = px(*v);
+                let w = x1 - frame.left;
+                // Rounded data-end on the value side, flat at the baseline.
+                let r = 3.0_f64.min(w / 2.0).min(bar_h / 2.0);
+                let _ = writeln!(
+                    svg,
+                    "<path d=\"M{x0},{yt} L{xr},{yt} Q{x1},{yt} {x1},{ytr} L{x1},{ybr} \
+                     Q{x1},{yb} {xr},{yb} L{x0},{yb} Z\" fill=\"{color}\"/>",
+                    x0 = coord(frame.left),
+                    x1 = coord(x1),
+                    xr = coord(x1 - r),
+                    yt = coord(y),
+                    ytr = coord(y + r),
+                    ybr = coord(y + bar_h - r),
+                    yb = coord(y + bar_h),
+                    color = SERIES_COLORS[si],
+                );
+                if total_bars <= 40 {
+                    let _ = writeln!(
+                        svg,
+                        "<text x=\"{x}\" y=\"{y}\" font-size=\"10.5\" fill=\"{INK_MUTED}\" \
+                         text-anchor=\"start\">{label}</text>",
+                        x = coord(x1 + 5.0),
+                        y = coord(y + bar_h - 3.5),
+                        label = fmt_value(*v),
+                    );
+                }
+            }
+        }
+
+        let after_legend = legend(&mut svg, &frame, &self.series_labels, legend_top);
+        caption_block(&mut svg, &frame, &self.caption, after_legend);
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_line() -> LineChart {
+        LineChart {
+            title: "Throughput scaling".into(),
+            x_label: "connections".into(),
+            y_label: "ops/sec".into(),
+            x_scale: Scale::Log2,
+            y_scale: Scale::Linear,
+            series: vec![
+                Series {
+                    label: "BRAVO-BA".into(),
+                    points: vec![(1.0, 100.0), (2.0, 180.0), (4.0, 300.0), (8.0, 410.0)],
+                    band: vec![],
+                },
+                Series {
+                    label: "BA".into(),
+                    points: vec![(1.0, 95.0), (2.0, 120.0), (4.0, 130.0), (8.0, 120.0)],
+                    band: vec![(1.0, 80.0, 120.0), (8.0, 90.0, 160.0)],
+                },
+            ],
+            caption: "Synthetic data for the renderer tests.".into(),
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_byte_for_byte() {
+        let chart = sample_line();
+        assert_eq!(chart.render(), chart.render());
+        let bars = BarChart {
+            title: "t".into(),
+            value_label: "v".into(),
+            series_labels: vec!["a".into(), "b".into()],
+            groups: vec![BarGroup {
+                label: "g".into(),
+                values: vec![Some(1.0), Some(2.0)],
+            }],
+            caption: String::new(),
+        };
+        assert_eq!(bars.render(), bars.render());
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough_to_embed() {
+        let svg = sample_line().render();
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<svg ").count(), 1);
+        // Two series: both palette slots appear, in fixed order.
+        assert!(svg.contains(SERIES_COLORS[0]));
+        assert!(svg.contains(SERIES_COLORS[1]));
+        // The band renders as a low-opacity fill.
+        assert!(svg.contains("fill-opacity=\"0.15\""));
+        // Legend present for >= 2 series.
+        assert!(svg.contains("BRAVO-BA"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut chart = sample_line();
+        chart.series[0].label = "BRAVO-BA?n=9&wait=park".into();
+        chart.title = "a < b & c".into();
+        let svg = chart.render();
+        assert!(svg.contains("BRAVO-BA?n=9&amp;wait=park"));
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn more_than_eight_series_fold_instead_of_inventing_colors() {
+        let mut chart = sample_line();
+        chart.series = (0..12)
+            .map(|i| Series {
+                label: format!("s{i}"),
+                points: vec![(1.0, i as f64 + 1.0), (2.0, i as f64 + 2.0)],
+                band: vec![],
+            })
+            .collect();
+        let svg = chart.render();
+        assert!(svg.contains("s7"));
+        assert!(!svg.contains(">s8<"), "ninth series must not render");
+    }
+
+    #[test]
+    fn log_scales_drop_non_positive_points() {
+        let chart = LineChart {
+            title: "log".into(),
+            x_scale: Scale::Log2,
+            y_scale: Scale::Log10,
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(0.0, 10.0), (1.0, 0.0), (2.0, 100.0), (4.0, 1000.0)],
+                band: vec![],
+            }],
+            ..LineChart::default()
+        };
+        let svg = chart.render();
+        // Only the two valid points render markers.
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn value_formatting_is_compact_and_stable() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(2.5), "2.5");
+        assert_eq!(fmt_value(250.0), "250");
+        assert_eq!(fmt_value(16_000.0), "16k");
+        assert_eq!(fmt_value(2_500.0), "2.5k");
+        assert_eq!(fmt_value(1_500_000.0), "1.5M");
+        assert_eq!(fmt_value(0.05), "0.05");
+    }
+
+    #[test]
+    fn linear_ticks_are_nice_and_log_ticks_are_powers() {
+        let t = ticks(Scale::Linear, 0.0, 103.0);
+        assert_eq!(t, vec![0.0, 25.0, 50.0, 75.0, 100.0]);
+        let t = ticks(Scale::Log2, 1.0, 8.0);
+        assert_eq!(t, vec![1.0, 2.0, 4.0, 8.0]);
+        let t = ticks(Scale::Log10, 1.0, 1000.0);
+        assert_eq!(t, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn empty_chart_still_renders_a_frame() {
+        let svg = LineChart::default().render();
+        assert!(svg.starts_with("<svg "));
+        let svg = BarChart::default().render();
+        assert!(svg.starts_with("<svg "));
+    }
+}

@@ -118,6 +118,44 @@ pub struct LoadReport {
 /// so `bravod bench` and the `fig10_server` harness share one definition.
 pub const LATENCY_COLUMNS: [&str; 3] = ["p50_us", "p95_us", "p99_us"];
 
+/// Header for [`LoadReport::csv_cells`] — the one-row report schema
+/// `bravod bench` emits (tab-separated on stdout, comma-separated with
+/// `--csv`).
+pub const REPORT_COLUMNS: [&str; 14] = [
+    "label",
+    "connections",
+    "rate_target",
+    "rate_achieved",
+    "read_ratio",
+    "batch",
+    "duration_ms",
+    "ops",
+    "errors",
+    "abandoned",
+    "ops_per_sec",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+];
+
+/// Appends one CSV row to `path`, writing the header first when the file
+/// is new or empty. Cells from [`LoadReport::csv_cells`] never contain
+/// commas or quotes (labels are spec strings), so no quoting is needed.
+pub fn append_csv(path: &str, header: &[&str], cells: &[String]) -> io::Result<()> {
+    use std::io::Write as _;
+    let fresh = std::fs::metadata(path)
+        .map(|m| m.len() == 0)
+        .unwrap_or(true);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if fresh {
+        writeln!(file, "{}", header.join(","))?;
+    }
+    writeln!(file, "{}", cells.join(","))
+}
+
 /// Formats a latency as a microseconds cell with one decimal.
 pub fn micros_cell(latency: Duration) -> String {
     format!("{:.1}", latency.as_secs_f64() * 1e6)
@@ -191,6 +229,31 @@ impl LoadReport {
             micros_cell(self.p50()),
             micros_cell(self.p95()),
             micros_cell(self.p99()),
+        ]
+    }
+
+    /// The full report row, matching [`REPORT_COLUMNS`]: run identity
+    /// (label + the offered-load parameters from `config`) followed by the
+    /// measured outcome. `bravod bench` prints and appends exactly this
+    /// row, and the `report` figure pipeline parses it back — one
+    /// serialization, shared by every producer.
+    pub fn csv_cells(&self, label: &str, config: &LoadConfig) -> [String; 14] {
+        let [p50, p95, p99] = self.latency_cells();
+        [
+            label.to_string(),
+            config.connections.to_string(),
+            format!("{:.0}", config.rate),
+            format!("{:.0}", self.achieved_rate()),
+            format!("{}", config.read_ratio),
+            config.batch.max(1).to_string(),
+            config.duration.as_millis().to_string(),
+            self.operations.to_string(),
+            self.errors.to_string(),
+            self.abandoned.to_string(),
+            format!("{:.0}", self.throughput()),
+            p50,
+            p95,
+            p99,
         ]
     }
 

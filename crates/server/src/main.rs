@@ -33,7 +33,7 @@ use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use bravo::spec::LockSpec;
-use server::loadgen::{self, LoadConfig, LATENCY_COLUMNS};
+use server::loadgen::{self, LoadConfig};
 use server::{BackendKind, Server, ServerConfig};
 
 fn main() {
@@ -211,44 +211,14 @@ fn bench(args: &[String]) {
         }
     };
 
-    let [p50_col, p95_col, p99_col] = LATENCY_COLUMNS;
-    let header = [
-        "label",
-        "connections",
-        "rate_target",
-        "rate_achieved",
-        "read_ratio",
-        "batch",
-        "duration_ms",
-        "ops",
-        "errors",
-        "abandoned",
-        "ops_per_sec",
-        p50_col,
-        p95_col,
-        p99_col,
-    ];
-    let [p50, p95, p99] = report.latency_cells();
-    let cells = [
-        label,
-        config.connections.to_string(),
-        format!("{:.0}", config.rate),
-        format!("{:.0}", report.achieved_rate()),
-        format!("{}", config.read_ratio),
-        config.batch.max(1).to_string(),
-        config.duration.as_millis().to_string(),
-        report.operations.to_string(),
-        report.errors.to_string(),
-        report.abandoned.to_string(),
-        format!("{:.0}", report.throughput()),
-        p50,
-        p95,
-        p99,
-    ];
+    // Serialization lives beside the report itself (loadgen), so the
+    // in-harness sweeps and this CLI can never drift apart on schema.
+    let header = loadgen::REPORT_COLUMNS;
+    let cells = report.csv_cells(&label, &config);
     println!("{}", header.join("\t"));
     println!("{}", cells.join("\t"));
     if let Some(path) = csv {
-        if let Err(e) = append_csv(&path, &header, &cells) {
+        if let Err(e) = loadgen::append_csv(&path, &header, &cells) {
             eprintln!("bravod bench: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -261,22 +231,4 @@ fn bench(args: &[String]) {
         eprintln!("bravod bench: completed zero operations against {addr}");
         std::process::exit(1);
     }
-}
-
-/// Appends one CSV row to `path`, writing the header first when the file
-/// is new or empty. Cells here never contain commas or quotes (labels are
-/// spec strings), so no quoting is needed.
-fn append_csv(path: &str, header: &[&str], cells: &[String]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let fresh = std::fs::metadata(path)
-        .map(|m| m.len() == 0)
-        .unwrap_or(true);
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    if fresh {
-        writeln!(file, "{}", header.join(","))?;
-    }
-    writeln!(file, "{}", cells.join(","))
 }

@@ -18,6 +18,7 @@
 //! | [`mapreduce`] | Metis-like MapReduce with the `wc` and `wrmem` applications |
 //! | [`workloads`] | Figure 1–4 workload generators and the measurement harness |
 //! | [`server`] | `bravod`: the TCP front over the mini DB plus the open-loop load generator |
+//! | [`report`] | results post-processing: CSV/`BENCH_locks.json` readers, SVG figures, `RESULTS.md` |
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -26,6 +27,7 @@ pub use bravo;
 pub use kernelsim;
 pub use kvstore;
 pub use mapreduce;
+pub use report;
 pub use rwlocks;
 pub use rwsem;
 pub use server;
@@ -51,6 +53,7 @@ mod tests {
         let _ = crate::mapreduce::generate_text(16, 1);
         let _ = crate::workloads::paper_thread_series(4);
         let _ = crate::server::MAX_FRAME_LEN;
+        let _ = crate::report::svg::SERIES_COLORS;
         assert!(crate::PAPER.contains("BRAVO"));
     }
 }
