@@ -24,9 +24,9 @@
 //! node-local publication exactly as in fig1.
 //!
 //! Pass `--lock SPEC` (repeatable) to sweep explicit lock specs instead of
-//! the default `BA` vs `BRAVO-BA` pair (plus their parking variants and a
-//! `BRAVO-BA?shards=8` sharded store, so the default sweep covers
-//! `{shards} × {backend} × {connections}`). The `shards` column reports
+//! the default `BA` vs `BRAVO-BA` pair (plus their parking and futex
+//! variants and a `BRAVO-BA?shards=8` sharded store, so the default sweep
+//! covers `{shards} × {backend} × {connections}`). The `shards` column reports
 //! the spec's store partition count; per-shard lock counters are merged,
 //! so `fast_read_pct` attribution survives sharding. With `--out DIR`,
 //! `--report` renders the collected CSVs into the per-backend throughput
@@ -96,6 +96,17 @@ fn main() {
                 .with_wait(WaitMode::Park)
                 .with_adapt(true),
         );
+        // The futex twins of the parking rows: same oversubscribed handler
+        // pool, but blocking through the kernel word directly — the
+        // futex_waits/futex_wakes/futex_eagain columns separate real
+        // sleeps from bounced (EAGAIN) syscalls.
+        specs.push(LockKind::Ba.spec().with_wait(WaitMode::Futex));
+        specs.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Futex)
+                .with_adapt(true),
+        );
         // And the sharded store: eight key-hashed GetLocks instead of one,
         // so the high-connection rows show what spreading the readers (and
         // above all the writers) across shards buys on top of BRAVO.
@@ -117,6 +128,9 @@ fn main() {
         "fast_read_pct",
         "wait_mode",
         "parked_waits",
+        "futex_waits",
+        "futex_wakes",
+        "futex_eagain",
     ]);
     for backend in BackendKind::all() {
         for spec in &specs {
@@ -152,6 +166,9 @@ fn main() {
                     fast_read_cell(&delta),
                     spec.wait().to_string(),
                     global_delta.parked_waits.to_string(),
+                    global_delta.futex_waits.to_string(),
+                    global_delta.futex_wakes.to_string(),
+                    global_delta.futex_eagain.to_string(),
                 ]);
             }
             server.shutdown();

@@ -148,29 +148,33 @@ fn main() {
         );
     }
 
-    // Parking coverage: every catalog kind must build and make progress
-    // with `wait=park` (BRAVO kinds additionally run the adaptive bias
-    // controller), under 2x-core oversubscription so waits actually park
-    // rather than winning the spin grace period.
+    // Blocking-mode coverage: every catalog kind must build and make
+    // progress with `wait=park` and `wait=futex` (BRAVO kinds additionally
+    // run the adaptive bias controller), under 2x-core oversubscription so
+    // waits actually sleep rather than winning the spin grace period. The
+    // futex rows fall back to the park path where the syscall is
+    // unavailable, so the sweep is meaningful on every target.
     let cpus = std::thread::available_parallelism().map_or(2, |n| n.get());
     let park_threads = (cpus * 2).clamp(4, 32);
-    for &kind in LockKind::all() {
-        let mut spec = kind.spec().with_wait(WaitMode::Park);
-        if kind.is_bravo() {
-            spec = spec.with_adapt(true);
+    for wait in [WaitMode::Park, WaitMode::Futex] {
+        for &kind in LockKind::all() {
+            let mut spec = kind.spec().with_wait(wait);
+            if kind.is_bravo() {
+                spec = spec.with_adapt(true);
+            }
+            let lock = build_or_exit(&spec);
+            let t = test_rwlock(
+                &lock,
+                TestRwlockConfig::paper(park_threads, mode.interval()),
+            );
+            emit(
+                results,
+                "wait_park_catalog",
+                spec.to_string(),
+                t.operations.to_string(),
+                fast_read_cell(&lock.snapshot()),
+            );
         }
-        let lock = build_or_exit(&spec);
-        let t = test_rwlock(
-            &lock,
-            TestRwlockConfig::paper(park_threads, mode.interval()),
-        );
-        emit(
-            results,
-            "wait_park_catalog",
-            spec.to_string(),
-            t.operations.to_string(),
-            fast_read_cell(&lock.snapshot()),
-        );
     }
 
     // Figure 10 (serving traffic): an in-process bravod on loopback, driven
@@ -181,11 +185,18 @@ fn main() {
     let mut server_specs = args.lock_specs(&[LockKind::Ba, LockKind::BravoBa]);
     if args.locks.is_empty() {
         // One parking + adaptive composite so the summary pass also covers
-        // parked handler threads under the mux backend's oversubscription.
+        // parked handler threads under the mux backend's oversubscription,
+        // and its futex twin so the serving rows carry both blocking modes.
         server_specs.push(
             LockKind::BravoBa
                 .spec()
                 .with_wait(WaitMode::Park)
+                .with_adapt(true),
+        );
+        server_specs.push(
+            LockKind::BravoBa
+                .spec()
+                .with_wait(WaitMode::Futex)
                 .with_adapt(true),
         );
     }
@@ -336,7 +347,7 @@ fn main() {
     // BRAVO statistics over the whole pass (process-global aggregate; the
     // per-lock rows above carry each lock's own fast-read fraction).
     let delta = bravo::stats::snapshot().since(&before);
-    let stats: [(&str, String); 11] = [
+    let stats: [(&str, String); 14] = [
         ("fast_read_fraction", fmt_f64(delta.fast_read_fraction())),
         ("total_reads", delta.total_reads().to_string()),
         ("fast_reads", delta.fast_reads.to_string()),
@@ -351,6 +362,9 @@ fn main() {
         ("revocation_fraction", fmt_f64(delta.revocation_fraction())),
         ("parked_waits", delta.parked_waits.to_string()),
         ("adapt_flips", delta.adapt_flips.to_string()),
+        ("futex_waits", delta.futex_waits.to_string()),
+        ("futex_wakes", delta.futex_wakes.to_string()),
+        ("futex_eagain", delta.futex_eagain.to_string()),
     ];
     println!();
     println!("# BRAVO statistics over this pass");
@@ -371,12 +385,17 @@ fn main() {
         let json = format!(
             "{{\n  \"fast_read_fraction\": {},\n  \"total_reads\": {},\n  \
              \"revocations\": {},\n  \"parked_waits\": {},\n  \
-             \"adapt_flips\": {},\n  \"serving\": [\n    {}\n  ]\n}}\n",
+             \"adapt_flips\": {},\n  \"futex_waits\": {},\n  \
+             \"futex_wakes\": {},\n  \"futex_eagain\": {},\n  \
+             \"serving\": [\n    {}\n  ]\n}}\n",
             fmt_f64(delta.fast_read_fraction()),
             delta.total_reads(),
             delta.revocations,
             delta.parked_waits,
             delta.adapt_flips,
+            delta.futex_waits,
+            delta.futex_wakes,
+            delta.futex_eagain,
             serving_json.join(",\n    "),
         );
         let json_path = results.path().join("BENCH_locks.json");

@@ -71,8 +71,11 @@
 //! * [`spec`] — the declarative construction API: [`LockSpec`] (which lock,
 //!   configured how, instrumented where — with a compact string form) and
 //!   [`LockHandle`] (the harness-facing built lock).
-//! * [`wait`] — parking waiter queues and the [`WaitStrategy`] that lets
-//!   every lock dispatch between spinning and parking (`wait=spin|park`).
+//! * [`wait`] — the blocking layer: parking waiter queues, the Linux futex
+//!   backend, and the [`WaitStrategy`] that lets every lock dispatch between
+//!   them (`wait=spin|park|futex`).
+//! * [`sys`] — the raw-syscall seam (futex, epoll): the single module
+//!   allowed to declare foreign functions, enforced by `schedcheck lint`.
 //! * [`clock`] — the monotonic nanosecond clock BRAVO's policy relies on.
 
 #![deny(missing_docs)]
@@ -90,6 +93,7 @@ pub mod rwlock;
 pub mod spec;
 pub mod stats;
 pub mod sync;
+pub mod sys;
 pub mod twod;
 pub mod vrt;
 pub mod wait;
@@ -107,4 +111,4 @@ pub use vrt::{
     NumaTable, ReaderTable, Revocation, SectoredTable, TableHandle, VisibleReadersTable,
     DEFAULT_TABLE_SIZE, MAX_TRACKED_SHARDS,
 };
-pub use wait::{WaitMode, WaitQueue, WaitStrategy};
+pub use wait::{FutexEventCount, WaitMode, WaitQueue, WaitStrategy};

@@ -27,7 +27,7 @@
 //! | `bias` | `disabled`, `bernoulli:<inverse_p>`, `inhibit:<n>` | the other [`BiasPolicy`] forms (`inhibit:<n>` is the long form of `n=<n>`) |
 //! | `table` | `global`, `private:<slots>`, `sectored:<sectors>x<slots>`, `numa:<nodes>x<slots>`, bare `numa` | the [`TableSpec`] (bare `numa` auto-sizes from the machine topology, see [`TableSpec::numa_auto`]) |
 //! | `stats` | `per-lock`, `global` | the [`StatsMode`] |
-//! | `wait` | `spin`, `park` | the [`WaitMode`] contended waiters use (parking queues instead of spinning) |
+//! | `wait` | `spin`, `park`, `futex` | the [`WaitMode`] contended waiters use (parking queues or kernel futex sleeps instead of spinning; `futex` falls back to `park` where the syscall is unavailable) |
 //! | `adapt` | `on`, `off` | whether an [`AdaptiveBias`] controller gates bias on the sampled read ratio (BRAVO composites only) |
 //! | `shards` | integer ≥ 1 | how many key-hashed data shards a spec-driven store (e.g. `kvstore::Db`) partitions itself into, each shard guarded by its own lock built from this spec; `1` (the default) keeps the single-lock layout |
 //!
@@ -422,7 +422,9 @@ impl FromStr for LockSpec {
                 }
                 "wait" => {
                     spec.wait = value.trim().parse::<WaitMode>().map_err(|_| {
-                        SpecParseError::new(format!("wait must be 'spin' or 'park', got '{value}'"))
+                        SpecParseError::new(format!(
+                            "wait must be 'spin', 'park' or 'futex', got '{value}'"
+                        ))
                     })?;
                 }
                 "adapt" => {
@@ -814,6 +816,13 @@ mod tests {
                 .with_adapt(true),
             LockSpec::new("BRAVO-BA").with_shards(8),
             LockSpec::new("BA").with_wait(WaitMode::Park).with_shards(4),
+            LockSpec::new("BA").with_wait(WaitMode::Futex),
+            LockSpec::new("BRAVO-BA")
+                .with_wait(WaitMode::Futex)
+                .with_adapt(true),
+            LockSpec::new("BRAVO-BA")
+                .with_wait(WaitMode::Futex)
+                .with_shards(8),
             LockSpec::new("BRAVO-BA")
                 .with_bias(BiasPolicy::InhibitUntil { n: 3 })
                 .with_table(TableSpec::Private { slots: 64 })
@@ -957,6 +966,9 @@ mod tests {
         let spin: LockSpec = "BA?wait=park".parse().unwrap();
         assert_eq!(spin.to_string(), "BA?wait=park");
         assert!(!spin.adapt());
+        let futex: LockSpec = "BRAVO-BA?wait=futex&adapt=on".parse().unwrap();
+        assert_eq!(futex.wait(), WaitMode::Futex);
+        assert_eq!(futex.to_string(), "BRAVO-BA?wait=futex&adapt=on");
     }
 
     #[test]

@@ -33,6 +33,9 @@ struct ThreadCounters {
     revocation_scan_slots: AtomicU64,
     bias_enabled: AtomicU64,
     parked_waits: AtomicU64,
+    futex_waits: AtomicU64,
+    futex_wakes: AtomicU64,
+    futex_eagain: AtomicU64,
     adapt_flips: AtomicU64,
     shard_publishes: [AtomicU64; MAX_TRACKED_SHARDS],
     shard_collisions: [AtomicU64; MAX_TRACKED_SHARDS],
@@ -82,6 +85,21 @@ impl ThreadCounters {
     }
 
     #[inline]
+    fn add_futex_wait(&self) {
+        self.futex_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_futex_wake(&self) {
+        self.futex_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_futex_eagain(&self) {
+        self.futex_eagain.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     fn add_adapt_flip(&self) {
         self.adapt_flips.fetch_add(1, Ordering::Relaxed);
     }
@@ -116,6 +134,9 @@ impl ThreadCounters {
         out.revocation_scan_slots += self.revocation_scan_slots.load(Ordering::Relaxed);
         out.bias_enabled += self.bias_enabled.load(Ordering::Relaxed);
         out.parked_waits += self.parked_waits.load(Ordering::Relaxed);
+        out.futex_waits += self.futex_waits.load(Ordering::Relaxed);
+        out.futex_wakes += self.futex_wakes.load(Ordering::Relaxed);
+        out.futex_eagain += self.futex_eagain.load(Ordering::Relaxed);
         out.adapt_flips += self.adapt_flips.load(Ordering::Relaxed);
         for shard in 0..MAX_TRACKED_SHARDS {
             out.shard_publishes[shard] += self.shard_publishes[shard].load(Ordering::Relaxed);
@@ -161,6 +182,18 @@ pub struct Snapshot {
     /// Wait episodes that actually parked the thread (a `wait=park` lock
     /// whose spin grace period expired). Zero under `wait=spin`.
     pub parked_waits: u64,
+    /// `FUTEX_WAIT` syscalls issued by `wait=futex` locks (each one is a
+    /// kernel transition the spin grace period failed to avoid). Sleeps that
+    /// actually blocked are *also* counted in [`parked_waits`](Self::parked_waits)
+    /// so wait modes stay comparable on one column.
+    pub futex_waits: u64,
+    /// `FUTEX_WAKE` syscalls issued on `wait=futex` notify paths (skipped
+    /// entirely when no waiter was registered — the uncontended fast path).
+    pub futex_wakes: u64,
+    /// `FUTEX_WAIT` calls that returned `EAGAIN`: the wake generation moved
+    /// between the user-space check and the kernel's atomic re-check, i.e. a
+    /// wake raced ahead of the sleep and the syscall never blocked.
+    pub futex_eagain: u64,
     /// Adaptive-bias policy flips (enable or disable decisions taken by an
     /// `adapt=on` lock's epoch sampler).
     pub adapt_flips: u64,
@@ -235,6 +268,9 @@ impl Snapshot {
             revocation_scan_slots: self.revocation_scan_slots - earlier.revocation_scan_slots,
             bias_enabled: self.bias_enabled - earlier.bias_enabled,
             parked_waits: self.parked_waits - earlier.parked_waits,
+            futex_waits: self.futex_waits - earlier.futex_waits,
+            futex_wakes: self.futex_wakes - earlier.futex_wakes,
+            futex_eagain: self.futex_eagain - earlier.futex_eagain,
             adapt_flips: self.adapt_flips - earlier.adapt_flips,
             shard_publishes: array_sub(&self.shard_publishes, &earlier.shard_publishes),
             shard_collisions: array_sub(&self.shard_collisions, &earlier.shard_collisions),
@@ -257,6 +293,9 @@ impl Snapshot {
             revocation_scan_slots: self.revocation_scan_slots + other.revocation_scan_slots,
             bias_enabled: self.bias_enabled + other.bias_enabled,
             parked_waits: self.parked_waits + other.parked_waits,
+            futex_waits: self.futex_waits + other.futex_waits,
+            futex_wakes: self.futex_wakes + other.futex_wakes,
+            futex_eagain: self.futex_eagain + other.futex_eagain,
             adapt_flips: self.adapt_flips + other.adapt_flips,
             shard_publishes: array_add(&self.shard_publishes, &other.shard_publishes),
             shard_collisions: array_add(&self.shard_collisions, &other.shard_collisions),
@@ -358,6 +397,25 @@ pub fn record_bias_enabled() {
 #[inline]
 pub fn record_parked_wait() {
     with_local(|c| c.add_parked_wait());
+}
+
+/// Records one `FUTEX_WAIT` syscall issued by the futex wait backend (same
+/// process-global-only attribution as [`record_parked_wait`]).
+#[inline]
+pub fn record_futex_wait() {
+    with_local(|c| c.add_futex_wait());
+}
+
+/// Records one `FUTEX_WAKE` syscall issued by the futex notify path.
+#[inline]
+pub fn record_futex_wake() {
+    with_local(|c| c.add_futex_wake());
+}
+
+/// Records one `FUTEX_WAIT` that returned `EAGAIN` (wake raced the sleep).
+#[inline]
+pub fn record_futex_eagain() {
+    with_local(|c| c.add_futex_eagain());
 }
 
 /// Records one adaptive-bias policy flip.

@@ -1,0 +1,406 @@
+//! The raw-syscall seam: every foreign function the workspace calls lives
+//! here, in one audited module, so the `unsafe` surface has a single owner.
+//!
+//! The build environment has no crates.io access, so there is no `libc` to
+//! lean on; instead this module declares the handful of entry points itself
+//! (`std` already links the C library that provides them) and exposes safe
+//! wrappers:
+//!
+//! * [`futex`] — the Linux `futex(2)` wait/wake pair the blocking layer's
+//!   futex backend ([`crate::wait::FutexEventCount`]) packs its wake
+//!   generation into. Compiles to honest stubs (with [`futex::NATIVE`]
+//!   `false`) on targets without the syscall, so callers can gate on it and
+//!   fall back to the portable park path.
+//! * [`epoll`] — the level-triggered readiness binding the `server` crate's
+//!   mux poller consumes. It used to live in `server::sys`; it moved here so
+//!   the server is a *consumer* of the syscall seam, not a second owner.
+//!
+//! The `schedcheck lint` hard gate enforces single ownership: raw
+//! `syscall(`/`SYS_futex` invocations outside this file are build failures.
+
+/// Linux `futex(2)`: wait on and wake a 32-bit word in shared memory.
+///
+/// Only the two operations the blocking layer needs are bound, always with
+/// `FUTEX_PRIVATE_FLAG` (the words are process-local). On targets where the
+/// raw syscall is not bound, [`futex::NATIVE`] is `false` and the entry
+/// points panic — callers must gate on it and use the portable fallback.
+pub mod futex {
+    pub use imp::NATIVE;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    /// Why a [`wait`] call returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WaitOutcome {
+        /// The kernel put the thread to sleep and a wake (or a spurious
+        /// return) ended it. The caller must re-check its condition.
+        Woken,
+        /// The word no longer held `expected` at the kernel's atomic check
+        /// (`EAGAIN`): a wake raced ahead of the sleep. Re-check and retry.
+        Stale,
+        /// The relative timeout expired (`ETIMEDOUT`).
+        TimedOut,
+        /// A signal interrupted the sleep (`EINTR`). Re-check and retry.
+        Interrupted,
+    }
+
+    /// Sleeps until `word` is woken, if it still holds `expected` at the
+    /// kernel's atomic check. `timeout` is relative; `None` waits forever.
+    pub fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> WaitOutcome {
+        imp::wait(word, expected, timeout)
+    }
+
+    /// Wakes up to `n` threads sleeping on `word`. Returns how many woke.
+    pub fn wake(word: &AtomicU32, n: u32) -> usize {
+        imp::wake(word, n)
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(
+            target_arch = "x86_64",
+            target_arch = "aarch64",
+            target_arch = "riscv64"
+        )
+    ))]
+    mod imp {
+        use super::WaitOutcome;
+        use std::os::raw::c_long;
+        use std::sync::atomic::AtomicU32;
+        use std::time::Duration;
+
+        /// The raw syscall is bound on this target.
+        pub const NATIVE: bool = true;
+
+        #[cfg(target_arch = "x86_64")]
+        const SYS_FUTEX: c_long = 202;
+        #[cfg(any(target_arch = "aarch64", target_arch = "riscv64"))]
+        const SYS_FUTEX: c_long = 98;
+
+        const FUTEX_WAIT: c_long = 0;
+        const FUTEX_WAKE: c_long = 1;
+        /// The word is process-private: skips the cross-process hash walk.
+        const FUTEX_PRIVATE_FLAG: c_long = 128;
+
+        const EINTR: i32 = 4;
+        const EAGAIN: i32 = 11;
+        const ETIMEDOUT: i32 = 110;
+
+        /// `struct timespec` on 64-bit Linux: both fields are 64-bit.
+        #[repr(C)]
+        struct Timespec {
+            tv_sec: i64,
+            tv_nsec: i64,
+        }
+
+        // `std` already links the C library that provides the generic
+        // syscall trampoline; declaring it here substitutes for the `libc`
+        // crate the offline build cannot fetch.
+        extern "C" {
+            fn syscall(num: c_long, ...) -> c_long;
+        }
+
+        pub fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> WaitOutcome {
+            let ts = timeout.map(|d| Timespec {
+                tv_sec: d.as_secs().min(i64::MAX as u64) as i64,
+                tv_nsec: i64::from(d.subsec_nanos()),
+            });
+            let ts_ptr = ts
+                .as_ref()
+                .map_or(std::ptr::null(), |t| t as *const Timespec);
+            // SAFETY: FUTEX_WAIT reads the u32 at `word` atomically and the
+            // timespec (if any) for the duration of the call; both outlive
+            // it. The kernel keeps no reference past return.
+            let rc = unsafe {
+                syscall(
+                    SYS_FUTEX,
+                    word.as_ptr(),
+                    FUTEX_WAIT | FUTEX_PRIVATE_FLAG,
+                    c_long::from(expected),
+                    ts_ptr,
+                )
+            };
+            if rc == 0 {
+                return WaitOutcome::Woken;
+            }
+            match std::io::Error::last_os_error().raw_os_error() {
+                Some(EAGAIN) => WaitOutcome::Stale,
+                Some(ETIMEDOUT) => WaitOutcome::TimedOut,
+                Some(EINTR) => WaitOutcome::Interrupted,
+                // Anything else (EFAULT/EINVAL cannot happen for an aligned
+                // live word): report Woken so the caller re-checks and
+                // retries rather than spinning on a stale distinction.
+                _ => WaitOutcome::Woken,
+            }
+        }
+
+        pub fn wake(word: &AtomicU32, n: u32) -> usize {
+            // The kernel takes the wake count as a *signed* int: u32::MAX
+            // would arrive as -1 and wake a single thread, silently turning
+            // wake-all into wake-one (a lost wakeup for every other
+            // sleeper). Clamp to i32::MAX, the conventional "all" value.
+            let n = n.min(i32::MAX as u32);
+            // SAFETY: FUTEX_WAKE only reads the word's address as a key; no
+            // user memory is accessed beyond the word itself.
+            let rc = unsafe {
+                syscall(
+                    SYS_FUTEX,
+                    word.as_ptr(),
+                    FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
+                    c_long::from(n),
+                )
+            };
+            if rc < 0 {
+                0
+            } else {
+                rc as usize
+            }
+        }
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(
+            target_arch = "x86_64",
+            target_arch = "aarch64",
+            target_arch = "riscv64"
+        )
+    )))]
+    mod imp {
+        use super::WaitOutcome;
+        use std::sync::atomic::AtomicU32;
+        use std::time::Duration;
+
+        /// The raw syscall is not bound on this target; callers must gate
+        /// on this and take the portable park fallback.
+        pub const NATIVE: bool = false;
+
+        pub fn wait(_word: &AtomicU32, _expected: u32, _timeout: Option<Duration>) -> WaitOutcome {
+            unreachable!("futex::wait on a target without the syscall; gate on futex::NATIVE")
+        }
+
+        pub fn wake(_word: &AtomicU32, _n: u32) -> usize {
+            unreachable!("futex::wake on a target without the syscall; gate on futex::NATIVE")
+        }
+    }
+}
+
+/// The Linux `epoll` binding: three foreign functions, one RAII wrapper.
+///
+/// Deliberately thin: events are raw `(token, bits)` pairs and interest
+/// masks are the kernel's bit constants, so policy (what "readable" means,
+/// when to watch for writability) stays with the consumer — the `server`
+/// crate's `Poller`.
+#[cfg(target_os = "linux")]
+pub mod epoll {
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    /// `EPOLL_CTL_ADD`: start watching a descriptor.
+    pub const CTL_ADD: c_int = 1;
+    /// `EPOLL_CTL_DEL`: stop watching a descriptor.
+    pub const CTL_DEL: c_int = 2;
+    /// `EPOLL_CTL_MOD`: replace a descriptor's interest set.
+    pub const CTL_MOD: c_int = 3;
+
+    /// Readable data available.
+    pub const EPOLLIN: u32 = 0x001;
+    /// Send buffer has room.
+    pub const EPOLLOUT: u32 = 0x004;
+    /// Error condition pending (always delivered).
+    pub const EPOLLERR: u32 = 0x008;
+    /// Hangup (always delivered).
+    pub const EPOLLHUP: u32 = 0x010;
+    /// Peer closed its write half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// One raw readiness event: the registration token plus the kernel's
+    /// event bits (`EPOLLIN | ...`).
+    pub type RawEvent = (u64, u32);
+
+    /// `struct epoll_event` from the kernel ABI; packed on x86-64 only,
+    /// exactly as `<sys/epoll.h>` declares it.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    // These live in the C library `std` already links; declaring them here
+    // substitutes for the `libc` crate the offline build cannot fetch.
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An owned `epoll` instance (closed on drop).
+    #[derive(Debug)]
+    pub struct Epoll {
+        epfd: RawFd,
+    }
+
+    impl Epoll {
+        /// Creates a close-on-exec `epoll` instance.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes a flags word and returns a new
+            // descriptor or -1; no pointers are involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { epfd })
+        }
+
+        /// Applies `op` (one of [`CTL_ADD`]/[`CTL_MOD`]/[`CTL_DEL`]) to
+        /// `fd` with the given interest `events`, tagging deliveries with
+        /// `token`.
+        pub fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events,
+                data: token,
+            };
+            // SAFETY: `event` is a valid epoll_event for the duration of
+            // the call; the kernel copies it and keeps no reference.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Waits up to `timeout` for readiness, appending raw events to
+        /// `out`. A signal delivery is not a failure: it returns with no
+        /// events appended.
+        pub fn wait(&self, out: &mut Vec<RawEvent>, timeout: Duration) -> io::Result<()> {
+            const MAX_EVENTS: usize = 128;
+            let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+            let millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
+            // SAFETY: `events` is a writable buffer of MAX_EVENTS entries
+            // and the kernel writes at most `maxevents` of them.
+            let n =
+                unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), MAX_EVENTS as c_int, millis) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for event in &events[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, token) = (event.events, event.data);
+                out.push((token, bits));
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is a descriptor this struct owns exclusively.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[cfg(all(
+        target_os = "linux",
+        any(
+            target_arch = "x86_64",
+            target_arch = "aarch64",
+            target_arch = "riscv64"
+        )
+    ))]
+    mod futex_native {
+        use super::super::futex::{self, WaitOutcome};
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        #[test]
+        fn stale_expected_value_returns_immediately() {
+            let word = AtomicU32::new(7);
+            assert_eq!(
+                futex::wait(&word, 6, Some(Duration::from_secs(5))),
+                WaitOutcome::Stale
+            );
+        }
+
+        #[test]
+        fn timeout_fires_when_nobody_wakes() {
+            let word = AtomicU32::new(0);
+            assert_eq!(
+                futex::wait(&word, 0, Some(Duration::from_millis(10))),
+                WaitOutcome::TimedOut
+            );
+        }
+
+        #[test]
+        fn wake_rouses_a_sleeping_waiter() {
+            use std::sync::atomic::Ordering;
+            let word = Arc::new(AtomicU32::new(0));
+            let waiter = {
+                let word = Arc::clone(&word);
+                std::thread::spawn(move || loop {
+                    let g = word.load(Ordering::SeqCst);
+                    if g != 0 {
+                        return;
+                    }
+                    futex::wait(&word, g, Some(Duration::from_secs(10)));
+                })
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            word.store(1, std::sync::atomic::Ordering::SeqCst);
+            futex::wake(&word, u32::MAX);
+            waiter.join().expect("waiter wedged: wake not delivered");
+        }
+
+        #[test]
+        fn wake_with_no_sleepers_reports_zero() {
+            let word = AtomicU32::new(0);
+            assert_eq!(futex::wake(&word, u32::MAX), 0);
+        }
+
+        /// Regression: the kernel reads the wake count as a *signed* int, so
+        /// an unclamped `u32::MAX` arrives as -1 and wakes exactly one
+        /// sleeper. With several threads asleep that is a lost wakeup for
+        /// all but one of them — this pins the wake-all clamp.
+        #[test]
+        fn wake_all_rouses_every_sleeper_not_just_one() {
+            use std::sync::atomic::Ordering;
+            let word = Arc::new(AtomicU32::new(0));
+            let waiters: Vec<_> = (0..4)
+                .map(|_| {
+                    let word = Arc::clone(&word);
+                    std::thread::spawn(move || loop {
+                        let g = word.load(Ordering::SeqCst);
+                        if g != 0 {
+                            return;
+                        }
+                        futex::wait(&word, g, Some(Duration::from_secs(10)));
+                    })
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(50));
+            word.store(1, Ordering::SeqCst);
+            futex::wake(&word, u32::MAX);
+            for w in waiters {
+                w.join().expect("a sleeper missed the wake-all");
+            }
+        }
+    }
+}

@@ -1,15 +1,31 @@
-//! Parking waiter queues: the blocking alternative to spinning.
+//! The blocking layer: parking waiter queues and the futex backend.
 //!
 //! Every lock in the catalog originally waited by spinning (with the
 //! yield-escalating [`Backoff`]). That is the right call when the host has
 //! spare cores, but under oversubscription — more runnable threads than
 //! logical CPUs, exactly the regime the `fig10_server` sweep provokes —
 //! spinning readers steal the quanta the lock holder needs to finish its
-//! critical section. This module provides the alternative the ROADMAP calls
-//! for: a [`WaitQueue`] of parked threads over [`std::thread::park`] /
-//! `unpark`, and a [`WaitStrategy`] that lets every spin site in the repo
-//! dispatch between the two behaviours from one `wait=spin|park` knob in the
-//! lock spec grammar.
+//! critical section. This module provides the alternatives the ROADMAP
+//! calls for: a [`WaitQueue`] of parked threads over [`std::thread::park`] /
+//! `unpark`, a [`FutexEventCount`] that blocks straight in the kernel via
+//! [`crate::sys::futex`] on Linux, and a [`WaitStrategy`] that lets every
+//! spin site in the repo dispatch between the behaviours from one
+//! `wait=spin|park|futex` knob in the lock spec grammar.
+//!
+//! # The futex backend
+//!
+//! `wait=futex` packs a per-bucket *wake generation* into a `u32` futex
+//! word: waiters register in a counter, snapshot the generation, re-check
+//! their condition, and `FUTEX_WAIT` on the snapshot; notifiers bump the
+//! generation and `FUTEX_WAKE` only if the waiter counter is non-zero. The
+//! kernel's atomic compare of the word closes the sleep/wake race (a wake
+//! that bumps the generation first makes the sleep return `EAGAIN`), so
+//! there is no per-waiter `Arc` allocation and no bucket mutex — the two
+//! costs the park path pays per blocked thread. Where the syscall is
+//! unavailable (non-Linux targets, or [`FUTEX_FALLBACK_ENV`] set for
+//! testing) `wait=futex` degrades to the park path transparently. Under
+//! `--features schedcheck` the backend routes through the checker's virtual
+//! futex instead of the kernel, making wait/wake schedulable yield points.
 //!
 //! # Protocol
 //!
@@ -47,7 +63,7 @@ use std::time::Duration;
 use crate::clock::{now_ns, Backoff};
 use crate::hash::mix64;
 use crate::stats;
-use crate::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use crate::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use crate::sync::thread::{self, Thread};
 use crate::sync::{Mutex, MutexGuard};
 
@@ -59,14 +75,18 @@ pub enum WaitMode {
     Spin,
     /// Spin briefly, then park the thread until a releaser wakes it.
     Park,
+    /// Spin briefly, then block in the kernel on a futex word (Linux).
+    /// Degrades to [`WaitMode::Park`] where the syscall is unavailable.
+    Futex,
 }
 
 impl WaitMode {
-    /// The spec-grammar token for this mode (`spin` / `park`).
+    /// The spec-grammar token for this mode (`spin` / `park` / `futex`).
     pub fn as_str(self) -> &'static str {
         match self {
             WaitMode::Spin => "spin",
             WaitMode::Park => "park",
+            WaitMode::Futex => "futex",
         }
     }
 }
@@ -84,6 +104,7 @@ impl std::str::FromStr for WaitMode {
         match s {
             "spin" => Ok(WaitMode::Spin),
             "park" => Ok(WaitMode::Park),
+            "futex" => Ok(WaitMode::Futex),
             _ => Err(()),
         }
     }
@@ -367,14 +388,302 @@ fn bucket_for(key: usize) -> &'static WaitQueue {
     &buckets[(mix64(key as u64) as usize) & (WAIT_BUCKETS - 1)]
 }
 
-/// A one-byte dispatcher between spinning and parking, resolved once from
-/// the lock spec's `wait=` knob and stored inside each lock.
+/// Environment variable that forces `wait=futex` locks onto the portable
+/// park fallback even where the native futex is available — how the
+/// non-Linux path gets exercised on Linux CI. Read once per process (any
+/// non-empty value other than `0` forces the fallback); changing it after
+/// the first `wait=futex` wait has no effect.
+pub const FUTEX_FALLBACK_ENV: &str = "BRAVO_FUTEX_FALLBACK";
+
+/// The process-wide fallback decision, resolved on first use so the check
+/// costs one load per wait instead of an environment probe.
+static FUTEX_FALLBACK: OnceLock<bool> = OnceLock::new();
+
+/// Pure parse of the fallback env var's value (unit-testable without
+/// mutating the process environment).
+fn fallback_env_requested(value: Option<&std::ffi::OsStr>) -> bool {
+    match value {
+        None => false,
+        Some(v) => !v.is_empty() && v.to_str() != Some("0"),
+    }
+}
+
+fn fallback_forced() -> bool {
+    *FUTEX_FALLBACK
+        .get_or_init(|| fallback_env_requested(std::env::var_os(FUTEX_FALLBACK_ENV).as_deref()))
+}
+
+/// Whether `wait=futex` locks in this process actually use the futex
+/// backend (`true`), or the portable park fallback (`false`: the target has
+/// no bound syscall, or [`FUTEX_FALLBACK_ENV`] forced it). Fixed for the
+/// life of the process so wait and notify sides can never disagree.
+pub fn futex_backend_active() -> bool {
+    if fallback_forced() {
+        return false;
+    }
+    #[cfg(feature = "schedcheck")]
+    {
+        // The checker's virtual futex exists on every target.
+        true
+    }
+    #[cfg(not(feature = "schedcheck"))]
+    {
+        crate::sys::futex::NATIVE
+    }
+}
+
+/// Outcome of one low-level futex wait, unified across the native syscall
+/// and the schedcheck emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FutexWait {
+    /// Slept and was woken (or interrupted); re-check the condition.
+    Woken,
+    /// The word moved before the sleep (`EAGAIN`): a wake raced ahead.
+    Stale,
+    /// The relative timeout expired.
+    TimedOut,
+}
+
+#[cfg(feature = "schedcheck")]
+fn futex_wait_raw(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> FutexWait {
+    use schedcheck::sync::futex as vf;
+    match vf::wait(word, expected, timeout) {
+        vf::WaitOutcome::Woken => FutexWait::Woken,
+        vf::WaitOutcome::Stale => FutexWait::Stale,
+        vf::WaitOutcome::TimedOut => FutexWait::TimedOut,
+    }
+}
+
+#[cfg(not(feature = "schedcheck"))]
+fn futex_wait_raw(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> FutexWait {
+    use crate::sys::futex as sf;
+    match sf::wait(word, expected, timeout) {
+        sf::WaitOutcome::Woken | sf::WaitOutcome::Interrupted => FutexWait::Woken,
+        sf::WaitOutcome::Stale => FutexWait::Stale,
+        sf::WaitOutcome::TimedOut => FutexWait::TimedOut,
+    }
+}
+
+#[cfg(feature = "schedcheck")]
+fn futex_wake_raw(word: &AtomicU32, n: u32) -> usize {
+    schedcheck::sync::futex::wake(word, n as usize)
+}
+
+#[cfg(not(feature = "schedcheck"))]
+fn futex_wake_raw(word: &AtomicU32, n: u32) -> usize {
+    crate::sys::futex::wake(word, n)
+}
+
+/// Seeded-bug hooks for the checker's self-tests, compiled only under the
+/// `schedcheck` feature. Mirrors `crate::lock::mutation`: a process-wide
+/// flag (programmatic setter OR'd with an environment variable) that
+/// re-introduces a specific already-understood bug class.
+#[cfg(feature = "schedcheck")]
+pub mod mutation {
+    use crate::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static DROP_FUTEX_WAKE: AtomicBool = AtomicBool::new(false);
+    static ENV: OnceLock<bool> = OnceLock::new();
+
+    /// Drops the `FUTEX_WAKE` from [`FutexEventCount::notify_all`] when a
+    /// waiter is registered: the generation still advances but nobody is
+    /// roused — the futex-path rendition of the PR 6 lost-wakeup bug. Also
+    /// enabled by setting `BRAVO_MUTATE_DROP_FUTEX_WAKE` in the
+    /// environment.
+    ///
+    /// [`FutexEventCount::notify_all`]: super::FutexEventCount::notify_all
+    pub fn set_drop_futex_wake(enabled: bool) {
+        DROP_FUTEX_WAKE.store(enabled, Ordering::SeqCst);
+    }
+
+    pub(crate) fn drop_futex_wake() -> bool {
+        DROP_FUTEX_WAKE.load(Ordering::SeqCst)
+            || *ENV.get_or_init(|| std::env::var_os("BRAVO_MUTATE_DROP_FUTEX_WAKE").is_some())
+    }
+}
+
+/// A futex-backed eventcount: the blocking primitive behind `wait=futex`.
+///
+/// The whole state is one `u32` *wake generation* (the futex word) plus a
+/// waiter counter — no queue, no mutex, no per-waiter allocation. Waiters
+/// announce themselves in `waiters`, snapshot the generation, re-check
+/// their condition, and sleep in the kernel on the snapshot; notifiers bump
+/// the generation unconditionally and issue the wake syscall only when
+/// `waiters` is non-zero. `SeqCst` on both sides puts the four accesses in
+/// one total order, so either the notifier sees the waiter (and wakes) or
+/// the waiter sees the bumped generation / new state (and never sleeps);
+/// the kernel's atomic word-compare closes the remaining window between the
+/// user-space snapshot and the sleep.
+///
+/// Generation wraparound is benign: the comparison is equality-only, so a
+/// waiter confuses `g` with `g + 2³²` only if exactly 2³² notifications
+/// land inside its single check-to-sleep window.
+pub struct FutexEventCount {
+    /// The futex word: bumped by every notify.
+    gen: AtomicU32,
+    /// How many threads are between announce and sleep-return. Lets
+    /// notifiers skip the wake syscall when nobody can be sleeping.
+    waiters: AtomicUsize,
+}
+
+impl FutexEventCount {
+    /// An eventcount starting at generation 0.
+    pub const fn new() -> Self {
+        Self::with_generation(0)
+    }
+
+    /// An eventcount starting at an arbitrary generation — lets tests place
+    /// the counter next to `u32::MAX` and prove wraparound is benign.
+    pub const fn with_generation(gen: u32) -> Self {
+        Self {
+            gen: AtomicU32::new(gen),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// The current wake generation (racy; for tests/diagnostics).
+    pub fn generation(&self) -> u32 {
+        self.gen.load(Ordering::SeqCst)
+    }
+
+    /// How many threads are currently announced as waiting (racy snapshot).
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::SeqCst)
+    }
+
+    /// Blocks the current thread until `ready()` returns true. Notifiers
+    /// that make the condition true must call
+    /// [`notify_all`](Self::notify_all) after changing state.
+    pub fn wait_until(&self, mut ready: impl FnMut() -> bool) {
+        let mut backoff = Backoff::new();
+        for _ in 0..spin_grace() {
+            if ready() {
+                return;
+            }
+            backoff.snooze();
+        }
+        loop {
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let observed = self.gen.load(Ordering::SeqCst);
+            if ready() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+            stats::record_futex_wait();
+            let outcome = futex_wait_raw(&self.gen, observed, None);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            match outcome {
+                FutexWait::Stale => stats::record_futex_eagain(),
+                // The syscall actually slept: count it on the same column
+                // the park path uses so wait modes stay comparable.
+                _ => stats::record_parked_wait(),
+            }
+        }
+    }
+
+    /// Like [`wait_until`](Self::wait_until), but gives up at `deadline_ns`
+    /// (on the [`now_ns`] clock). Returns `true` if the condition was
+    /// observed true, `false` on timeout.
+    pub fn wait_until_deadline(&self, mut ready: impl FnMut() -> bool, deadline_ns: u64) -> bool {
+        let mut backoff = Backoff::new();
+        for _ in 0..spin_grace() {
+            if ready() {
+                return true;
+            }
+            if now_ns() >= deadline_ns {
+                return ready();
+            }
+            backoff.snooze();
+        }
+        loop {
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let observed = self.gen.load(Ordering::SeqCst);
+            if ready() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return true;
+            }
+            let now = now_ns();
+            if now >= deadline_ns {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return ready();
+            }
+            stats::record_futex_wait();
+            let outcome = futex_wait_raw(
+                &self.gen,
+                observed,
+                Some(Duration::from_nanos(deadline_ns - now)),
+            );
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
+            match outcome {
+                FutexWait::Stale => stats::record_futex_eagain(),
+                _ => stats::record_parked_wait(),
+            }
+            if ready() {
+                return true;
+            }
+            if outcome == FutexWait::TimedOut {
+                return ready();
+            }
+        }
+    }
+
+    /// Publishes a wakeup: bumps the generation (always — a concurrent
+    /// waiter between snapshot and sleep must see the word move) and wakes
+    /// sleepers only when the waiter counter says there may be any. Call
+    /// *after* the state change that makes waiters ready.
+    pub fn notify_all(&self) {
+        self.gen.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        #[cfg(feature = "schedcheck")]
+        if mutation::drop_futex_wake() {
+            return;
+        }
+        stats::record_futex_wake();
+        futex_wake_raw(&self.gen, u32::MAX);
+    }
+}
+
+impl Default for FutexEventCount {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for FutexEventCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FutexEventCount")
+            .field("generation", &self.generation())
+            .field("waiters", &self.waiters())
+            .finish()
+    }
+}
+
+static FUTEX_BUCKETS: OnceLock<Box<[FutexEventCount]>> = OnceLock::new();
+
+/// The global futex-eventcount bucket for an address key. Distinct keys
+/// sharing a bucket cost spurious re-checks (every sleeper of the bucket
+/// wakes), never lost wakeups — the same trade the park buckets make.
+fn futex_bucket_for(key: usize) -> &'static FutexEventCount {
+    let buckets =
+        FUTEX_BUCKETS.get_or_init(|| (0..WAIT_BUCKETS).map(|_| FutexEventCount::new()).collect());
+    &buckets[(mix64(key as u64) as usize) & (WAIT_BUCKETS - 1)]
+}
+
+/// A one-byte dispatcher between spinning, parking and futex-blocking,
+/// resolved once from the lock spec's `wait=` knob and stored inside each
+/// lock.
 ///
 /// In [`WaitMode::Spin`] every wait is the original [`Backoff`] loop and
 /// every notification is a no-op, so spin-configured locks keep their old
 /// behaviour (and cost) exactly. In [`WaitMode::Park`] waits go through the
 /// global [`WaitQueue`] buckets and releases publish wakeups keyed by the
-/// lock's address.
+/// lock's address. In [`WaitMode::Futex`] waits block in the kernel through
+/// the global [`FutexEventCount`] buckets when
+/// [`futex_backend_active`] — and through the park buckets otherwise, so a
+/// `wait=futex` spec is valid on every target.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WaitStrategy {
     mode: WaitMode,
@@ -396,6 +705,11 @@ impl WaitStrategy {
         Self::new(WaitMode::Park)
     }
 
+    /// The spin-then-futex strategy (park fallback off Linux).
+    pub const fn futex() -> Self {
+        Self::new(WaitMode::Futex)
+    }
+
     /// The configured mode.
     pub fn mode(&self) -> WaitMode {
         self.mode
@@ -413,6 +727,13 @@ impl WaitStrategy {
                 }
             }
             WaitMode::Park => bucket_for(key).wait_until(key, ready),
+            WaitMode::Futex => {
+                if futex_backend_active() {
+                    futex_bucket_for(key).wait_until(ready)
+                } else {
+                    bucket_for(key).wait_until(key, ready)
+                }
+            }
         }
     }
 
@@ -439,15 +760,32 @@ impl WaitStrategy {
                 }
             }
             WaitMode::Park => bucket_for(key).wait_until_deadline(key, ready, deadline_ns),
+            WaitMode::Futex => {
+                if futex_backend_active() {
+                    futex_bucket_for(key).wait_until_deadline(ready, deadline_ns)
+                } else {
+                    bucket_for(key).wait_until_deadline(key, ready, deadline_ns)
+                }
+            }
         }
     }
 
-    /// Publishes a wakeup to every thread parked under `key`. No-op when
+    /// Publishes a wakeup to every thread blocked under `key`. No-op when
     /// spinning; call it *after* the state change that makes waiters ready.
     #[inline]
     pub fn notify_all(&self, key: usize) {
-        if self.mode == WaitMode::Park {
-            bucket_for(key).wake_all(key);
+        match self.mode {
+            WaitMode::Spin => {}
+            WaitMode::Park => {
+                bucket_for(key).wake_all(key);
+            }
+            WaitMode::Futex => {
+                if futex_backend_active() {
+                    futex_bucket_for(key).notify_all();
+                } else {
+                    bucket_for(key).wake_all(key);
+                }
+            }
         }
     }
 }
@@ -459,11 +797,159 @@ mod tests {
 
     #[test]
     fn wait_mode_round_trips_through_strings() {
-        for mode in [WaitMode::Spin, WaitMode::Park] {
+        for mode in [WaitMode::Spin, WaitMode::Park, WaitMode::Futex] {
             assert_eq!(mode.as_str().parse::<WaitMode>(), Ok(mode));
         }
         assert!("busy".parse::<WaitMode>().is_err());
         assert_eq!(WaitMode::default(), WaitMode::Spin);
+    }
+
+    #[test]
+    fn fallback_env_values_parse_like_booleans() {
+        use std::ffi::OsStr;
+        assert!(!fallback_env_requested(None));
+        assert!(!fallback_env_requested(Some(OsStr::new(""))));
+        assert!(!fallback_env_requested(Some(OsStr::new("0"))));
+        assert!(fallback_env_requested(Some(OsStr::new("1"))));
+        assert!(fallback_env_requested(Some(OsStr::new("yes"))));
+    }
+
+    #[test]
+    fn futex_event_count_ready_condition_returns_without_sleeping() {
+        // An already-true condition is satisfied inside the spin grace: the
+        // waiter never announces itself, so a notifier observing
+        // waiters() == 0 skips the wake syscall. (The process-wide
+        // zero-syscall pin lives in tests/perf_floor.rs, where the whole
+        // binary is uncontended; global counters race with the storm tests
+        // here.)
+        let ec = FutexEventCount::new();
+        ec.wait_until(|| true);
+        assert!(ec.wait_until_deadline(|| true, now_ns() + 1_000_000));
+        assert_eq!(ec.waiters(), 0);
+        assert_eq!(ec.generation(), 0, "a pure wait must not move the word");
+    }
+
+    #[test]
+    fn futex_notify_without_waiters_bumps_only_the_word() {
+        let ec = FutexEventCount::new();
+        for _ in 0..100 {
+            ec.notify_all();
+        }
+        assert_eq!(ec.generation(), 100, "every notify must bump the word");
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn futex_event_count_deadline_expires_when_never_ready() {
+        let ec = FutexEventCount::new();
+        let deadline = now_ns() + 5_000_000; // 5 ms
+        assert!(!ec.wait_until_deadline(|| false, deadline));
+        assert!(now_ns() >= deadline);
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn futex_event_count_survives_a_contended_handoff_storm() {
+        // The FutexEventCount analogue of the park storm: many threads
+        // ping-ponging one counter through the same eventcount must never
+        // lose a wakeup.
+        let ec = Arc::new(FutexEventCount::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let ec = Arc::clone(&ec);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let target = round * 8 + t + 1;
+                        ec.wait_until(|| counter.load(Ordering::SeqCst) >= target - 1);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        ec.notify_all();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 200);
+        assert_eq!(ec.waiters(), 0);
+    }
+
+    #[test]
+    fn generation_wraparound_is_benign() {
+        // Start the word just under u32::MAX and drive handoffs across the
+        // wrap: equality-only comparison means nothing special happens.
+        let ec = Arc::new(FutexEventCount::with_generation(u32::MAX - 8));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ec = Arc::clone(&ec);
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for round in 0..8u64 {
+                        let target = round * 4 + t + 1;
+                        ec.wait_until(|| counter.load(Ordering::SeqCst) >= target - 1);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        ec.notify_all();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4 * 8);
+        // 32 notifies from u32::MAX - 8 lands past the wrap.
+        assert_eq!(ec.generation(), (u32::MAX - 8).wrapping_add(32));
+    }
+
+    #[test]
+    fn futex_waits_are_counted_when_a_sleeper_blocks() {
+        // Mirrors parked_waits_are_counted for the futex columns: a waiter
+        // that genuinely sleeps must record futex_waits (and parked_waits,
+        // the cross-mode column).
+        for _ in 0..20 {
+            let before = crate::stats::snapshot();
+            let ec = Arc::new(FutexEventCount::new());
+            let flag = Arc::new(AtomicBool::new(false));
+            std::thread::scope(|s| {
+                let ec2 = Arc::clone(&ec);
+                let flag2 = Arc::clone(&flag);
+                let waiter = s.spawn(move || ec2.wait_until(|| flag2.load(Ordering::SeqCst)));
+                let mut backoff = Backoff::new();
+                while ec.waiters() == 0 {
+                    backoff.snooze();
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                flag.store(true, Ordering::SeqCst);
+                ec.notify_all();
+                waiter.join().unwrap();
+            });
+            let delta = crate::stats::snapshot().since(&before);
+            if delta.futex_waits >= 1 && delta.parked_waits >= 1 {
+                return;
+            }
+        }
+        panic!("no futex wait was recorded in 20 episodes");
+    }
+
+    #[test]
+    fn futex_strategy_handles_contended_handoffs() {
+        // The full wait=futex dispatch path (bucket lookup included), on
+        // whichever backend this process resolved to.
+        let strategy = WaitStrategy::futex();
+        assert_eq!(strategy.mode(), WaitMode::Futex);
+        let counter = Arc::new(AtomicU64::new(0));
+        let key = Arc::as_ptr(&counter) as usize;
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let counter = Arc::clone(&counter);
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let target = round * 8 + t + 1;
+                        strategy.wait_until(key, || counter.load(Ordering::SeqCst) >= target - 1);
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        strategy.notify_all(key);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8 * 200);
     }
 
     #[test]

@@ -106,6 +106,7 @@ pub fn build_figures(results: &Results) -> Vec<Figure> {
     if let Some(summary) = &results.summary {
         figures.extend(serving_throughput(summary));
         figures.extend(shard_weak_scaling(summary));
+        figures.extend(wait_mode_activity(summary));
         // The JSON serving rows supersede the summary-shaped CSV rows of
         // the same measurements.
         consumed.push("fig10_server");
@@ -377,6 +378,51 @@ fn shard_weak_scaling(summary: &Summary) -> Option<Figure> {
     })
 }
 
+/// The PR 10 wait-mode figure: how the blocking layer spent the run, from
+/// the summary's headline counters. `parked_waits` counts every real sleep
+/// regardless of mode (the futex backend double-counts its sleeps there so
+/// modes stay comparable); the `futex_*` bars split the futex backend's
+/// syscall activity into sleeps, wakes, and `EAGAIN` bounces (waits the
+/// kernel's word check turned away — contention resolved between snapshot
+/// and sleep, costing a syscall but no context switch).
+fn wait_mode_activity(summary: &Summary) -> Option<Figure> {
+    // Pre-futex summaries (no futex_* fields) render no figure.
+    summary
+        .futex_waits
+        .or(summary.futex_wakes)
+        .or(summary.futex_eagain)?;
+    let bars = [
+        ("parked_waits (sleeps, any mode)", summary.parked_waits),
+        ("futex_waits (FUTEX_WAIT issued)", summary.futex_waits),
+        ("futex_wakes (FUTEX_WAKE issued)", summary.futex_wakes),
+        ("futex_eagain (bounced sleeps)", summary.futex_eagain),
+    ];
+    let groups = bars
+        .iter()
+        .map(|(label, value)| BarGroup {
+            label: (*label).to_string(),
+            values: vec![*value],
+        })
+        .collect();
+    let chart = BarChart {
+        title: "Blocking-layer activity by wait mode".into(),
+        value_label: "events over the run".into(),
+        series_labels: vec!["events over the run".into()],
+        groups,
+        caption: "Headline blocking-layer counters from BENCH_locks.json: parked_waits \
+                  counts every real sleep in any wait mode; the futex_* bars split the \
+                  wait=futex backend's syscalls into sleeps, wakes, and EAGAIN bounces \
+                  (sleeps the kernel's word check turned away before blocking)."
+            .into(),
+    };
+    Some(Figure {
+        name: "wait_mode_activity".into(),
+        title: "Blocking-layer activity by wait mode".into(),
+        caption: chart.caption.clone(),
+        svg: chart.render(),
+    })
+}
+
 /// Rich fig10: throughput vs connection count, one figure per backend
 /// (faceting keeps the series count within the palette).
 fn fig10_throughput(table: &Table) -> Vec<Figure> {
@@ -563,7 +609,8 @@ mod tests {
 
     fn sample_results() -> Results {
         let summary = parse_summary(
-            r#"{"fast_read_fraction": 0.95, "serving": [
+            r#"{"fast_read_fraction": 0.95, "parked_waits": 12,
+                "futex_waits": 9, "futex_wakes": 4, "futex_eagain": 2, "serving": [
                 {"spec": "BA", "backend": "threads", "connections": 4, "shards": 1, "batch": 1, "ops_per_sec": 1000.0},
                 {"spec": "BA", "backend": "mux", "connections": 128, "shards": 1, "batch": 1, "ops_per_sec": 9000.0},
                 {"spec": "BRAVO-BA", "backend": "mux", "connections": 128, "shards": 1, "batch": 1, "ops_per_sec": 9500.0},
@@ -602,11 +649,37 @@ mod tests {
     fn a_repro_all_directory_yields_at_least_four_figures() {
         let figures = build_figures(&sample_results());
         let names: Vec<&str> = figures.iter().map(|f| f.name.as_str()).collect();
-        assert!(figures.len() >= 4, "only {names:?}");
+        assert!(figures.len() >= 5, "only {names:?}");
         assert!(names.contains(&"fast_read_catalog"));
         assert!(names.contains(&"serving_throughput"));
         assert!(names.contains(&"shard_weak_scaling"));
+        assert!(names.contains(&"wait_mode_activity"));
         assert!(names.contains(&"fig2_alternator"));
+    }
+
+    #[test]
+    fn pre_futex_summaries_render_no_wait_mode_figure() {
+        // A summary written before the futex backend existed has no
+        // futex_* headline fields; the wait-mode figure must not appear
+        // (rather than rendering an all-empty chart).
+        let summary = parse_summary(
+            r#"{"fast_read_fraction": 0.9, "parked_waits": 3, "serving": [
+                {"spec": "BA", "backend": "mux", "connections": 64, "shards": 1, "batch": 1, "ops_per_sec": 800.0}
+            ]}"#,
+        )
+        .expect("old summary parses");
+        let results = Results {
+            tables: Vec::new(),
+            summary: Some(summary),
+        };
+        let names: Vec<String> = build_figures(&results)
+            .into_iter()
+            .map(|f| f.name)
+            .collect();
+        assert!(
+            !names.iter().any(|n| n == "wait_mode_activity"),
+            "{names:?}"
+        );
     }
 
     #[test]

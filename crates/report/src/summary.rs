@@ -56,6 +56,12 @@ pub struct Summary {
     pub parked_waits: Option<f64>,
     /// Adaptive-bias flips, when recorded (PR 6).
     pub adapt_flips: Option<f64>,
+    /// `FUTEX_WAIT` syscalls issued by the futex wait backend (PR 10).
+    pub futex_waits: Option<f64>,
+    /// `FUTEX_WAKE` syscalls issued on notify (PR 10).
+    pub futex_wakes: Option<f64>,
+    /// Waits bounced by the kernel's word check (`EAGAIN`, PR 10).
+    pub futex_eagain: Option<f64>,
     /// The serving measurements.
     pub serving: Vec<ServingRow>,
 }
@@ -170,6 +176,9 @@ pub fn parse_summary(text: &str) -> Result<Summary, String> {
         revocations: headline("revocations"),
         parked_waits: headline("parked_waits"),
         adapt_flips: headline("adapt_flips"),
+        futex_waits: headline("futex_waits"),
+        futex_wakes: headline("futex_wakes"),
+        futex_eagain: headline("futex_eagain"),
         serving,
     })
 }
@@ -379,6 +388,9 @@ mod tests {
   "revocations": 7,
   "parked_waits": 0,
   "adapt_flips": 2,
+  "futex_waits": 41,
+  "futex_wakes": 17,
+  "futex_eagain": 5,
   "serving": [
     {"spec": "BRAVO-BA", "backend": "mux", "connections": 128, "shards": 1, "batch": 1, "ops_per_sec": 15000.0, "fast_read_pct": "97.3"},
     {"spec": "BRAVO-BA?shards=8", "backend": "mux", "connections": 256, "shards": 8, "batch": 16, "offered_rate": 120000, "ops_per_sec": 90000.5, "fast_read_pct": "99.0"}
@@ -396,6 +408,9 @@ mod tests {
         assert_eq!(summary.fast_read_fraction, 0.95);
         assert_eq!(summary.total_reads, Some(123456.0));
         assert_eq!(summary.adapt_flips, Some(2.0));
+        assert_eq!(summary.futex_waits, Some(41.0));
+        assert_eq!(summary.futex_wakes, Some(17.0));
+        assert_eq!(summary.futex_eagain, Some(5.0));
         assert_eq!(summary.serving.len(), 2);
         assert_eq!(summary.serving[0].spec, "BRAVO-BA");
         assert_eq!(summary.serving[0].fast_read_pct, Some(97.3));
@@ -417,6 +432,7 @@ mod tests {
         assert_eq!(summary.serving[0].batch, 1.0);
         assert_eq!(summary.serving[0].fast_read_pct, None);
         assert_eq!(summary.total_reads, None);
+        assert_eq!(summary.futex_waits, None, "pre-futex summaries stay valid");
     }
 
     #[test]

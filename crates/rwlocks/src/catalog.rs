@@ -539,6 +539,25 @@ mod tests {
     }
 
     #[test]
+    fn every_kind_builds_and_locks_with_futex_waiters() {
+        // Same sweep as the park variant: `wait=futex` must be buildable
+        // and lockable for every kind (falling back to park where the
+        // syscall is unavailable — the dispatch hides the difference).
+        for &kind in LockKind::all() {
+            let spec = kind.spec().with_wait(WaitMode::Futex);
+            let lock =
+                build_lock(&spec).unwrap_or_else(|e| panic!("{kind}?wait=futex failed: {e}"));
+            assert!(lock.label().contains("wait=futex"), "{kind} label");
+            lock.lock_shared();
+            lock.unlock_shared();
+            lock.lock_exclusive();
+            lock.unlock_exclusive();
+            lock.lock_shared();
+            lock.unlock_shared();
+        }
+    }
+
+    #[test]
     fn adaptive_specs_expose_the_controller_and_open_the_gate() {
         let spec: LockSpec = "BRAVO-BA?adapt=on".parse().unwrap();
         let lock = build_lock(&spec).unwrap();

@@ -1,7 +1,7 @@
 //! The lock-discipline lint: a lexical scan of `crates/*/src` rejecting
 //! patterns that bypass the catalog's waiting and instrumentation layers.
 //!
-//! Three rules, each with a path allowlist naming the modules that *are*
+//! Four rules, each with a path allowlist naming the modules that *are*
 //! the sanctioned implementation site:
 //!
 //! * **bare-park** — `thread::park` / `park_timeout` outside `core::wait`
@@ -14,6 +14,11 @@
 //! * **raw-atomics** — `std::sync::atomic` mentioned inside a module that
 //!   was migrated to the `core::sync` facade; going behind the facade's
 //!   back makes the checker blind to those accesses.
+//! * **raw-syscall** — `syscall(` / `SYS_futex` outside `bravo::sys`, the
+//!   single audited owner of every foreign function the workspace calls.
+//!   A second futex call site would dodge both the `futex_*` counters and
+//!   the schedcheck virtual futex, making its wakeups invisible to the
+//!   model checker.
 //!
 //! The scan is lexical by design: it reads lines, strips `//` comments, and
 //! substring-matches. That catches the honest mistakes (someone pasting a
@@ -69,6 +74,14 @@ const RULES: &[Rule] = &[
         why: "this module was migrated to the core::sync facade; direct std::sync::atomic \
               bypasses schedcheck instrumentation",
     },
+    Rule {
+        name: "raw-syscall",
+        patterns: &["syscall(", "SYS_futex"],
+        allow: &["crates/core/src/sys.rs", "crates/schedcheck/"],
+        why: "raw syscalls live in bravo::sys, the single audited FFI seam; a second \
+              futex/epoll call site bypasses the futex_* counters and the schedcheck \
+              virtual futex",
+    },
 ];
 
 /// Modules migrated to the `core::sync` facade; the `raw-atomics` rule
@@ -92,7 +105,7 @@ pub struct Violation {
     pub file: PathBuf,
     /// 1-based line number.
     pub line: usize,
-    /// Rule name (`bare-park`, `raw-spin`, `raw-atomics`).
+    /// Rule name (`bare-park`, `raw-spin`, `raw-atomics`, `raw-syscall`).
     pub rule: &'static str,
     /// The offending line, trimmed.
     pub snippet: String,
@@ -286,6 +299,35 @@ mod tests {
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert_eq!(violations[0].rule, "raw-atomics");
         assert!(violations[0].file.to_string_lossy().contains("counter.rs"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn planted_raw_syscall_is_rejected_outside_the_seam() {
+        let root = temp_tree("syscall");
+        fs::write(
+            root.join("crates/demo/src/lib.rs"),
+            "extern \"C\" { fn syscall(num: i64, ...) -> i64; }\n\
+             pub fn nap(word: *const u32) { unsafe { syscall(202, word, 0, 0, 0) }; }\n",
+        )
+        .unwrap();
+        let violations = lint_tree(&root).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.rule == "raw-syscall"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn the_sys_seam_is_allowed_to_invoke_syscalls() {
+        let root = temp_tree("syscall_seam");
+        fs::create_dir_all(root.join("crates/core/src")).unwrap();
+        fs::write(
+            root.join("crates/core/src/sys.rs"),
+            "pub fn wake(word: *const u32) { unsafe { syscall(SYS_futex, word, 1, 1) }; }\n",
+        )
+        .unwrap();
+        let violations = lint_tree(&root).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -196,6 +196,15 @@ pub mod atomic {
         "Instrumented `AtomicIsize`."
     );
 
+    impl AtomicU32 {
+        /// Uninstrumented load for crate-internal emulation layers (the
+        /// virtual futex's registry-locked word check), which must not
+        /// introduce a yield point inside a non-yielding critical section.
+        pub(crate) fn unsynchronized_load(&self) -> u32 {
+            self.inner.load(Ordering::SeqCst)
+        }
+    }
+
     /// Instrumented `AtomicBool`.
     pub struct AtomicBool {
         inner: std::sync::atomic::AtomicBool,
@@ -482,6 +491,175 @@ pub mod thread {
         match rt::ctx() {
             Some(_) => crate::rt::yield_point(),
             None => std::thread::yield_now(),
+        }
+    }
+}
+
+/// A virtual `futex(2)`: the wait/wake pair the blocking layer's futex
+/// backend routes through under `--features schedcheck`, so kernel sleeps
+/// become schedulable events instead of real syscalls.
+///
+/// Semantics mirror the kernel's: [`futex::wait`] atomically checks
+/// that the word still holds `expected` and enqueues the caller (the
+/// registry lock makes check+enqueue one indivisible step, exactly like the
+/// kernel's bucket lock), and [`futex::wake`] dequeues up to `max`
+/// waiters of that word and
+/// unparks them. Both entry points are scheduler yield points, so the
+/// checker can interleave the "syscalls" against every other instrumented
+/// access — a dropped wake leaves its waiter parked forever and surfaces as
+/// a global deadlock with a replayable seed.
+pub mod futex {
+    use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+    use std::time::Duration;
+
+    use super::atomic::AtomicU32;
+    use super::thread;
+    use crate::rt;
+
+    /// Why a [`wait`] call returned; mirrors the kernel outcomes the native
+    /// backend distinguishes (`EINTR` has no virtual analogue).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum WaitOutcome {
+        /// A [`wake`] roused this waiter (or it raced a timeout's
+        /// deregistration). Re-check the condition.
+        Woken,
+        /// The word no longer held `expected` at the atomic check
+        /// (the virtual `EAGAIN`).
+        Stale,
+        /// The timeout fired with the waiter still enqueued.
+        TimedOut,
+    }
+
+    struct Waiter {
+        /// The futex word's address: the wait/wake rendezvous key.
+        key: usize,
+        thread: thread::Thread,
+        woken: Arc<StdAtomicBool>,
+    }
+
+    /// One process-wide registry, like the kernel's futex hash table. A raw
+    /// `std` mutex on purpose: its critical sections contain no yield
+    /// points, so a managed holder can never be descheduled mid-section and
+    /// the serialized world cannot wedge on it.
+    static WAITERS: StdMutex<Vec<Waiter>> = StdMutex::new(Vec::new());
+
+    fn registry() -> std::sync::MutexGuard<'static, Vec<Waiter>> {
+        WAITERS.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Virtual `FUTEX_WAIT`: sleeps until woken if `word` still holds
+    /// `expected`. The virtual timeout fires only when nothing else can run
+    /// (see [`crate`] docs on timed parks).
+    pub fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> WaitOutcome {
+        rt::yield_point();
+        let key = word as *const AtomicU32 as usize;
+        let woken = Arc::new(StdAtomicBool::new(false));
+        {
+            let mut q = registry();
+            // The kernel's atomic check-and-enqueue: uninstrumented read
+            // under the registry lock, so no other managed thread can slip
+            // a wake between the check and the enqueue.
+            if word.unsynchronized_load() != expected {
+                return WaitOutcome::Stale;
+            }
+            q.push(Waiter {
+                key,
+                thread: thread::current(),
+                woken: Arc::clone(&woken),
+            });
+        }
+        loop {
+            if woken.load(Ordering::SeqCst) {
+                return WaitOutcome::Woken;
+            }
+            match timeout {
+                None => thread::park(),
+                Some(dur) => {
+                    thread::park_timeout(dur);
+                    if woken.load(Ordering::SeqCst) {
+                        return WaitOutcome::Woken;
+                    }
+                    // Timed out (or spuriously unparked): deregister. A
+                    // waker that already dequeued us is morally a wakeup.
+                    let mut q = registry();
+                    match q.iter().position(|w| Arc::ptr_eq(&w.woken, &woken)) {
+                        Some(pos) => {
+                            q.remove(pos);
+                            return WaitOutcome::TimedOut;
+                        }
+                        None => return WaitOutcome::Woken,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Virtual `FUTEX_WAKE`: dequeues up to `max` waiters of `word` (FIFO)
+    /// and unparks them. Returns how many were roused.
+    pub fn wake(word: &AtomicU32, max: usize) -> usize {
+        rt::yield_point();
+        let key = word as *const AtomicU32 as usize;
+        let mut roused = Vec::new();
+        {
+            let mut q = registry();
+            let mut i = 0;
+            while i < q.len() && roused.len() < max {
+                if q[i].key == key {
+                    let w = q.remove(i);
+                    w.woken.store(true, Ordering::SeqCst);
+                    roused.push(w);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Unpark outside the registry lock: rt::unpark takes the scheduler
+        // state lock, and lock-ordering discipline keeps them disjoint.
+        for w in &roused {
+            w.thread.unpark();
+        }
+        roused.len()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn stale_word_returns_without_enqueueing() {
+            let word = AtomicU32::new(3);
+            assert_eq!(wait(&word, 2, None), WaitOutcome::Stale);
+            assert_eq!(wake(&word, usize::MAX), 0);
+        }
+
+        #[test]
+        fn wake_rouses_an_unmanaged_waiter() {
+            let word = Arc::new(AtomicU32::new(0));
+            let waiter = {
+                let word = Arc::clone(&word);
+                std::thread::spawn(move || loop {
+                    let g = word.load(Ordering::SeqCst);
+                    if g != 0 {
+                        return;
+                    }
+                    wait(&word, g, None);
+                })
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            word.store(1, Ordering::SeqCst);
+            wake(&word, usize::MAX);
+            waiter.join().expect("waiter wedged: virtual wake lost");
+        }
+
+        #[test]
+        fn timeout_fires_and_deregisters() {
+            let word = AtomicU32::new(0);
+            assert_eq!(
+                wait(&word, 0, Some(Duration::from_millis(5))),
+                WaitOutcome::TimedOut
+            );
+            assert_eq!(wake(&word, usize::MAX), 0, "timed-out waiter left behind");
         }
     }
 }

@@ -1,11 +1,11 @@
 //! Readiness notification for the multiplexed backend: raw `epoll` on
 //! Linux, a portable round-robin scan everywhere else.
 //!
-//! The build environment has no crates.io access, so there is no `libc` or
-//! `mio` to lean on; instead this module declares the three `epoll` entry
-//! points itself (`std` already links the C library that provides them) and
-//! keeps the `unsafe` surface to a few lines. Everything above it speaks
-//! [`Poller`], which hides the choice:
+//! The foreign-function binding itself lives in [`bravo::sys::epoll`] — the
+//! workspace's single raw-syscall seam — and this module is a *consumer*:
+//! it owns the policy (what "readable" means, when write interest is
+//! toggled) over the seam's thin `(token, bits)` events. Everything above
+//! it speaks [`Poller`], which hides the choice:
 //!
 //! * [`Poller::Epoll`] (Linux only) — level-triggered `epoll`: one kernel
 //!   object per worker, read interest always on, write interest toggled
@@ -49,7 +49,7 @@ pub type Event = (u64, Readiness);
 pub enum Poller {
     /// Level-triggered `epoll` (Linux).
     #[cfg(target_os = "linux")]
-    Epoll(epoll::Epoll),
+    Epoll(EpollPoller),
     /// The portable fallback: report every registered token ready each tick.
     Scan(ScanPoller),
 }
@@ -65,7 +65,7 @@ impl Poller {
                 .unwrap_or(false);
         #[cfg(target_os = "linux")]
         if !scan {
-            return Ok(Poller::Epoll(epoll::Epoll::new()?));
+            return Ok(Poller::Epoll(EpollPoller::new()?));
         }
         let _ = scan;
         Ok(Poller::Scan(ScanPoller::default()))
@@ -85,7 +85,7 @@ impl Poller {
     pub fn register(&mut self, fd: Fd, token: u64) -> io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
-            Poller::Epoll(e) => e.ctl(epoll::CTL_ADD, fd, epoll::read_events(), token),
+            Poller::Epoll(e) => e.register(fd, token),
             Poller::Scan(s) => {
                 s.tokens.insert(token);
                 Ok(())
@@ -102,16 +102,7 @@ impl Poller {
     pub fn set_interest(&mut self, fd: Fd, token: u64, read: bool, write: bool) -> io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
-            Poller::Epoll(e) => {
-                let mut events = 0;
-                if read {
-                    events |= epoll::read_events();
-                }
-                if write {
-                    events |= epoll::EPOLLOUT;
-                }
-                e.ctl(epoll::CTL_MOD, fd, events, token)
-            }
+            Poller::Epoll(e) => e.set_interest(fd, token, read, write),
             Poller::Scan(_) => {
                 let _ = (fd, token, read, write);
                 Ok(())
@@ -123,7 +114,7 @@ impl Poller {
     pub fn deregister(&mut self, fd: Fd, token: u64) -> io::Result<()> {
         match self {
             #[cfg(target_os = "linux")]
-            Poller::Epoll(e) => e.ctl(epoll::CTL_DEL, fd, 0, token),
+            Poller::Epoll(e) => e.deregister(fd, token),
             Poller::Scan(s) => {
                 s.tokens.remove(&token);
                 Ok(())
@@ -180,125 +171,68 @@ impl ScanPoller {
     }
 }
 
-/// The Linux `epoll` binding: three foreign functions, one RAII wrapper.
+/// The `epoll` consumer: interest-mask policy and bit-to-[`Readiness`]
+/// translation over the raw binding in [`bravo::sys::epoll`].
 #[cfg(target_os = "linux")]
-pub mod epoll {
-    use super::{Event, Readiness};
-    use std::io;
-    use std::os::fd::RawFd;
-    use std::os::raw::c_int;
-    use std::time::Duration;
+#[derive(Debug)]
+pub struct EpollPoller {
+    epoll: bravo::sys::epoll::Epoll,
+    /// Scratch buffer for the seam's raw `(token, bits)` events.
+    raw: Vec<bravo::sys::epoll::RawEvent>,
+}
 
-    pub(super) const CTL_ADD: c_int = 1;
-    pub(super) const CTL_DEL: c_int = 2;
-    pub(super) const CTL_MOD: c_int = 3;
-
-    const EPOLLIN: u32 = 0x001;
-    pub(super) const EPOLLOUT: u32 = 0x004;
-    const EPOLLERR: u32 = 0x008;
-    const EPOLLHUP: u32 = 0x010;
-    const EPOLLRDHUP: u32 = 0x2000;
-    const EPOLL_CLOEXEC: c_int = 0o2000000;
-
+#[cfg(target_os = "linux")]
+impl EpollPoller {
     /// The event mask a registered connection always watches: readable
     /// data plus peer-hangup/error conditions (reported as readable so the
     /// next `read` surfaces the EOF or error).
-    pub(super) fn read_events() -> u32 {
+    fn read_events() -> u32 {
+        use bravo::sys::epoll::{EPOLLIN, EPOLLRDHUP};
         EPOLLIN | EPOLLRDHUP
     }
 
-    /// `struct epoll_event` from the kernel ABI; packed on x86-64 only,
-    /// exactly as `<sys/epoll.h>` declares it.
-    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
-    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
-    #[derive(Clone, Copy)]
-    struct EpollEvent {
-        events: u32,
-        data: u64,
+    fn new() -> io::Result<Self> {
+        Ok(Self {
+            epoll: bravo::sys::epoll::Epoll::new()?,
+            raw: Vec::new(),
+        })
     }
 
-    // These live in the C library `std` already links; declaring them here
-    // substitutes for the `libc` crate the offline build cannot fetch.
-    extern "C" {
-        fn epoll_create1(flags: c_int) -> c_int;
-        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
-        fn epoll_wait(
-            epfd: c_int,
-            events: *mut EpollEvent,
-            maxevents: c_int,
-            timeout: c_int,
-        ) -> c_int;
-        fn close(fd: c_int) -> c_int;
+    fn register(&mut self, fd: Fd, token: u64) -> io::Result<()> {
+        self.epoll
+            .ctl(bravo::sys::epoll::CTL_ADD, fd, Self::read_events(), token)
     }
 
-    /// An owned `epoll` instance (closed on drop).
-    #[derive(Debug)]
-    pub struct Epoll {
-        epfd: RawFd,
+    fn set_interest(&mut self, fd: Fd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        let mut events = 0;
+        if read {
+            events |= Self::read_events();
+        }
+        if write {
+            events |= bravo::sys::epoll::EPOLLOUT;
+        }
+        self.epoll
+            .ctl(bravo::sys::epoll::CTL_MOD, fd, events, token)
     }
 
-    impl Epoll {
-        /// Creates a close-on-exec `epoll` instance.
-        pub(super) fn new() -> io::Result<Self> {
-            // SAFETY: epoll_create1 takes a flags word and returns a new
-            // descriptor or -1; no pointers are involved.
-            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
-            if epfd < 0 {
-                return Err(io::Error::last_os_error());
-            }
-            Ok(Self { epfd })
-        }
-
-        pub(super) fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
-            let mut event = EpollEvent {
-                events,
-                data: token,
-            };
-            // SAFETY: `event` is a valid epoll_event for the duration of
-            // the call; the kernel copies it and keeps no reference.
-            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
-            if rc < 0 {
-                return Err(io::Error::last_os_error());
-            }
-            Ok(())
-        }
-
-        pub(super) fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
-            const MAX_EVENTS: usize = 128;
-            let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
-            let millis = timeout.as_millis().min(i32::MAX as u128) as c_int;
-            // SAFETY: `events` is a writable buffer of MAX_EVENTS entries
-            // and the kernel writes at most `maxevents` of them.
-            let n =
-                unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), MAX_EVENTS as c_int, millis) };
-            if n < 0 {
-                let e = io::Error::last_os_error();
-                // A signal delivery is not a poll failure; report no events.
-                if e.kind() == io::ErrorKind::Interrupted {
-                    return Ok(());
-                }
-                return Err(e);
-            }
-            for event in &events[..n as usize] {
-                // Copy out of the (possibly packed) struct before use.
-                let (bits, token) = (event.events, event.data);
-                out.push((
-                    token,
-                    Readiness {
-                        readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
-                        writable: bits & EPOLLOUT != 0,
-                    },
-                ));
-            }
-            Ok(())
-        }
+    fn deregister(&mut self, fd: Fd, token: u64) -> io::Result<()> {
+        self.epoll.ctl(bravo::sys::epoll::CTL_DEL, fd, 0, token)
     }
 
-    impl Drop for Epoll {
-        fn drop(&mut self) {
-            // SAFETY: `epfd` is a descriptor this struct owns exclusively.
-            unsafe { close(self.epfd) };
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        use bravo::sys::epoll::{EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+        self.raw.clear();
+        self.epoll.wait(&mut self.raw, timeout)?;
+        for &(token, bits) in &self.raw {
+            out.push((
+                token,
+                Readiness {
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                },
+            ));
         }
+        Ok(())
     }
 }
 

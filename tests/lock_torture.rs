@@ -1,5 +1,5 @@
-//! Lock-torture tier: every catalog spec under oversubscription, in both
-//! wait modes, pinned by a watchdog.
+//! Lock-torture tier: every catalog spec under oversubscription, in every
+//! wait mode (spin, park, futex), pinned by a watchdog.
 //!
 //! Each run hammers one lock with `2 × available_parallelism` threads — a
 //! mix of writers and readers sharing an exclusion checker — for a short
@@ -178,6 +178,17 @@ fn every_catalog_spec_survives_torture_parking() {
     }
 }
 
+#[test]
+fn every_catalog_spec_survives_torture_futex_blocking() {
+    // On targets (or under BRAVO_FUTEX_FALLBACK=1) where the syscall is
+    // unavailable the dispatch silently runs the park path — the cell is
+    // then a duplicate of the parking sweep, which is exactly the fallback
+    // contract this tier should hold.
+    for &kind in LockKind::all() {
+        torture(kind, WaitMode::Futex);
+    }
+}
+
 /// The parking path must actually be exercised by this tier, not just
 /// survive it: under oversubscription at least one waiter of some parking
 /// run should overstay the spin grace period and park.
@@ -193,5 +204,31 @@ fn parking_torture_records_parked_waits() {
     assert!(
         delta.parked_waits > 0,
         "no wait ever parked during oversubscribed parking torture"
+    );
+}
+
+/// Same exercise pin for the futex backend: when it is active, the torture
+/// must drive real `FUTEX_WAIT`s (visible in the new counters), not dodge
+/// the kernel through the spin grace every time.
+#[test]
+fn futex_torture_records_futex_waits() {
+    if !bravo_repro::bravo::wait::futex_backend_active() {
+        eprintln!("futex backend inactive (non-Linux or fallback forced); skipping");
+        return;
+    }
+    let before = bravo_repro::bravo::stats::snapshot();
+    for kind in [LockKind::Fair, LockKind::Ba] {
+        torture(kind, WaitMode::Futex);
+    }
+    let delta = bravo_repro::bravo::stats::snapshot().since(&before);
+    assert!(
+        delta.futex_waits > 0,
+        "no wait ever reached FUTEX_WAIT during oversubscribed futex torture"
+    );
+    // Sleeps are double-counted on parked_waits so wait modes stay
+    // comparable in the reports; hold that invariant here.
+    assert!(
+        delta.parked_waits > 0,
+        "futex sleeps must also count on the cross-mode parked_waits column"
     );
 }

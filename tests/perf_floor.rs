@@ -39,7 +39,7 @@ fn single_reader_ops_per_msec(kind: LockKind, wait: WaitMode) -> f64 {
 #[test]
 fn uncontended_single_reader_stays_fast() {
     for kind in [LockKind::PerCpu, LockKind::Ba] {
-        for wait in [WaitMode::Spin, WaitMode::Park] {
+        for wait in [WaitMode::Spin, WaitMode::Park, WaitMode::Futex] {
             let rate = single_reader_ops_per_msec(kind, wait);
             assert!(
                 rate >= FLOOR_OPS_PER_MSEC,
@@ -112,5 +112,26 @@ fn parking_never_engages_without_contention() {
     assert_eq!(
         own_parks, 0,
         "uncontended single reader appears to be parking"
+    );
+}
+
+#[test]
+fn futex_backend_issues_no_syscalls_without_contention() {
+    // The futex mirror of the parking pin: with one thread and no writer,
+    // an uncontended reader must stay entirely in userspace — zero
+    // FUTEX_WAITs, zero FUTEX_WAKEs, zero EAGAIN bounces. The counters are
+    // process-global, but every test in this binary is single-threaded and
+    // uncontended by design, so a nonzero delta is a real regression.
+    let before = bravo_repro::bravo::stats::snapshot();
+    let lock = build_lock(&LockKind::Ba.spec().with_wait(WaitMode::Futex)).expect("build BA");
+    for _ in 0..10_000 {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+    let delta = bravo_repro::bravo::stats::snapshot().since(&before);
+    assert_eq!(
+        (delta.futex_waits, delta.futex_wakes, delta.futex_eagain),
+        (0, 0, 0),
+        "uncontended single reader reached the futex syscall layer"
     );
 }

@@ -194,6 +194,7 @@ fn arbitrary_spec_strategy() -> impl Strategy<Value = LockSpec> {
     let wait = prop_oneof![
         (0u8..1).prop_map(|_| WaitMode::Spin),
         (0u8..1).prop_map(|_| WaitMode::Park),
+        (0u8..1).prop_map(|_| WaitMode::Futex),
     ];
     let adapt = any::<bool>();
     let shards = 1usize..64;

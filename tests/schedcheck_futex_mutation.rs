@@ -1,0 +1,105 @@
+//! The model checker's self-test for the futex backend: drop a
+//! `FUTEX_WAKE` and prove schedcheck finds the hang.
+//!
+//! The futex eventcount's liveness rests on one obligation: every
+//! generation bump that observes announced waiters must be followed by the
+//! wake syscall. `bravo::wait::mutation::set_drop_futex_wake` deletes
+//! exactly that wake (the virtual one, under `--features schedcheck`),
+//! re-creating the PR 6 lost-wakeup bug class on the futex path. This test
+//! asserts the checker (a) passes the clean protocol, (b) drives the seeded
+//! bug to its deadlock within a bounded schedule budget, and (c) prints a
+//! seed token that replays the failing interleaving byte-for-byte.
+//!
+//! Runs single-threaded by construction: the mutation flag is process-wide,
+//! so this file holds exactly one `#[test]`.
+#![cfg(feature = "schedcheck")]
+
+use std::sync::Arc;
+
+use bravo::sync::atomic::{AtomicU64, Ordering};
+use bravo::wait::mutation;
+use bravo::WaitStrategy;
+use schedcheck::{Config, FailureKind};
+
+/// The minimal handoff that depends on the wake: a waiter blocks in the
+/// futex eventcount until a flag flips; the setter flips it and notifies.
+/// With the wake dropped, the only schedules that still pass are the ones
+/// where the waiter never truly sleeps (condition already true at its
+/// re-check); PCT's long descheduling windows find the one where it does.
+fn futex_handoff_scenario() {
+    let strategy = WaitStrategy::futex();
+    let flag = Arc::new(AtomicU64::new(0));
+    let key = 0xf07e_usize;
+    let waiter = {
+        let flag = Arc::clone(&flag);
+        schedcheck::spawn(move || {
+            strategy.wait_until(key, || flag.load(Ordering::SeqCst) == 1);
+        })
+    };
+    let setter = {
+        let flag = Arc::clone(&flag);
+        schedcheck::spawn(move || {
+            flag.store(1, Ordering::SeqCst);
+            strategy.notify_all(key);
+        })
+    };
+    waiter.join();
+    setter.join();
+}
+
+#[test]
+fn checker_finds_a_dropped_futex_wake() {
+    // Clean first: the intact protocol must survive the same exploration
+    // budget the mutation hunt gets per seed batch.
+    mutation::set_drop_futex_wake(false);
+    let report = schedcheck::run(
+        &Config::pct(0xF07E, 3).with_schedules(300),
+        futex_handoff_scenario,
+    )
+    .unwrap_or_else(|f| panic!("clean futex handoff failed: {f}"));
+    assert_eq!(report.schedules, 300);
+
+    // Drop the wake. The deadlock needs the waiter suspended between its
+    // generation snapshot and its sleep while the setter bumps-and-skips;
+    // PCT's priority windows produce that reliably within the budget.
+    mutation::set_drop_futex_wake(true);
+    let failure = schedcheck::run(
+        &Config::pct(0xF07E, 3).with_schedules(3_000),
+        futex_handoff_scenario,
+    )
+    .expect_err("the dropped FUTEX_WAKE must deadlock some schedule");
+    mutation::set_drop_futex_wake(false);
+    assert_eq!(failure.kind, FailureKind::Deadlock, "failure: {failure}");
+    assert!(
+        failure.seed_token.starts_with("pct3:"),
+        "unexpected seed token {}",
+        failure.seed_token
+    );
+    assert!(
+        failure.detail.contains("parked"),
+        "deadlock dump should show the sleeping waiter: {}",
+        failure.detail
+    );
+
+    // The printed token replays the identical interleaving: same failure
+    // kind, same step count, same hand-off trace, twice over.
+    mutation::set_drop_futex_wake(true);
+    let replay1 = schedcheck::run(&Config::replay(&failure.seed_token), futex_handoff_scenario)
+        .expect_err("replay must reproduce the deadlock");
+    let replay2 = schedcheck::run(&Config::replay(&failure.seed_token), futex_handoff_scenario)
+        .expect_err("replay must reproduce the deadlock");
+    mutation::set_drop_futex_wake(false);
+    assert_eq!(replay1.kind, FailureKind::Deadlock);
+    assert_eq!(
+        replay1.trace, failure.trace,
+        "replay diverged from original"
+    );
+    assert_eq!(replay1.trace, replay2.trace, "two replays diverged");
+    assert_eq!(replay1.step, failure.step);
+
+    // And with the wake restored, the very interleaving that deadlocked is
+    // harmless — the syscall is the whole difference.
+    let report = schedcheck::run(&Config::replay(&failure.seed_token), futex_handoff_scenario)
+        .unwrap_or_else(|f| panic!("intact code failed the bug's own schedule: {f}"));
+    assert_eq!(report.schedules, 1);
+}

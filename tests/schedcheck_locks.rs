@@ -160,6 +160,71 @@ fn park_handoff_never_loses_wakeups() {
 }
 
 #[test]
+fn futex_handoff_never_loses_wakeups() {
+    // The futex twin of the park handoff case: the schedcheck virtual
+    // futex makes wait/wake yield points, so every interleaving of the
+    // announce/snapshot/recheck/sleep protocol against the generation bump
+    // is explored. A lost wakeup sleeps the waiter forever and surfaces as
+    // a reported deadlock.
+    for seed in [3, 17] {
+        let report = schedcheck::check(&Config::pct(seed, 2).with_schedules(200), || {
+            let strategy = WaitStrategy::futex();
+            let flag = Arc::new(AtomicU64::new(0));
+            let key = 0x5eed_f1a6usize;
+            let waiter = {
+                let flag = Arc::clone(&flag);
+                schedcheck::spawn(move || {
+                    strategy.wait_until(key, || flag.load(Ordering::SeqCst) == 1);
+                })
+            };
+            let setter = {
+                let flag = Arc::clone(&flag);
+                schedcheck::spawn(move || {
+                    flag.store(1, Ordering::SeqCst);
+                    strategy.notify_all(key);
+                })
+            };
+            waiter.join();
+            setter.join();
+        });
+        assert_eq!(report.schedules, 200);
+    }
+}
+
+#[test]
+fn futex_generation_wraparound_is_benign_under_the_checker() {
+    // Litmus: park the eventcount's 32-bit generation right at u32::MAX so
+    // the bump in every explored schedule crosses the wrap. The protocol
+    // compares generations for equality only, so the wrap must be
+    // unobservable — any schedule where a waiter keyed on a pre-wrap
+    // generation misses a post-wrap wake would deadlock here.
+    for seed in [5, 23] {
+        let report = schedcheck::check(&Config::pct(seed, 2).with_schedules(200), || {
+            let ec = Arc::new(bravo::FutexEventCount::with_generation(u32::MAX));
+            let flag = Arc::new(AtomicU64::new(0));
+            let waiter = {
+                let ec = Arc::clone(&ec);
+                let flag = Arc::clone(&flag);
+                schedcheck::spawn(move || {
+                    ec.wait_until(|| flag.load(Ordering::SeqCst) == 1);
+                })
+            };
+            let setter = {
+                let ec = Arc::clone(&ec);
+                let flag = Arc::clone(&flag);
+                schedcheck::spawn(move || {
+                    flag.store(1, Ordering::SeqCst);
+                    ec.notify_all();
+                })
+            };
+            waiter.join();
+            setter.join();
+        });
+        assert_eq!(report.schedules, 200);
+    }
+}
+
+#[test]
 fn wait_queue_wake_one_is_fifo_under_the_checker() {
     schedcheck::check(&Config::random_walk(11).with_schedules(64), || {
         let q = Arc::new(bravo::WaitQueue::new());
